@@ -1,0 +1,134 @@
+// Shared helpers for the table/figure reproduction harness.
+//
+// Measurement protocol follows §VI-A: each query runs LH_BENCH_REPS times
+// (default 5); with >= 3 repetitions the min and max are dropped and the
+// rest averaged. Unfiltered ("index") tries are warmed before measuring —
+// the paper excludes index creation from query time.
+
+#ifndef LEVELHEADED_BENCH_BENCH_UTIL_H_
+#define LEVELHEADED_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace levelheaded::bench {
+
+inline int Reps() {
+  const char* env = std::getenv("LH_BENCH_REPS");
+  int reps = env != nullptr ? std::atoi(env) : 5;
+  return reps > 0 ? reps : 1;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atof(env) : fallback;
+}
+
+inline std::vector<double> EnvDoubleList(const char* name,
+                                         std::vector<double> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  std::vector<double> out;
+  std::string s(env);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atof(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+/// A measurement: a time, or a failure marker ("oom" / "t/o" / "-").
+struct Measurement {
+  double ms = 0;
+  std::string marker;  // non-empty overrides ms
+
+  bool ok() const { return marker.empty(); }
+  static Measurement Time(double ms) { return {ms, ""}; }
+  static Measurement Mark(std::string m) { return {0, std::move(m)}; }
+};
+
+/// "12.3ms" / "1.42s" / the marker.
+inline std::string FormatTime(const Measurement& m) {
+  if (!m.ok()) return m.marker;
+  char buf[32];
+  if (m.ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", m.ms / 1000);
+  } else if (m.ms >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", m.ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", m.ms);
+  }
+  return buf;
+}
+
+/// Relative factor vs the best time ("1x", "17.9x", or the marker).
+inline std::string FormatRelative(const Measurement& m, double best_ms) {
+  if (!m.ok()) return m.marker;
+  char buf[32];
+  const double rel = best_ms > 0 ? m.ms / best_ms : 1.0;
+  if (rel < 1.005) {
+    std::snprintf(buf, sizeof(buf), "1x");
+  } else if (rel < 10) {
+    std::snprintf(buf, sizeof(buf), "%.2fx", rel);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fx", rel);
+  }
+  return buf;
+}
+
+inline double AverageDroppingExtremes(const std::vector<double>& times) {
+  if (times.empty()) return 0;
+  double sum = 0, lo = times[0], hi = times[0];
+  for (double t : times) {
+    sum += t;
+    if (t < lo) lo = t;
+    if (t > hi) hi = t;
+  }
+  if (times.size() >= 3) {
+    return (sum - lo - hi) / static_cast<double>(times.size() - 2);
+  }
+  return sum / static_cast<double>(times.size());
+}
+
+/// Measures a query through the LevelHeaded engine: one warm-up run (builds
+/// cached tries), then Reps() measured runs of QueryMillis (parse + plan +
+/// filter + execute; index creation excluded, §VI-A).
+inline Measurement MeasureLevelHeaded(Engine* engine, const std::string& sql,
+                                      const QueryOptions& options = {}) {
+  auto warm = engine->Query(sql, options);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "levelheaded error: %s\n",
+                 warm.status().ToString().c_str());
+    return Measurement::Mark("err");
+  }
+  std::vector<double> times;
+  for (int i = 0; i < Reps(); ++i) {
+    auto r = engine->Query(sql, options);
+    if (!r.ok()) return Measurement::Mark("err");
+    times.push_back(r.value().timing.QueryMillis());
+  }
+  return Measurement::Time(AverageDroppingExtremes(times));
+}
+
+/// Prints one table row: name column then fixed-width cells.
+inline void PrintRow(const std::string& head,
+                     const std::vector<std::string>& cells, int head_width,
+                     int cell_width) {
+  std::printf("%-*s", head_width, head.c_str());
+  for (const std::string& c : cells) {
+    std::printf(" %*s", cell_width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace levelheaded::bench
+
+#endif  // LEVELHEADED_BENCH_BENCH_UTIL_H_

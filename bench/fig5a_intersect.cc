@@ -1,0 +1,87 @@
+// Figure 5a: set-intersection performance by layout pair — uint ∩ uint,
+// uint ∩ bs, and bs ∩ bs at cardinalities 1e6 and 1e7. These measurements
+// are the source of the icost constants (1 / 10 / 50) in §V-A1.
+//
+// Uses google-benchmark; run with --benchmark_* flags if desired.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "set/intersect.h"
+#include "set/set.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+namespace {
+
+/// Two sets of cardinality `card`, ~50% overlap, in the requested layouts.
+/// Density is steered by the universe size: dense universes make bitset
+/// layouts natural (as at the first trie level), sparse ones make uint
+/// layouts natural (deeper levels).
+struct Fixture {
+  OwnedSet a, b;
+};
+
+Fixture MakeSets(int64_t card, SetLayout la, SetLayout lb) {
+  // Universe ~2x cardinality keeps both layouts meaningful and the
+  // intersection selectivity around one half.
+  const uint64_t universe = static_cast<uint64_t>(card) * 2;
+  Rng rng(card + static_cast<int>(la) * 7 + static_cast<int>(lb));
+  std::vector<uint8_t> in_a(universe, 0), in_b(universe, 0);
+  // Exact cardinality via reservoir-free dense draw.
+  int64_t na = 0, nb = 0;
+  for (uint64_t v = 0; v < universe && (na < card || nb < card); ++v) {
+    const uint64_t remaining = universe - v;
+    if (na < card && rng.Uniform(remaining) < static_cast<uint64_t>(card - na)) {
+      in_a[v] = 1;
+      ++na;
+    }
+    if (nb < card && rng.Uniform(remaining) < static_cast<uint64_t>(card - nb)) {
+      in_b[v] = 1;
+      ++nb;
+    }
+  }
+  std::vector<uint32_t> va, vb;
+  va.reserve(card);
+  vb.reserve(card);
+  for (uint64_t v = 0; v < universe; ++v) {
+    if (in_a[v]) va.push_back(static_cast<uint32_t>(v));
+    if (in_b[v]) vb.push_back(static_cast<uint32_t>(v));
+  }
+  Fixture f;
+  f.a = OwnedSet::FromSortedWithLayout(va, la);
+  f.b = OwnedSet::FromSortedWithLayout(vb, lb);
+  return f;
+}
+
+void BM_Intersect(benchmark::State& state, SetLayout la, SetLayout lb) {
+  const int64_t card = state.range(0);
+  Fixture f = MakeSets(card, la, lb);
+  ScratchSet out;
+  for (auto _ : state) {
+    Intersect(f.a.view(), f.b.view(), &out);
+    benchmark::DoNotOptimize(out.view().cardinality);
+  }
+  state.SetItemsProcessed(state.iterations() * card);
+  state.counters["result_card"] =
+      static_cast<double>(out.view().cardinality);
+}
+
+BENCHMARK_CAPTURE(BM_Intersect, uint_uint, SetLayout::kUint, SetLayout::kUint)
+    ->Arg(1 << 20)
+    ->Arg(10 * (1 << 20))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Intersect, uint_bs, SetLayout::kUint, SetLayout::kBitset)
+    ->Arg(1 << 20)
+    ->Arg(10 * (1 << 20))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Intersect, bs_bs, SetLayout::kBitset, SetLayout::kBitset)
+    ->Arg(1 << 20)
+    ->Arg(10 * (1 << 20))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace levelheaded
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Figure 5c: cost estimate vs runtime for four attribute orders of TPC-H
+// Q5's expensive GHD node (attributes orderkey, custkey, suppkey,
+// nationkey; the region ⋈ nation child supplies the nationkey filter set).
+// The cost-based optimizer's ranking should match the runtime ranking, with
+// the high-cardinality orderkey-first orders fastest (Observation 5.2).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "workload/tpch_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+std::vector<std::string> SplitOrder(const std::string& joined) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < joined.size()) {
+    size_t comma = joined.find(',', pos);
+    if (comma == std::string::npos) comma = joined.size();
+    out.push_back(joined.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Run() {
+  const double sf = EnvDouble("LH_TPCH_SF", 0.05);
+  auto catalog = std::make_unique<Catalog>();
+  TpchGenerator gen(sf);
+  gen.Populate(catalog.get()).CheckOK();
+  catalog->Finalize().CheckOK();
+  Engine lh(catalog.get());
+
+  const std::string sql = TpchQuery("q5");
+  auto info = lh.Explain(sql);
+  info.status().CheckOK();
+  const auto& candidates = info.value().root_candidates;
+  std::printf(
+      "Figure 5c: TPC-H Q5 (SF %.3g) root-node attribute orders — cost vs "
+      "runtime\n(%zu candidate orders; showing best, two middles, worst)\n\n",
+      sf, candidates.size());
+
+  // Best, two interior quantiles, worst.
+  std::vector<size_t> picks;
+  picks.push_back(0);
+  if (candidates.size() > 3) picks.push_back(candidates.size() / 3);
+  if (candidates.size() > 2) picks.push_back(2 * candidates.size() / 3);
+  picks.push_back(candidates.size() - 1);
+
+  PrintRow("Order", {"Cost", "Runtime"}, 40, 12);
+  for (size_t p : picks) {
+    QueryOptions opts;
+    opts.force_attr_order = SplitOrder(candidates[p].order);
+    opts.enable_union_relaxation = false;
+    if (candidates[p].union_relaxed) continue;
+    Measurement m = MeasureLevelHeaded(&lh, sql, opts);
+    char cost[32];
+    std::snprintf(cost, sizeof(cost), "%.0f", candidates[p].cost);
+    PrintRow("[" + candidates[p].order + "]", {cost, FormatTime(m)}, 40, 12);
+  }
+  std::printf("\n(chosen order: [%s], cost %.0f)\n",
+              info.value().root_order.c_str(), info.value().root_cost);
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main() { return levelheaded::bench::Run(); }

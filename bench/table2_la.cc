@@ -1,0 +1,215 @@
+// Table II (linear-algebra half): SMV, SMM, DMV, DMM.
+//
+// Engines: LevelHeaded (sparse kernels run as pure aggregate-join queries;
+// dense kernels dispatch to MiniBLAS), the specialized LA library
+// (la:: CSR/dense kernels — the Intel MKL stand-in), and the three pairwise
+// baselines. Sparse datasets are scaled stand-ins for Harbor / HV15R /
+// nlpkkt240 (LH_LA_SCALE_* envs); dense sizes default to 192/256/384
+// (LH_DENSE_SIZES). Engines whose pairwise intermediate would exceed their
+// budget are reported t/o — the paper's comparators time out or go out of
+// memory on the same entries.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/pairwise_engine.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+#include "workload/matrix_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+constexpr uint64_t kInterpretedBudget = 3'000'000;
+constexpr uint64_t kMaterializedBudget = 40'000'000;
+constexpr uint64_t kVectorizedBudget = 400'000'000;
+
+struct Dataset {
+  std::string name;
+  bool dense = false;
+  int64_t n = 0;
+  CooMatrix coo;  // sparse only
+};
+
+uint64_t EstimateTuples(const Dataset& d, const std::string& query) {
+  if (query == "SMV") return d.dense ? 0 : d.coo.nnz();
+  if (query == "DMV") return static_cast<uint64_t>(d.n) * d.n;
+  if (query == "DMM") {
+    return static_cast<uint64_t>(d.n) * d.n * d.n;
+  }
+  // SMM: sum over k of (#entries with col k) * (#entries with row k).
+  std::vector<uint32_t> row_cnt(d.n, 0), col_cnt(d.n, 0);
+  for (size_t i = 0; i < d.coo.nnz(); ++i) {
+    row_cnt[d.coo.rows[i]]++;
+    col_cnt[d.coo.cols[i]]++;
+  }
+  uint64_t est = 0;
+  for (int64_t k = 0; k < d.n; ++k) {
+    est += static_cast<uint64_t>(col_cnt[k]) * row_cnt[k];
+  }
+  return est;
+}
+
+Measurement MeasureBaseline(Catalog* catalog, BaselineMode mode,
+                            const std::string& sql, uint64_t est) {
+  const uint64_t budget = mode == BaselineMode::kInterpreted
+                              ? kInterpretedBudget
+                          : mode == BaselineMode::kMaterialized
+                              ? kMaterializedBudget
+                              : kVectorizedBudget;
+  if (est > budget) {
+    return Measurement::Mark(mode == BaselineMode::kMaterialized ? "oom"
+                                                                 : "t/o");
+  }
+  PairwiseEngine engine(catalog, mode);
+  auto warm = engine.Query(sql);
+  if (!warm.ok()) {
+    return Measurement::Mark(
+        warm.status().message().find("out of memory") != std::string::npos
+            ? "oom"
+            : "err");
+  }
+  std::vector<double> times;
+  for (int i = 0; i < Reps(); ++i) {
+    auto r = engine.Query(sql);
+    if (!r.ok()) return Measurement::Mark("err");
+    times.push_back(r.value().timing.exec_ms);
+  }
+  return Measurement::Time(AverageDroppingExtremes(times));
+}
+
+/// The MKL stand-in: direct la:: kernels over prebuilt CSR / dense buffers.
+Measurement MeasureLaLibrary(const Dataset& d, const std::string& query) {
+  std::vector<double> times;
+  if (d.dense) {
+    Rng rng(11);
+    std::vector<double> a(d.n * d.n), x(d.n), y(d.n);
+    for (double& v : a) v = rng.UniformDouble();
+    for (double& v : x) v = rng.UniformDouble();
+    if (query == "DMV") {
+      for (int i = 0; i < Reps(); ++i) {
+        WallTimer t;
+        Gemv(d.n, d.n, a.data(), x.data(), y.data());
+        times.push_back(t.ElapsedMillis());
+      }
+    } else {
+      std::vector<double> c(d.n * d.n);
+      for (int i = 0; i < Reps(); ++i) {
+        WallTimer t;
+        Gemm(d.n, d.n, d.n, a.data(), a.data(), c.data());
+        times.push_back(t.ElapsedMillis());
+      }
+    }
+  } else {
+    CsrMatrix csr = CooToCsr(d.coo);
+    if (query == "SMV") {
+      Rng rng(12);
+      std::vector<double> x(d.n), y(d.n);
+      for (double& v : x) v = rng.UniformDouble();
+      for (int i = 0; i < Reps(); ++i) {
+        WallTimer t;
+        SpMV(csr, x.data(), y.data());
+        times.push_back(t.ElapsedMillis());
+      }
+    } else {
+      for (int i = 0; i < Reps(); ++i) {
+        WallTimer t;
+        CsrMatrix c = SpGEMM(csr, csr);
+        times.push_back(t.ElapsedMillis());
+      }
+    }
+  }
+  return Measurement::Time(AverageDroppingExtremes(times));
+}
+
+int Run() {
+  std::vector<Dataset> datasets;
+  {
+    SyntheticMatrix m = HarborLike(EnvDouble("LH_LA_SCALE_HARBOR", 0.1));
+    datasets.push_back({"harbor", false, m.coo.num_rows, std::move(m.coo)});
+  }
+  {
+    SyntheticMatrix m = Hv15rLike(EnvDouble("LH_LA_SCALE_HV15R", 0.05));
+    datasets.push_back({"hv15r", false, m.coo.num_rows, std::move(m.coo)});
+  }
+  {
+    SyntheticMatrix m = Nlp240Like(EnvDouble("LH_LA_SCALE_NLP240", 0.05));
+    datasets.push_back({"nlp240", false, m.coo.num_rows, std::move(m.coo)});
+  }
+  for (double n : EnvDoubleList("LH_DENSE_SIZES", {192, 256, 384})) {
+    Dataset d;
+    d.name = std::to_string(static_cast<int64_t>(n));
+    d.dense = true;
+    d.n = static_cast<int64_t>(n);
+    datasets.push_back(std::move(d));
+  }
+
+  std::printf(
+      "Table II (LA): SMV/SMM/DMV/DMM — best engine absolute, others "
+      "relative\n");
+  std::printf(
+      "(engines: LevelHeaded | la-library [Intel MKL stand-in] | "
+      "pairwise-vectorized | pairwise-materialized | "
+      "pairwise-interpreted)\n\n");
+  PrintRow("Query/Data", {"Baseline", "LevelHeaded", "LA-lib", "Vectorized",
+                          "Materialized", "Interpreted"},
+           16, 12);
+
+  for (const Dataset& d : datasets) {
+    auto catalog = std::make_unique<Catalog>();
+    if (d.dense) {
+      SyntheticMatrix dummy;
+      AddDenseMatrixTable(catalog.get(), "m", "idx", d.n, 21).CheckOK();
+      (void)dummy;
+    } else {
+      SyntheticMatrix m{d.name, d.coo};
+      AddMatrixTable(catalog.get(), "m", "idx", m).CheckOK();
+    }
+    AddVectorTable(catalog.get(), "x", "idx", d.n, 22).CheckOK();
+    catalog->Finalize().CheckOK();
+    Engine lh(catalog.get());
+
+    const std::string kSmvSql =
+        "SELECT m.r, sum(m.v * x.val) FROM m, x WHERE m.c = x.i GROUP BY m.r";
+    const std::string kSmmSql =
+        "SELECT m1.r, m2.c, sum(m1.v * m2.v) FROM m m1, m m2 "
+        "WHERE m1.c = m2.r GROUP BY m1.r, m2.c";
+
+    const std::vector<std::string> queries =
+        d.dense ? std::vector<std::string>{"DMV", "DMM"}
+                : std::vector<std::string>{"SMV", "SMM"};
+    for (const std::string& q : queries) {
+      const std::string sql = (q == "SMV" || q == "DMV") ? kSmvSql : kSmmSql;
+      const uint64_t est = EstimateTuples(d, q);
+
+      std::vector<Measurement> ms;
+      ms.push_back(MeasureLevelHeaded(&lh, sql));
+      ms.push_back(MeasureLaLibrary(d, q));
+      ms.push_back(MeasureBaseline(catalog.get(), BaselineMode::kVectorized,
+                                   sql, est));
+      ms.push_back(MeasureBaseline(catalog.get(),
+                                   BaselineMode::kMaterialized, sql, est));
+      ms.push_back(MeasureBaseline(catalog.get(),
+                                   BaselineMode::kInterpreted, sql, est));
+
+      double best = -1;
+      for (const Measurement& m : ms) {
+        if (m.ok() && (best < 0 || m.ms < best)) best = m.ms;
+      }
+      std::vector<std::string> cells;
+      cells.push_back(FormatTime(Measurement::Time(best)));
+      for (const Measurement& m : ms) cells.push_back(FormatRelative(m, best));
+      PrintRow(q + " " + d.name, cells, 16, 12);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main() { return levelheaded::bench::Run(); }

@@ -1,0 +1,64 @@
+// Table IV: the data-transformation cost a column store pays before it can
+// call a sparse BLAS — COO -> CSR conversion (the mkl_?csrcoo equivalent) —
+// versus LevelHeaded's SMV time on its always-resident trie. The ratio is
+// how many SMV queries LevelHeaded answers while the column store is still
+// converting.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "la/sparse.h"
+#include "workload/matrix_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+void Report(const std::string& name, SyntheticMatrix matrix) {
+  const int64_t n = matrix.coo.num_rows;
+
+  // Conversion: COO (column-store layout) -> CSR, averaged.
+  std::vector<double> conv_times;
+  for (int i = 0; i < Reps(); ++i) {
+    WallTimer t;
+    CsrMatrix csr = CooToCsr(matrix.coo);
+    conv_times.push_back(t.ElapsedMillis());
+    (void)csr;
+  }
+  const double conv_ms = AverageDroppingExtremes(conv_times);
+
+  // LevelHeaded SMV on the same data.
+  auto catalog = std::make_unique<Catalog>();
+  AddMatrixTable(catalog.get(), "m", "idx", matrix).CheckOK();
+  AddVectorTable(catalog.get(), "x", "idx", n, 77).CheckOK();
+  catalog->Finalize().CheckOK();
+  Engine lh(catalog.get());
+  Measurement smv = MeasureLevelHeaded(
+      &lh,
+      "SELECT m.r, sum(m.v * x.val) FROM m, x WHERE m.c = x.i GROUP BY m.r");
+
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.2f",
+                smv.ok() && smv.ms > 0 ? conv_ms / smv.ms : 0.0);
+  PrintRow(name,
+           {FormatTime(Measurement::Time(conv_ms)), FormatTime(smv), ratio},
+           10, 14);
+}
+
+int Run() {
+  std::printf(
+      "Table IV: COO->CSR conversion vs LevelHeaded SMV (ratio = SMV "
+      "queries per conversion)\n\n");
+  PrintRow("Dataset", {"Conversion", "SMV", "Ratio"}, 10, 14);
+  Report("harbor", HarborLike(EnvDouble("LH_LA_SCALE_HARBOR", 0.1)));
+  Report("hv15r", Hv15rLike(EnvDouble("LH_LA_SCALE_HV15R", 0.05)));
+  Report("nlp240", Nlp240Like(EnvDouble("LH_LA_SCALE_NLP240", 0.05)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main() { return levelheaded::bench::Run(); }

@@ -1,0 +1,246 @@
+// lhsql: an interactive SQL shell over delimited files.
+//
+//   $ ./examples/lhsql schema.lh
+//   lh> SELECT ... ;
+//
+// The schema file declares tables and loads data:
+//
+//   # comments start with '#'
+//   table nation n_nationkey:key:int:nationkey n_name:string
+//   load nation nation.tbl
+//   table region r_regionkey:key:int:regionkey r_name:string
+//   load region region.tbl
+//
+// Column syntax: name[:key]:type[:domain] with type one of
+// int|long|float|double|string|date. Key columns may name their shared
+// domain (defaults to the column name).
+//
+// Shell commands: .tables, .explain <sql>, .timing on|off, .quit.
+// With no schema file, lhsql starts with an empty catalog (useful only
+// with a schema; queries need tables).
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "storage/csv.h"
+#include "storage/snapshot.h"
+#include "storage/table.h"
+
+namespace levelheaded {
+namespace {
+
+Result<ColumnSpec> ParseColumnSpec(const std::string& token) {
+  std::vector<std::string> parts;
+  std::stringstream ss(token);
+  std::string part;
+  while (std::getline(ss, part, ':')) parts.push_back(part);
+  if (parts.size() < 2) {
+    return Status::InvalidArgument("bad column spec '" + token +
+                                   "' (want name[:key]:type[:domain])");
+  }
+  const std::string& name = parts[0];
+  size_t idx = 1;
+  bool is_key = false;
+  if (parts[idx] == "key") {
+    is_key = true;
+    ++idx;
+  }
+  if (idx >= parts.size()) {
+    return Status::InvalidArgument("missing type in '" + token + "'");
+  }
+  const std::string& type_name = parts[idx];
+  ValueType type;
+  if (type_name == "int") {
+    type = ValueType::kInt32;
+  } else if (type_name == "long") {
+    type = ValueType::kInt64;
+  } else if (type_name == "float") {
+    type = ValueType::kFloat;
+  } else if (type_name == "double") {
+    type = ValueType::kDouble;
+  } else if (type_name == "string") {
+    type = ValueType::kString;
+  } else if (type_name == "date") {
+    type = ValueType::kDate;
+  } else {
+    return Status::InvalidArgument("unknown type '" + type_name + "'");
+  }
+  if (is_key) {
+    std::string domain = idx + 1 < parts.size() ? parts[idx + 1] : name;
+    return ColumnSpec::Key(name, type, domain);
+  }
+  return ColumnSpec::Annotation(name, type);
+}
+
+Status LoadSchemaFile(const std::string& path, Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open schema file " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::stringstream ss(line);
+    std::string command;
+    if (!(ss >> command) || command[0] == '#') continue;
+    if (command == "table") {
+      std::string name;
+      if (!(ss >> name)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": table needs a name");
+      }
+      std::vector<ColumnSpec> columns;
+      std::string token;
+      while (ss >> token) {
+        LH_ASSIGN_OR_RETURN(ColumnSpec spec, ParseColumnSpec(token));
+        columns.push_back(std::move(spec));
+      }
+      LH_RETURN_NOT_OK(
+          catalog->CreateTable(TableSchema(name, std::move(columns)))
+              .status());
+    } else if (command == "load") {
+      std::string name, file;
+      if (!(ss >> name >> file)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": load needs <table> <file>");
+      }
+      Table* table = catalog->GetTable(name);
+      if (table == nullptr) {
+        return Status::NotFound("table '" + name + "' not declared");
+      }
+      LH_RETURN_NOT_OK(LoadCsvFile(file, CsvOptions{}, table));
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown directive '" + command +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+int Shell(int argc, char** argv) {
+  std::unique_ptr<Catalog> owned;
+  Catalog local;
+  Catalog* catalog = &local;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg.size() > 7 && arg.substr(arg.size() - 7) == ".lhsnap") {
+      auto loaded = LoadCatalog(arg);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "snapshot error: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      owned = loaded.TakeValue();
+      catalog = owned.get();
+    } else {
+      Status st = LoadSchemaFile(arg, &local);
+      if (!st.ok()) {
+        std::fprintf(stderr, "schema error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (!catalog->finalized()) {
+    Status st = catalog->Finalize();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  Engine engine(catalog);
+  bool timing = false;
+
+  std::printf("lhsql — LevelHeaded interactive shell. "
+              "Commands: .tables .explain <sql> .timing on|off .quit\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::fputs(buffer.empty() ? "lh> " : "  > ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      std::stringstream ss(line);
+      std::string cmd;
+      ss >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".tables") {
+        for (const std::string& name : catalog->TableNames()) {
+          const Table* t = catalog->GetTable(name);
+          std::printf("  %-16s %zu rows, %zu columns\n", name.c_str(),
+                      t->num_rows(), t->schema().num_columns());
+        }
+        continue;
+      }
+      if (cmd == ".timing") {
+        std::string arg;
+        ss >> arg;
+        timing = arg == "on";
+        std::printf("timing %s\n", timing ? "on" : "off");
+        continue;
+      }
+      if (cmd == ".explain") {
+        std::string sql = line.substr(std::string(".explain").size());
+        auto info = engine.Explain(sql);
+        if (!info.ok()) {
+          std::printf("error: %s\n", info.status().ToString().c_str());
+          continue;
+        }
+        if (info.value().scan_only) {
+          std::printf("plan: column scan\n");
+        } else if (info.value().dense != DenseKernel::kNone) {
+          std::printf("plan: dense BLAS dispatch (%s)\n",
+                      info.value().dense == DenseKernel::kGemm ? "GEMM"
+                                                               : "GEMV");
+        } else {
+          std::printf("plan: %zu GHD node(s), FHW %.2f\n",
+                      info.value().num_ghd_nodes, info.value().fhw);
+          std::printf("attribute order: [%s]%s, cost %.0f\n",
+                      info.value().root_order.c_str(),
+                      info.value().union_relaxed ? " (union-relaxed)" : "",
+                      info.value().root_cost);
+        }
+        continue;
+      }
+      std::printf("unknown command %s\n", cmd.c_str());
+      continue;
+    }
+
+    buffer += line;
+    // Statements end with ';' (or a blank line flushes).
+    const bool complete =
+        (!line.empty() && line.find(';') != std::string::npos) ||
+        (line.empty() && !buffer.empty());
+    if (!complete) {
+      buffer += ' ';
+      continue;
+    }
+    auto result = engine.Query(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::fputs(result.value().ToString(40).c_str(), stdout);
+    std::printf("(%zu rows)\n", result.value().num_rows);
+    if (timing) {
+      const auto& t = result.value().timing;
+      std::printf("time: %.2fms (parse %.2f, plan %.2f, filter %.2f, "
+                  "exec %.2f; index build %.2f excluded)\n",
+                  t.QueryMillis(), t.parse_ms, t.plan_ms, t.filter_ms,
+                  t.exec_ms, t.index_build_ms);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded
+
+int main(int argc, char** argv) { return levelheaded::Shell(argc, argv); }

@@ -1,0 +1,90 @@
+// Linear algebra as SQL: sparse matrix-vector and matrix-matrix products
+// expressed as aggregate-join queries, plus the dense BLAS dispatch.
+//
+//   $ ./examples/sparse_linear_algebra
+//
+// Sparse kernels execute as pure worst-case-optimal joins over tries (the
+// cost-based optimizer recovers the MKL loop order via the §V-A2 union
+// relaxation); dense kernels are recognized and dispatched to MiniBLAS.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/matrix_gen.h"
+
+using namespace levelheaded;
+
+int main() {
+  Catalog catalog;
+  SyntheticMatrix m = MakeBandedMatrix("demo", 2000, 8, 4, 42);
+  AddMatrixTable(&catalog, "m", "idx", m).CheckOK();
+  AddVectorTable(&catalog, "x", "idx", 2000, 43).CheckOK();
+  AddDenseMatrixTable(&catalog, "d", "dense_idx", 128, 44).CheckOK();
+  catalog.Finalize().CheckOK();
+  Engine engine(&catalog);
+
+  std::printf("sparse matrix: n=%lld, nnz=%zu\n\n",
+              static_cast<long long>(m.coo.num_rows), m.coo.nnz());
+
+  // --- SpMV: y[r] = sum_c M[r,c] * x[c] ---
+  const char* kSmv =
+      "SELECT m.r, sum(m.v * x.val) AS y FROM m, x WHERE m.c = x.i "
+      "GROUP BY m.r";
+  auto smv = engine.Query(kSmv);
+  smv.status().CheckOK();
+  std::printf("SpMV as SQL: %zu output rows in %.2fms\n",
+              smv.value().num_rows, smv.value().timing.QueryMillis());
+
+  // Cross-check against the CSR kernel.
+  {
+    CsrMatrix csr = CooToCsr(m.coo);
+    std::vector<double> x(2000), y(2000);
+    {
+      Rng rng(43);
+      for (double& v : x) v = rng.UniformDouble();
+    }
+    SpMV(csr, x.data(), y.data());
+    const auto& rcol = smv.value().columns[0].ints;
+    const auto& vcol = smv.value().columns[1].reals;
+    double max_err = 0;
+    for (size_t i = 0; i < smv.value().num_rows; ++i) {
+      max_err = std::max(max_err, std::abs(vcol[i] - y[rcol[i]]));
+    }
+    std::printf("  max |SQL - CSR kernel| = %.2e\n\n", max_err);
+  }
+
+  // --- SpGEMM: the optimizer picks the union-relaxed [i,k,j] order ---
+  const char* kSmm =
+      "SELECT m1.r, m2.c, sum(m1.v * m2.v) AS v FROM m m1, m m2 "
+      "WHERE m1.c = m2.r GROUP BY m1.r, m2.c";
+  auto info = engine.Explain(kSmm);
+  info.status().CheckOK();
+  std::printf("SpGEMM plan: order [%s]%s, cost %.0f\n",
+              info.value().root_order.c_str(),
+              info.value().union_relaxed ? " (union-relaxed, §V-A2)" : "",
+              info.value().root_cost);
+  auto smm = engine.Query(kSmm);
+  smm.status().CheckOK();
+  std::printf("SpGEMM as SQL: %zu nonzeros in %.2fms\n\n",
+              smm.value().num_rows, smm.value().timing.QueryMillis());
+
+  // --- Dense: the same SQL shape dispatches to MiniBLAS (§III-D) ---
+  const char* kDmm =
+      "SELECT d1.r, d2.c, sum(d1.v * d2.v) AS v FROM d d1, d d2 "
+      "WHERE d1.c = d2.r GROUP BY d1.r, d2.c";
+  auto dense_info = engine.Explain(kDmm);
+  dense_info.status().CheckOK();
+  std::printf("dense matrix-multiply dispatch: %s\n",
+              dense_info.value().dense == DenseKernel::kGemm
+                  ? "GEMM (MiniBLAS)"
+                  : "pure WCOJ");
+  auto dmm = engine.Query(kDmm);
+  dmm.status().CheckOK();
+  std::printf("128x128 DMM: %zu cells in %.2fms\n", dmm.value().num_rows,
+              dmm.value().timing.QueryMillis());
+  return 0;
+}

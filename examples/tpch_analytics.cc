@@ -1,0 +1,52 @@
+// Business-intelligence example: the seven TPC-H benchmark queries over a
+// generated warehouse, with per-phase timing and plan summaries.
+//
+//   $ ./examples/tpch_analytics [scale_factor]   (default 0.01)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "workload/tpch_gen.h"
+
+using namespace levelheaded;
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  std::printf("generating TPC-H at scale factor %g...\n", sf);
+
+  Catalog catalog;
+  TpchGenerator gen(sf);
+  gen.Populate(&catalog).CheckOK();
+  catalog.Finalize().CheckOK();
+  std::printf("lineitem rows: %zu\n\n",
+              catalog.GetTable("lineitem")->num_rows());
+
+  Engine engine(&catalog);
+  for (const char* q : {"q1", "q3", "q5", "q6", "q8", "q9", "q10"}) {
+    const std::string sql = TpchQuery(q);
+
+    auto info = engine.Explain(sql);
+    info.status().CheckOK();
+
+    auto result = engine.Query(sql);
+    result.status().CheckOK();
+    const auto& timing = result.value().timing;
+
+    std::printf("=== %s ===\n", q);
+    if (info.value().scan_only) {
+      std::printf("plan: column scan\n");
+    } else {
+      std::printf("plan: %zu GHD node(s), order [%s] (cost %.0f)\n",
+                  info.value().num_ghd_nodes,
+                  info.value().root_order.c_str(), info.value().root_cost);
+    }
+    std::printf(
+        "time: %.2fms (parse %.2f + plan %.2f + filter %.2f + exec %.2f); "
+        "%zu rows\n",
+        timing.QueryMillis(), timing.parse_ms, timing.plan_ms,
+        timing.filter_ms, timing.exec_ms, result.value().num_rows);
+    std::printf("%s\n", result.value().ToString(5).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,297 @@
+#include "baseline/block_eval.h"
+
+
+#include <functional>
+#include "util/date.h"
+#include "util/logging.h"
+
+namespace levelheaded {
+
+Result<BlockProgram> BlockProgram::Compile(const Expr& e,
+                                           const LogicalQuery& q) {
+  BlockProgram prog;
+  LH_RETURN_NOT_OK(prog.CompileNode(e, q));
+  // Conservative stack bound: one slot per instruction.
+  prog.max_stack_ = static_cast<int>(prog.instrs_.size());
+  return prog;
+}
+
+Status BlockProgram::CompileNode(const Expr& e, const LogicalQuery& q) {
+  switch (e.kind) {
+    case Expr::Kind::kIntLiteral:
+    case Expr::Kind::kDateLiteral:
+    case Expr::Kind::kIntervalLiteral: {
+      Instr in;
+      in.op = Op::kConst;
+      in.imm = static_cast<double>(e.int_value);
+      instrs_.push_back(in);
+      return Status::OK();
+    }
+    case Expr::Kind::kRealLiteral: {
+      Instr in;
+      in.op = Op::kConst;
+      in.imm = e.real_value;
+      instrs_.push_back(in);
+      return Status::OK();
+    }
+    case Expr::Kind::kColumnRef: {
+      const ColumnData& c =
+          q.relations[e.bound_rel].table->column(e.bound_col);
+      Instr in;
+      in.op = Op::kLoadNum;
+      in.rel = e.bound_rel;
+      if (!c.ints.empty()) {
+        in.ints = c.ints.data();
+      } else if (!c.reals.empty()) {
+        in.reals = c.reals.data();
+      } else {
+        return Status::Unimplemented(
+            "string column in vectorized arithmetic");
+      }
+      instrs_.push_back(in);
+      return Status::OK();
+    }
+    case Expr::Kind::kUnaryMinus: {
+      LH_RETURN_NOT_OK(CompileNode(*e.children[0], q));
+      instrs_.push_back({Op::kNeg});
+      return Status::OK();
+    }
+    case Expr::Kind::kNot: {
+      LH_RETURN_NOT_OK(CompileNode(*e.children[0], q));
+      instrs_.push_back({Op::kNot});
+      return Status::OK();
+    }
+    case Expr::Kind::kExtractYear: {
+      LH_RETURN_NOT_OK(CompileNode(*e.children[0], q));
+      instrs_.push_back({Op::kYear});
+      return Status::OK();
+    }
+    case Expr::Kind::kBetween: {
+      // x BETWEEN lo AND hi  ->  (x >= lo) AND (x <= hi)
+      LH_RETURN_NOT_OK(CompileNode(*e.children[0], q));
+      LH_RETURN_NOT_OK(CompileNode(*e.children[1], q));
+      instrs_.push_back({Op::kCmpGe});
+      LH_RETURN_NOT_OK(CompileNode(*e.children[0], q));
+      LH_RETURN_NOT_OK(CompileNode(*e.children[2], q));
+      instrs_.push_back({Op::kCmpLe});
+      instrs_.push_back({Op::kAnd});
+      return Status::OK();
+    }
+    case Expr::Kind::kCase: {
+      // Right-fold into nested selects.
+      const size_t pairs = e.children.size() / 2;
+      // Push in evaluation order: cond, then, else (recursively), then
+      // fold with kSelect from the innermost out. Easiest correct order:
+      // compile recursively via a helper lambda on index.
+      std::function<Status(size_t)> emit = [&](size_t i) -> Status {
+        if (i == pairs) {
+          if (e.case_has_else) {
+            return CompileNode(*e.children.back(), q);
+          }
+          instrs_.push_back({Op::kConst});  // SQL NULL -> 0 in our model
+          return Status::OK();
+        }
+        LH_RETURN_NOT_OK(CompileNode(*e.children[2 * i], q));      // cond
+        LH_RETURN_NOT_OK(CompileNode(*e.children[2 * i + 1], q));  // then
+        LH_RETURN_NOT_OK(emit(i + 1));                             // else
+        instrs_.push_back({Op::kSelect});
+        return Status::OK();
+      };
+      return emit(0);
+    }
+    case Expr::Kind::kBinary: {
+      // String equality against a literal vectorizes via codes.
+      if ((e.bin_op == BinOp::kEq || e.bin_op == BinOp::kNe)) {
+        const Expr* col = e.children[0].get();
+        const Expr* lit = e.children[1].get();
+        if (col->kind != Expr::Kind::kColumnRef) std::swap(col, lit);
+        if (col->kind == Expr::Kind::kColumnRef &&
+            lit->kind == Expr::Kind::kStringLiteral) {
+          const ColumnData& c =
+              q.relations[col->bound_rel].table->column(col->bound_col);
+          if (c.dict == nullptr || c.dict->type() != ValueType::kString) {
+            return Status::Unimplemented("string compare on non-dict column");
+          }
+          Instr in;
+          in.op = Op::kLoadCodeEq;
+          in.rel = col->bound_rel;
+          in.codes = c.codes.data();
+          const int64_t code = c.dict->TryEncodeString(lit->str_value);
+          in.imm_code =
+              code < 0 ? 0xFFFFFFFFu : static_cast<uint32_t>(code);
+          instrs_.push_back(in);
+          if (e.bin_op == BinOp::kNe) instrs_.push_back({Op::kNot});
+          return Status::OK();
+        }
+      }
+      LH_RETURN_NOT_OK(CompileNode(*e.children[0], q));
+      LH_RETURN_NOT_OK(CompileNode(*e.children[1], q));
+      Instr in;
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+          in.op = Op::kAdd;
+          break;
+        case BinOp::kSub:
+          in.op = Op::kSub;
+          break;
+        case BinOp::kMul:
+          in.op = Op::kMul;
+          break;
+        case BinOp::kDiv:
+          in.op = Op::kDiv;
+          break;
+        case BinOp::kLt:
+          in.op = Op::kCmpLt;
+          break;
+        case BinOp::kLe:
+          in.op = Op::kCmpLe;
+          break;
+        case BinOp::kGt:
+          in.op = Op::kCmpGt;
+          break;
+        case BinOp::kGe:
+          in.op = Op::kCmpGe;
+          break;
+        case BinOp::kEq:
+          in.op = Op::kCmpEq;
+          break;
+        case BinOp::kNe:
+          in.op = Op::kCmpNe;
+          break;
+        case BinOp::kAnd:
+          in.op = Op::kAnd;
+          break;
+        case BinOp::kOr:
+          in.op = Op::kOr;
+          break;
+      }
+      instrs_.push_back(in);
+      return Status::OK();
+    }
+    default:
+      return Status::Unimplemented("no vector form for " + e.ToString());
+  }
+}
+
+void BlockProgram::Eval(const TupleBlock& block, double* out) const {
+  const size_t n = block.n;
+  if (stack_.size() < static_cast<size_t>(max_stack_)) {
+    stack_.resize(max_stack_);
+  }
+  int top = -1;
+  auto level = [&](int i) -> double* {
+    if (stack_[i].size() < n) stack_[i].resize(n);
+    return stack_[i].data();
+  };
+
+  for (const Instr& in : instrs_) {
+    switch (in.op) {
+      case Op::kConst: {
+        double* dst = level(++top);
+        for (size_t i = 0; i < n; ++i) dst[i] = in.imm;
+        break;
+      }
+      case Op::kLoadNum: {
+        double* dst = level(++top);
+        const uint32_t* rows = block.rows[in.rel].data();
+        if (in.ints != nullptr) {
+          for (size_t i = 0; i < n; ++i) {
+            dst[i] = static_cast<double>(in.ints[rows[i]]);
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) dst[i] = in.reals[rows[i]];
+        }
+        break;
+      }
+      case Op::kLoadCodeEq: {
+        double* dst = level(++top);
+        const uint32_t* rows = block.rows[in.rel].data();
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = in.codes[rows[i]] == in.imm_code ? 1.0 : 0.0;
+        }
+        break;
+      }
+      case Op::kNeg: {
+        double* a = level(top);
+        for (size_t i = 0; i < n; ++i) a[i] = -a[i];
+        break;
+      }
+      case Op::kNot: {
+        double* a = level(top);
+        for (size_t i = 0; i < n; ++i) a[i] = a[i] != 0 ? 0.0 : 1.0;
+        break;
+      }
+      case Op::kYear: {
+        double* a = level(top);
+        for (size_t i = 0; i < n; ++i) {
+          a[i] = static_cast<double>(
+              YearOfDays(static_cast<int32_t>(a[i])));
+        }
+        break;
+      }
+      case Op::kSelect: {
+        double* els = level(top--);
+        double* thn = level(top--);
+        double* cnd = level(top);
+        for (size_t i = 0; i < n; ++i) {
+          cnd[i] = cnd[i] != 0 ? thn[i] : els[i];
+        }
+        break;
+      }
+      default: {
+        double* b = level(top--);
+        double* a = level(top);
+        switch (in.op) {
+          case Op::kAdd:
+            for (size_t i = 0; i < n; ++i) a[i] += b[i];
+            break;
+          case Op::kSub:
+            for (size_t i = 0; i < n; ++i) a[i] -= b[i];
+            break;
+          case Op::kMul:
+            for (size_t i = 0; i < n; ++i) a[i] *= b[i];
+            break;
+          case Op::kDiv:
+            for (size_t i = 0; i < n; ++i) a[i] /= b[i];
+            break;
+          case Op::kCmpLt:
+            for (size_t i = 0; i < n; ++i) a[i] = a[i] < b[i] ? 1.0 : 0.0;
+            break;
+          case Op::kCmpLe:
+            for (size_t i = 0; i < n; ++i) a[i] = a[i] <= b[i] ? 1.0 : 0.0;
+            break;
+          case Op::kCmpGt:
+            for (size_t i = 0; i < n; ++i) a[i] = a[i] > b[i] ? 1.0 : 0.0;
+            break;
+          case Op::kCmpGe:
+            for (size_t i = 0; i < n; ++i) a[i] = a[i] >= b[i] ? 1.0 : 0.0;
+            break;
+          case Op::kCmpEq:
+            for (size_t i = 0; i < n; ++i) a[i] = a[i] == b[i] ? 1.0 : 0.0;
+            break;
+          case Op::kCmpNe:
+            for (size_t i = 0; i < n; ++i) a[i] = a[i] != b[i] ? 1.0 : 0.0;
+            break;
+          case Op::kAnd:
+            for (size_t i = 0; i < n; ++i) {
+              a[i] = (a[i] != 0 && b[i] != 0) ? 1.0 : 0.0;
+            }
+            break;
+          case Op::kOr:
+            for (size_t i = 0; i < n; ++i) {
+              a[i] = (a[i] != 0 || b[i] != 0) ? 1.0 : 0.0;
+            }
+            break;
+          default:
+            LH_CHECK(false) << "bad opcode";
+        }
+        break;
+      }
+    }
+  }
+  LH_CHECK_EQ(top, 0);
+  double* res = level(0);
+  for (size_t i = 0; i < n; ++i) out[i] = res[i];
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,88 @@
+// Block-at-a-time expression evaluation for the vectorized baseline mode.
+//
+// A bound scalar expression compiles (once, at plan time) into a postfix
+// program; Eval runs the program over a block of joined tuples with tight
+// per-operator loops. This models what compiling/vectorizing engines
+// (HyPer, VectorWise) gain over tuple-at-a-time interpretation. Unsupported
+// constructs fail compilation and the caller falls back to the
+// tuple-at-a-time evaluator.
+
+#ifndef LEVELHEADED_BASELINE_BLOCK_EVAL_H_
+#define LEVELHEADED_BASELINE_BLOCK_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/logical_query.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// A block of joined tuples: per relation, `n` row ids.
+struct TupleBlock {
+  size_t n = 0;
+  std::vector<std::vector<uint32_t>> rows;  // [relation][i]
+
+  void Reset(size_t num_relations) {
+    rows.assign(num_relations, {});
+    n = 0;
+  }
+  void Clear() {
+    for (auto& r : rows) r.clear();
+    n = 0;
+  }
+};
+
+/// A compiled numeric expression.
+class BlockProgram {
+ public:
+  /// Compiles `e` against the query's relations. Fails on constructs with
+  /// no vector form here (LIKE, string ordering, nested aggregates).
+  static Result<BlockProgram> Compile(const Expr& e, const LogicalQuery& q);
+
+  /// Evaluates over `block`, writing block.n doubles to `out`.
+  void Eval(const TupleBlock& block, double* out) const;
+
+ private:
+  enum class Op : uint8_t {
+    kConst,        // push imm
+    kLoadNum,      // push numeric column (ints/reals; dates as days)
+    kLoadCodeEq,   // push 1.0 where codes[row] == imm_code else 0.0
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kNeg,
+    kYear,         // days-since-epoch -> calendar year
+    kCmpLt,
+    kCmpLe,
+    kCmpGt,
+    kCmpGe,
+    kCmpEq,
+    kCmpNe,
+    kAnd,
+    kOr,
+    kNot,
+    kSelect,       // pop else, then, cond; push cond ? then : else
+  };
+  struct Instr {
+    Op op;
+    double imm = 0;
+    uint32_t imm_code = 0;
+    int rel = -1;
+    const int64_t* ints = nullptr;
+    const double* reals = nullptr;
+    const uint32_t* codes = nullptr;
+  };
+
+  Status CompileNode(const Expr& e, const LogicalQuery& q);
+
+  std::vector<Instr> instrs_;
+  int max_stack_ = 0;
+  mutable std::vector<std::vector<double>> stack_;  // lazily sized
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_BASELINE_BLOCK_EVAL_H_

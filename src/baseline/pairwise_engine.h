@@ -1,0 +1,58 @@
+// Pairwise-join baseline engines.
+//
+// Table II compares LevelHeaded against HyPer, MonetDB, and LogicBlox —
+// closed or unavailable systems. This module provides a classical
+// hash-join relational engine with three execution modes whose
+// architectural cost profiles stand in for those comparators:
+//
+//   kVectorized   — pipelined block-at-a-time execution, parallel morsels
+//                   (the compiled/in-memory HyPer profile);
+//   kMaterialized — operator-at-a-time with fully materialized column
+//                   intermediates, single-threaded operators (the MonetDB
+//                   profile);
+//   kInterpreted  — tuple-at-a-time pull execution (the interpreted-engine
+//                   profile standing in for LogicBlox's measured class).
+//
+// All modes share LevelHeaded's SQL front-end, binder, aggregation
+// semantics, and output materialization, so every engine answers every
+// benchmark query identically — only the join architecture differs.
+
+#ifndef LEVELHEADED_BASELINE_PAIRWISE_ENGINE_H_
+#define LEVELHEADED_BASELINE_PAIRWISE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/options.h"
+#include "core/result.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+enum class BaselineMode { kVectorized, kMaterialized, kInterpreted };
+
+const char* BaselineModeName(BaselineMode mode);
+
+class PairwiseEngine {
+ public:
+  /// `catalog` must be finalized and outlive the engine.
+  PairwiseEngine(Catalog* catalog, BaselineMode mode)
+      : catalog_(catalog), mode_(mode) {}
+
+  /// Maximum intermediate-result tuples before the engine reports an
+  /// out-of-memory condition (pairwise plans on LA queries explode; the
+  /// paper's comparators show 'oom' on the same workloads).
+  void set_intermediate_cap(uint64_t cap) { intermediate_cap_ = cap; }
+
+  Result<QueryResult> Query(const std::string& sql);
+
+ private:
+  Catalog* catalog_;
+  BaselineMode mode_;
+  uint64_t intermediate_cap_ = 1ULL << 28;  // ~268M tuples
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_BASELINE_PAIRWISE_ENGINE_H_

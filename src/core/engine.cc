@@ -1,0 +1,64 @@
+#include "core/engine.h"
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/timer.h"
+
+namespace levelheaded {
+
+Result<PhysicalPlan> Engine::Prepare(const std::string& sql,
+                                     const QueryOptions& options,
+                                     QueryResult::Timing* timing) {
+  if (!catalog_->finalized()) {
+    return Status::InvalidArgument(
+        "catalog must be finalized before querying");
+  }
+  WallTimer parse_timer;
+  LH_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  LH_ASSIGN_OR_RETURN(LogicalQuery bound, Bind(std::move(stmt), *catalog_));
+  timing->parse_ms = parse_timer.ElapsedMillis();
+
+  WallTimer plan_timer;
+  LH_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                      BuildPlan(std::move(bound), *catalog_, options));
+  timing->plan_ms = plan_timer.ElapsedMillis();
+  return plan;
+}
+
+Result<QueryResult> Engine::Query(const std::string& sql,
+                                  const QueryOptions& options) {
+  QueryResult::Timing timing;
+  LH_ASSIGN_OR_RETURN(PhysicalPlan plan, Prepare(sql, options, &timing));
+  return ExecutePlan(plan, *catalog_, &trie_cache_, &timing);
+}
+
+Result<ExplainInfo> Engine::Explain(const std::string& sql,
+                                    const QueryOptions& options) {
+  QueryResult::Timing timing;
+  LH_ASSIGN_OR_RETURN(PhysicalPlan plan, Prepare(sql, options, &timing));
+  ExplainInfo info;
+  info.scan_only = plan.scan_only;
+  info.dense = plan.dense;
+  info.num_ghd_nodes = plan.nodes.size();
+  info.fhw = plan.ghd.fhw;
+  if (!plan.nodes.empty()) {
+    const NodePlan& root = plan.nodes[0];
+    info.root_order = plan.RootOrderString();
+    info.root_cost = root.cost;
+    info.union_relaxed = root.union_relaxed;
+    for (const OrderCandidate& cand : root.candidates) {
+      ExplainInfo::Candidate c;
+      for (size_t i = 0; i < cand.order.size(); ++i) {
+        if (i > 0) c.order += ",";
+        const int g = root.local_to_global[cand.order[i]];
+        c.order += plan.query.vertices[g].name;
+      }
+      c.cost = cand.cost;
+      c.union_relaxed = cand.union_relaxed;
+      info.root_candidates.push_back(std::move(c));
+    }
+  }
+  return info;
+}
+
+}  // namespace levelheaded

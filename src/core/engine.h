@@ -1,0 +1,78 @@
+// The LevelHeaded engine: SQL in, columnar results out (Figure 2).
+//
+//   Catalog catalog;                       // tables + shared key domains
+//   ... create tables, load data ...
+//   catalog.Finalize();
+//   Engine engine(&catalog);
+//   auto result = engine.Query("SELECT ...");
+//
+// Query processing follows §III: parse -> bind -> hypergraph -> GHD ->
+// cost-based attribute ordering -> generic WCOJ execution (or the scan /
+// dense-BLAS fast paths).
+
+#ifndef LEVELHEADED_CORE_ENGINE_H_
+#define LEVELHEADED_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/options.h"
+#include "core/plan.h"
+#include "core/result.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Plan diagnostics for tooling and the Figure 5 experiments.
+struct ExplainInfo {
+  bool scan_only = false;
+  DenseKernel dense = DenseKernel::kNone;
+  size_t num_ghd_nodes = 0;
+  double fhw = 0;
+  std::string root_order;
+  double root_cost = 0;
+  bool union_relaxed = false;
+  /// Every valid root attribute order with its cost, best first. Each entry
+  /// is (comma-joined vertex names, cost, relaxed?).
+  struct Candidate {
+    std::string order;
+    double cost = 0;
+    bool union_relaxed = false;
+  };
+  std::vector<Candidate> root_candidates;
+};
+
+/// A facade over parse/bind/plan/execute with a shared trie cache.
+/// Not thread-safe for concurrent Query calls (queries themselves use the
+/// global thread pool internally).
+class Engine {
+ public:
+  /// `catalog` must be finalized and outlive the engine.
+  explicit Engine(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Runs one SELECT statement.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = QueryOptions());
+
+  /// Plans without executing.
+  Result<ExplainInfo> Explain(const std::string& sql,
+                              const QueryOptions& options = QueryOptions());
+
+  /// The unfiltered-trie cache ("index creation"); exposed so benchmarks
+  /// can warm or clear it explicitly.
+  TrieCache* trie_cache() { return &trie_cache_; }
+
+ private:
+  Result<PhysicalPlan> Prepare(const std::string& sql,
+                               const QueryOptions& options,
+                               QueryResult::Timing* timing);
+
+  Catalog* catalog_;
+  TrieCache trie_cache_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_CORE_ENGINE_H_

@@ -1,0 +1,47 @@
+// Plan execution: trie construction (with selection pushdown and caching),
+// the interpreted generic worst-case-optimal join (Algorithm 1) over GHD
+// nodes, Yannakakis-style existential semijoins for child nodes, the
+// column-scan path for join-free queries, and the dense BLAS dispatch.
+
+#ifndef LEVELHEADED_CORE_EXECUTOR_H_
+#define LEVELHEADED_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/plan.h"
+#include "core/result.h"
+#include "storage/table.h"
+#include "storage/trie.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Cache of unfiltered query tries ("index creation" in the paper's
+/// measurement protocol, built once per (table, key order, annotations)).
+class TrieCache {
+ public:
+  std::shared_ptr<Trie> Get(const std::string& signature) const {
+    auto it = cache_.find(signature);
+    return it == cache_.end() ? nullptr : it->second;
+  }
+  void Put(const std::string& signature, std::shared_ptr<Trie> trie) {
+    cache_[signature] = std::move(trie);
+  }
+  void Clear() { cache_.clear(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<Trie>> cache_;
+};
+
+/// Executes a physical plan. `cache` may be nullptr (no trie reuse).
+/// Timing fields filter_ms / exec_ms / index_build_ms are filled here.
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+                                const Catalog& catalog, TrieCache* cache,
+                                QueryResult::Timing* timing);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_CORE_EXECUTOR_H_

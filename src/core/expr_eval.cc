@@ -1,0 +1,415 @@
+#include "core/expr_eval.h"
+
+#include <cmath>
+
+#include "util/date.h"
+#include "util/logging.h"
+
+namespace levelheaded {
+
+bool LikeMatcher::Matches(std::string_view text) const {
+  // Iterative wildcard matching with backtracking to the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  const std::string& pat = pattern_;
+  while (t < text.size()) {
+    if (p < pat.size() && (pat[p] == '_' || pat[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pat.size() && pat[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '%') ++p;
+  return p == pat.size();
+}
+
+bool IsStringExpr(const Expr& e, const CellAccessor& cells) {
+  if (e.kind == Expr::Kind::kStringLiteral) return true;
+  if (e.kind == Expr::Kind::kColumnRef) {
+    return cells.Dict(e.bound_rel, e.bound_col) != nullptr;
+  }
+  return false;
+}
+
+namespace {
+
+std::string StringOf(const Expr& e, const CellAccessor& cells) {
+  if (e.kind == Expr::Kind::kStringLiteral) return e.str_value;
+  LH_CHECK(e.kind == Expr::Kind::kColumnRef) << "not a string expression";
+  const Dictionary* dict = cells.Dict(e.bound_rel, e.bound_col);
+  LH_CHECK(dict != nullptr);
+  int64_t code = cells.Code(e.bound_rel, e.bound_col);
+  LH_CHECK(code >= 0);
+  return dict->DecodeString(static_cast<uint32_t>(code));
+}
+
+bool CompareOp(BinOp op, int cmp) {
+  switch (op) {
+    case BinOp::kEq:
+      return cmp == 0;
+    case BinOp::kNe:
+      return cmp != 0;
+    case BinOp::kLt:
+      return cmp < 0;
+    case BinOp::kLe:
+      return cmp <= 0;
+    case BinOp::kGt:
+      return cmp > 0;
+    case BinOp::kGe:
+      return cmp >= 0;
+    default:
+      LH_CHECK(false) << "not a comparison";
+      return false;
+  }
+}
+
+}  // namespace
+
+double EvalNumber(const Expr& e, const CellAccessor& cells) {
+  switch (e.kind) {
+    case Expr::Kind::kColumnRef:
+      return cells.Number(e.bound_rel, e.bound_col);
+    case Expr::Kind::kIntLiteral:
+    case Expr::Kind::kDateLiteral:
+    case Expr::Kind::kIntervalLiteral:
+      return static_cast<double>(e.int_value);
+    case Expr::Kind::kRealLiteral:
+      return e.real_value;
+    case Expr::Kind::kUnaryMinus:
+      return -EvalNumber(*e.children[0], cells);
+    case Expr::Kind::kBinary:
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+          return EvalNumber(*e.children[0], cells) +
+                 EvalNumber(*e.children[1], cells);
+        case BinOp::kSub:
+          return EvalNumber(*e.children[0], cells) -
+                 EvalNumber(*e.children[1], cells);
+        case BinOp::kMul:
+          return EvalNumber(*e.children[0], cells) *
+                 EvalNumber(*e.children[1], cells);
+        case BinOp::kDiv:
+          return EvalNumber(*e.children[0], cells) /
+                 EvalNumber(*e.children[1], cells);
+        default:
+          return EvalBool(e, cells) ? 1.0 : 0.0;
+      }
+    case Expr::Kind::kCase: {
+      size_t i = 0;
+      for (; i + 1 < e.children.size(); i += 2) {
+        if (EvalBool(*e.children[i], cells)) {
+          return EvalNumber(*e.children[i + 1], cells);
+        }
+      }
+      if (e.case_has_else) return EvalNumber(*e.children.back(), cells);
+      return 0.0;  // SQL NULL; LevelHeaded's numeric model treats it as 0
+    }
+    case Expr::Kind::kExtractYear:
+      return static_cast<double>(YearOfDays(
+          static_cast<int32_t>(EvalNumber(*e.children[0], cells))));
+    case Expr::Kind::kNot:
+    case Expr::Kind::kLike:
+    case Expr::Kind::kBetween:
+      return EvalBool(e, cells) ? 1.0 : 0.0;
+    default:
+      LH_CHECK(false) << "cannot evaluate " << e.ToString() << " as number";
+      return 0;
+  }
+}
+
+bool EvalBool(const Expr& e, const CellAccessor& cells) {
+  switch (e.kind) {
+    case Expr::Kind::kBinary:
+      switch (e.bin_op) {
+        case BinOp::kAnd:
+          return EvalBool(*e.children[0], cells) &&
+                 EvalBool(*e.children[1], cells);
+        case BinOp::kOr:
+          return EvalBool(*e.children[0], cells) ||
+                 EvalBool(*e.children[1], cells);
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe: {
+          const Expr& l = *e.children[0];
+          const Expr& r = *e.children[1];
+          if (IsStringExpr(l, cells) || IsStringExpr(r, cells)) {
+            int cmp = StringOf(l, cells).compare(StringOf(r, cells));
+            return CompareOp(e.bin_op, cmp);
+          }
+          double lv = EvalNumber(l, cells), rv = EvalNumber(r, cells);
+          int cmp = lv < rv ? -1 : (lv > rv ? 1 : 0);
+          return CompareOp(e.bin_op, cmp);
+        }
+        default:
+          return EvalNumber(e, cells) != 0;
+      }
+    case Expr::Kind::kNot:
+      return !EvalBool(*e.children[0], cells);
+    case Expr::Kind::kLike: {
+      LikeMatcher matcher(e.str_value);
+      return matcher.Matches(StringOf(*e.children[0], cells));
+    }
+    case Expr::Kind::kBetween: {
+      double v = EvalNumber(*e.children[0], cells);
+      return v >= EvalNumber(*e.children[1], cells) &&
+             v <= EvalNumber(*e.children[2], cells);
+    }
+    default:
+      return EvalNumber(e, cells) != 0;
+  }
+}
+
+Value EvalValue(const Expr& e, const CellAccessor& cells) {
+  if (IsStringExpr(e, cells)) return Value::Str(StringOf(e, cells));
+  double v = EvalNumber(e, cells);
+  // Integral expressions over integer inputs render as integers.
+  if (e.kind == Expr::Kind::kIntLiteral ||
+      e.kind == Expr::Kind::kDateLiteral ||
+      e.kind == Expr::Kind::kExtractYear) {
+    return Value::Int(static_cast<int64_t>(v));
+  }
+  if (e.kind == Expr::Kind::kColumnRef) {
+    // Integer-typed columns keep integer identity.
+    if (v == std::floor(v) && std::abs(v) < 9.0e15 &&
+        cells.Dict(e.bound_rel, e.bound_col) == nullptr) {
+      return Value::Int(static_cast<int64_t>(v));
+    }
+  }
+  return Value::Real(v);
+}
+
+// ---------------------------------------------------------------------------
+// RowFilter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// CellAccessor over one row of one table; the expressions all reference a
+/// single relation, so `rel` is ignored.
+class TableRowAccessor : public CellAccessor {
+ public:
+  TableRowAccessor(const Table& table, uint32_t row)
+      : table_(table), row_(row) {}
+
+  void set_row(uint32_t row) { row_ = row; }
+
+  double Number(int, int col) const override {
+    const ColumnData& c = table_.column(col);
+    if (!c.ints.empty()) return static_cast<double>(c.ints[row_]);
+    if (!c.reals.empty()) return c.reals[row_];
+    return static_cast<double>(c.codes[row_]);
+  }
+  int64_t Code(int, int col) const override {
+    const ColumnData& c = table_.column(col);
+    if (c.dict == nullptr || c.dict->type() != ValueType::kString) return -1;
+    return c.codes[row_];
+  }
+  const Dictionary* Dict(int, int col) const override {
+    const ColumnData& c = table_.column(col);
+    if (c.dict == nullptr || c.dict->type() != ValueType::kString) {
+      return nullptr;
+    }
+    return c.dict;
+  }
+
+ private:
+  const Table& table_;
+  uint32_t row_;
+};
+
+bool IsLiteral(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kIntLiteral:
+    case Expr::Kind::kRealLiteral:
+    case Expr::Kind::kDateLiteral:
+    case Expr::Kind::kStringLiteral:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double LiteralNumber(const Expr& e) {
+  return e.kind == Expr::Kind::kRealLiteral
+             ? e.real_value
+             : static_cast<double>(e.int_value);
+}
+
+BinOp FlipCmp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+Result<RowFilter> RowFilter::Compile(
+    const std::vector<const Expr*>& conjuncts, const Table& table) {
+  RowFilter filter;
+  filter.table_ = &table;
+  for (const Expr* e : conjuncts) {
+    Pred pred;
+    pred.kind = Pred::Kind::kGeneric;
+    pred.generic = e;
+
+    // <colref> <cmp> <literal>  (either side)
+    if (e->kind == Expr::Kind::kBinary && e->children.size() == 2) {
+      const Expr* col = e->children[0].get();
+      const Expr* lit = e->children[1].get();
+      BinOp op = e->bin_op;
+      if (IsLiteral(*col) && lit->kind == Expr::Kind::kColumnRef) {
+        std::swap(col, lit);
+        op = FlipCmp(op);
+      }
+      if (col->kind == Expr::Kind::kColumnRef && IsLiteral(*lit) &&
+          (op == BinOp::kEq || op == BinOp::kNe || op == BinOp::kLt ||
+           op == BinOp::kLe || op == BinOp::kGt || op == BinOp::kGe)) {
+        const ColumnData& cd = table.column(col->bound_col);
+        const bool is_string =
+            cd.dict != nullptr && cd.dict->type() == ValueType::kString;
+        if (is_string && lit->kind == Expr::Kind::kStringLiteral &&
+            (op == BinOp::kEq || op == BinOp::kNe)) {
+          pred.kind = op == BinOp::kEq ? Pred::Kind::kCodeEq
+                                       : Pred::Kind::kCodeNe;
+          pred.col = col->bound_col;
+          pred.rhs_code = cd.dict->TryEncodeString(lit->str_value);
+          filter.preds_.push_back(std::move(pred));
+          continue;
+        }
+        if (!is_string && lit->kind != Expr::Kind::kStringLiteral) {
+          pred.kind = Pred::Kind::kNumCmp;
+          pred.col = col->bound_col;
+          pred.op = op;
+          pred.lo = LiteralNumber(*lit);
+          filter.preds_.push_back(std::move(pred));
+          continue;
+        }
+      }
+    }
+    // <colref> BETWEEN <num> AND <num>
+    if (e->kind == Expr::Kind::kBetween &&
+        e->children[0]->kind == Expr::Kind::kColumnRef &&
+        IsLiteral(*e->children[1]) && IsLiteral(*e->children[2]) &&
+        e->children[1]->kind != Expr::Kind::kStringLiteral) {
+      pred.kind = Pred::Kind::kNumBetween;
+      pred.col = e->children[0]->bound_col;
+      pred.lo = LiteralNumber(*e->children[1]);
+      pred.hi = LiteralNumber(*e->children[2]);
+      filter.preds_.push_back(std::move(pred));
+      continue;
+    }
+    // <string colref> LIKE '<pattern>' -> dictionary bitmap
+    if (e->kind == Expr::Kind::kLike &&
+        e->children[0]->kind == Expr::Kind::kColumnRef) {
+      const ColumnData& cd = table.column(e->children[0]->bound_col);
+      if (cd.dict != nullptr && cd.dict->type() == ValueType::kString) {
+        LikeMatcher matcher(e->str_value);
+        pred.kind = Pred::Kind::kDictBitmap;
+        pred.col = e->children[0]->bound_col;
+        pred.bitmap.resize(cd.dict->size());
+        for (uint32_t c = 0; c < cd.dict->size(); ++c) {
+          pred.bitmap[c] = matcher.Matches(cd.dict->DecodeString(c)) ? 1 : 0;
+        }
+        filter.preds_.push_back(std::move(pred));
+        continue;
+      }
+    }
+    filter.preds_.push_back(std::move(pred));  // generic fallback
+  }
+  return filter;
+}
+
+bool RowFilter::Matches(uint32_t row) const {
+  for (const Pred& p : preds_) {
+    switch (p.kind) {
+      case Pred::Kind::kNumCmp: {
+        const ColumnData& c = table_->column(p.col);
+        double v = !c.ints.empty() ? static_cast<double>(c.ints[row])
+                                   : c.reals[row];
+        bool ok;
+        switch (p.op) {
+          case BinOp::kEq:
+            ok = v == p.lo;
+            break;
+          case BinOp::kNe:
+            ok = v != p.lo;
+            break;
+          case BinOp::kLt:
+            ok = v < p.lo;
+            break;
+          case BinOp::kLe:
+            ok = v <= p.lo;
+            break;
+          case BinOp::kGt:
+            ok = v > p.lo;
+            break;
+          default:
+            ok = v >= p.lo;
+            break;
+        }
+        if (!ok) return false;
+        break;
+      }
+      case Pred::Kind::kNumBetween: {
+        const ColumnData& c = table_->column(p.col);
+        double v = !c.ints.empty() ? static_cast<double>(c.ints[row])
+                                   : c.reals[row];
+        if (v < p.lo || v > p.hi) return false;
+        break;
+      }
+      case Pred::Kind::kCodeEq:
+        if (p.rhs_code < 0 ||
+            table_->column(p.col).codes[row] !=
+                static_cast<uint32_t>(p.rhs_code)) {
+          return false;
+        }
+        break;
+      case Pred::Kind::kCodeNe:
+        if (p.rhs_code >= 0 &&
+            table_->column(p.col).codes[row] ==
+                static_cast<uint32_t>(p.rhs_code)) {
+          return false;
+        }
+        break;
+      case Pred::Kind::kDictBitmap:
+        if (!p.bitmap[table_->column(p.col).codes[row]]) return false;
+        break;
+      case Pred::Kind::kGeneric: {
+        TableRowAccessor cells(*table_, row);
+        if (!EvalBool(*p.generic, cells)) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> RowFilter::SelectedRows() const {
+  std::vector<uint32_t> out;
+  const uint32_t n = static_cast<uint32_t>(table_->num_rows());
+  for (uint32_t row = 0; row < n; ++row) {
+    if (Matches(row)) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace levelheaded

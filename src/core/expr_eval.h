@@ -1,0 +1,102 @@
+// Bound-expression evaluation: a generic tree-walking evaluator over an
+// abstract cell accessor (used by the reference paths, leaf expressions,
+// and group-by dimensions) plus RowFilter, a compiled row predicate used
+// for selection pushdown ahead of trie construction (hot path).
+
+#ifndef LEVELHEADED_CORE_EXPR_EVAL_H_
+#define LEVELHEADED_CORE_EXPR_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// SQL LIKE with '%' (any run) and '_' (any one character).
+class LikeMatcher {
+ public:
+  explicit LikeMatcher(std::string pattern) : pattern_(std::move(pattern)) {}
+  bool Matches(std::string_view text) const;
+
+ private:
+  std::string pattern_;
+};
+
+/// Cell access for the generic evaluator. Implementations resolve a bound
+/// column reference (relation, column) in their own context: a table row,
+/// a trie leaf, or a reference executor's tuple.
+class CellAccessor {
+ public:
+  virtual ~CellAccessor() = default;
+  /// Numeric value (ints and dates as their integer value; dict-encoded
+  /// strings as their code — callers needing string semantics use Code()).
+  virtual double Number(int rel, int col) const = 0;
+  /// Dictionary code of a string column; -1 when not dict-encoded.
+  virtual int64_t Code(int rel, int col) const = 0;
+  /// Dictionary of a string column; nullptr when not dict-encoded.
+  virtual const Dictionary* Dict(int rel, int col) const = 0;
+};
+
+/// True when the bound column reference denotes a string-typed column.
+bool IsStringExpr(const Expr& e, const CellAccessor& cells);
+
+/// Evaluates a bound scalar expression (aggregate args, CASE, EXTRACT,
+/// arithmetic). kAggRef nodes are not allowed here.
+double EvalNumber(const Expr& e, const CellAccessor& cells);
+
+/// Evaluates a bound predicate (comparisons, AND/OR/NOT, LIKE, BETWEEN).
+bool EvalBool(const Expr& e, const CellAccessor& cells);
+
+/// Evaluates a bound expression to a dynamic Value (reference executor and
+/// output materialization; decodes strings).
+Value EvalValue(const Expr& e, const CellAccessor& cells);
+
+/// A compiled conjunction of single-relation predicates over a table.
+/// Typed fast paths cover the common TPC-H filter shapes (numeric/date
+/// comparisons, string equality, BETWEEN, LIKE via a dictionary bitmap);
+/// anything else falls back to the generic evaluator.
+class RowFilter {
+ public:
+  /// Compiles `conjuncts` (bound, all referencing the same relation whose
+  /// table is `table`). The expressions must outlive the filter.
+  static Result<RowFilter> Compile(const std::vector<const Expr*>& conjuncts,
+                                   const Table& table);
+
+  bool Matches(uint32_t row) const;
+
+  /// All matching row ids, ascending.
+  std::vector<uint32_t> SelectedRows() const;
+
+  bool empty() const { return preds_.empty(); }
+
+ private:
+  struct Pred {
+    enum class Kind : uint8_t {
+      kNumCmp,      // Number(col) <op> threshold
+      kNumBetween,  // lo <= Number(col) <= hi
+      kCodeEq,      // code == rhs_code (rhs_code < 0 => never matches)
+      kCodeNe,
+      kDictBitmap,  // bitmap[code] (LIKE and other dict predicates)
+      kGeneric,
+    };
+    Kind kind;
+    int col = -1;
+    BinOp op = BinOp::kEq;
+    double lo = 0, hi = 0;
+    int64_t rhs_code = -1;
+    std::vector<uint8_t> bitmap;
+    const Expr* generic = nullptr;
+  };
+
+  const Table* table_ = nullptr;
+  std::vector<Pred> preds_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_CORE_EXPR_EVAL_H_

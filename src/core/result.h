@@ -1,0 +1,72 @@
+// Columnar query results with phase timing. Result sets can be large (a
+// matrix-multiplication output has one row per nonzero), so values are kept
+// in typed vectors rather than per-cell dynamic Values.
+
+#ifndef LEVELHEADED_CORE_RESULT_H_
+#define LEVELHEADED_CORE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace levelheaded {
+
+/// One output column.
+///
+/// String columns come in two physical forms: decoded (`strs`) or
+/// dictionary-coded (`codes` + `dict`, produced under
+/// QueryOptions::keep_strings_encoded). The coded form is LevelHeaded's
+/// native representation; downstream ML stages consume it without the
+/// decode/re-encode round trip a column store pays (§VII, Table IV).
+struct ResultColumn {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+  std::vector<int64_t> ints;       // int/long/date columns
+  std::vector<double> reals;       // float/double columns
+  std::vector<std::string> strs;   // string columns (decoded)
+  std::vector<uint32_t> codes;     // string columns (dictionary-coded)
+  const Dictionary* dict = nullptr;
+};
+
+/// A materialized query result.
+class QueryResult {
+ public:
+  struct Timing {
+    double parse_ms = 0;
+    double plan_ms = 0;
+    /// Selection pushdown + filtered-trie construction (measured as query
+    /// work, mirroring Figure 4's in-plan σ operators).
+    double filter_ms = 0;
+    double exec_ms = 0;
+    /// Unfiltered trie construction (index creation; excluded from the
+    /// benchmark's reported query time, §VI-A).
+    double index_build_ms = 0;
+    /// parse + plan + filter + exec.
+    double QueryMillis() const {
+      return parse_ms + plan_ms + filter_ms + exec_ms;
+    }
+  };
+
+  std::vector<ResultColumn> columns;
+  size_t num_rows = 0;
+  Timing timing;
+
+  int FindColumn(const std::string& name) const;
+
+  /// Cell accessor (tests, printing); row/col must be in range.
+  Value GetValue(size_t row, int col) const;
+
+  /// Renders up to `max_rows` rows as an aligned table.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Sorts rows lexicographically by all columns (deterministic comparison
+  /// in tests; LevelHeaded itself does not ORDER BY).
+  void SortRows();
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_CORE_RESULT_H_

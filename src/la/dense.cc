@@ -1,0 +1,134 @@
+#include "la/dense.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/thread_pool.h"
+
+namespace levelheaded {
+
+namespace {
+// Block sizes sized for typical L1/L2 caches.
+constexpr int64_t kBlockK = 256;
+constexpr int64_t kBlockN = 1024;
+}  // namespace
+
+namespace {
+
+template <typename T>
+void GemmImpl(int64_t m, int64_t n, int64_t k, const T* a, const T* b,
+              T* c) {
+  std::memset(c, 0, sizeof(T) * static_cast<size_t>(m) * n);
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t grain = std::max<int64_t>(1, 4096 / std::max<int64_t>(1, n));
+  pool.ParallelChunks(0, m, grain, [&](int, int64_t i_lo, int64_t i_hi) {
+    for (int64_t jc = 0; jc < n; jc += kBlockN) {
+      const int64_t j_end = std::min(jc + kBlockN, n);
+      for (int64_t kc = 0; kc < k; kc += kBlockK) {
+        const int64_t k_end = std::min(kc + kBlockK, k);
+        for (int64_t i = i_lo; i < i_hi; ++i) {
+          const T* arow = a + i * k;
+          T* crow = c + i * n;
+          for (int64_t kk = kc; kk < k_end; ++kk) {
+            const T aik = arow[kk];
+            if (aik == 0) continue;
+            const T* brow = b + kk * n;
+            for (int64_t j = jc; j < j_end; ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+template <typename T>
+void GemvImpl(int64_t m, int64_t n, const T* a, const T* x, T* y) {
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t grain = std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n));
+  pool.ParallelChunks(0, m, grain, [&](int, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const T* row = a + i * n;
+      T acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      int64_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        acc0 += row[j] * x[j];
+        acc1 += row[j + 1] * x[j + 1];
+        acc2 += row[j + 2] * x[j + 2];
+        acc3 += row[j + 3] * x[j + 3];
+      }
+      T acc = acc0 + acc1 + acc2 + acc3;
+      for (; j < n; ++j) acc += row[j] * x[j];
+      y[i] = acc;
+    }
+  });
+}
+
+}  // namespace
+
+void Gemm(int64_t m, int64_t n, int64_t k, const double* a, const double* b,
+          double* c) {
+  GemmImpl(m, n, k, a, b, c);
+}
+
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float* c) {
+  GemmImpl(m, n, k, a, b, c);
+}
+
+void Gemv(int64_t m, int64_t n, const double* a, const double* x,
+          double* y) {
+  GemvImpl(m, n, a, x, y);
+}
+
+void Gemv(int64_t m, int64_t n, const float* a, const float* x, float* y) {
+  GemvImpl(m, n, a, x, y);
+}
+
+namespace {
+
+template <typename T>
+void GemmNaiveImpl(int64_t m, int64_t n, int64_t k, const T* a, const T* b,
+                   T* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      T acc = 0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+template <typename T>
+void GemvNaiveImpl(int64_t m, int64_t n, const T* a, const T* x, T* y) {
+  for (int64_t i = 0; i < m; ++i) {
+    T acc = 0;
+    for (int64_t j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+    y[i] = acc;
+  }
+}
+
+}  // namespace
+
+void GemmNaive(int64_t m, int64_t n, int64_t k, const double* a,
+               const double* b, double* c) {
+  GemmNaiveImpl(m, n, k, a, b, c);
+}
+
+void GemmNaive(int64_t m, int64_t n, int64_t k, const float* a,
+               const float* b, float* c) {
+  GemmNaiveImpl(m, n, k, a, b, c);
+}
+
+void GemvNaive(int64_t m, int64_t n, const double* a, const double* x,
+               double* y) {
+  GemvNaiveImpl(m, n, a, x, y);
+}
+
+void GemvNaive(int64_t m, int64_t n, const float* a, const float* x,
+               float* y) {
+  GemvNaiveImpl(m, n, a, x, y);
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,147 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded {
+
+CsrMatrix CooToCsr(const CooMatrix& coo) {
+  CsrMatrix csr;
+  csr.num_rows = coo.num_rows;
+  csr.num_cols = coo.num_cols;
+  const size_t nnz = coo.nnz();
+  csr.row_ptr.assign(coo.num_rows + 1, 0);
+  csr.col_idx.resize(nnz);
+  csr.values.resize(nnz);
+
+  // Counting sort by row.
+  for (size_t i = 0; i < nnz; ++i) csr.row_ptr[coo.rows[i] + 1]++;
+  for (int64_t r = 0; r < coo.num_rows; ++r) {
+    csr.row_ptr[r + 1] += csr.row_ptr[r];
+  }
+  std::vector<int64_t> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+  for (size_t i = 0; i < nnz; ++i) {
+    int64_t dst = cursor[coo.rows[i]]++;
+    csr.col_idx[dst] = coo.cols[i];
+    csr.values[dst] = coo.values[i];
+  }
+  // Sort columns within each row (indices + values together).
+  ThreadPool::Global().ParallelChunks(
+      0, coo.num_rows, 256, [&](int, int64_t lo, int64_t hi) {
+        std::vector<std::pair<uint32_t, double>> buf;
+        for (int64_t r = lo; r < hi; ++r) {
+          int64_t begin = csr.row_ptr[r], end = csr.row_ptr[r + 1];
+          if (end - begin <= 1) continue;
+          buf.clear();
+          for (int64_t i = begin; i < end; ++i) {
+            buf.emplace_back(csr.col_idx[i], csr.values[i]);
+          }
+          std::sort(buf.begin(), buf.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          for (int64_t i = begin; i < end; ++i) {
+            csr.col_idx[i] = buf[i - begin].first;
+            csr.values[i] = buf[i - begin].second;
+          }
+        }
+      });
+  return csr;
+}
+
+void SpMV(const CsrMatrix& a, const double* x, double* y) {
+  ThreadPool::Global().ParallelChunks(
+      0, a.num_rows, 512, [&](int, int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          double acc = 0;
+          for (int64_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+            acc += a.values[i] * x[a.col_idx[i]];
+          }
+          y[r] = acc;
+        }
+      });
+}
+
+void SpMVNaive(const CsrMatrix& a, const double* x, double* y) {
+  for (int64_t r = 0; r < a.num_rows; ++r) {
+    double acc = 0;
+    for (int64_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      acc += a.values[i] * x[a.col_idx[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+CsrMatrix SpGEMM(const CsrMatrix& a, const CsrMatrix& b) {
+  LH_CHECK_EQ(a.num_cols, b.num_rows);
+  CsrMatrix c;
+  c.num_rows = a.num_rows;
+  c.num_cols = b.num_cols;
+  c.row_ptr.assign(a.num_rows + 1, 0);
+
+  const int num_slots = ThreadPool::Global().num_threads() + 1;
+  // Per-slot result fragments (row -> (cols, vals)), assembled afterwards.
+  std::vector<std::vector<uint32_t>> frag_cols(a.num_rows);
+  std::vector<std::vector<double>> frag_vals(a.num_rows);
+
+  struct Accumulator {
+    std::vector<double> dense;
+    std::vector<uint8_t> occupied;  // separate from values: a sum that
+                                    // cancels to 0.0 is still an entry
+    std::vector<uint32_t> touched;
+  };
+  std::vector<Accumulator> accs(num_slots);
+
+  ThreadPool::Global().ParallelChunks(
+      0, a.num_rows, 64, [&](int slot, int64_t lo, int64_t hi) {
+        Accumulator& acc = accs[slot];
+        if (acc.dense.empty()) {
+          acc.dense.assign(b.num_cols, 0.0);
+          acc.occupied.assign(b.num_cols, 0);
+        }
+        for (int64_t r = lo; r < hi; ++r) {
+          acc.touched.clear();
+          for (int64_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+            const uint32_t k = a.col_idx[i];
+            const double av = a.values[i];
+            for (int64_t j = b.row_ptr[k]; j < b.row_ptr[k + 1]; ++j) {
+              const uint32_t col = b.col_idx[j];
+              if (!acc.occupied[col]) {
+                acc.occupied[col] = 1;
+                acc.touched.push_back(col);
+              }
+              acc.dense[col] += av * b.values[j];
+            }
+          }
+          std::sort(acc.touched.begin(), acc.touched.end());
+          frag_cols[r].reserve(acc.touched.size());
+          for (uint32_t col : acc.touched) {
+            frag_cols[r].push_back(col);
+            frag_vals[r].push_back(acc.dense[col]);
+            acc.dense[col] = 0.0;
+            acc.occupied[col] = 0;
+          }
+        }
+      });
+
+  for (int64_t r = 0; r < a.num_rows; ++r) {
+    c.row_ptr[r + 1] = c.row_ptr[r] + static_cast<int64_t>(frag_cols[r].size());
+  }
+  c.col_idx.resize(c.row_ptr[a.num_rows]);
+  c.values.resize(c.row_ptr[a.num_rows]);
+  ThreadPool::Global().ParallelChunks(
+      0, a.num_rows, 256, [&](int, int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          std::copy(frag_cols[r].begin(), frag_cols[r].end(),
+                    c.col_idx.begin() + c.row_ptr[r]);
+          std::copy(frag_vals[r].begin(), frag_vals[r].end(),
+                    c.values.begin() + c.row_ptr[r]);
+        }
+      });
+  return c;
+}
+
+}  // namespace levelheaded

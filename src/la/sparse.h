@@ -1,0 +1,55 @@
+// Sparse matrix formats and kernels: the Intel-MKL-sparse stand-in used as
+// the specialized LA baseline in Table II, and the COO->CSR conversion whose
+// cost Table IV quantifies against LevelHeaded's conversion-free trie.
+
+#ifndef LEVELHEADED_LA_SPARSE_H_
+#define LEVELHEADED_LA_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Coordinate-format sparse matrix (the layout a column store naturally
+/// holds: parallel row/col/value arrays, unsorted).
+struct CooMatrix {
+  int64_t num_rows = 0;
+  int64_t num_cols = 0;
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> cols;
+  std::vector<double> values;
+
+  size_t nnz() const { return values.size(); }
+};
+
+/// Compressed-sparse-row matrix.
+struct CsrMatrix {
+  int64_t num_rows = 0;
+  int64_t num_cols = 0;
+  std::vector<int64_t> row_ptr;  // size num_rows + 1
+  std::vector<uint32_t> col_idx;
+  std::vector<double> values;
+
+  size_t nnz() const { return values.size(); }
+};
+
+/// COO -> CSR conversion (counting sort by row; columns sorted within each
+/// row). This is the `mkl_?csrcoo`-equivalent transformation a column store
+/// must pay before calling a sparse BLAS (Table IV).
+CsrMatrix CooToCsr(const CooMatrix& coo);
+
+/// y = A * x (parallel over rows).
+void SpMV(const CsrMatrix& a, const double* x, double* y);
+
+/// C = A * B via Gustavson's algorithm (parallel over rows; per-thread
+/// dense accumulator). Result rows have ascending column indices.
+CsrMatrix SpGEMM(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Naive reference kernels for tests.
+void SpMVNaive(const CsrMatrix& a, const double* x, double* y);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_LA_SPARSE_H_

@@ -1,0 +1,139 @@
+#include "ml/feature_encoder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace levelheaded {
+
+Result<FeatureSet> EncodeFeatures(
+    const QueryResult& rows, const std::string& label_column,
+    const std::vector<std::string>& skip_columns) {
+  const int label_idx = rows.FindColumn(label_column);
+  if (label_idx < 0) {
+    return Status::InvalidArgument("label column '" + label_column +
+                                   "' not in result");
+  }
+  auto skipped = [&](const std::string& name) {
+    if (name == label_column) return true;
+    return std::find(skip_columns.begin(), skip_columns.end(), name) !=
+           skip_columns.end();
+  };
+
+  struct ColPlan {
+    int col = -1;
+    bool categorical = false;
+    bool coded = false;                   // dictionary-coded fast path
+    int base_feature = 0;                 // first feature index
+    std::unordered_map<std::string, int> categories;
+    std::vector<int> code_to_feature;     // coded path: dict code -> slot
+    double lo = 0, scale = 1;             // numeric min-max scaling
+  };
+
+  FeatureSet out;
+  std::vector<ColPlan> plans;
+  int num_features = 0;
+  const size_t n = rows.num_rows;
+
+  for (size_t c = 0; c < rows.columns.size(); ++c) {
+    const ResultColumn& col = rows.columns[c];
+    if (skipped(col.name)) continue;
+    ColPlan plan;
+    plan.col = static_cast<int>(c);
+    plan.base_feature = num_features;
+    if (!col.codes.empty() && col.dict != nullptr) {
+      // Dictionary-coded column: category ids come straight from the
+      // engine's order-preserving dictionary — no hashing, no decoding.
+      plan.categorical = true;
+      plan.coded = true;
+      plan.code_to_feature.assign(col.dict->size(), -1);
+      int next_cat = 0;
+      for (uint32_t code : col.codes) {
+        if (plan.code_to_feature[code] < 0) {
+          plan.code_to_feature[code] = next_cat++;
+        }
+      }
+      for (uint32_t c = 0; c < col.dict->size(); ++c) {
+        if (plan.code_to_feature[c] >= 0) {
+          out.feature_names.push_back(col.name + "=" +
+                                      col.dict->DecodeString(c));
+        }
+      }
+      num_features += next_cat;
+      plans.push_back(std::move(plan));
+      continue;
+    }
+    if (!col.strs.empty()) {
+      plan.categorical = true;
+      for (const std::string& s : col.strs) {
+        auto [it, inserted] =
+            plan.categories.try_emplace(s, static_cast<int>(
+                                               plan.categories.size()));
+        (void)it;
+        (void)inserted;
+      }
+      for (const auto& [name, id] : plan.categories) {
+        (void)id;
+      }
+      // Feature names in category-id order.
+      std::vector<std::string> names(plan.categories.size());
+      for (const auto& [name, id] : plan.categories) names[id] = name;
+      for (const std::string& cat : names) {
+        out.feature_names.push_back(col.name + "=" + cat);
+      }
+      num_features += static_cast<int>(plan.categories.size());
+    } else {
+      double lo = 0, hi = 0;
+      bool first = true;
+      for (size_t r = 0; r < n; ++r) {
+        const double v = col.ints.empty()
+                             ? col.reals[r]
+                             : static_cast<double>(col.ints[r]);
+        if (first || v < lo) lo = first ? v : std::min(lo, v);
+        if (first || v > hi) hi = first ? v : std::max(hi, v);
+        first = false;
+      }
+      plan.lo = lo;
+      plan.scale = hi > lo ? 1.0 / (hi - lo) : 1.0;
+      out.feature_names.push_back(col.name);
+      num_features += 1;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  out.x.num_rows = static_cast<int64_t>(n);
+  out.x.num_cols = num_features;
+  out.x.row_ptr.reserve(n + 1);
+  out.x.row_ptr.push_back(0);
+  out.labels.reserve(n);
+
+  const ResultColumn& label = rows.columns[label_idx];
+  for (size_t r = 0; r < n; ++r) {
+    for (const ColPlan& plan : plans) {
+      const ResultColumn& col = rows.columns[plan.col];
+      if (plan.coded) {
+        const int cat = plan.code_to_feature[col.codes[r]];
+        out.x.col_idx.push_back(
+            static_cast<uint32_t>(plan.base_feature + cat));
+        out.x.values.push_back(1.0);
+      } else if (plan.categorical) {
+        const int cat = plan.categories.at(col.strs[r]);
+        out.x.col_idx.push_back(
+            static_cast<uint32_t>(plan.base_feature + cat));
+        out.x.values.push_back(1.0);
+      } else {
+        const double v = col.ints.empty()
+                             ? col.reals[r]
+                             : static_cast<double>(col.ints[r]);
+        out.x.col_idx.push_back(static_cast<uint32_t>(plan.base_feature));
+        out.x.values.push_back((v - plan.lo) * plan.scale);
+      }
+    }
+    out.x.row_ptr.push_back(static_cast<int64_t>(out.x.col_idx.size()));
+    out.labels.push_back(label.ints.empty()
+                             ? label.reals[r]
+                             : static_cast<double>(label.ints[r]));
+  }
+  return out;
+}
+
+}  // namespace levelheaded

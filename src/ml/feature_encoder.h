@@ -1,0 +1,33 @@
+// Feature engineering (§VII phase 2): turns a relational feature set (a
+// QueryResult) into a sparse design matrix — numeric columns min-max
+// scaled, categorical (string) columns one-hot encoded — plus a label
+// vector.
+
+#ifndef LEVELHEADED_ML_FEATURE_ENCODER_H_
+#define LEVELHEADED_ML_FEATURE_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// An encoded supervised-learning dataset.
+struct FeatureSet {
+  CsrMatrix x;
+  std::vector<double> labels;
+  std::vector<std::string> feature_names;
+};
+
+/// Encodes `rows`. `label_column` supplies labels; `skip_columns` (e.g. the
+/// id column) are excluded from the features.
+Result<FeatureSet> EncodeFeatures(
+    const QueryResult& rows, const std::string& label_column,
+    const std::vector<std::string>& skip_columns = {});
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_ML_FEATURE_ENCODER_H_

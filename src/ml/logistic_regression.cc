@@ -1,0 +1,82 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+double PredictRow(const LogisticModel& model, const CsrMatrix& x,
+                  int64_t row) {
+  double z = model.bias;
+  for (int64_t i = x.row_ptr[row]; i < x.row_ptr[row + 1]; ++i) {
+    z += model.weights[x.col_idx[i]] * x.values[i];
+  }
+  return Sigmoid(z);
+}
+
+LogisticModel TrainLogistic(const CsrMatrix& x,
+                            const std::vector<double>& labels,
+                            const LogisticOptions& options) {
+  LH_CHECK_EQ(static_cast<size_t>(x.num_rows), labels.size());
+  LogisticModel model;
+  model.weights.assign(x.num_cols, 0.0);
+  if (x.num_rows == 0) return model;
+
+  ThreadPool& pool = ThreadPool::Global();
+  const int slots = pool.num_threads() + 1;
+
+  std::vector<std::vector<double>> grads(slots);
+  std::vector<double> bias_grad(slots);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (auto& g : grads) g.assign(x.num_cols, 0.0);
+    std::fill(bias_grad.begin(), bias_grad.end(), 0.0);
+
+    pool.ParallelChunks(
+        0, x.num_rows, 4096, [&](int slot, int64_t lo, int64_t hi) {
+          std::vector<double>& g = grads[slot];
+          if (g.empty()) g.assign(x.num_cols, 0.0);
+          double bg = 0;
+          for (int64_t r = lo; r < hi; ++r) {
+            const double err = PredictRow(model, x, r) - labels[r];
+            for (int64_t i = x.row_ptr[r]; i < x.row_ptr[r + 1]; ++i) {
+              g[x.col_idx[i]] += err * x.values[i];
+            }
+            bg += err;
+          }
+          bias_grad[slot] += bg;
+        });
+
+    const double inv_n = 1.0 / static_cast<double>(x.num_rows);
+    double total_bias = 0;
+    for (int s = 0; s < slots; ++s) total_bias += bias_grad[s];
+    for (int64_t f = 0; f < x.num_cols; ++f) {
+      double total = 0;
+      for (int s = 0; s < slots; ++s) {
+        if (!grads[s].empty()) total += grads[s][f];
+      }
+      model.weights[f] -= options.learning_rate * total * inv_n;
+    }
+    model.bias -= options.learning_rate * total_bias * inv_n;
+  }
+  return model;
+}
+
+double Accuracy(const LogisticModel& model, const CsrMatrix& x,
+                const std::vector<double>& labels) {
+  if (x.num_rows == 0) return 0;
+  int64_t correct = 0;
+  for (int64_t r = 0; r < x.num_rows; ++r) {
+    const int pred = PredictRow(model, x, r) >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(labels[r])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.num_rows);
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,38 @@
+// Logistic regression by full-batch gradient descent over a sparse design
+// matrix (§VII phase 3 trains for five iterations).
+
+#ifndef LEVELHEADED_ML_LOGISTIC_REGRESSION_H_
+#define LEVELHEADED_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "la/sparse.h"
+
+namespace levelheaded {
+
+struct LogisticModel {
+  std::vector<double> weights;  // one per feature
+  double bias = 0;
+};
+
+struct LogisticOptions {
+  int iterations = 5;
+  double learning_rate = 1.0;
+};
+
+/// Trains on (x, labels in {0,1}).
+LogisticModel TrainLogistic(const CsrMatrix& x,
+                            const std::vector<double>& labels,
+                            const LogisticOptions& options = {});
+
+/// P(label=1) for one row of `x`.
+double PredictRow(const LogisticModel& model, const CsrMatrix& x,
+                  int64_t row);
+
+/// Fraction of rows whose thresholded prediction matches the label.
+double Accuracy(const LogisticModel& model, const CsrMatrix& x,
+                const std::vector<double>& labels);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,240 @@
+#include "query/decomposer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+
+namespace {
+
+/// Relations that feed aggregate arguments: they must stay in the root
+/// node, where annotation values are combined.
+std::set<int> AggregateRelations(const LogicalQuery& q) {
+  std::set<int> rels;
+  for (const AggregateSpec& agg : q.aggregates) {
+    rels.insert(agg.arg_relations.begin(), agg.arg_relations.end());
+  }
+  return rels;
+}
+
+/// Relations whose annotations are referenced by outputs or grouping.
+std::set<int> ReferencedRelations(const LogicalQuery& q) {
+  std::set<int> rels;
+  for (const GroupBySpec& g : q.group_by) {
+    std::vector<int> r = CollectRelations(*g.expr);
+    rels.insert(r.begin(), r.end());
+  }
+  for (const OutputItem& o : q.outputs) {
+    std::vector<int> r = CollectRelations(*o.expr);
+    rels.insert(r.begin(), r.end());
+  }
+  return rels;
+}
+
+/// Builds a 2-level GHD: root with `root_edges`, one child per subtree.
+Ghd BuildTree(const Hypergraph& h, const std::vector<int>& root_edges,
+              const std::vector<std::vector<int>>& subtrees) {
+  Ghd ghd;
+  GhdNode root;
+  root.edges = root_edges;
+  root.bag = h.VerticesOf(root_edges);
+  // The root bag must contain each child's interface vertex; those are
+  // already vertices of root edges by construction.
+  ghd.nodes.push_back(root);
+  for (const std::vector<int>& sub : subtrees) {
+    GhdNode child;
+    child.edges = sub;
+    child.bag = h.VerticesOf(sub);
+    child.parent = 0;
+    ghd.nodes[0].children.push_back(static_cast<int>(ghd.nodes.size()));
+    ghd.nodes.push_back(std::move(child));
+  }
+  ComputeWidths(h, &ghd);
+  return ghd;
+}
+
+}  // namespace
+
+Result<std::vector<Ghd>> EnumerateGhds(const LogicalQuery& query,
+                                       const Hypergraph& h) {
+  const int ne = static_cast<int>(h.edges.size());
+  LH_CHECK_GT(ne, 0);
+
+  const std::set<int> agg_rels = AggregateRelations(query);
+  const std::set<int> ref_rels = ReferencedRelations(query);
+
+  // Edge id by relation index (one edge per relation).
+  std::vector<int> edge_of_rel(query.relations.size(), -1);
+  for (int e = 0; e < ne; ++e) edge_of_rel[h.edges[e].relation] = e;
+
+  std::vector<Ghd> candidates;
+
+  // Candidate 0: the fully compressed single-node plan (§II-C).
+  {
+    std::vector<int> all(ne);
+    for (int e = 0; e < ne; ++e) all[e] = e;
+    candidates.push_back(BuildTree(h, all, {}));
+  }
+
+  // Semijoin subtrees: subsets S of edges (bounded enumeration) with
+  //   * exactly one vertex shared with the remaining edges (the interface),
+  //   * at least one filtered relation inside (otherwise the split cannot
+  //     eliminate work early — heuristic 4's motivation),
+  //   * no aggregate-feeding relation inside,
+  //   * any output-referenced relation inside must carry the interface
+  //     vertex so the root can fetch its annotations by rank lookup.
+  struct Subtree {
+    std::vector<int> edges;
+    int interface_vertex;
+  };
+  // COUNT(*) counts join multiplicities, which an existential semijoin
+  // child would not preserve; keep such queries single-node.
+  bool has_count_star = false;
+  for (const AggregateSpec& agg : query.aggregates) {
+    if (agg.arg == nullptr) has_count_star = true;
+  }
+
+  std::vector<Subtree> subtrees;
+  if (ne >= 2 && ne <= 16 && !has_count_star) {
+    for (uint32_t mask = 1; mask + 1 < (1u << ne); ++mask) {
+      std::vector<int> inside, outside;
+      for (int e = 0; e < ne; ++e) {
+        if (mask & (1u << e)) {
+          inside.push_back(e);
+        } else {
+          outside.push_back(e);
+        }
+      }
+      bool has_filter = false;
+      bool ok = true;
+      for (int e : inside) {
+        const int rel = h.edges[e].relation;
+        if (agg_rels.count(rel) > 0) {
+          ok = false;
+          break;
+        }
+        if (h.edges[e].has_filter) has_filter = true;
+      }
+      if (!ok || !has_filter) continue;
+
+      std::vector<int> vin = h.VerticesOf(inside);
+      std::vector<int> vout = h.VerticesOf(outside);
+      std::vector<int> shared;
+      std::set_intersection(vin.begin(), vin.end(), vout.begin(), vout.end(),
+                            std::back_inserter(shared));
+      if (shared.size() != 1) continue;
+      const int interface = shared[0];
+
+      // Output vertices must stay in the root.
+      for (int v : vin) {
+        if (v != interface && query.vertices[v].output) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      // Referenced relations inside the subtree must carry the interface.
+      for (int e : inside) {
+        const int rel = h.edges[e].relation;
+        if (ref_rels.count(rel) > 0 && !h.edges[e].Covers(interface)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      // The subtree must be internally connected (otherwise it is two
+      // independent subtrees; the smaller masks cover those).
+      if (inside.size() > 1) {
+        std::vector<bool> reached(inside.size(), false);
+        std::vector<int> stack = {0};
+        reached[0] = true;
+        while (!stack.empty()) {
+          int i = stack.back();
+          stack.pop_back();
+          for (size_t j = 0; j < inside.size(); ++j) {
+            if (reached[j]) continue;
+            std::vector<int> a = h.edges[inside[i]].vertices;
+            std::vector<int> b = h.edges[inside[j]].vertices;
+            std::vector<int> common;
+            std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                  std::back_inserter(common));
+            if (!common.empty()) {
+              reached[j] = true;
+              stack.push_back(static_cast<int>(j));
+            }
+          }
+        }
+        if (std::find(reached.begin(), reached.end(), false) !=
+            reached.end()) {
+          continue;
+        }
+      }
+      subtrees.push_back({inside, interface});
+    }
+  }
+
+  // Candidates: each single subtree, plus the greedy maximal disjoint
+  // combination (largest subtrees first).
+  for (const Subtree& s : subtrees) {
+    std::vector<int> root_edges;
+    std::set<int> in(s.edges.begin(), s.edges.end());
+    for (int e = 0; e < ne; ++e) {
+      if (in.find(e) == in.end()) root_edges.push_back(e);
+    }
+    candidates.push_back(BuildTree(h, root_edges, {s.edges}));
+  }
+  if (subtrees.size() > 1) {
+    std::vector<Subtree> sorted = subtrees;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Subtree& a, const Subtree& b) {
+                return a.edges.size() > b.edges.size();
+              });
+    std::set<int> taken;
+    std::vector<std::vector<int>> chosen;
+    for (const Subtree& s : sorted) {
+      bool overlap = false;
+      for (int e : s.edges) {
+        if (taken.count(e) > 0) overlap = true;
+      }
+      if (overlap) continue;
+      chosen.push_back(s.edges);
+      for (int e : s.edges) taken.insert(e);
+    }
+    if (chosen.size() > 1) {
+      std::vector<int> root_edges;
+      for (int e = 0; e < ne; ++e) {
+        if (taken.find(e) == taken.end()) root_edges.push_back(e);
+      }
+      if (!root_edges.empty()) {
+        candidates.push_back(BuildTree(h, root_edges, chosen));
+      }
+    }
+  }
+
+  // Drop invalid candidates (e.g. a split that empties the root of all
+  // aggregate relations), then rank.
+  std::vector<Ghd> valid;
+  for (Ghd& g : candidates) {
+    if (g.nodes[0].edges.empty()) continue;
+    if (ValidateGhd(g, h).ok()) valid.push_back(std::move(g));
+  }
+  if (valid.empty()) {
+    return Status::PlanError("no valid GHD for query");
+  }
+  std::stable_sort(valid.begin(), valid.end(),
+                   [&](const Ghd& a, const Ghd& b) {
+                     return GhdPreferred(a, b, h);
+                   });
+  return valid;
+}
+
+Result<Ghd> ChooseGhd(const LogicalQuery& query, const Hypergraph& h) {
+  LH_ASSIGN_OR_RETURN(std::vector<Ghd> all, EnumerateGhds(query, h));
+  return std::move(all[0]);
+}
+
+}  // namespace levelheaded

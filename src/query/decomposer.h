@@ -1,0 +1,34 @@
+// GHD candidate generation and selection (§III-C step 2, §IV-B).
+//
+// LevelHeaded compresses every width-1 region of a plan into a single
+// generic-WCOJ call (§II-C), so the practical plan space is: one root node
+// holding the aggregation/output work, plus child nodes for *semijoin
+// subtrees* — filter-bearing groups of relations that touch the rest of the
+// query through exactly one vertex and contribute nothing to the output
+// annotations. TPC-H Q5's {region ⋈ nation} node (Figure 4) is exactly such
+// a subtree. Candidates are scored with the paper's four heuristics
+// (GhdPreferred) after honest per-bag width computation.
+
+#ifndef LEVELHEADED_QUERY_DECOMPOSER_H_
+#define LEVELHEADED_QUERY_DECOMPOSER_H_
+
+#include <vector>
+
+#include "query/ghd.h"
+#include "query/hypergraph.h"
+#include "sql/logical_query.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// All candidate GHDs for the query, best first. The first entry is the
+/// plan LevelHeaded executes. Every returned GHD passes ValidateGhd.
+Result<std::vector<Ghd>> EnumerateGhds(const LogicalQuery& query,
+                                       const Hypergraph& h);
+
+/// Convenience: the selected (best) GHD.
+Result<Ghd> ChooseGhd(const LogicalQuery& query, const Hypergraph& h);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_QUERY_DECOMPOSER_H_

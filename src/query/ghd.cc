@@ -1,0 +1,175 @@
+#include "query/ghd.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "query/simplex.h"
+#include "util/logging.h"
+
+namespace levelheaded {
+
+int Ghd::depth() const {
+  int max_depth = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int d = 0;
+    int cur = static_cast<int>(i);
+    while (nodes[cur].parent >= 0) {
+      cur = nodes[cur].parent;
+      ++d;
+    }
+    max_depth = std::max(max_depth, d);
+  }
+  return max_depth;
+}
+
+int Ghd::shared_vertices() const {
+  std::set<int> seen;
+  int shared = 0;
+  for (const GhdNode& n : nodes) {
+    for (int v : n.bag) {
+      if (!seen.insert(v).second) ++shared;
+    }
+  }
+  return shared;
+}
+
+int Ghd::selection_depth(const Hypergraph& h) const {
+  int total = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int d = 0;
+    int cur = static_cast<int>(i);
+    while (nodes[cur].parent >= 0) {
+      cur = nodes[cur].parent;
+      ++d;
+    }
+    for (int e : nodes[i].edges) {
+      if (h.edges[e].has_filter) total += d;
+    }
+  }
+  return total;
+}
+
+std::string Ghd::ToString(const Hypergraph& h) const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += "node" + std::to_string(i) + "(parent=" +
+           std::to_string(nodes[i].parent) + ") bag={";
+    for (size_t j = 0; j < nodes[i].bag.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(nodes[i].bag[j]);
+    }
+    out += "} edges={";
+    for (size_t j = 0; j < nodes[i].edges.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(h.edges[nodes[i].edges[j]].relation);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Status ValidateGhd(const Ghd& ghd, const Hypergraph& h) {
+  if (ghd.nodes.empty()) return Status::PlanError("GHD has no nodes");
+  // Tree shape: node 0 is root; parents precede children.
+  if (ghd.nodes[0].parent != -1) {
+    return Status::PlanError("GHD node 0 must be the root");
+  }
+  for (size_t i = 1; i < ghd.nodes.size(); ++i) {
+    int p = ghd.nodes[i].parent;
+    if (p < 0 || p >= static_cast<int>(ghd.nodes.size()) ||
+        p == static_cast<int>(i)) {
+      return Status::PlanError("GHD node has invalid parent");
+    }
+  }
+
+  // Edge coverage: each hyperedge must be a subset of its assigned bag and
+  // each edge must be assigned to at least one node.
+  std::vector<bool> edge_assigned(h.edges.size(), false);
+  for (const GhdNode& n : ghd.nodes) {
+    std::set<int> bag(n.bag.begin(), n.bag.end());
+    for (int e : n.edges) {
+      if (e < 0 || e >= static_cast<int>(h.edges.size())) {
+        return Status::PlanError("GHD node references unknown edge");
+      }
+      for (int v : h.edges[e].vertices) {
+        if (bag.find(v) == bag.end()) {
+          return Status::PlanError("edge not contained in its node's bag");
+        }
+      }
+      edge_assigned[e] = true;
+    }
+  }
+  for (size_t e = 0; e < h.edges.size(); ++e) {
+    if (!edge_assigned[e]) {
+      return Status::PlanError("edge " + std::to_string(e) +
+                               " not covered by any GHD node");
+    }
+  }
+
+  // Running intersection: for each vertex, the nodes containing it form a
+  // connected subtree.
+  for (int v = 0; v < h.num_vertices; ++v) {
+    std::vector<int> holders;
+    for (size_t i = 0; i < ghd.nodes.size(); ++i) {
+      if (std::find(ghd.nodes[i].bag.begin(), ghd.nodes[i].bag.end(), v) !=
+          ghd.nodes[i].bag.end()) {
+        holders.push_back(static_cast<int>(i));
+      }
+    }
+    if (holders.size() <= 1) continue;
+    // A vertex's holder set is connected iff every holder except the
+    // subtree's top has its parent also holding v.
+    std::set<int> holder_set(holders.begin(), holders.end());
+    int tops = 0;
+    for (int n : holders) {
+      int p = ghd.nodes[n].parent;
+      if (p < 0 || holder_set.find(p) == holder_set.end()) ++tops;
+    }
+    if (tops != 1) {
+      return Status::PlanError("running intersection violated for vertex " +
+                               std::to_string(v));
+    }
+  }
+  return Status::OK();
+}
+
+void ComputeWidths(const Hypergraph& h, Ghd* ghd) {
+  double fhw = 0;
+  for (GhdNode& node : ghd->nodes) {
+    // Localize: vertices of the bag, edges fully inside the bag.
+    std::set<int> bag(node.bag.begin(), node.bag.end());
+    std::vector<int> local_id(h.num_vertices, -1);
+    int next = 0;
+    for (int v : node.bag) local_id[v] = next++;
+    std::vector<std::vector<int>> local_edges;
+    for (const Hyperedge& e : h.edges) {
+      bool inside = !e.vertices.empty();
+      for (int v : e.vertices) {
+        if (bag.find(v) == bag.end()) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      std::vector<int> le;
+      for (int v : e.vertices) le.push_back(local_id[v]);
+      local_edges.push_back(std::move(le));
+    }
+    node.width = FractionalEdgeCover(next, local_edges);
+    fhw = std::max(fhw, node.width);
+  }
+  ghd->fhw = fhw;
+}
+
+bool GhdPreferred(const Ghd& a, const Ghd& b, const Hypergraph& h) {
+  if (a.fhw != b.fhw) return a.fhw < b.fhw;
+  if (a.nodes.size() != b.nodes.size()) return a.nodes.size() < b.nodes.size();
+  int da = a.depth(), db = b.depth();
+  if (da != db) return da < db;
+  int sa = a.shared_vertices(), sb = b.shared_vertices();
+  if (sa != sb) return sa < sb;
+  return a.selection_depth(h) > b.selection_depth(h);
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,58 @@
+// Generalized hypertree decompositions (§II-B) and the GHD-selection
+// heuristics of §IV-B. A GHD is LevelHeaded's query plan: each node is
+// executed with one generic-WCOJ call; Yannakakis-style semijoin passing
+// connects nodes.
+
+#ifndef LEVELHEADED_QUERY_GHD_H_
+#define LEVELHEADED_QUERY_GHD_H_
+
+#include <string>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// One GHD node (a bag χ(t) plus the edges assigned to it).
+struct GhdNode {
+  std::vector<int> bag;    ///< vertex ids, ascending
+  std::vector<int> edges;  ///< hyperedge ids whose vertices ⊆ bag
+  int parent = -1;         ///< -1 for the root (node 0)
+  std::vector<int> children;
+  double width = 0;  ///< fractional cover of `bag` by its subset edges
+};
+
+/// A GHD-based query plan. Node 0 is the root.
+struct Ghd {
+  std::vector<GhdNode> nodes;
+  double fhw = 0;  ///< max node width
+
+  int depth() const;
+  /// Number of (node, vertex) sharings: vertices counted once per extra
+  /// node containing them (heuristic 3).
+  int shared_vertices() const;
+  /// Sum over filtered edges of their node's depth (heuristic 4 prefers
+  /// larger values: selections deeper in the plan eliminate work earlier).
+  int selection_depth(const Hypergraph& h) const;
+
+  std::string ToString(const Hypergraph& h) const;
+};
+
+/// Verifies the two GHD conditions against `h`: every hyperedge contained
+/// in at least one bag (and assigned to such a bag), and the running
+/// intersection property. Also checks tree shape.
+Status ValidateGhd(const Ghd& ghd, const Hypergraph& h);
+
+/// Computes node widths (fractional edge cover of each bag by the
+/// hypergraph edges that fit inside it) and the GHD's FHW.
+void ComputeWidths(const Hypergraph& h, Ghd* ghd);
+
+/// Ranks two candidate GHDs by the paper's selection order:
+/// (1) lower FHW; (2) fewer nodes; (3) smaller depth; (4) fewer shared
+/// vertices; (5) deeper selections. Returns true when `a` is preferred.
+bool GhdPreferred(const Ghd& a, const Ghd& b, const Hypergraph& h);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_QUERY_GHD_H_

@@ -1,0 +1,49 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace levelheaded {
+
+std::vector<int> Hypergraph::VerticesOf(
+    const std::vector<int>& edge_ids) const {
+  std::set<int> verts;
+  for (int e : edge_ids) {
+    verts.insert(edges[e].vertices.begin(), edges[e].vertices.end());
+  }
+  return std::vector<int>(verts.begin(), verts.end());
+}
+
+Result<Hypergraph> BuildHypergraph(const LogicalQuery& query) {
+  Hypergraph h;
+  h.num_vertices = static_cast<int>(query.vertices.size());
+  for (size_t r = 0; r < query.relations.size(); ++r) {
+    const RelationRef& rel = query.relations[r];
+    Hyperedge edge;
+    edge.relation = static_cast<int>(r);
+    std::set<int> verts;
+    for (int v : rel.vertex_of_col) {
+      if (v >= 0) verts.insert(v);
+    }
+    edge.vertices.assign(verts.begin(), verts.end());
+    edge.cardinality = rel.table->num_rows();
+    edge.has_filter = !rel.filters.empty();
+    for (int v : edge.vertices) {
+      if (query.vertices[v].has_equality_selection) {
+        // Attribute the equality selection to the edges whose own filters
+        // contain it; conservatively mark edges with filters on a selected
+        // vertex.
+        edge.has_equality_selection = edge.has_filter;
+      }
+    }
+    if (edge.vertices.empty() && query.relations.size() > 1) {
+      return Status::PlanError("relation '" + rel.alias +
+                               "' joins with nothing (cross products are "
+                               "not supported)");
+    }
+    h.edges.push_back(std::move(edge));
+  }
+  return h;
+}
+
+}  // namespace levelheaded

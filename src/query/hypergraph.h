@@ -1,0 +1,51 @@
+// Query hypergraphs (§II-A, §IV-A): vertices are join-attribute equivalence
+// classes, hyperedges are relations. Built from a bound LogicalQuery via the
+// translation rules of §IV-A (the binder already performed Rule 1's
+// equi-join unification and Rule 4's metadata separation; this module
+// assembles the edge structure and cardinalities).
+
+#ifndef LEVELHEADED_QUERY_HYPERGRAPH_H_
+#define LEVELHEADED_QUERY_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/logical_query.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// One hyperedge: a relation and the vertices its key columns map to.
+struct Hyperedge {
+  int relation = -1;          ///< index into LogicalQuery::relations
+  std::vector<int> vertices;  ///< ascending, unique vertex ids
+  uint64_t cardinality = 0;   ///< base-table row count
+  bool has_filter = false;    ///< relation carries selection predicates
+  bool has_equality_selection = false;
+
+  bool Covers(int v) const {
+    for (int x : vertices) {
+      if (x == v) return true;
+    }
+    return false;
+  }
+};
+
+/// The query hypergraph.
+struct Hypergraph {
+  int num_vertices = 0;
+  std::vector<Hyperedge> edges;
+
+  /// Vertex ids touched by an edge subset (ascending).
+  std::vector<int> VerticesOf(const std::vector<int>& edge_ids) const;
+};
+
+/// Builds the hypergraph for a join query. Fails when a relation that is
+/// not the only relation has no join vertex (cross products are outside
+/// LevelHeaded's query model).
+Result<Hypergraph> BuildHypergraph(const LogicalQuery& query);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_QUERY_HYPERGRAPH_H_

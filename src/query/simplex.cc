@@ -1,0 +1,117 @@
+#include "query/simplex.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+
+Result<double> SolveLpMax(const std::vector<double>& c,
+                          const std::vector<std::vector<double>>& a,
+                          const std::vector<double>& b,
+                          std::vector<double>* solution) {
+  const int n = static_cast<int>(c.size());   // decision variables
+  const int m = static_cast<int>(b.size());   // constraints
+  for (const auto& row : a) {
+    if (static_cast<int>(row.size()) != n) {
+      return Status::InvalidArgument("LP row arity mismatch");
+    }
+  }
+  for (double bi : b) {
+    if (bi < 0) {
+      return Status::InvalidArgument("SolveLpMax requires b >= 0");
+    }
+  }
+
+  // Tableau with slack variables: columns [0,n) decision, [n,n+m) slack,
+  // column n+m the RHS. Row m is the objective (negated reduced costs).
+  const int cols = n + m + 1;
+  std::vector<std::vector<double>> t(m + 1, std::vector<double>(cols, 0.0));
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t[i][j] = a[i][j];
+    t[i][n + i] = 1.0;
+    t[i][cols - 1] = b[i];
+    basis[i] = n + i;
+  }
+  for (int j = 0; j < n; ++j) t[m][j] = -c[j];
+
+  constexpr double kEps = 1e-9;
+  // Bland's rule guarantees termination.
+  for (int iter = 0; iter < 10000; ++iter) {
+    int pivot_col = -1;
+    for (int j = 0; j < n + m; ++j) {
+      if (t[m][j] < -kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col < 0) break;  // optimal
+
+    int pivot_row = -1;
+    double best_ratio = 0;
+    for (int i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        double ratio = t[i][cols - 1] / t[i][pivot_col];
+        if (pivot_row < 0 || ratio < best_ratio - kEps ||
+            (std::abs(ratio - best_ratio) <= kEps &&
+             basis[i] < basis[pivot_row])) {
+          pivot_row = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (pivot_row < 0) {
+      return Status::InvalidArgument("LP is unbounded");
+    }
+
+    // Pivot.
+    const double p = t[pivot_row][pivot_col];
+    for (int j = 0; j < cols; ++j) t[pivot_row][j] /= p;
+    for (int i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      const double f = t[i][pivot_col];
+      if (std::abs(f) <= kEps) continue;
+      for (int j = 0; j < cols; ++j) t[i][j] -= f * t[pivot_row][j];
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  if (solution != nullptr) {
+    solution->assign(n, 0.0);
+    for (int i = 0; i < m; ++i) {
+      if (basis[i] < n) (*solution)[basis[i]] = t[i][cols - 1];
+    }
+  }
+  return t[m][cols - 1];
+}
+
+double FractionalEdgeCover(int num_vertices,
+                           const std::vector<std::vector<int>>& edges) {
+  if (num_vertices == 0) return 0.0;
+  // Uncoverable vertex -> infeasible primal.
+  std::vector<bool> covered(num_vertices, false);
+  for (const auto& e : edges) {
+    for (int v : e) {
+      LH_CHECK(v >= 0 && v < num_vertices);
+      covered[v] = true;
+    }
+  }
+  for (bool cv : covered) {
+    if (!cv) return HUGE_VAL;
+  }
+  // Dual: maximize Σ y_v subject to Σ_{v ∈ e} y_v <= 1 per edge, y >= 0.
+  const int n = num_vertices;
+  const int m = static_cast<int>(edges.size());
+  std::vector<double> c(n, 1.0);
+  std::vector<std::vector<double>> a(m, std::vector<double>(n, 0.0));
+  std::vector<double> b(m, 1.0);
+  for (int i = 0; i < m; ++i) {
+    for (int v : edges[i]) a[i][v] = 1.0;
+  }
+  Result<double> r = SolveLpMax(c, a, b);
+  r.status().CheckOK();
+  return r.value();
+}
+
+}  // namespace levelheaded

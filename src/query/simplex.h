@@ -1,0 +1,34 @@
+// A small dense simplex solver, used to compute fractional edge covers for
+// the AGM bound and the fractional hypertree width (§II-A, §II-B). Query
+// hypergraphs have at most a handful of vertices and edges, so a textbook
+// tableau implementation is exact enough and instantaneous.
+
+#ifndef LEVELHEADED_QUERY_SIMPLEX_H_
+#define LEVELHEADED_QUERY_SIMPLEX_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Solves   maximize cᵀy  subject to  Ay <= b, y >= 0
+/// with b >= 0 (the all-slack basis is feasible). Returns the optimum;
+/// fails on unbounded problems. `solution` (optional) receives y.
+Result<double> SolveLpMax(const std::vector<double>& c,
+                          const std::vector<std::vector<double>>& a,
+                          const std::vector<double>& b,
+                          std::vector<double>* solution = nullptr);
+
+/// Minimum fractional edge cover of `num_vertices` vertices by `edges`
+/// (each edge a set of vertex ids):
+///   min Σ x_e  s.t.  Σ_{e ∋ v} x_e >= 1 ∀v,  x >= 0.
+/// Computed through the LP dual (a fractional matching), which is in the
+/// form SolveLpMax accepts. Returns +inf (HUGE_VAL) when some vertex is
+/// covered by no edge. An empty vertex set has cover 0.
+double FractionalEdgeCover(int num_vertices,
+                           const std::vector<std::vector<int>>& edges);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_QUERY_SIMPLEX_H_

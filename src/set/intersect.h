@@ -1,0 +1,106 @@
+// Set-intersection kernels — the bottleneck operator of the generic WCOJ
+// algorithm (§III-C) and the microbenchmark subject of Figure 5a.
+//
+// Layout dispatch:
+//   uint ∩ uint   -> merge with galloping (output uint)
+//   uint ∩ bitset -> probe each uint value into the bitmap (output uint)
+//   bitset∩bitset -> 64-way word AND (output bitset)
+
+#ifndef LEVELHEADED_SET_INTERSECT_H_
+#define LEVELHEADED_SET_INTERSECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "set/set.h"
+
+namespace levelheaded {
+
+/// Reusable owning buffer for intersection results. The executor keeps one
+/// ScratchSet per (depth, relation-pair) and re-fills it every iteration, so
+/// steady-state execution performs no allocation.
+class ScratchSet {
+ public:
+  const SetView& view() const { return view_; }
+
+  /// Adopts an existing view without copying (used when an input passes
+  /// through unchanged).
+  void Alias(const SetView& v) { view_ = v; }
+
+  /// Makes this scratch an empty uint set.
+  void Clear() {
+    view_ = SetView{};
+  }
+
+  /// Fills from sorted unique values with the given layout.
+  void AssignSorted(const uint32_t* values, uint32_t n);
+
+  /// Exposes a value buffer of capacity `cap` for a kernel to fill, then
+  /// finalizes cardinality `n` (uint layout).
+  uint32_t* PrepareUint(uint32_t cap) {
+    if (values_.size() < cap) values_.resize(cap);
+    return values_.data();
+  }
+  void FinishUint(uint32_t n) {
+    view_ = SetView{};
+    view_.layout = SetLayout::kUint;
+    view_.cardinality = n;
+    view_.values = values_.data();
+  }
+
+  /// Buffers for a bitset result spanning `num_words` words.
+  uint64_t* PrepareBitsetWords(uint32_t num_words) {
+    if (words_.size() < num_words) words_.resize(num_words);
+    return words_.data();
+  }
+  uint32_t* PrepareBitsetRanks(uint32_t num_words) {
+    if (word_ranks_.size() < num_words) word_ranks_.resize(num_words);
+    return word_ranks_.data();
+  }
+  void FinishBitset(uint32_t cardinality, uint32_t word_base,
+                    uint32_t num_words) {
+    view_ = SetView{};
+    view_.layout = SetLayout::kBitset;
+    view_.cardinality = cardinality;
+    view_.words = words_.data();
+    view_.word_ranks = word_ranks_.data();
+    view_.word_base = word_base;
+    view_.num_words = num_words;
+  }
+
+ private:
+  std::vector<uint32_t> values_;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> word_ranks_;
+  SetView view_;
+};
+
+/// a ∩ b into `out` (layout chosen by the input layouts). Neither input may
+/// alias `out`'s own buffers; iterated N-way intersections must ping-pong
+/// between two ScratchSets.
+void Intersect(const SetView& a, const SetView& b, ScratchSet* out);
+
+/// Cardinality of a ∩ b without materializing the result.
+uint32_t IntersectCount(const SetView& a, const SetView& b);
+
+/// a ∩ b with per-input ranks: fills `vals` with the common values and
+/// `rank_a`/`rank_b` with each value's rank in a and b. All three buffers
+/// need capacity min(|a|,|b|). Returns the result cardinality. This is what
+/// generated WCOJ code produces in one pass at the deepest attribute — the
+/// ranks address child sets and annotation buffers without re-searching.
+uint32_t IntersectRanked(const SetView& a, const SetView& b, uint32_t* vals,
+                         uint32_t* rank_a, uint32_t* rank_b);
+
+/// Sorted union of two sets' values (used by tests and 1-attribute unions).
+std::vector<uint32_t> UnionValues(const SetView& a, const SetView& b);
+
+namespace set_internal {
+/// uint∩uint merge/galloping kernel; returns output cardinality. `out` must
+/// have capacity min(|a|,|b|).
+uint32_t IntersectUintUint(const uint32_t* a, uint32_t na, const uint32_t* b,
+                           uint32_t nb, uint32_t* out);
+}  // namespace set_internal
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SET_INTERSECT_H_

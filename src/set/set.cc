@@ -1,0 +1,157 @@
+#include "set/set.h"
+
+#include <algorithm>
+
+namespace levelheaded {
+
+const char* SetLayoutName(SetLayout layout) {
+  return layout == SetLayout::kUint ? "uint" : "bs";
+}
+
+uint32_t SetView::Min() const {
+  LH_DCHECK(!empty());
+  if (layout == SetLayout::kUint) return values[0];
+  for (uint32_t w = 0; w < num_words; ++w) {
+    if (words[w] != 0) {
+      return word_base + w * bits::kWordBits +
+             static_cast<uint32_t>(bits::CountTrailingZeros(words[w]));
+    }
+  }
+  LH_CHECK(false) << "empty bitset with nonzero cardinality";
+  return 0;
+}
+
+uint32_t SetView::Max() const {
+  LH_DCHECK(!empty());
+  if (layout == SetLayout::kUint) return values[cardinality - 1];
+  for (uint32_t w = num_words; w-- > 0;) {
+    if (words[w] != 0) {
+      return word_base + w * bits::kWordBits + 63 -
+             static_cast<uint32_t>(std::countl_zero(words[w]));
+    }
+  }
+  LH_CHECK(false) << "empty bitset with nonzero cardinality";
+  return 0;
+}
+
+bool SetView::Contains(uint32_t v) const {
+  if (layout == SetLayout::kBitset) {
+    if (v < word_base) return false;
+    uint32_t off = v - word_base;
+    uint32_t w = off / bits::kWordBits;
+    if (w >= num_words) return false;
+    return (words[w] >> (off % bits::kWordBits)) & 1ULL;
+  }
+  return std::binary_search(values, values + cardinality, v);
+}
+
+int64_t SetView::Rank(uint32_t v) const {
+  if (layout == SetLayout::kBitset) {
+    if (v < word_base) return -1;
+    uint32_t off = v - word_base;
+    uint32_t w = off / bits::kWordBits;
+    if (w >= num_words) return -1;
+    uint64_t word = words[w];
+    uint32_t bit = off % bits::kWordBits;
+    if (!((word >> bit) & 1ULL)) return -1;
+    return static_cast<int64_t>(word_ranks[w]) +
+           bits::PopCount(word & bits::LowMask(bit));
+  }
+  const uint32_t* it = std::lower_bound(values, values + cardinality, v);
+  if (it == values + cardinality || *it != v) return -1;
+  return it - values;
+}
+
+uint32_t SetView::Select(uint32_t rank) const {
+  LH_DCHECK(rank < cardinality);
+  if (layout == SetLayout::kUint) return values[rank];
+  // Binary search the word whose cumulative rank covers `rank`.
+  uint32_t lo = 0, hi = num_words;
+  while (hi - lo > 1) {
+    uint32_t mid = (lo + hi) / 2;
+    if (word_ranks[mid] <= rank) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t word = words[lo];
+  uint32_t remaining = rank - word_ranks[lo];
+  for (uint32_t i = 0; i < remaining; ++i) word &= word - 1;
+  return word_base + lo * bits::kWordBits +
+         static_cast<uint32_t>(bits::CountTrailingZeros(word));
+}
+
+std::vector<uint32_t> SetView::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(cardinality);
+  ForEach([&](uint32_t v, uint32_t) { out.push_back(v); });
+  return out;
+}
+
+SetLayout ChooseLayout(uint32_t cardinality, uint32_t min_value,
+                       uint32_t max_value) {
+  if (cardinality <= 1) return SetLayout::kUint;
+  uint64_t range = static_cast<uint64_t>(max_value) - min_value + 1;
+  return range <= static_cast<uint64_t>(cardinality) * kBitsetDensityFactor
+             ? SetLayout::kBitset
+             : SetLayout::kUint;
+}
+
+namespace set_internal {
+
+void BuildBitset(const uint32_t* values, uint32_t n,
+                 std::vector<uint64_t>* words,
+                 std::vector<uint32_t>* word_ranks, uint32_t* word_base,
+                 uint32_t* num_words) {
+  LH_CHECK_GT(n, 0u);
+  uint32_t base = values[0] / bits::kWordBits * bits::kWordBits;
+  uint32_t span = values[n - 1] - base + 1;
+  uint32_t nw = bits::WordsForBits(span);
+  words->assign(nw, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    bits::SetBit(words->data(), values[i] - base);
+  }
+  word_ranks->resize(nw);
+  uint32_t running = 0;
+  for (uint32_t w = 0; w < nw; ++w) {
+    (*word_ranks)[w] = running;
+    running += bits::PopCount((*words)[w]);
+  }
+  LH_CHECK_EQ(running, n);
+  *word_base = base;
+  *num_words = nw;
+}
+
+}  // namespace set_internal
+
+OwnedSet OwnedSet::FromSorted(const std::vector<uint32_t>& sorted_values) {
+  if (sorted_values.empty()) return OwnedSet();
+  SetLayout layout = ChooseLayout(
+      static_cast<uint32_t>(sorted_values.size()), sorted_values.front(),
+      sorted_values.back());
+  return FromSortedWithLayout(sorted_values, layout);
+}
+
+OwnedSet OwnedSet::FromSortedWithLayout(
+    const std::vector<uint32_t>& sorted_values, SetLayout layout) {
+  OwnedSet set;
+  set.view_.cardinality = static_cast<uint32_t>(sorted_values.size());
+  if (sorted_values.empty()) return set;
+  if (layout == SetLayout::kUint) {
+    set.values_ = sorted_values;
+    set.view_.layout = SetLayout::kUint;
+    set.view_.values = set.values_.data();
+    return set;
+  }
+  set_internal::BuildBitset(sorted_values.data(),
+                            static_cast<uint32_t>(sorted_values.size()),
+                            &set.words_, &set.word_ranks_,
+                            &set.view_.word_base, &set.view_.num_words);
+  set.view_.layout = SetLayout::kBitset;
+  set.view_.words = set.words_.data();
+  set.view_.word_ranks = set.word_ranks_.data();
+  return set;
+}
+
+}  // namespace levelheaded

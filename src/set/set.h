@@ -1,0 +1,130 @@
+// Set layouts for trie levels (§III-B, §V-A of the paper).
+//
+// LevelHeaded stores each trie-level set of dictionary-encoded u32 values in
+// one of two layouts, inherited from EmptyHeaded:
+//   * `uint`   — a sorted array of u32 values (sparse sets), and
+//   * `bitset` — a word-aligned bitmap plus a per-word rank index (dense
+//                sets).
+// The layout determines which intersection kernel runs, which is what the
+// cost-based optimizer's `icost` models (Figure 5a).
+
+#ifndef LEVELHEADED_SET_SET_H_
+#define LEVELHEADED_SET_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace levelheaded {
+
+enum class SetLayout : uint8_t { kUint = 0, kBitset = 1 };
+
+/// Returns "uint" or "bs".
+const char* SetLayoutName(SetLayout layout);
+
+/// A non-owning view of one set. Storage lives in a trie level or a scratch
+/// arena. All values are unsigned 32-bit dictionary codes.
+struct SetView {
+  SetLayout layout = SetLayout::kUint;
+  uint32_t cardinality = 0;
+
+  // --- uint layout ---
+  const uint32_t* values = nullptr;
+
+  // --- bitset layout ---
+  const uint64_t* words = nullptr;
+  /// Exclusive cumulative popcount per word: word_ranks[w] = number of set
+  /// bits strictly before word w. Enables O(1) Rank().
+  const uint32_t* word_ranks = nullptr;
+  /// Value represented by bit 0 of words[0]; always a multiple of 64.
+  uint32_t word_base = 0;
+  uint32_t num_words = 0;
+
+  bool empty() const { return cardinality == 0; }
+
+  /// Smallest value in the set. Undefined on empty sets.
+  uint32_t Min() const;
+  /// Largest value in the set. Undefined on empty sets.
+  uint32_t Max() const;
+
+  /// Membership test.
+  bool Contains(uint32_t v) const;
+
+  /// Index of `v` within the set (0-based, ascending order), or -1 when
+  /// absent. Ranks at trie level i identify the child set at level i+1 and,
+  /// at the last level, the annotation row.
+  int64_t Rank(uint32_t v) const;
+
+  /// Value with the given rank; rank must be < cardinality.
+  uint32_t Select(uint32_t rank) const;
+
+  /// Calls `fn(value, rank)` for every element in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (layout == SetLayout::kUint) {
+      for (uint32_t r = 0; r < cardinality; ++r) fn(values[r], r);
+      return;
+    }
+    uint32_t rank = 0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      uint64_t word = words[w];
+      uint32_t base = word_base + w * bits::kWordBits;
+      while (word != 0) {
+        int b = bits::CountTrailingZeros(word);
+        fn(base + static_cast<uint32_t>(b), rank++);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Materializes the set into a vector of values (ascending).
+  std::vector<uint32_t> ToVector() const;
+};
+
+/// An owning set used for scratch results and tests. `view()` remains valid
+/// while the OwnedSet is alive and unmodified.
+class OwnedSet {
+ public:
+  OwnedSet() = default;
+
+  /// Builds a set from sorted, duplicate-free values, choosing the layout by
+  /// the density rule below.
+  static OwnedSet FromSorted(const std::vector<uint32_t>& sorted_values);
+
+  /// Builds with an explicitly requested layout (tests, Fig. 5a harness).
+  static OwnedSet FromSortedWithLayout(
+      const std::vector<uint32_t>& sorted_values, SetLayout layout);
+
+  const SetView& view() const { return view_; }
+
+ private:
+  friend class ScratchSet;
+  std::vector<uint32_t> values_;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> word_ranks_;
+  SetView view_;
+};
+
+/// Layout-choice rule (EmptyHeaded heritage): a set is stored dense when its
+/// value range is at most `kBitsetDensityFactor` times its cardinality, i.e.
+/// density >= 1/32, and it has more than one element.
+inline constexpr uint32_t kBitsetDensityFactor = 32;
+
+/// Decides the layout for a sorted run of values.
+SetLayout ChooseLayout(uint32_t cardinality, uint32_t min_value,
+                       uint32_t max_value);
+
+namespace set_internal {
+/// Fills `words`/`word_ranks` (both sized for the value range) from sorted
+/// values; returns via out-params the word_base and num_words.
+void BuildBitset(const uint32_t* values, uint32_t n,
+                 std::vector<uint64_t>* words,
+                 std::vector<uint32_t>* word_ranks, uint32_t* word_base,
+                 uint32_t* num_words);
+}  // namespace set_internal
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SET_SET_H_

@@ -1,0 +1,118 @@
+#include "set/simd_intersect.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "util/bits.h"
+
+namespace levelheaded::set_internal {
+
+#if defined(__AVX2__)
+
+bool SimdIntersectAvailable() { return true; }
+
+namespace {
+
+/// Byte-shuffle masks compacting the set bits of a 4-bit mask to the front
+/// of an XMM register of 4 u32 lanes. Entry m lists, per output byte, which
+/// input byte to take (0x80 = zero).
+alignas(16) constexpr uint8_t kCompact[16][16] = {
+    {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80, 0x80, 0x80},                                       // 0000
+    {0, 1, 2, 3, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80},                                                   // 0001
+    {4, 5, 6, 7, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80},                                                   // 0010
+    {0, 1, 2, 3, 4, 5, 6, 7, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80},                                                         // 0011
+    {8, 9, 10, 11, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80, 0x80},                                             // 0100
+    {0, 1, 2, 3, 8, 9, 10, 11, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80},                                                         // 0101
+    {4, 5, 6, 7, 8, 9, 10, 11, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80},                                                         // 0110
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x80, 0x80, 0x80, 0x80},  // 0111
+    {12, 13, 14, 15, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80, 0x80},                                             // 1000
+    {0, 1, 2, 3, 12, 13, 14, 15, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80},                                                         // 1001
+    {4, 5, 6, 7, 12, 13, 14, 15, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80},                                                         // 1010
+    {0, 1, 2, 3, 4, 5, 6, 7, 12, 13, 14, 15, 0x80, 0x80, 0x80,
+     0x80},                                                         // 1011
+    {8, 9, 10, 11, 12, 13, 14, 15, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80},                                                         // 1100
+    {0, 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, 0x80, 0x80, 0x80,
+     0x80},                                                         // 1101
+    {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0x80, 0x80, 0x80,
+     0x80},                                                         // 1110
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},        // 1111
+};
+
+}  // namespace
+
+uint32_t IntersectUintUintSimd(const uint32_t* a, uint32_t na,
+                               const uint32_t* b, uint32_t nb,
+                               uint32_t* out) {
+  uint32_t n = 0, i = 0, j = 0;
+  // 4-lane block merge with all-pairs compare (the classic shuffle-based
+  // sparse intersection).
+  const uint32_t na4 = na & ~3u;
+  const uint32_t nb4 = nb & ~3u;
+  while (i < na4 && j < nb4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+
+    const __m128i r0 = _mm_cmpeq_epi32(va, vb);
+    const __m128i s1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    const __m128i r1 = _mm_cmpeq_epi32(va, s1);
+    const __m128i s2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m128i r2 = _mm_cmpeq_epi32(va, s2);
+    const __m128i s3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+    const __m128i r3 = _mm_cmpeq_epi32(va, s3);
+
+    const __m128i any =
+        _mm_or_si128(_mm_or_si128(r0, r1), _mm_or_si128(r2, r3));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(any));
+
+    const __m128i shuffled = _mm_shuffle_epi8(
+        va, _mm_load_si128(reinterpret_cast<const __m128i*>(kCompact[mask])));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n), shuffled);
+    n += static_cast<uint32_t>(bits::PopCount(static_cast<uint64_t>(mask)));
+
+    const uint32_t a_max = a[i + 3];
+    const uint32_t b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+  // Scalar tail.
+  while (i < na && j < nb) {
+    const uint32_t va = a[i], vb = b[j];
+    if (va == vb) {
+      out[n++] = va;
+      ++i;
+      ++j;
+    } else if (va < vb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+
+#else  // !defined(__AVX2__)
+
+bool SimdIntersectAvailable() { return false; }
+
+uint32_t IntersectUintUintSimd(const uint32_t*, uint32_t, const uint32_t*,
+                               uint32_t, uint32_t*) {
+  return 0;  // never called; guarded by SimdIntersectAvailable()
+}
+
+#endif
+
+}  // namespace levelheaded::set_internal

@@ -1,0 +1,24 @@
+// SIMD uint ∩ uint kernels (EmptyHeaded heritage: shuffle-based sparse set
+// intersection). Compiled only when the target supports AVX2; the scalar
+// merge/galloping kernel in intersect.cc is the portable fallback and the
+// correctness reference.
+
+#ifndef LEVELHEADED_SET_SIMD_INTERSECT_H_
+#define LEVELHEADED_SET_SIMD_INTERSECT_H_
+
+#include <cstdint>
+
+namespace levelheaded::set_internal {
+
+/// True when this build contains the AVX2 kernel.
+bool SimdIntersectAvailable();
+
+/// AVX2 block-compare intersection of two sorted u32 arrays; `out` needs
+/// capacity min(na, nb). Returns the output cardinality. Must only be
+/// called when SimdIntersectAvailable().
+uint32_t IntersectUintUintSimd(const uint32_t* a, uint32_t na,
+                               const uint32_t* b, uint32_t nb, uint32_t* out);
+
+}  // namespace levelheaded::set_internal
+
+#endif  // LEVELHEADED_SET_SIMD_INTERSECT_H_

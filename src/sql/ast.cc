@@ -1,0 +1,161 @@
+#include "sql/ast.h"
+
+#include "util/date.h"
+#include "util/logging.h"
+
+namespace levelheaded {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>(kind);
+  out->qualifier = qualifier;
+  out->name = name;
+  out->int_value = int_value;
+  out->real_value = real_value;
+  out->str_value = str_value;
+  out->bin_op = bin_op;
+  out->agg_func = agg_func;
+  out->case_has_else = case_has_else;
+  out->slot_index = slot_index;
+  out->bound_rel = bound_rel;
+  out->bound_col = bound_col;
+  out->children.reserve(children.size());
+  for (const ExprPtr& c : children) {
+    out->children.push_back(c == nullptr ? nullptr : c->Clone());
+  }
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumnRef:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kIntLiteral:
+      return std::to_string(int_value);
+    case Kind::kRealLiteral: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", real_value);
+      return buf;
+    }
+    case Kind::kStringLiteral:
+      return "'" + str_value + "'";
+    case Kind::kDateLiteral:
+      return "date '" + FormatDate(static_cast<int32_t>(int_value)) + "'";
+    case Kind::kIntervalLiteral:
+      return "interval '" + std::to_string(int_value) + "' day";
+    case Kind::kStar:
+      return "*";
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kUnaryMinus:
+      return "(-" + children[0]->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + children[0]->ToString() + ")";
+    case Kind::kAggregate: {
+      std::string arg = children.empty() ? "*" : children[0]->ToString();
+      return std::string(AggFuncName(agg_func)) + "(" + arg + ")";
+    }
+    case Kind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      for (; i + 1 < children.size(); i += 2) {
+        out += " WHEN " + children[i]->ToString() + " THEN " +
+               children[i + 1]->ToString();
+      }
+      if (case_has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case Kind::kExtractYear:
+      return "EXTRACT(YEAR FROM " + children[0]->ToString() + ")";
+    case Kind::kLike:
+      return "(" + children[0]->ToString() + " LIKE '" + str_value + "')";
+    case Kind::kBetween:
+      return "(" + children[0]->ToString() + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString() +
+             ")";
+    case Kind::kAggRef:
+      return "$agg" + std::to_string(slot_index);
+  }
+  return "?";
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_unique<Expr>(Expr::Kind::kColumnRef);
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeIntLiteral(int64_t v) {
+  auto e = std::make_unique<Expr>(Expr::Kind::kIntLiteral);
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr MakeRealLiteral(double v) {
+  auto e = std::make_unique<Expr>(Expr::Kind::kRealLiteral);
+  e->real_value = v;
+  return e;
+}
+
+ExprPtr MakeStringLiteral(std::string v) {
+  auto e = std::make_unique<Expr>(Expr::Kind::kStringLiteral);
+  e->str_value = std::move(v);
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+}  // namespace levelheaded

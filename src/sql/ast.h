@@ -1,0 +1,125 @@
+// Abstract syntax tree for the LevelHeaded SQL subset. One `Expr` node type
+// with a kind tag keeps tree manipulation (binding, aggregate extraction,
+// constant folding) simple.
+
+#ifndef LEVELHEADED_SQL_AST_H_
+#define LEVELHEADED_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace levelheaded {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class AggFunc : uint8_t { kSum, kCount, kAvg, kMin, kMax };
+
+const char* BinOpName(BinOp op);
+const char* AggFuncName(AggFunc f);
+
+/// One expression node.
+struct Expr {
+  enum class Kind : uint8_t {
+    kColumnRef,    // qualifier.name (qualifier may be empty)
+    kIntLiteral,   // int_value
+    kRealLiteral,  // real_value
+    kStringLiteral,
+    kDateLiteral,      // int_value = days since epoch
+    kIntervalLiteral,  // int_value = days
+    kStar,             // only as COUNT(*) argument
+    kBinary,           // bin_op, children[0], children[1]
+    kUnaryMinus,       // children[0]
+    kNot,              // children[0]
+    kAggregate,        // agg_func, children[0] (absent for COUNT(*))
+    kCase,        // children = [when1, then1, when2, then2, ..., else?]
+    kExtractYear,  // children[0]
+    kLike,         // children[0], str_value = pattern
+    kBetween,      // children[0] BETWEEN children[1] AND children[2]
+    kAggRef,  // binder-introduced reference to aggregate slot `slot_index`
+  };
+
+  Kind kind;
+  // kColumnRef
+  std::string qualifier;
+  std::string name;
+  // literals
+  int64_t int_value = 0;
+  double real_value = 0;
+  std::string str_value;
+  // operators
+  BinOp bin_op = BinOp::kAdd;
+  AggFunc agg_func = AggFunc::kSum;
+  bool case_has_else = false;
+  int slot_index = -1;  // kAggRef
+  std::vector<ExprPtr> children;
+
+  // --- binder annotations (set on kColumnRef after binding) ---
+  int bound_rel = -1;  ///< index into LogicalQuery::relations
+  int bound_col = -1;  ///< column index in that relation's table schema
+
+  explicit Expr(Kind k) : kind(k) {}
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// Debug rendering, e.g. "(l_extendedprice * (1 - l_discount))".
+  std::string ToString() const;
+};
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string name);
+ExprPtr MakeIntLiteral(int64_t v);
+ExprPtr MakeRealLiteral(double v);
+ExprPtr MakeStringLiteral(std::string v);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// One SELECT-list item.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty when unnamed
+};
+
+/// One FROM-list entry.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// A parsed SELECT statement (the only statement kind LevelHeaded runs).
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;   // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SQL_AST_H_

@@ -1,0 +1,669 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Expr::Kind::kColumnRef:
+      return a.bound_rel == b.bound_rel && a.bound_col == b.bound_col;
+    case Expr::Kind::kIntLiteral:
+    case Expr::Kind::kDateLiteral:
+    case Expr::Kind::kIntervalLiteral:
+      return a.int_value == b.int_value;
+    case Expr::Kind::kRealLiteral:
+      return a.real_value == b.real_value;
+    case Expr::Kind::kStringLiteral:
+      return a.str_value == b.str_value;
+    case Expr::Kind::kAggRef:
+      return a.slot_index == b.slot_index;
+    default:
+      break;
+  }
+  if (a.kind == Expr::Kind::kBinary && a.bin_op != b.bin_op) return false;
+  if (a.kind == Expr::Kind::kAggregate && a.agg_func != b.agg_func) {
+    return false;
+  }
+  if (a.kind == Expr::Kind::kLike && a.str_value != b.str_value) return false;
+  if (a.kind == Expr::Kind::kCase && a.case_has_else != b.case_has_else) {
+    return false;
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+std::vector<int> CollectRelations(const Expr& e) {
+  std::set<int> rels;
+  std::function<void(const Expr&)> walk = [&](const Expr& x) {
+    if (x.kind == Expr::Kind::kColumnRef && x.bound_rel >= 0) {
+      rels.insert(x.bound_rel);
+    }
+    for (const ExprPtr& c : x.children) {
+      if (c != nullptr) walk(*c);
+    }
+  };
+  walk(e);
+  return std::vector<int>(rels.begin(), rels.end());
+}
+
+namespace {
+
+/// Disjoint-set over key columns for join-vertex construction.
+class UnionFind {
+ public:
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Unite(int a, int b) { parent_[Find(a)] = Find(b); }
+  int Add() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+class Binder {
+ public:
+  Binder(SelectStmt stmt, const Catalog& catalog)
+      : stmt_(std::move(stmt)), catalog_(catalog) {}
+
+  Result<LogicalQuery> Run() {
+    LH_RETURN_NOT_OK(BindFrom());
+
+    // Bind all expressions in place.
+    for (SelectItem& item : stmt_.items) {
+      LH_RETURN_NOT_OK(BindExpr(item.expr.get()));
+    }
+    if (stmt_.where != nullptr) {
+      LH_RETURN_NOT_OK(BindExpr(stmt_.where.get()));
+    }
+    for (ExprPtr& g : stmt_.group_by) {
+      // A bare identifier in GROUP BY may reference a select-list alias.
+      if (g->kind == Expr::Kind::kColumnRef && g->qualifier.empty()) {
+        if (const Expr* aliased = FindAliasTarget(g->name)) {
+          g = aliased->Clone();
+          continue;  // already bound via the select item
+        }
+      }
+      LH_RETURN_NOT_OK(BindExpr(g.get()));
+    }
+
+    if (stmt_.having != nullptr) {
+      LH_RETURN_NOT_OK(BindExpr(stmt_.having.get()));
+    }
+    for (OrderItem& o : stmt_.order_by) {
+      if (o.expr->kind == Expr::Kind::kColumnRef && o.expr->qualifier.empty()) {
+        if (const Expr* aliased = FindAliasTarget(o.expr->name)) {
+          o.expr = aliased->Clone();
+          continue;
+        }
+      }
+      if (o.expr->kind == Expr::Kind::kIntLiteral) continue;  // ordinal
+      LH_RETURN_NOT_OK(BindExpr(o.expr.get()));
+    }
+
+    // Default output names come from the pre-extraction expression text
+    // (aggregate extraction would otherwise leave "$agg0"-style names).
+    for (SelectItem& item : stmt_.items) {
+      if (item.alias.empty() &&
+          item.expr->kind != Expr::Kind::kColumnRef) {
+        item.alias = item.expr->ToString();
+      }
+    }
+
+    LH_RETURN_NOT_OK(ProcessWhere());
+    LH_RETURN_NOT_OK(BuildVertices());
+    LH_RETURN_NOT_OK(ExtractAggregates());
+    LH_RETURN_NOT_OK(BindGroupBy());
+    LH_RETURN_NOT_OK(BuildOutputs());
+    LH_RETURN_NOT_OK(BindHaving());
+    LH_RETURN_NOT_OK(BindOrderByAndLimit());
+    return std::move(q_);
+  }
+
+ private:
+  Status BindFrom() {
+    if (stmt_.from.empty()) {
+      return Status::BindError("FROM clause is required");
+    }
+    std::set<std::string> aliases;
+    for (const TableRef& ref : stmt_.from) {
+      const Table* table = catalog_.GetTable(ref.table);
+      if (table == nullptr) {
+        return Status::BindError("unknown table '" + ref.table + "'");
+      }
+      if (!aliases.insert(ref.alias).second) {
+        return Status::BindError("duplicate table alias '" + ref.alias + "'");
+      }
+      RelationRef rel;
+      rel.table = table;
+      rel.alias = ref.alias;
+      rel.vertex_of_col.assign(table->schema().num_columns(), -1);
+      q_.relations.push_back(std::move(rel));
+    }
+    return Status::OK();
+  }
+
+  /// Finds the select item whose alias is `name`; nullptr when absent.
+  const Expr* FindAliasTarget(const std::string& name) const {
+    for (const SelectItem& item : stmt_.items) {
+      if (item.alias == name) return item.expr.get();
+    }
+    return nullptr;
+  }
+
+  Result<BoundColumnKey> ResolveColumn(const std::string& qualifier,
+                                       const std::string& name) {
+    BoundColumnKey found;
+    int hits = 0;
+    for (size_t r = 0; r < q_.relations.size(); ++r) {
+      const RelationRef& rel = q_.relations[r];
+      if (!qualifier.empty() && rel.alias != qualifier) continue;
+      int col = rel.table->schema().FindColumn(name);
+      if (col >= 0) {
+        found = {static_cast<int>(r), col};
+        ++hits;
+      }
+    }
+    if (hits == 0) {
+      return Status::BindError("unknown column '" +
+                               (qualifier.empty() ? name
+                                                  : qualifier + "." + name) +
+                               "'");
+    }
+    if (hits > 1) {
+      return Status::BindError("ambiguous column '" + name + "'");
+    }
+    return found;
+  }
+
+  /// Resolves column refs and folds date/interval arithmetic, in place.
+  Status BindExpr(Expr* e) {
+    for (ExprPtr& c : e->children) {
+      if (c != nullptr) LH_RETURN_NOT_OK(BindExpr(c.get()));
+    }
+    if (e->kind == Expr::Kind::kColumnRef) {
+      LH_ASSIGN_OR_RETURN(BoundColumnKey key,
+                          ResolveColumn(e->qualifier, e->name));
+      e->bound_rel = key.rel;
+      e->bound_col = key.col;
+      return Status::OK();
+    }
+    if (e->kind == Expr::Kind::kBinary &&
+        (e->bin_op == BinOp::kAdd || e->bin_op == BinOp::kSub)) {
+      Expr* l = e->children[0].get();
+      Expr* r = e->children[1].get();
+      // date ± interval -> date
+      if (l->kind == Expr::Kind::kDateLiteral &&
+          r->kind == Expr::Kind::kIntervalLiteral) {
+        int64_t days = e->bin_op == BinOp::kAdd
+                           ? l->int_value + r->int_value
+                           : l->int_value - r->int_value;
+        e->kind = Expr::Kind::kDateLiteral;
+        e->int_value = days;
+        e->children.clear();
+      }
+    }
+    return Status::OK();
+  }
+
+  bool IsKeyColumn(const Expr& e) const {
+    if (e.kind != Expr::Kind::kColumnRef) return false;
+    const ColumnSpec& spec =
+        q_.relations[e.bound_rel].table->schema().column(e.bound_col);
+    return spec.kind == AttrKind::kKey;
+  }
+
+  /// Evaluates a constant predicate (no column refs); returns -1 when not
+  /// evaluable, else 0/1.
+  int EvalConstPredicate(const Expr& e) const {
+    if (!CollectRelations(e).empty()) return -1;
+    switch (e.kind) {
+      case Expr::Kind::kIntLiteral:
+        return e.int_value != 0;
+      case Expr::Kind::kBinary: {
+        if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+          int l = EvalConstPredicate(*e.children[0]);
+          int r = EvalConstPredicate(*e.children[1]);
+          if (l < 0 || r < 0) return -1;
+          return e.bin_op == BinOp::kAnd ? (l && r) : (l || r);
+        }
+        const Expr& l = *e.children[0];
+        const Expr& r = *e.children[1];
+        double lv, rv;
+        auto numeric = [](const Expr& x, double* out) {
+          if (x.kind == Expr::Kind::kIntLiteral ||
+              x.kind == Expr::Kind::kDateLiteral) {
+            *out = static_cast<double>(x.int_value);
+            return true;
+          }
+          if (x.kind == Expr::Kind::kRealLiteral) {
+            *out = x.real_value;
+            return true;
+          }
+          return false;
+        };
+        if (!numeric(l, &lv) || !numeric(r, &rv)) return -1;
+        switch (e.bin_op) {
+          case BinOp::kEq:
+            return lv == rv;
+          case BinOp::kNe:
+            return lv != rv;
+          case BinOp::kLt:
+            return lv < rv;
+          case BinOp::kLe:
+            return lv <= rv;
+          case BinOp::kGt:
+            return lv > rv;
+          case BinOp::kGe:
+            return lv >= rv;
+          default:
+            return -1;
+        }
+      }
+      default:
+        return -1;
+    }
+  }
+
+  Status ProcessWhere() {
+    if (stmt_.where == nullptr) return Status::OK();
+    std::vector<ExprPtr> conjuncts;
+    FlattenAnd(std::move(stmt_.where), &conjuncts);
+    for (ExprPtr& c : conjuncts) {
+      // key = key join condition?
+      if (c->kind == Expr::Kind::kBinary && c->bin_op == BinOp::kEq &&
+          c->children[0]->kind == Expr::Kind::kColumnRef &&
+          c->children[1]->kind == Expr::Kind::kColumnRef) {
+        const Expr& l = *c->children[0];
+        const Expr& r = *c->children[1];
+        const bool lkey = IsKeyColumn(l);
+        const bool rkey = IsKeyColumn(r);
+        if (lkey && rkey) {
+          join_pairs_.push_back({{l.bound_rel, l.bound_col},
+                                 {r.bound_rel, r.bound_col}});
+          continue;
+        }
+        if (lkey != rkey && l.bound_rel != r.bound_rel) {
+          return Status::BindError(
+              "only key attributes may participate in joins (" +
+              c->ToString() + ")");
+        }
+        // Same-relation column comparison falls through as a filter.
+      }
+      std::vector<int> rels = CollectRelations(*c);
+      if (rels.empty()) {
+        int v = EvalConstPredicate(*c);
+        if (v < 0) {
+          return Status::BindError("unsupported constant predicate " +
+                                   c->ToString());
+        }
+        if (v == 0) q_.always_empty = true;
+        continue;
+      }
+      if (rels.size() > 1) {
+        return Status::BindError(
+            "non-join predicate spans multiple relations: " + c->ToString());
+      }
+      q_.relations[rels[0]].filters.push_back(std::move(c));
+    }
+    return Status::OK();
+  }
+
+  static void FlattenAnd(ExprPtr e, std::vector<ExprPtr>* out) {
+    if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kAnd) {
+      FlattenAnd(std::move(e->children[0]), out);
+      FlattenAnd(std::move(e->children[1]), out);
+      return;
+    }
+    out->push_back(std::move(e));
+  }
+
+  /// All key columns referenced anywhere in the bound statement.
+  void CollectUsedKeyColumns(const Expr& e,
+                             std::set<std::pair<int, int>>* out) const {
+    if (e.kind == Expr::Kind::kColumnRef && IsKeyColumn(e)) {
+      out->insert({e.bound_rel, e.bound_col});
+    }
+    for (const ExprPtr& c : e.children) {
+      if (c != nullptr) CollectUsedKeyColumns(*c, out);
+    }
+  }
+
+  Status BuildVertices() {
+    // Seed with every key column used in the query (Rule 1 + attribute
+    // elimination: unused attributes never enter the hypergraph).
+    std::set<std::pair<int, int>> used;
+    for (const SelectItem& item : stmt_.items) {
+      CollectUsedKeyColumns(*item.expr, &used);
+    }
+    for (const ExprPtr& g : stmt_.group_by) {
+      CollectUsedKeyColumns(*g, &used);
+    }
+    for (const RelationRef& rel : q_.relations) {
+      for (const ExprPtr& f : rel.filters) {
+        CollectUsedKeyColumns(*f, &used);
+      }
+    }
+    if (stmt_.having != nullptr) {
+      CollectUsedKeyColumns(*stmt_.having, &used);
+    }
+    for (const OrderItem& o : stmt_.order_by) {
+      if (o.expr->kind != Expr::Kind::kIntLiteral) {
+        CollectUsedKeyColumns(*o.expr, &used);
+      }
+    }
+    for (const auto& [a, b] : join_pairs_) {
+      used.insert({a.rel, a.col});
+      used.insert({b.rel, b.col});
+    }
+
+    UnionFind uf;
+    std::map<std::pair<int, int>, int> id_of;
+    for (const auto& col : used) id_of[col] = uf.Add();
+    for (const auto& [a, b] : join_pairs_) {
+      uf.Unite(id_of[{a.rel, a.col}], id_of[{b.rel, b.col}]);
+    }
+
+    std::map<int, int> vertex_of_root;
+    for (const auto& [col, id] : id_of) {
+      int root = uf.Find(id);
+      auto [it, inserted] =
+          vertex_of_root.insert({root, static_cast<int>(q_.vertices.size())});
+      if (inserted) {
+        JoinVertex v;
+        const ColumnSpec& spec =
+            q_.relations[col.first].table->schema().column(col.second);
+        v.name = spec.name;
+        v.domain = spec.domain;
+        q_.vertices.push_back(std::move(v));
+      }
+      JoinVertex& v = q_.vertices[it->second];
+      const ColumnSpec& spec =
+          q_.relations[col.first].table->schema().column(col.second);
+      if (spec.domain != v.domain) {
+        return Status::BindError("join across incompatible domains '" +
+                                 v.domain + "' and '" + spec.domain + "'");
+      }
+      v.columns.push_back({col.first, col.second});
+      q_.relations[col.first].vertex_of_col[col.second] = it->second;
+    }
+
+    // Vertex display names must be unique (Explain / forced attribute
+    // orders address vertices by name).
+    for (size_t i = 0; i < q_.vertices.size(); ++i) {
+      auto taken = [&](const std::string& name) {
+        for (size_t j = 0; j < i; ++j) {
+          if (q_.vertices[j].name == name) return true;
+        }
+        return false;
+      };
+      if (!taken(q_.vertices[i].name)) continue;
+      int suffix = 2;
+      while (taken(q_.vertices[i].name + "_" + std::to_string(suffix))) {
+        ++suffix;
+      }
+      q_.vertices[i].name += "_" + std::to_string(suffix);
+    }
+
+    // Equality-selection detection per vertex: a filter of the form
+    // <key column> = <literal> on any member column.
+    for (const RelationRef& rel : q_.relations) {
+      for (const ExprPtr& f : rel.filters) {
+        if (f->kind != Expr::Kind::kBinary || f->bin_op != BinOp::kEq) {
+          continue;
+        }
+        const Expr* colref = nullptr;
+        if (f->children[0]->kind == Expr::Kind::kColumnRef &&
+            f->children[1]->children.empty() &&
+            f->children[1]->kind != Expr::Kind::kColumnRef) {
+          colref = f->children[0].get();
+        } else if (f->children[1]->kind == Expr::Kind::kColumnRef &&
+                   f->children[0]->children.empty() &&
+                   f->children[0]->kind != Expr::Kind::kColumnRef) {
+          colref = f->children[1].get();
+        }
+        if (colref != nullptr && IsKeyColumn(*colref)) {
+          int v = q_.relations[colref->bound_rel]
+                      .vertex_of_col[colref->bound_col];
+          if (v >= 0) q_.vertices[v].has_equality_selection = true;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Replaces kAggregate nodes with kAggRef slots (in place), registering
+  /// AggregateSpecs. Rejects nested aggregates and aggregated keys.
+  Status ExtractAggregatesFrom(ExprPtr* e, bool inside_aggregate) {
+    Expr* x = e->get();
+    if (x->kind == Expr::Kind::kAggregate) {
+      if (inside_aggregate) {
+        return Status::BindError("nested aggregate in " + x->ToString());
+      }
+      AggregateSpec spec;
+      spec.func = x->agg_func;
+      if (!x->children.empty()) {
+        std::set<std::pair<int, int>> keys;
+        CollectUsedKeyColumns(*x->children[0], &keys);
+        if (!keys.empty()) {
+          return Status::BindError(
+              "key attributes cannot be aggregated: " + x->ToString());
+        }
+        spec.arg = std::move(x->children[0]);
+        spec.arg_relations = CollectRelations(*spec.arg);
+      }
+      // Identical aggregates share one slot (Q8 sums the same expression
+      // twice; ORDER BY/HAVING may repeat a selected aggregate).
+      int slot = -1;
+      for (size_t i = 0; i < q_.aggregates.size(); ++i) {
+        const AggregateSpec& other = q_.aggregates[i];
+        if (other.func != spec.func) continue;
+        if ((other.arg == nullptr) != (spec.arg == nullptr)) continue;
+        if (other.arg != nullptr && !ExprEquals(*other.arg, *spec.arg)) {
+          continue;
+        }
+        slot = static_cast<int>(i);
+        break;
+      }
+      if (slot < 0) {
+        slot = static_cast<int>(q_.aggregates.size());
+        q_.aggregates.push_back(std::move(spec));
+      }
+      auto ref = std::make_unique<Expr>(Expr::Kind::kAggRef);
+      ref->slot_index = slot;
+      *e = std::move(ref);
+      return Status::OK();
+    }
+    for (ExprPtr& c : x->children) {
+      if (c != nullptr) {
+        LH_RETURN_NOT_OK(ExtractAggregatesFrom(
+            &c, inside_aggregate || x->kind == Expr::Kind::kAggregate));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExtractAggregates() {
+    for (SelectItem& item : stmt_.items) {
+      LH_RETURN_NOT_OK(ExtractAggregatesFrom(&item.expr, false));
+    }
+    if (stmt_.having != nullptr) {
+      LH_RETURN_NOT_OK(ExtractAggregatesFrom(&stmt_.having, false));
+    }
+    for (OrderItem& o : stmt_.order_by) {
+      if (o.expr->kind != Expr::Kind::kIntLiteral) {
+        LH_RETURN_NOT_OK(ExtractAggregatesFrom(&o.expr, false));
+      }
+    }
+    for (const ExprPtr& g : stmt_.group_by) {
+      bool has_agg = false;
+      std::function<void(const Expr&)> walk = [&](const Expr& x) {
+        if (x.kind == Expr::Kind::kAggregate) has_agg = true;
+        for (const ExprPtr& c : x.children) {
+          if (c != nullptr) walk(*c);
+        }
+      };
+      walk(*g);
+      if (has_agg) {
+        return Status::BindError("aggregate in GROUP BY: " + g->ToString());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status BindGroupBy() {
+    for (ExprPtr& g : stmt_.group_by) {
+      GroupBySpec spec;
+      if (g->kind == Expr::Kind::kColumnRef && IsKeyColumn(*g)) {
+        spec.vertex = q_.relations[g->bound_rel].vertex_of_col[g->bound_col];
+        LH_CHECK(spec.vertex >= 0);
+        q_.vertices[spec.vertex].output = true;
+      }
+      spec.name = g->kind == Expr::Kind::kColumnRef ? g->name : g->ToString();
+      spec.expr = std::move(g);
+      q_.group_by.push_back(std::move(spec));
+    }
+    return Status::OK();
+  }
+
+  /// Checks that `e` is built only from constants, aggregate refs, and
+  /// subexpressions matching some GROUP BY dimension.
+  bool ValidOutputExpr(const Expr& e) const {
+    for (const GroupBySpec& g : q_.group_by) {
+      if (ExprEquals(e, *g.expr)) return true;
+    }
+    switch (e.kind) {
+      case Expr::Kind::kAggRef:
+      case Expr::Kind::kIntLiteral:
+      case Expr::Kind::kRealLiteral:
+      case Expr::Kind::kStringLiteral:
+      case Expr::Kind::kDateLiteral:
+      case Expr::Kind::kIntervalLiteral:
+        return true;
+      case Expr::Kind::kColumnRef:
+        return false;  // not matched by any group dimension
+      default:
+        break;
+    }
+    if (e.children.empty()) return false;
+    for (const ExprPtr& c : e.children) {
+      if (c != nullptr && !ValidOutputExpr(*c)) return false;
+    }
+    return true;
+  }
+
+  Status BindHaving() {
+    if (stmt_.having == nullptr) return Status::OK();
+    if (q_.aggregates.empty() && q_.group_by.empty()) {
+      return Status::BindError("HAVING requires aggregation or GROUP BY");
+    }
+    if (!ValidOutputExpr(*stmt_.having)) {
+      return Status::BindError(
+          "HAVING must be built from aggregates and GROUP BY columns: " +
+          stmt_.having->ToString());
+    }
+    q_.having = std::move(stmt_.having);
+    return Status::OK();
+  }
+
+  Status BindOrderByAndLimit() {
+    for (OrderItem& o : stmt_.order_by) {
+      int index = -1;
+      if (o.expr->kind == Expr::Kind::kIntLiteral) {
+        // SQL ordinal: ORDER BY 2.
+        index = static_cast<int>(o.expr->int_value) - 1;
+        if (index < 0 || index >= static_cast<int>(q_.outputs.size())) {
+          return Status::BindError("ORDER BY ordinal out of range");
+        }
+      } else {
+        for (size_t i = 0; i < q_.outputs.size(); ++i) {
+          if (ExprEquals(*o.expr, *q_.outputs[i].expr)) {
+            index = static_cast<int>(i);
+            break;
+          }
+        }
+        if (index < 0) {
+          return Status::BindError(
+              "ORDER BY expression must appear in the select list: " +
+              o.expr->ToString());
+        }
+      }
+      q_.order_by.push_back({index, o.descending});
+    }
+    q_.limit = stmt_.limit;
+    return Status::OK();
+  }
+
+  Status BuildOutputs() {
+    for (SelectItem& item : stmt_.items) {
+      OutputItem out;
+      out.name = !item.alias.empty()
+                     ? item.alias
+                     : (item.expr->kind == Expr::Kind::kColumnRef
+                            ? item.expr->name
+                            : item.expr->ToString());
+      if (!q_.group_by.empty() || !q_.aggregates.empty()) {
+        if (!ValidOutputExpr(*item.expr)) {
+          return Status::BindError("select item must be an aggregate or "
+                                   "appear in GROUP BY: " +
+                                   item.expr->ToString());
+        }
+      }
+      if (item.expr->kind == Expr::Kind::kAggRef) {
+        out.direct_agg_slot = item.expr->slot_index;
+      }
+      for (size_t i = 0; i < q_.group_by.size(); ++i) {
+        if (ExprEquals(*item.expr, *q_.group_by[i].expr)) {
+          out.direct_group_index = static_cast<int>(i);
+          break;
+        }
+      }
+      out.expr = std::move(item.expr);
+      q_.outputs.push_back(std::move(out));
+    }
+    // Bare-key select items also mark vertices as output (e.g. the matrix
+    // query's SELECT m1.i, m2.j, ... GROUP BY m1.i, m2.j already handles
+    // this through GROUP BY, but SELECT without GROUP BY over keys needs it
+    // too for plain join materialization).
+    for (const OutputItem& out : q_.outputs) {
+      if (out.expr->kind == Expr::Kind::kColumnRef && IsKeyColumn(*out.expr)) {
+        int v = q_.relations[out.expr->bound_rel]
+                    .vertex_of_col[out.expr->bound_col];
+        if (v >= 0) q_.vertices[v].output = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  SelectStmt stmt_;
+  const Catalog& catalog_;
+  LogicalQuery q_;
+  std::vector<std::pair<BoundColumnKey, BoundColumnKey>> join_pairs_;
+};
+
+}  // namespace
+
+Result<LogicalQuery> Bind(SelectStmt stmt, const Catalog& catalog) {
+  Binder binder(std::move(stmt), catalog);
+  return binder.Run();
+}
+
+}  // namespace levelheaded

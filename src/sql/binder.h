@@ -1,0 +1,21 @@
+// Binds a parsed SELECT statement against a catalog, producing the
+// LogicalQuery consumed by the query compiler. Enforces the data-model
+// restrictions of §III-A: only keys join; keys are never aggregated;
+// annotations never join.
+
+#ifndef LEVELHEADED_SQL_BINDER_H_
+#define LEVELHEADED_SQL_BINDER_H_
+
+#include "sql/ast.h"
+#include "sql/logical_query.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Binds `stmt` (consumed) against `catalog`.
+Result<LogicalQuery> Bind(SelectStmt stmt, const Catalog& catalog);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SQL_BINDER_H_

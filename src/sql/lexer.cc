@@ -1,0 +1,195 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace levelheaded {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenType type, std::string text, size_t pos) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t pos = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      Token t;
+      t.type = TokenType::kIdentifier;
+      t.original = sql.substr(start, i - start);
+      t.text = t.original;
+      for (char& ch : t.text) ch = std::toupper(static_cast<unsigned char>(ch));
+      t.position = pos;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_real = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      Token t;
+      t.position = pos;
+      t.text = text;
+      if (is_real) {
+        t.type = TokenType::kRealLiteral;
+        t.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kIntLiteral;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(pos));
+      }
+      Token t;
+      t.type = TokenType::kStringLiteral;
+      t.text = std::move(value);
+      t.position = pos;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, "(", pos);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, ")", pos);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, ",", pos);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, ".", pos);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, "*", pos);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, "+", pos);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, "-", pos);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, "/", pos);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, ";", pos);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, "=", pos);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, "!=", pos);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(pos));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, "<=", pos);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, "<>", pos);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", pos);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", pos);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(pos));
+    }
+  }
+  push(TokenType::kEof, "", n);
+  return tokens;
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,21 @@
+// Hand-written lexer for the LevelHeaded SQL subset.
+
+#ifndef LEVELHEADED_SQL_LEXER_H_
+#define LEVELHEADED_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Tokenizes `sql`; the result always ends with a kEof token. Identifiers
+/// are uppercased in `text` (keyword matching is case-insensitive); string
+/// literals keep their exact contents. `--` line comments are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SQL_LEXER_H_

@@ -1,0 +1,106 @@
+// The bound (semantic) form of a query: relations, join vertices (key
+// equivalence classes), per-relation filters, aggregates, grouping, and
+// output expressions. This is the input to the query compiler's hypergraph
+// translation (§IV-A rules 1-4).
+
+#ifndef LEVELHEADED_SQL_LOGICAL_QUERY_H_
+#define LEVELHEADED_SQL_LOGICAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace levelheaded {
+
+/// A (relation index, table column index) pair.
+struct BoundColumnKey {
+  int rel = -1;
+  int col = -1;
+
+  friend bool operator==(const BoundColumnKey& a, const BoundColumnKey& b) {
+    return a.rel == b.rel && a.col == b.col;
+  }
+};
+
+/// A join vertex: one equivalence class of key columns under the query's
+/// equality conditions. Vertices become hypergraph vertices (Rule 1).
+struct JoinVertex {
+  std::string name;    ///< display name, e.g. "custkey"
+  std::string domain;  ///< shared dictionary (domain) name
+  std::vector<BoundColumnKey> columns;
+  bool output = false;  ///< appears as a bare key in SELECT/GROUP BY
+  /// True when some relation carries an equality filter on this vertex
+  /// (drives the optimizer's weight rule, Obs. 5.2).
+  bool has_equality_selection = false;
+};
+
+/// One FROM entry after binding.
+struct RelationRef {
+  const Table* table = nullptr;
+  std::string alias;
+  /// Per table column: join-vertex id for key columns used by the query,
+  /// -1 otherwise.
+  std::vector<int> vertex_of_col;
+  /// Single-relation predicates (bound expression trees), to be applied as
+  /// selection pushdown before trie construction.
+  std::vector<ExprPtr> filters;
+};
+
+/// One aggregate slot extracted from the select list.
+struct AggregateSpec {
+  AggFunc func = AggFunc::kSum;
+  ExprPtr arg;  ///< bound; null for COUNT(*)
+  /// Relations referenced by `arg` (ascending, unique).
+  std::vector<int> arg_relations;
+};
+
+/// One GROUP BY dimension.
+struct GroupBySpec {
+  ExprPtr expr;     ///< bound non-aggregate expression
+  int vertex = -1;  ///< >=0 when the expression is a bare key column
+  std::string name;
+};
+
+/// One SELECT output column. `expr` references aggregate slots through
+/// kAggRef nodes and group dimensions through column refs / expressions
+/// that structurally match a GroupBySpec.
+struct OutputItem {
+  std::string name;
+  ExprPtr expr;
+  /// When the item is exactly one aggregate slot: its index, else -1.
+  int direct_agg_slot = -1;
+  /// When the item structurally equals group_by[i]: that i, else -1.
+  int direct_group_index = -1;
+};
+
+/// A fully bound query.
+struct LogicalQuery {
+  std::vector<RelationRef> relations;
+  std::vector<JoinVertex> vertices;
+  std::vector<AggregateSpec> aggregates;
+  std::vector<GroupBySpec> group_by;
+  std::vector<OutputItem> outputs;
+  /// Post-aggregation filter (references kAggRef slots and group
+  /// dimensions); null when absent.
+  ExprPtr having;
+  /// ORDER BY keys as (output column index, descending) pairs.
+  std::vector<std::pair<int, bool>> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+  /// True when a constant WHERE conjunct evaluated to false.
+  bool always_empty = false;
+
+  bool has_join() const { return relations.size() > 1; }
+};
+
+/// Structural equality of two bound expressions.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// Collects the distinct relation indices referenced by a bound expression
+/// (ascending order).
+std::vector<int> CollectRelations(const Expr& e);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SQL_LOGICAL_QUERY_H_

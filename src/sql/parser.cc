@@ -1,0 +1,489 @@
+#include "sql/parser.h"
+
+#include <array>
+
+#include "sql/lexer.h"
+#include "util/date.h"
+
+namespace levelheaded {
+
+namespace {
+
+/// Reserved words that terminate expression/identifier positions.
+bool IsReserved(const std::string& upper) {
+  static const std::array<const char*, 22> kReserved = {
+      "SELECT", "FROM", "WHERE",   "GROUP", "BY",   "AS",      "AND",
+      "OR",     "NOT",  "CASE",    "WHEN",  "THEN", "ELSE",    "END",
+      "LIKE",   "BETWEEN", "ORDER", "ASC",  "DESC", "HAVING",  "LIMIT",
+      "IN"};
+  for (const char* k : kReserved) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    LH_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    // Select list.
+    while (true) {
+      SelectItem item;
+      LH_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        LH_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+      } else if (PeekIsPlainIdentifier()) {
+        LH_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+      }
+      stmt.items.push_back(std::move(item));
+      if (!Accept(TokenType::kComma)) break;
+    }
+    LH_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    while (true) {
+      TableRef ref;
+      LH_ASSIGN_OR_RETURN(ref.table, ParseIdentifier());
+      if (AcceptKeyword("AS")) {
+        LH_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+      } else if (PeekIsPlainIdentifier()) {
+        LH_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt.from.push_back(std::move(ref));
+      if (!Accept(TokenType::kComma)) break;
+    }
+    if (AcceptKeyword("WHERE")) {
+      LH_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      LH_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        LH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (!Accept(TokenType::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("HAVING")) {
+      LH_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      LH_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        LH_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!Accept(TokenType::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Fail("LIMIT expects an integer");
+      }
+      stmt.limit = Advance().int_value;
+      if (stmt.limit < 0) return Fail("LIMIT must be non-negative");
+    }
+    Accept(TokenType::kSemicolon);
+    if (Peek().type != TokenType::kEof) {
+      return Fail("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && t.text == kw;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Accept(type)) {
+      return Status::ParseError(std::string("expected ") + what + " near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+
+  Status Fail(const std::string& msg) const {
+    return Status::ParseError(msg + " near '" + Peek().text + "' at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  bool PeekIsPlainIdentifier() const {
+    const Token& t = Peek();
+    return t.type == TokenType::kIdentifier && !IsReserved(t.text);
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (!PeekIsPlainIdentifier()) {
+      return Status::ParseError("expected identifier near '" + Peek().text +
+                                "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    // Preserve original spelling lowercased: LevelHeaded matches schema
+    // names case-insensitively by lowercasing everything.
+    std::string name = Advance().original;
+    for (char& c : name) c = std::tolower(static_cast<unsigned char>(c));
+    return name;
+  }
+
+  // expr := or_expr
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    LH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    LH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (PeekKeyword("AND")) {
+      ++pos_;
+      LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      LH_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>(Expr::Kind::kNot);
+      e->children.push_back(std::move(inner));
+      return ExprPtr(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    LH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    const TokenType t = Peek().type;
+    BinOp op;
+    bool is_cmp = true;
+    switch (t) {
+      case TokenType::kEq:
+        op = BinOp::kEq;
+        break;
+      case TokenType::kNe:
+        op = BinOp::kNe;
+        break;
+      case TokenType::kLt:
+        op = BinOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = BinOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = BinOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = BinOp::kGe;
+        break;
+      default:
+        is_cmp = false;
+        op = BinOp::kEq;
+        break;
+    }
+    if (is_cmp) {
+      ++pos_;
+      LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return ExprPtr(MakeBinary(op, std::move(lhs), std::move(rhs)));
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (PeekKeyword("LIKE", 1) || PeekKeyword("BETWEEN", 1) ||
+         PeekKeyword("IN", 1))) {
+      ++pos_;
+      negated = true;
+    }
+    // x IN (a, b, ...) desugars to (x = a OR x = b OR ...).
+    if (AcceptKeyword("IN")) {
+      LH_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+      ExprPtr disjunction;
+      while (true) {
+        LH_ASSIGN_OR_RETURN(ExprPtr element, ParseAdditive());
+        ExprPtr eq = MakeBinary(BinOp::kEq, lhs->Clone(), std::move(element));
+        disjunction = disjunction == nullptr
+                          ? std::move(eq)
+                          : MakeBinary(BinOp::kOr, std::move(disjunction),
+                                       std::move(eq));
+        if (!Accept(TokenType::kComma)) break;
+      }
+      LH_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      if (negated) {
+        auto n = std::make_unique<Expr>(Expr::Kind::kNot);
+        n->children.push_back(std::move(disjunction));
+        return ExprPtr(std::move(n));
+      }
+      return disjunction;
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kStringLiteral) {
+        return Fail("LIKE expects a string pattern");
+      }
+      auto e = std::make_unique<Expr>(Expr::Kind::kLike);
+      e->str_value = Advance().text;
+      e->children.push_back(std::move(lhs));
+      ExprPtr out(std::move(e));
+      if (negated) {
+        auto n = std::make_unique<Expr>(Expr::Kind::kNot);
+        n->children.push_back(std::move(out));
+        out = std::move(n);
+      }
+      return out;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      LH_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      LH_RETURN_NOT_OK(ExpectKeyword("AND"));
+      LH_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      auto e = std::make_unique<Expr>(Expr::Kind::kBetween);
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
+      ExprPtr out(std::move(e));
+      if (negated) {
+        auto n = std::make_unique<Expr>(Expr::Kind::kNot);
+        n->children.push_back(std::move(out));
+        out = std::move(n);
+      }
+      return out;
+    }
+    if (negated) return Fail("expected LIKE or BETWEEN after NOT");
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    LH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (Accept(TokenType::kPlus)) {
+        LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenType::kMinus)) {
+        LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    LH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (Accept(TokenType::kStar)) {
+        LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenType::kSlash)) {
+        LH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokenType::kMinus)) {
+      LH_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>(Expr::Kind::kUnaryMinus);
+      e->children.push_back(std::move(inner));
+      return ExprPtr(std::move(e));
+    }
+    Accept(TokenType::kPlus);
+    return ParsePrimary();
+  }
+
+  bool PeekIsAggFunc(AggFunc* func) const {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier ||
+        Peek(1).type != TokenType::kLParen) {
+      return false;
+    }
+    if (t.text == "SUM") {
+      *func = AggFunc::kSum;
+    } else if (t.text == "COUNT") {
+      *func = AggFunc::kCount;
+    } else if (t.text == "AVG") {
+      *func = AggFunc::kAvg;
+    } else if (t.text == "MIN") {
+      *func = AggFunc::kMin;
+    } else if (t.text == "MAX") {
+      *func = AggFunc::kMax;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral: {
+        ++pos_;
+        return ExprPtr(MakeIntLiteral(t.int_value));
+      }
+      case TokenType::kRealLiteral: {
+        ++pos_;
+        return ExprPtr(MakeRealLiteral(t.real_value));
+      }
+      case TokenType::kStringLiteral: {
+        ++pos_;
+        return ExprPtr(MakeStringLiteral(t.text));
+      }
+      case TokenType::kLParen: {
+        ++pos_;
+        LH_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        LH_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+        return inner;
+      }
+      case TokenType::kIdentifier:
+        break;
+      default:
+        return Fail("expected expression");
+    }
+
+    // DATE 'yyyy-mm-dd'
+    if (PeekKeyword("DATE") && Peek(1).type == TokenType::kStringLiteral) {
+      ++pos_;
+      const Token& lit = Advance();
+      LH_ASSIGN_OR_RETURN(int32_t days, ParseDate(lit.text));
+      auto e = std::make_unique<Expr>(Expr::Kind::kDateLiteral);
+      e->int_value = days;
+      return ExprPtr(std::move(e));
+    }
+    // INTERVAL '<n>' DAY|MONTH|YEAR
+    if (PeekKeyword("INTERVAL") && Peek(1).type == TokenType::kStringLiteral) {
+      ++pos_;
+      const Token& lit = Advance();
+      char* end = nullptr;
+      long long n = std::strtoll(lit.text.c_str(), &end, 10);
+      if (end == lit.text.c_str() || *end != '\0') {
+        return Fail("bad interval literal '" + lit.text + "'");
+      }
+      int64_t days = n;
+      if (AcceptKeyword("DAY")) {
+        days = n;
+      } else if (AcceptKeyword("MONTH")) {
+        days = n * 30;  // calendar-agnostic approximation, TPC-H uses DAY
+      } else if (AcceptKeyword("YEAR")) {
+        days = n * 365;
+      } else {
+        return Fail("expected DAY/MONTH/YEAR after interval");
+      }
+      auto e = std::make_unique<Expr>(Expr::Kind::kIntervalLiteral);
+      e->int_value = days;
+      return ExprPtr(std::move(e));
+    }
+    // EXTRACT(YEAR FROM expr)
+    if (PeekKeyword("EXTRACT") && Peek(1).type == TokenType::kLParen) {
+      pos_ += 2;
+      LH_RETURN_NOT_OK(ExpectKeyword("YEAR"));
+      LH_RETURN_NOT_OK(ExpectKeyword("FROM"));
+      LH_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      LH_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      auto e = std::make_unique<Expr>(Expr::Kind::kExtractYear);
+      e->children.push_back(std::move(arg));
+      return ExprPtr(std::move(e));
+    }
+    // CASE WHEN ... THEN ... [ELSE ...] END
+    if (PeekKeyword("CASE")) {
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kCase);
+      if (!PeekKeyword("WHEN")) return Fail("CASE requires WHEN");
+      while (AcceptKeyword("WHEN")) {
+        LH_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        LH_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        LH_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        e->children.push_back(std::move(cond));
+        e->children.push_back(std::move(then));
+      }
+      if (AcceptKeyword("ELSE")) {
+        LH_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+        e->children.push_back(std::move(els));
+        e->case_has_else = true;
+      }
+      LH_RETURN_NOT_OK(ExpectKeyword("END"));
+      return ExprPtr(std::move(e));
+    }
+    // Aggregate functions.
+    AggFunc func;
+    if (PeekIsAggFunc(&func)) {
+      pos_ += 2;  // name + '('
+      auto e = std::make_unique<Expr>(Expr::Kind::kAggregate);
+      e->agg_func = func;
+      AcceptKeyword("DISTINCT");  // accepted, treated as plain (documented)
+      if (Accept(TokenType::kStar)) {
+        if (func != AggFunc::kCount) return Fail("only COUNT(*) allows *");
+      } else {
+        LH_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        e->children.push_back(std::move(arg));
+      }
+      LH_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      return ExprPtr(std::move(e));
+    }
+    // Column reference: ident or ident.ident
+    if (IsReserved(t.text)) return Fail("unexpected keyword");
+    LH_ASSIGN_OR_RETURN(std::string first, ParseIdentifier());
+    if (Accept(TokenType::kDot)) {
+      LH_ASSIGN_OR_RETURN(std::string second, ParseIdentifier());
+      return ExprPtr(MakeColumnRef(std::move(first), std::move(second)));
+    }
+    return ExprPtr(MakeColumnRef("", std::move(first)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  LH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace levelheaded

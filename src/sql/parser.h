@@ -1,0 +1,23 @@
+// Recursive-descent parser for the LevelHeaded SQL subset (§III-A):
+// SELECT <exprs> FROM <tables> [WHERE <predicate>] [GROUP BY <exprs>]
+// with aggregates (SUM/COUNT/AVG/MIN/MAX), arithmetic, CASE WHEN,
+// EXTRACT(YEAR FROM ...), LIKE, BETWEEN, date and interval literals, table
+// aliases (self-joins), and AND/OR/NOT predicates. ORDER BY is accepted and
+// ignored (the paper benchmarks TPC-H without it).
+
+#ifndef LEVELHEADED_SQL_PARSER_H_
+#define LEVELHEADED_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Parses one SELECT statement.
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SQL_PARSER_H_

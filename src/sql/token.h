@@ -1,0 +1,48 @@
+// Token model for the LevelHeaded SQL subset (§III-A).
+
+#ifndef LEVELHEADED_SQL_TOKEN_H_
+#define LEVELHEADED_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace levelheaded {
+
+enum class TokenType : uint8_t {
+  kEof,
+  kIdentifier,  // possibly a keyword; the parser matches keywords by text
+  kIntLiteral,
+  kRealLiteral,
+  kStringLiteral,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,  // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  /// Raw text (uppercased for identifiers so keyword matching is
+  /// case-insensitive; original case preserved in `original`).
+  std::string text;
+  std::string original;
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t position = 0;  // byte offset in the query, for diagnostics
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_SQL_TOKEN_H_

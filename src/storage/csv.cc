@@ -1,0 +1,168 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "util/date.h"
+
+namespace levelheaded {
+
+namespace {
+
+Status ParseField(std::string_view field, const ColumnSpec& spec,
+                  size_t line_no, Value* out) {
+  switch (spec.type) {
+    case ValueType::kInt32:
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      std::string buf(field);
+      long long v = std::strtoll(buf.c_str(), &end, 10);
+      if (errno != 0 || end == buf.c_str() || *end != '\0') {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad integer '" + buf + "' for column " +
+                                  spec.name);
+      }
+      *out = Value::Int(v);
+      return Status::OK();
+    }
+    case ValueType::kFloat:
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      std::string buf(field);
+      double v = std::strtod(buf.c_str(), &end);
+      if (errno != 0 || end == buf.c_str() || *end != '\0') {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad number '" + buf + "' for column " +
+                                  spec.name);
+      }
+      *out = Value::Real(v);
+      return Status::OK();
+    }
+    case ValueType::kDate: {
+      LH_ASSIGN_OR_RETURN(int32_t days, ParseDate(field));
+      *out = Value::Int(days);
+      return Status::OK();
+    }
+    case ValueType::kString:
+      *out = Value::Str(std::string(field));
+      return Status::OK();
+  }
+  return Status::Internal("unhandled column type");
+}
+
+Status LoadCsvStream(std::istream& in, const CsvOptions& options,
+                     Table* table) {
+  const TableSchema& schema = table->schema();
+  std::string line;
+  size_t line_no = 0;
+  std::vector<Value> row(schema.num_columns());
+  bool skipped_header = !options.has_header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::string_view rest(line);
+    if (options.allow_trailing_delimiter && !rest.empty() &&
+        rest.back() == options.delimiter) {
+      rest.remove_suffix(1);
+    }
+    size_t col = 0;
+    while (true) {
+      size_t pos = rest.find(options.delimiter);
+      std::string_view field =
+          pos == std::string_view::npos ? rest : rest.substr(0, pos);
+      if (col >= schema.num_columns()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": too many fields for table " +
+                                  schema.name());
+      }
+      LH_RETURN_NOT_OK(ParseField(field, schema.column(col), line_no,
+                                  &row[col]));
+      ++col;
+      if (pos == std::string_view::npos) break;
+      rest.remove_prefix(pos + 1);
+    }
+    if (col != schema.num_columns()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                std::to_string(col) + " fields, expected " +
+                                std::to_string(schema.num_columns()));
+    }
+    LH_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadCsvFile(const std::string& path, const CsvOptions& options,
+                   Table* table) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadCsvStream(in, options, table);
+}
+
+Status LoadCsvString(const std::string& data, const CsvOptions& options,
+                     Table* table) {
+  std::istringstream in(data);
+  return LoadCsvStream(in, options, table);
+}
+
+Status SaveCsvFile(const Table& table, const std::string& path,
+                   const CsvOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const TableSchema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      out << schema.column(c).name;
+    }
+    out << '\n';
+  }
+  char buf[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const ColumnSpec& spec = schema.column(c);
+      const ColumnData& col = table.column(static_cast<int>(c));
+      switch (spec.type) {
+        case ValueType::kInt32:
+        case ValueType::kInt64:
+          out << col.ints[r];
+          break;
+        case ValueType::kDate:
+          out << FormatDate(static_cast<int32_t>(col.ints[r]));
+          break;
+        case ValueType::kFloat:
+        case ValueType::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.17g", col.reals[r]);
+          out << buf;
+          break;
+        case ValueType::kString:
+          if (!col.raw_strings.empty()) {
+            out << col.raw_strings[r];
+          } else {
+            out << col.dict->DecodeString(col.codes[r]);
+          }
+          break;
+      }
+    }
+    if (options.allow_trailing_delimiter) out << options.delimiter;
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace levelheaded

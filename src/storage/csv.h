@@ -1,0 +1,38 @@
+// Delimited-file ingestion (§III: "LevelHeaded ingests structured data from
+// delimited files on disk").
+
+#ifndef LEVELHEADED_STORAGE_CSV_H_
+#define LEVELHEADED_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+struct CsvOptions {
+  char delimiter = '|';
+  bool has_header = false;
+  /// Accept (and ignore) a trailing delimiter at end of line, as produced
+  /// by TPC-H dbgen.
+  bool allow_trailing_delimiter = true;
+};
+
+/// Appends the rows of a delimited file to `table`, parsing each field with
+/// the column's schema type. DATE columns expect YYYY-MM-DD.
+Status LoadCsvFile(const std::string& path, const CsvOptions& options,
+                   Table* table);
+
+/// Same, from an in-memory buffer (tests, examples).
+Status LoadCsvString(const std::string& data, const CsvOptions& options,
+                     Table* table);
+
+/// Writes `table` as a delimited file (DATE columns as YYYY-MM-DD). The
+/// output round-trips through LoadCsvFile with the same options.
+Status SaveCsvFile(const Table& table, const std::string& path,
+                   const CsvOptions& options);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_CSV_H_

@@ -1,0 +1,104 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+
+void Dictionary::AddInt(int64_t v) {
+  LH_DCHECK(!finalized_);
+  LH_DCHECK(IsIntegerType(type_));
+  ints_.push_back(v);
+}
+
+void Dictionary::AddString(std::string_view v) {
+  LH_DCHECK(!finalized_);
+  LH_DCHECK(type_ == ValueType::kString);
+  strings_.emplace_back(v);
+}
+
+void Dictionary::Finalize() {
+  LH_CHECK(!finalized_);
+  if (IsIntegerType(type_)) {
+    std::sort(ints_.begin(), ints_.end());
+    ints_.erase(std::unique(ints_.begin(), ints_.end()), ints_.end());
+  } else {
+    std::sort(strings_.begin(), strings_.end());
+    strings_.erase(std::unique(strings_.begin(), strings_.end()),
+                   strings_.end());
+  }
+  finalized_ = true;
+}
+
+uint32_t Dictionary::EncodeInt(int64_t v) const {
+  int64_t code = TryEncodeInt(v);
+  LH_DCHECK(code >= 0) << "value not in dictionary: " << v;
+  return static_cast<uint32_t>(code);
+}
+
+uint32_t Dictionary::EncodeString(std::string_view v) const {
+  int64_t code = TryEncodeString(v);
+  LH_DCHECK(code >= 0) << "value not in dictionary: " << std::string(v);
+  return static_cast<uint32_t>(code);
+}
+
+int64_t Dictionary::TryEncodeInt(int64_t v) const {
+  LH_DCHECK(finalized_);
+  auto it = std::lower_bound(ints_.begin(), ints_.end(), v);
+  if (it == ints_.end() || *it != v) return -1;
+  return it - ints_.begin();
+}
+
+int64_t Dictionary::TryEncodeString(std::string_view v) const {
+  LH_DCHECK(finalized_);
+  auto it = std::lower_bound(strings_.begin(), strings_.end(), v);
+  if (it == strings_.end() || *it != v) return -1;
+  return it - strings_.begin();
+}
+
+uint32_t Dictionary::LowerBoundInt(int64_t v) const {
+  LH_DCHECK(finalized_);
+  return static_cast<uint32_t>(
+      std::lower_bound(ints_.begin(), ints_.end(), v) - ints_.begin());
+}
+
+uint32_t Dictionary::LowerBoundString(std::string_view v) const {
+  LH_DCHECK(finalized_);
+  return static_cast<uint32_t>(
+      std::lower_bound(strings_.begin(), strings_.end(), v) -
+      strings_.begin());
+}
+
+int64_t Dictionary::DecodeInt(uint32_t code) const {
+  LH_DCHECK(finalized_);
+  LH_DCHECK(code < ints_.size());
+  return ints_[code];
+}
+
+const std::string& Dictionary::DecodeString(uint32_t code) const {
+  LH_DCHECK(finalized_);
+  LH_DCHECK(code < strings_.size());
+  return strings_[code];
+}
+
+Dictionary Dictionary::FromSortedInts(std::vector<int64_t> values) {
+  Dictionary d(ValueType::kInt64);
+  d.ints_ = std::move(values);
+  d.finalized_ = true;
+  return d;
+}
+
+Dictionary Dictionary::FromSortedStrings(std::vector<std::string> values) {
+  Dictionary d(ValueType::kString);
+  d.strings_ = std::move(values);
+  d.finalized_ = true;
+  return d;
+}
+
+Value Dictionary::Decode(uint32_t code) const {
+  if (IsIntegerType(type_)) return Value::Int(DecodeInt(code));
+  return Value::Str(DecodeString(code));
+}
+
+}  // namespace levelheaded

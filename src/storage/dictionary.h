@@ -1,0 +1,83 @@
+// Order-preserving dictionary encoding (§III-B).
+//
+// Every key attribute (and every string annotation) is encoded to dense
+// unsigned 32-bit codes such that code order equals value order. Key
+// attributes that join with each other share one dictionary — the *domain*
+// — so that set intersection over codes implements the equi-join.
+
+#ifndef LEVELHEADED_STORAGE_DICTIONARY_H_
+#define LEVELHEADED_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// An order-preserving value <-> u32 code mapping.
+///
+/// Lifecycle: AddInt/AddString any number of values (duplicates fine), then
+/// Finalize() once, after which Encode*/Decode* are valid. Thread-safe for
+/// concurrent reads after Finalize().
+class Dictionary {
+ public:
+  explicit Dictionary(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  bool finalized() const { return finalized_; }
+
+  /// Number of distinct values (valid after Finalize()).
+  uint32_t size() const {
+    return static_cast<uint32_t>(IsIntegerType(type_) ? ints_.size()
+                                                      : strings_.size());
+  }
+
+  void AddInt(int64_t v);
+  void AddString(std::string_view v);
+
+  /// Sorts and deduplicates the collected values; codes are ranks.
+  void Finalize();
+
+  /// Code for a value known to be present (checked in debug builds).
+  uint32_t EncodeInt(int64_t v) const;
+  uint32_t EncodeString(std::string_view v) const;
+
+  /// Code for a value, or -1 when absent (e.g. a filter literal that no
+  /// row carries).
+  int64_t TryEncodeInt(int64_t v) const;
+  int64_t TryEncodeString(std::string_view v) const;
+
+  /// First code whose value is >= v (for translating range predicates on
+  /// dictionary-encoded columns into code-space ranges).
+  uint32_t LowerBoundInt(int64_t v) const;
+  uint32_t LowerBoundString(std::string_view v) const;
+
+  int64_t DecodeInt(uint32_t code) const;
+  const std::string& DecodeString(uint32_t code) const;
+
+  /// Decoded value as a dynamic Value (output materialization).
+  Value Decode(uint32_t code) const;
+
+  /// Sorted backing values (snapshot serialization).
+  const std::vector<int64_t>& int_values() const { return ints_; }
+  const std::vector<std::string>& string_values() const { return strings_; }
+
+  /// Builds a finalized dictionary from already-sorted unique values
+  /// (snapshot deserialization).
+  static Dictionary FromSortedInts(std::vector<int64_t> values);
+  static Dictionary FromSortedStrings(std::vector<std::string> values);
+
+ private:
+  ValueType type_;
+  bool finalized_ = false;
+  std::vector<int64_t> ints_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_DICTIONARY_H_

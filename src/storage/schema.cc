@@ -1,0 +1,44 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+namespace levelheaded {
+
+TableSchema::TableSchema(std::string table_name,
+                         std::vector<ColumnSpec> columns)
+    : name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+int TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("table name is empty");
+  std::unordered_set<std::string> names;
+  for (const ColumnSpec& c : columns_) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column name is empty in table " +
+                                     name_);
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column " + c.name +
+                                     " in table " + name_);
+    }
+    if (c.kind == AttrKind::kKey) {
+      if (IsRealType(c.type)) {
+        return Status::InvalidArgument(
+            "key column " + c.name + " must not be float/double");
+      }
+      if (c.domain.empty()) {
+        return Status::InvalidArgument("key column " + c.name +
+                                       " has empty domain");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,74 @@
+// Table schemas for the LevelHeaded data model (§III-A): every attribute is
+// either a *key* (joinable, dictionary-encoded into a shared domain, stored
+// in the trie) or an *annotation* (aggregatable, stored in a flat columnar
+// buffer). Both support filters and GROUP BY; only keys may join; keys may
+// not be aggregated.
+
+#ifndef LEVELHEADED_STORAGE_SCHEMA_H_
+#define LEVELHEADED_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+enum class AttrKind : uint8_t { kKey, kAnnotation };
+
+/// One attribute of a table schema.
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  AttrKind kind = AttrKind::kAnnotation;
+  /// Domain (shared dictionary) name for key attributes; attributes with
+  /// equal domain names are join-compatible. Defaults to the column name.
+  std::string domain;
+
+  static ColumnSpec Key(std::string name, ValueType type,
+                        std::string domain = "") {
+    ColumnSpec spec;
+    spec.name = std::move(name);
+    spec.type = type;
+    spec.kind = AttrKind::kKey;
+    spec.domain = domain.empty() ? spec.name : std::move(domain);
+    return spec;
+  }
+
+  static ColumnSpec Annotation(std::string name, ValueType type) {
+    ColumnSpec spec;
+    spec.name = std::move(name);
+    spec.type = type;
+    spec.kind = AttrKind::kAnnotation;
+    return spec;
+  }
+};
+
+/// An ordered list of column specs with name lookup.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<ColumnSpec> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Validates name uniqueness and key typing (keys must be integer- or
+  /// string-typed; float keys are rejected).
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_SCHEMA_H_

@@ -1,0 +1,29 @@
+// Binary catalog snapshots: persist a finalized catalog (schemas, column
+// data, shared domain dictionaries) to a single file and load it back
+// without re-ingesting or re-encoding. Benchmarks and the lhsql shell use
+// this to skip data generation on repeat runs.
+//
+// Format (little-endian, version tag "LHSNAP01"): domain dictionaries
+// first, then tables; every vector is a u64 count followed by raw elements;
+// strings are u32-length-prefixed.
+
+#ifndef LEVELHEADED_STORAGE_SNAPSHOT_H_
+#define LEVELHEADED_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Writes `catalog` (which must be finalized) to `path`.
+Status SaveCatalog(const Catalog& catalog, const std::string& path);
+
+/// Loads a snapshot; the returned catalog is finalized and ready to query.
+Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& path);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,167 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace levelheaded {
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " +
+        schema_.name());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnSpec& spec = schema_.column(i);
+    ColumnData& col = columns_[i];
+    const Value& v = row[i];
+    if (IsIntegerType(spec.type)) {
+      if (v.kind() != Value::Kind::kInt) {
+        return Status::InvalidArgument("column " + spec.name +
+                                       " expects an integer value");
+      }
+      col.ints.push_back(v.AsInt());
+    } else if (IsRealType(spec.type)) {
+      if (v.kind() != Value::Kind::kInt && v.kind() != Value::Kind::kReal) {
+        return Status::InvalidArgument("column " + spec.name +
+                                       " expects a numeric value");
+      }
+      col.reals.push_back(v.AsReal());
+    } else {
+      if (v.kind() != Value::Kind::kString) {
+        return Status::InvalidArgument("column " + spec.name +
+                                       " expects a string value");
+      }
+      col.raw_strings.push_back(v.AsStr());
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Value Table::GetValue(size_t row, int col) const {
+  const ColumnSpec& spec = schema_.column(col);
+  const ColumnData& c = columns_[col];
+  if (IsIntegerType(spec.type)) return Value::Int(c.ints[row]);
+  if (IsRealType(spec.type)) return Value::Real(c.reals[row]);
+  if (!c.raw_strings.empty()) return Value::Str(c.raw_strings[row]);
+  LH_DCHECK(c.dict != nullptr);
+  return Value::Str(c.dict->DecodeString(c.codes[row]));
+}
+
+Result<Table*> Catalog::CreateTable(TableSchema schema) {
+  if (finalized_) {
+    return Status::InvalidArgument("catalog is finalized; cannot add table " +
+                                   schema.name());
+  }
+  LH_RETURN_NOT_OK(schema.Validate());
+  if (GetTable(schema.name()) != nullptr) {
+    return Status::AlreadyExists("table " + schema.name());
+  }
+  table_names_.push_back(schema.name());
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  return tables_.back().get();
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    if (table_names_[i] == name) return tables_[i].get();
+  }
+  return nullptr;
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    if (table_names_[i] == name) return tables_[i].get();
+  }
+  return nullptr;
+}
+
+const Dictionary* Catalog::GetDomain(const std::string& name) const {
+  for (size_t i = 0; i < domain_names_.size(); ++i) {
+    if (domain_names_[i] == name) return domains_[i].get();
+  }
+  return nullptr;
+}
+
+Dictionary* Catalog::FindOrCreateDomain(const std::string& name,
+                                        ValueType type) {
+  for (size_t i = 0; i < domain_names_.size(); ++i) {
+    if (domain_names_[i] == name) return domains_[i].get();
+  }
+  // Integer-backed key types share an int64 dictionary representation.
+  ValueType dict_type =
+      type == ValueType::kString ? ValueType::kString : ValueType::kInt64;
+  domain_names_.push_back(name);
+  domains_.push_back(std::make_unique<Dictionary>(dict_type));
+  return domains_.back().get();
+}
+
+std::vector<std::string> Catalog::TableNames() const { return table_names_; }
+
+Status Catalog::Finalize() {
+  if (finalized_) return Status::InvalidArgument("catalog already finalized");
+
+  // Phase 1: collect key values into their domains.
+  for (auto& table : tables_) {
+    const TableSchema& schema = table->schema();
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      const ColumnSpec& spec = schema.column(c);
+      if (spec.kind != AttrKind::kKey) continue;
+      Dictionary* dom = FindOrCreateDomain(spec.domain, spec.type);
+      if (dom->type() == ValueType::kString &&
+          spec.type != ValueType::kString) {
+        return Status::InvalidArgument("domain " + spec.domain +
+                                       " mixes string and integer keys");
+      }
+      ColumnData& col = table->mutable_column(static_cast<int>(c));
+      if (spec.type == ValueType::kString) {
+        for (const std::string& s : col.raw_strings) dom->AddString(s);
+      } else {
+        for (int64_t v : col.ints) dom->AddInt(v);
+      }
+    }
+  }
+  for (auto& d : domains_) d->Finalize();
+
+  // Phase 2: encode key columns; dictionary-encode string annotations.
+  for (auto& table : tables_) {
+    const TableSchema& schema = table->schema();
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      const ColumnSpec& spec = schema.column(c);
+      ColumnData& col = table->mutable_column(static_cast<int>(c));
+      if (spec.kind == AttrKind::kKey) {
+        const Dictionary* dom = GetDomain(spec.domain);
+        col.dict = dom;
+        col.codes.resize(table->num_rows());
+        if (spec.type == ValueType::kString) {
+          for (size_t r = 0; r < table->num_rows(); ++r) {
+            col.codes[r] = dom->EncodeString(col.raw_strings[r]);
+          }
+          col.raw_strings.clear();
+          col.raw_strings.shrink_to_fit();
+        } else {
+          for (size_t r = 0; r < table->num_rows(); ++r) {
+            col.codes[r] = dom->EncodeInt(col.ints[r]);
+          }
+        }
+      } else if (spec.type == ValueType::kString) {
+        auto dict = std::make_unique<Dictionary>(ValueType::kString);
+        for (const std::string& s : col.raw_strings) dict->AddString(s);
+        dict->Finalize();
+        col.codes.resize(table->num_rows());
+        for (size_t r = 0; r < table->num_rows(); ++r) {
+          col.codes[r] = dict->EncodeString(col.raw_strings[r]);
+        }
+        col.raw_strings.clear();
+        col.raw_strings.shrink_to_fit();
+        col.dict = dict.get();
+        table->owned_dicts_.push_back(std::move(dict));
+      }
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+}  // namespace levelheaded

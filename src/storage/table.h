@@ -1,0 +1,126 @@
+// In-memory tables: raw columnar storage at load time, dictionary-encoded
+// key/string columns after Catalog::Finalize(). Tries (the only physical
+// index, §III-B) are built per query over these columns.
+
+#ifndef LEVELHEADED_STORAGE_TABLE_H_
+#define LEVELHEADED_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+class Catalog;
+Status SaveCatalog(const Catalog& catalog, const std::string& path);
+Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& path);
+
+/// Storage for one column. Which vectors are populated depends on the
+/// column type and on whether the owning catalog has been finalized:
+///   integer-typed (int32/int64/date): `ints` always; `codes` after
+///     finalize for key columns.
+///   real-typed (float/double): `reals` always.
+///   string-typed: `raw_strings` before finalize; `codes` + `dict` after.
+struct ColumnData {
+  std::vector<int64_t> ints;
+  std::vector<double> reals;
+  std::vector<std::string> raw_strings;
+  std::vector<uint32_t> codes;
+  const Dictionary* dict = nullptr;
+};
+
+/// A LevelHeaded table. Append rows, then Catalog::Finalize() encodes keys
+/// into their shared domains; afterwards the table is immutable.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {
+    columns_.resize(schema_.num_columns());
+  }
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends one row; values must match the schema arity and types
+  /// (integers for int/date columns, reals or ints for float/double,
+  /// strings for string columns).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Direct column access.
+  const ColumnData& column(int i) const { return columns_[i]; }
+  ColumnData& mutable_column(int i) { return columns_[i]; }
+
+  /// Decoded cell value (reference executor, result printing).
+  Value GetValue(size_t row, int col) const;
+
+  /// Dictionary-encoded key/string code at a cell (valid after finalize).
+  uint32_t CodeAt(size_t row, int col) const {
+    LH_DCHECK(!columns_[col].codes.empty());
+    return columns_[col].codes[row];
+  }
+
+ private:
+  friend class Catalog;
+  friend Status SaveCatalog(const Catalog&, const std::string&);
+  friend Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string&);
+
+  TableSchema schema_;
+  size_t num_rows_ = 0;
+  std::vector<ColumnData> columns_;
+  /// Dictionaries owned by this table (string annotation columns).
+  std::vector<std::unique_ptr<Dictionary>> owned_dicts_;
+};
+
+/// The collection of tables and shared key domains.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails on duplicate names or invalid schemas.
+  Result<Table*> CreateTable(TableSchema schema);
+
+  /// Lookup; nullptr when absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// The shared dictionary of a key domain; nullptr before finalize or for
+  /// unknown domains.
+  const Dictionary* GetDomain(const std::string& name) const;
+
+  bool finalized() const { return finalized_; }
+
+  /// Builds all domain dictionaries from every key column, encodes key
+  /// columns, and dictionary-encodes string annotation columns. Must be
+  /// called exactly once, after all data is loaded.
+  Status Finalize();
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  friend Status SaveCatalog(const Catalog&, const std::string&);
+  friend Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string&);
+
+  bool finalized_ = false;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::string> table_names_;
+  std::vector<std::unique_ptr<Dictionary>> domains_;
+  std::vector<std::string> domain_names_;
+
+  Dictionary* FindOrCreateDomain(const std::string& name, ValueType type);
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_TABLE_H_

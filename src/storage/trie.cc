@@ -1,0 +1,349 @@
+#include "storage/trie.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+
+SetView TrieLevel::set(uint32_t set_idx) const {
+  LH_DCHECK(set_idx < sets_.size());
+  const SetDesc& d = sets_[set_idx];
+  SetView v;
+  v.layout = d.layout;
+  v.cardinality = d.cardinality;
+  if (d.layout == SetLayout::kUint) {
+    v.values = uint_values_.data() + d.values_offset;
+  } else {
+    v.words = words_.data() + d.words_offset;
+    v.word_ranks = word_ranks_.data() + d.words_offset;
+    v.word_base = d.word_base;
+    v.num_words = d.num_words;
+  }
+  return v;
+}
+
+uint32_t TrieLevel::AncestorOfLeaf(uint32_t leaf) const {
+  LH_DCHECK(leaf < leaf_end_);
+  auto it = std::upper_bound(first_leaf_.begin(), first_leaf_.end(), leaf);
+  LH_DCHECK(it != first_leaf_.begin());
+  return static_cast<uint32_t>(it - first_leaf_.begin()) - 1;
+}
+
+int Trie::FindAnnotation(const std::string& name) const {
+  for (size_t i = 0; i < annotations_.size(); ++i) {
+    if (annotations_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Trie::IsCompletelyDense() const {
+  for (const TrieLevel& l : levels_) {
+    if (!l.all_full()) return false;
+  }
+  return true;
+}
+
+size_t Trie::MemoryBytes() const {
+  size_t total = 0;
+  for (const TrieLevel& l : levels_) {
+    total += l.sets_.size() * sizeof(TrieLevel::SetDesc);
+    total += l.uint_values_.size() * sizeof(uint32_t);
+    total += l.words_.size() * sizeof(uint64_t);
+    total += l.word_ranks_.size() * sizeof(uint32_t);
+  }
+  for (const AnnotationBuffer& a : annotations_) {
+    total += a.reals.size() * sizeof(double) +
+             a.ints.size() * sizeof(int64_t) +
+             a.codes.size() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+// Appends one set (ascending `vals`) to `level`, choosing its layout.
+void Trie::EmitSet(const std::vector<uint32_t>& vals, uint32_t base_rank,
+             TrieLevel::SetDesc* desc, TrieLevel* level,
+             std::vector<uint64_t>* scratch_words,
+             std::vector<uint32_t>* scratch_ranks) {
+  const uint32_t card = static_cast<uint32_t>(vals.size());
+  desc->cardinality = card;
+  desc->base_rank = base_rank;
+  if (card == 0) {
+    desc->layout = SetLayout::kUint;
+    desc->values_offset = static_cast<uint32_t>(level->uint_values_.size());
+    desc->words_offset = 0;
+    desc->num_words = 0;
+    desc->word_base = 0;
+    return;
+  }
+  desc->layout = ChooseLayout(card, vals.front(), vals.back());
+  if (desc->layout == SetLayout::kUint) {
+    desc->values_offset = static_cast<uint32_t>(level->uint_values_.size());
+    level->uint_values_.insert(level->uint_values_.end(), vals.begin(),
+                               vals.end());
+  } else {
+    set_internal::BuildBitset(vals.data(), card, scratch_words, scratch_ranks,
+                              &desc->word_base, &desc->num_words);
+    desc->words_offset = static_cast<uint32_t>(level->words_.size());
+    level->words_.insert(level->words_.end(), scratch_words->begin(),
+                         scratch_words->begin() + desc->num_words);
+    level->word_ranks_.insert(level->word_ranks_.end(),
+                              scratch_ranks->begin(),
+                              scratch_ranks->begin() + desc->num_words);
+  }
+}
+
+Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
+  const size_t num_levels = spec.key_codes.size();
+  if (num_levels == 0) {
+    return Status::InvalidArgument("trie needs at least one key level");
+  }
+  const size_t table_rows = spec.key_codes[0]->size();
+  for (const auto* codes : spec.key_codes) {
+    if (codes == nullptr || codes->size() != table_rows) {
+      return Status::InvalidArgument(
+          "key code columns are missing or have mismatched lengths");
+    }
+  }
+  for (const TrieAnnotationSpec& a : spec.annotations) {
+    const size_t sources = (a.ints != nullptr) + (a.reals != nullptr) +
+                           (a.codes != nullptr);
+    if (sources != 1) {
+      return Status::InvalidArgument("annotation " + a.name +
+                                     " must have exactly one source column");
+    }
+    if (a.merge != AnnotationMerge::kFirst &&
+        (a.codes != nullptr || a.type == ValueType::kString)) {
+      return Status::InvalidArgument("annotation " + a.name +
+                                     " cannot aggregate string values");
+    }
+  }
+
+  // Row set (selection pushdown), sorted lexicographically by key codes.
+  std::vector<uint32_t> rows;
+  if (spec.selection != nullptr) {
+    rows = *spec.selection;
+  } else {
+    rows.resize(table_rows);
+    std::iota(rows.begin(), rows.end(), 0u);
+  }
+  const size_t n = rows.size();
+
+  std::vector<const uint32_t*> kc(num_levels);
+  for (size_t l = 0; l < num_levels; ++l) kc[l] = spec.key_codes[l]->data();
+
+  std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t l = 0; l < num_levels; ++l) {
+      if (kc[l][a] != kc[l][b]) return kc[l][a] < kc[l][b];
+    }
+    return false;
+  });
+
+  // dlev[i]: first key level on which sorted row i differs from row i-1
+  // (num_levels when the full key tuple repeats). dlev[0] = 0.
+  std::vector<uint32_t> dlev(n);
+  for (size_t i = 1; i < n; ++i) {
+    uint32_t d = static_cast<uint32_t>(num_levels);
+    for (size_t l = 0; l < num_levels; ++l) {
+      if (kc[l][rows[i]] != kc[l][rows[i - 1]]) {
+        d = static_cast<uint32_t>(l);
+        break;
+      }
+    }
+    dlev[i] = d;
+  }
+
+  Trie trie;
+  trie.levels_.resize(num_levels);
+
+  // Per-level element start positions (into `rows`), kept transiently for
+  // annotation construction.
+  std::vector<std::vector<uint32_t>> elem_starts(num_levels);
+
+  std::vector<uint64_t> scratch_words;
+  std::vector<uint32_t> scratch_ranks;
+  std::vector<uint32_t> current_vals;
+
+  for (size_t l = 0; l < num_levels; ++l) {
+    TrieLevel& level = trie.levels_[l];
+    current_vals.clear();
+    uint32_t base_rank = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool new_set = (i == 0) || (l > 0 && dlev[i] < l);
+      const bool new_elem = (i == 0) || (dlev[i] <= l);
+      if (new_set && i != 0) {
+        TrieLevel::SetDesc desc;
+        EmitSet(current_vals, base_rank, &desc, &level, &scratch_words,
+                &scratch_ranks);
+        base_rank += desc.cardinality;
+        level.sets_.push_back(desc);
+        current_vals.clear();
+      }
+      if (new_elem) {
+        current_vals.push_back(kc[l][rows[i]]);
+        elem_starts[l].push_back(static_cast<uint32_t>(i));
+      }
+    }
+    // Final set; level 0 always has exactly one set (possibly empty).
+    TrieLevel::SetDesc desc;
+    EmitSet(current_vals, base_rank, &desc, &level, &scratch_words,
+            &scratch_ranks);
+    level.sets_.push_back(desc);
+    level.num_elements_ = elem_starts[l].size();
+
+    if (l < spec.domain_sizes.size() && spec.domain_sizes[l] > 0) {
+      bool full = true;
+      for (const TrieLevel::SetDesc& s : level.sets_) {
+        if (s.cardinality != spec.domain_sizes[l]) {
+          full = false;
+          break;
+        }
+      }
+      level.all_full_ = full && !level.sets_.empty() && n > 0;
+    }
+  }
+
+  // Leaf element ranges: [leaf_starts[j], leaf_starts[j+1]) over `rows`.
+  const std::vector<uint32_t>& leaf_starts = elem_starts[num_levels - 1];
+  const size_t num_leaves = leaf_starts.size();
+
+  // Per-level first-leaf index (subtree leaf ranges). Every element start
+  // row is also a leaf start row, so a two-pointer walk suffices.
+  for (size_t l = 0; l < num_levels; ++l) {
+    TrieLevel& level = trie.levels_[l];
+    level.first_leaf_.resize(elem_starts[l].size());
+    size_t leaf = 0;
+    for (size_t j = 0; j < elem_starts[l].size(); ++j) {
+      while (leaf < num_leaves && leaf_starts[leaf] < elem_starts[l][j]) {
+        ++leaf;
+      }
+      level.first_leaf_[j] = static_cast<uint32_t>(leaf);
+    }
+    level.leaf_end_ = static_cast<uint32_t>(num_leaves);
+  }
+
+  auto elem_range_end = [&](const std::vector<uint32_t>& starts, size_t j) {
+    return j + 1 < starts.size() ? starts[j + 1]
+                                 : static_cast<uint32_t>(n);
+  };
+
+  for (const TrieAnnotationSpec& a : spec.annotations) {
+    AnnotationBuffer buf;
+    buf.name = a.name;
+    buf.dict = a.dict;
+
+    auto source_double = [&](uint32_t row) -> double {
+      if (a.reals != nullptr) return (*a.reals)[row];
+      if (a.ints != nullptr) return static_cast<double>((*a.ints)[row]);
+      return static_cast<double>((*a.codes)[row]);
+    };
+
+    if (a.merge != AnnotationMerge::kFirst) {
+      buf.type = ValueType::kDouble;
+      buf.level = static_cast<int>(num_levels) - 1;
+      buf.reals.resize(num_leaves);
+      for (size_t j = 0; j < num_leaves; ++j) {
+        const uint32_t end = elem_range_end(leaf_starts, j);
+        double acc = a.merge == AnnotationMerge::kSum
+                         ? 0.0
+                         : source_double(rows[leaf_starts[j]]);
+        for (uint32_t i = leaf_starts[j]; i < end; ++i) {
+          const double v = source_double(rows[i]);
+          switch (a.merge) {
+            case AnnotationMerge::kSum:
+              acc += v;
+              break;
+            case AnnotationMerge::kMin:
+              acc = std::min(acc, v);
+              break;
+            case AnnotationMerge::kMax:
+              acc = std::max(acc, v);
+              break;
+            case AnnotationMerge::kFirst:
+              break;
+          }
+        }
+        buf.reals[j] = acc;
+      }
+    } else {
+      // kFirst: attach at the shallowest level where the value is constant
+      // within every element's row range.
+      buf.type = a.type;
+      int attach = static_cast<int>(num_levels) - 1;
+      auto value_at = [&](uint32_t row) -> uint64_t {
+        if (a.ints != nullptr) {
+          return static_cast<uint64_t>((*a.ints)[row]);
+        }
+        if (a.codes != nullptr) return (*a.codes)[row];
+        // Bit-compare doubles for constancy detection.
+        double d = (*a.reals)[row];
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return bits;
+      };
+      auto constant_at_level = [&](int l) {
+        const std::vector<uint32_t>& starts = elem_starts[l];
+        for (size_t j = 0; j < starts.size(); ++j) {
+          const uint32_t end = elem_range_end(starts, j);
+          const uint64_t first = value_at(rows[starts[j]]);
+          for (uint32_t i = starts[j] + 1; i < end; ++i) {
+            if (value_at(rows[i]) != first) return false;
+          }
+        }
+        return true;
+      };
+      bool found = false;
+      for (int l = 0; l < static_cast<int>(num_levels) - 1; ++l) {
+        if (constant_at_level(l)) {
+          attach = l;
+          found = true;
+          break;
+        }
+      }
+      if (!found && spec.verify_first_unique &&
+          !constant_at_level(static_cast<int>(num_levels) - 1)) {
+        return Status::ExecutionError(
+            "annotation " + a.name +
+            " is not functionally determined by the queried key attributes");
+      }
+      buf.level = attach;
+      const std::vector<uint32_t>& starts = elem_starts[attach];
+      const size_t count = starts.size();
+      if (a.ints != nullptr) {
+        buf.ints.resize(count);
+        for (size_t j = 0; j < count; ++j) {
+          buf.ints[j] = (*a.ints)[rows[starts[j]]];
+        }
+      } else if (a.codes != nullptr) {
+        buf.codes.resize(count);
+        for (size_t j = 0; j < count; ++j) {
+          buf.codes[j] = (*a.codes)[rows[starts[j]]];
+        }
+      } else {
+        buf.reals.resize(count);
+        for (size_t j = 0; j < count; ++j) {
+          buf.reals[j] = (*a.reals)[rows[starts[j]]];
+        }
+      }
+    }
+    trie.annotations_.push_back(std::move(buf));
+  }
+
+  if (spec.add_count_annotation) {
+    AnnotationBuffer buf;
+    buf.name = "#count";
+    buf.type = ValueType::kInt64;
+    buf.level = static_cast<int>(num_levels) - 1;
+    buf.ints.resize(num_leaves);
+    for (size_t j = 0; j < num_leaves; ++j) {
+      buf.ints[j] = elem_range_end(leaf_starts, j) - leaf_starts[j];
+    }
+    trie.annotations_.push_back(std::move(buf));
+  }
+
+  return trie;
+}
+
+}  // namespace levelheaded

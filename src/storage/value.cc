@@ -1,0 +1,58 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace levelheaded {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32:
+      return "int";
+    case ValueType::kInt64:
+      return "long";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kReal: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", real_);
+      return buf;
+    }
+    case Kind::kString:
+      return str_;
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kInt:
+      return a.int_ == b.int_;
+    case Value::Kind::kReal:
+      return a.real_ == b.real_;
+    case Value::Kind::kString:
+      return a.str_ == b.str_;
+  }
+  return false;
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,95 @@
+// Scalar value types of the LevelHeaded data model (§III-A): int, long,
+// float, double, string, plus DATE (stored as days since epoch).
+
+#ifndef LEVELHEADED_STORAGE_VALUE_H_
+#define LEVELHEADED_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+
+/// Column data types.
+enum class ValueType : uint8_t {
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+  kString,
+  kDate,  // int32 days since 1970-01-01
+};
+
+/// True for the integer-backed types (int32/int64/date).
+inline bool IsIntegerType(ValueType t) {
+  return t == ValueType::kInt32 || t == ValueType::kInt64 ||
+         t == ValueType::kDate;
+}
+
+/// True for float/double.
+inline bool IsRealType(ValueType t) {
+  return t == ValueType::kFloat || t == ValueType::kDouble;
+}
+
+/// Display name, e.g. "double".
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically-typed scalar used for literals, row construction, and
+/// query output. Not used on hot execution paths.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kInt, kReal, kString };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Real(double v) {
+    Value out;
+    out.kind_ = Kind::kReal;
+    out.real_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  int64_t AsInt() const {
+    LH_DCHECK(kind_ == Kind::kInt);
+    return int_;
+  }
+  double AsReal() const {
+    LH_DCHECK(kind_ == Kind::kInt || kind_ == Kind::kReal);
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : real_;
+  }
+  const std::string& AsStr() const {
+    LH_DCHECK(kind_ == Kind::kString);
+    return str_;
+  }
+
+  /// Rendering for result tables and diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  double real_ = 0;
+  std::string str_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_VALUE_H_

@@ -1,0 +1,41 @@
+// Bit-manipulation helpers shared by the bitset set layout and the trie.
+
+#ifndef LEVELHEADED_UTIL_BITS_H_
+#define LEVELHEADED_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace levelheaded::bits {
+
+inline constexpr uint32_t kWordBits = 64;
+
+/// Number of 64-bit words needed to hold `n` bits.
+inline constexpr uint32_t WordsForBits(uint32_t n) {
+  return (n + kWordBits - 1) / kWordBits;
+}
+
+/// Population count of a word.
+inline int PopCount(uint64_t w) { return std::popcount(w); }
+
+/// Index of the lowest set bit. `w` must be non-zero.
+inline int CountTrailingZeros(uint64_t w) { return std::countr_zero(w); }
+
+/// Mask with bits [0, k) set; k in [0, 64].
+inline uint64_t LowMask(uint32_t k) {
+  return k >= kWordBits ? ~0ULL : ((1ULL << k) - 1);
+}
+
+/// Tests bit `i` of the word array `words`.
+inline bool TestBit(const uint64_t* words, uint32_t i) {
+  return (words[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+/// Sets bit `i` of the word array `words`.
+inline void SetBit(uint64_t* words, uint32_t i) {
+  words[i / kWordBits] |= 1ULL << (i % kWordBits);
+}
+
+}  // namespace levelheaded::bits
+
+#endif  // LEVELHEADED_UTIL_BITS_H_

@@ -1,0 +1,71 @@
+#include "util/date.h"
+
+#include <cstdio>
+
+namespace levelheaded {
+
+int32_t DaysFromCivil(const CivilDate& d) {
+  int32_t y = d.year;
+  const int32_t m = d.month;
+  const int32_t dd = d.day;
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);           // [0,399]
+  const uint32_t doy =
+      (153 * static_cast<uint32_t>(m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0,146096]
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(int32_t days) {
+  int32_t z = days + 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);        // [0,146096]
+  const uint32_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0,399]
+  const int32_t y = static_cast<int32_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0,365]
+  const uint32_t mp = (5 * doy + 2) / 153;                             // [0,11]
+  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;                     // [1,31]
+  const uint32_t m = mp + (mp < 10 ? 3 : static_cast<uint32_t>(-9));   // [1,12]
+  return CivilDate{y + (m <= 2), static_cast<int32_t>(m),
+                   static_cast<int32_t>(d)};
+}
+
+int32_t YearOfDays(int32_t days) { return CivilFromDays(days).year; }
+
+Result<int32_t> ParseDate(std::string_view text) {
+  int year = 0, month = 0, day = 0;
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return Status::ParseError("malformed date literal: '" +
+                              std::string(text) + "'");
+  }
+  auto digits = [&](size_t pos, size_t len, int* out) {
+    int v = 0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      char c = text[i];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    *out = v;
+    return true;
+  };
+  if (!digits(0, 4, &year) || !digits(5, 2, &month) || !digits(8, 2, &day)) {
+    return Status::ParseError("malformed date literal: '" +
+                              std::string(text) + "'");
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::ParseError("date out of range: '" + std::string(text) +
+                              "'");
+  }
+  return DaysFromCivil(CivilDate{year, month, day});
+}
+
+std::string FormatDate(int32_t days) {
+  CivilDate d = CivilFromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,40 @@
+// Calendar-date handling. LevelHeaded stores DATE values as int32 days
+// since 1970-01-01, which makes range predicates plain integer comparisons
+// and keeps date annotations BLAS-buffer friendly.
+
+#ifndef LEVELHEADED_UTIL_DATE_H_
+#define LEVELHEADED_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// A proleptic-Gregorian calendar date.
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;  // 1-12
+  int32_t day = 1;    // 1-31
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+int32_t DaysFromCivil(const CivilDate& d);
+
+/// Civil date for a days-since-epoch value.
+CivilDate CivilFromDays(int32_t days);
+
+/// Extracts the calendar year of a days-since-epoch value.
+int32_t YearOfDays(int32_t days);
+
+/// Parses "YYYY-MM-DD" into days since epoch.
+Result<int32_t> ParseDate(std::string_view text);
+
+/// Formats days since epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_DATE_H_

@@ -1,0 +1,64 @@
+// Lightweight check macros and logging for LevelHeaded internals.
+
+#ifndef LEVELHEADED_UTIL_LOGGING_H_
+#define LEVELHEADED_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace levelheaded::internal {
+
+/// Accumulates a fatal diagnostic; aborts in the destructor. Used only via
+/// the LH_CHECK family of macros below.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts a streamed expression to void so the ternary in LH_CHECK
+/// type-checks. `&` binds looser than `<<`.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace levelheaded::internal
+
+/// Aborts with a diagnostic when `cond` is false; extra context may be
+/// streamed: `LH_CHECK(n > 0) << "n=" << n;`. Enabled in all builds: these
+/// guard internal invariants whose violation would corrupt query results.
+#define LH_CHECK(cond)                                               \
+  (cond) ? (void)0                                                   \
+         : ::levelheaded::internal::Voidify() &                      \
+               ::levelheaded::internal::FatalLogMessage(             \
+                   __FILE__, __LINE__, #cond)                        \
+                   .stream()
+
+#define LH_CHECK_EQ(a, b) LH_CHECK((a) == (b))
+#define LH_CHECK_NE(a, b) LH_CHECK((a) != (b))
+#define LH_CHECK_LT(a, b) LH_CHECK((a) < (b))
+#define LH_CHECK_LE(a, b) LH_CHECK((a) <= (b))
+#define LH_CHECK_GT(a, b) LH_CHECK((a) > (b))
+#define LH_CHECK_GE(a, b) LH_CHECK((a) >= (b))
+
+/// Debug-only checks for hot paths.
+#ifndef NDEBUG
+#define LH_DCHECK(cond) LH_CHECK(cond)
+#else
+#define LH_DCHECK(cond) LH_CHECK(true || (cond))
+#endif
+
+#endif  // LEVELHEADED_UTIL_LOGGING_H_

@@ -1,0 +1,50 @@
+#include "util/status.h"
+
+namespace levelheaded {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kPlanError:
+      return "PlanError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::CheckOK() const {
+  if (!ok()) {
+    std::fprintf(stderr, "Status::CheckOK failed: %s\n", ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace levelheaded

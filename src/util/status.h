@@ -1,0 +1,167 @@
+// Status / Result error-handling primitives for LevelHeaded.
+//
+// The library does not throw exceptions across API boundaries; fallible
+// operations return a `Status`, and fallible value-producing operations
+// return a `Result<T>` (a Status-or-value union), following the idiom used
+// by Arrow and RocksDB.
+
+#ifndef LEVELHEADED_UTIL_STATUS_H_
+#define LEVELHEADED_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace levelheaded {
+
+/// Error taxonomy for the engine. `kOk` means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kParseError,
+  kBindError,
+  kPlanError,
+  kExecutionError,
+  kIoError,
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome with an optional message.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a message only on error. Callers must either check `ok()` or propagate
+/// with the `LH_RETURN_NOT_OK` macro.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if this status is not OK.
+  void CheckOK() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type `T` or an error `Status`.
+///
+/// Access the value only after checking `ok()`; `ValueOrDie()` aborts on
+/// error states (used in tests and examples, not library internals).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: enables `return t;` in Result-returning functions.
+  Result(T value) : payload_(std::move(value)) {}
+  /// Implicit from error status: enables `return Status::...;`.
+  Result(Status status) : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  T& value() { return std::get<T>(payload_); }
+  const T& value() const { return std::get<T>(payload_); }
+
+  /// Returns the value, aborting the process if this result is an error.
+  T& ValueOrDie() {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return value();
+  }
+
+  /// Moves the value out of the result.
+  T TakeValue() { return std::move(std::get<T>(payload_)); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace levelheaded
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define LH_RETURN_NOT_OK(expr)            \
+  do {                                    \
+    ::levelheaded::Status _st = (expr);   \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+#define LH_CONCAT_IMPL(a, b) a##b
+#define LH_CONCAT(a, b) LH_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// on success assigns the value to `lhs` (which may include a declaration).
+#define LH_ASSIGN_OR_RETURN(lhs, expr)                            \
+  LH_ASSIGN_OR_RETURN_IMPL(LH_CONCAT(_lh_result_, __LINE__), lhs, expr)
+
+#define LH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = tmp.TakeValue();
+
+#endif  // LEVELHEADED_UTIL_STATUS_H_

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace levelheaded {
+namespace {
+// Nested ParallelChunks calls (e.g. a parallel BLAS kernel invoked from a
+// parallel WCOJ loop) run inline on the calling thread rather than
+// re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    ParallelJob* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] {
+        return shutdown_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = current_job_;
+      job->active_workers.fetch_add(1, std::memory_order_relaxed);
+    }
+    RunJobSlice(job, slot);
+    if (job->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunJobSlice(ParallelJob* job, int slot) {
+  const int64_t grain = job->grain;
+  t_in_parallel_region = true;
+  while (true) {
+    int64_t start = job->next.fetch_add(grain, std::memory_order_relaxed);
+    if (start >= job->end) break;
+    int64_t stop = std::min(start + grain, job->end);
+    (*job->fn)(slot, start, stop);
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::ParallelChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int, int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  LH_CHECK_GT(grain, 0);
+  const int64_t total = end - begin;
+  // Small jobs run inline (dispatch overhead would dominate); so do nested
+  // parallel regions, which would otherwise deadlock on the single job slot.
+  if (total <= grain || workers_.empty() || t_in_parallel_region) {
+    fn(num_threads(), begin, end);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  ParallelJob job;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.grain = grain;
+  job.fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LH_CHECK(current_job_ == nullptr);
+    current_job_ = &job;
+    ++job_epoch_;
+  }
+  wake_cv_.notify_all();
+
+  // The calling thread participates with slot id == num_threads().
+  RunJobSlice(&job, num_threads());
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.active_workers.load(std::memory_order_acquire) == 0;
+    });
+    current_job_ = nullptr;
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int, int64_t)>& fn) {
+  ParallelChunks(begin, end, grain,
+                 [&fn](int slot, int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) fn(slot, i);
+                 });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,77 @@
+// Shared-memory parallelism substrate. LevelHeaded parallelizes the
+// outermost loop of the generic WCOJ algorithm (the paper's `parfor`
+// operator, §III-D) and the MiniBLAS kernels through this pool.
+
+#ifndef LEVELHEADED_UTIL_THREAD_POOL_H_
+#define LEVELHEADED_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace levelheaded {
+
+/// A fixed-size worker pool with a blocking ParallelFor.
+///
+/// Thread-safe for concurrent Submit calls; ParallelFor is typically driven
+/// from one coordinating thread at a time.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (defaults to the hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(thread_slot, index)` for every index in [begin, end).
+  /// Indices are distributed dynamically in chunks of `grain`.
+  /// `thread_slot` is in [0, num_threads()+1) and is stable within one
+  /// chunk, letting callers keep per-slot scratch state. The calling thread
+  /// participates (slot num_threads()). Blocks until all indices are done.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int, int64_t)>& fn);
+
+  /// Chunked variant: runs `fn(thread_slot, chunk_begin, chunk_end)` over
+  /// dynamically scheduled chunks.
+  void ParallelChunks(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<void(int, int64_t, int64_t)>& fn);
+
+  /// Process-wide default pool (created on first use).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop(int slot);
+
+  struct ParallelJob {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+    int64_t grain = 1;
+    const std::function<void(int, int64_t, int64_t)>* fn = nullptr;
+    std::atomic<int> active_workers{0};
+  };
+
+  void RunJobSlice(ParallelJob* job, int slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serializes concurrent ParallelChunks callers
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  ParallelJob* current_job_ = nullptr;  // guarded by mu_
+  uint64_t job_epoch_ = 0;              // guarded by mu_
+  bool shutdown_ = false;               // guarded by mu_
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_THREAD_POOL_H_

@@ -1,0 +1,53 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// engine's phase instrumentation.
+
+#ifndef LEVELHEADED_UTIL_TIMER_H_
+#define LEVELHEADED_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace levelheaded {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` `repetitions` times and returns the average wall time in
+/// milliseconds, discarding the min and max runs when there are at least
+/// three repetitions (the paper's measurement protocol, §VI-A).
+template <typename Fn>
+double TimeAverageMillis(int repetitions, Fn&& fn) {
+  double sum = 0, lo = 1e300, hi = -1e300;
+  for (int i = 0; i < repetitions; ++i) {
+    WallTimer t;
+    fn();
+    double ms = t.ElapsedMillis();
+    sum += ms;
+    if (ms < lo) lo = ms;
+    if (ms > hi) hi = ms;
+  }
+  if (repetitions >= 3) return (sum - lo - hi) / (repetitions - 2);
+  return sum / repetitions;
+}
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_TIMER_H_

@@ -1,0 +1,114 @@
+#include "workload/matrix_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+
+SyntheticMatrix MakeBandedMatrix(const std::string& name, int64_t n,
+                                 int band, int extra_per_row,
+                                 uint64_t seed) {
+  LH_CHECK_GT(n, 0);
+  SyntheticMatrix m;
+  m.name = name;
+  m.coo.num_rows = m.coo.num_cols = n;
+  Rng rng(seed);
+  std::vector<uint32_t> cols;
+  for (int64_t r = 0; r < n; ++r) {
+    cols.clear();
+    const int64_t lo = std::max<int64_t>(0, r - band);
+    const int64_t hi = std::min<int64_t>(n - 1, r + band);
+    for (int64_t c = lo; c <= hi; ++c) {
+      cols.push_back(static_cast<uint32_t>(c));
+    }
+    // Off-band cluster: a short run at a random position (models the
+    // coupled-block structure of CFD/KKT matrices).
+    if (extra_per_row > 0) {
+      int64_t start = static_cast<int64_t>(rng.Uniform(n));
+      for (int e = 0; e < extra_per_row; ++e) {
+        int64_t c = (start + e) % n;
+        if (c < lo || c > hi) cols.push_back(static_cast<uint32_t>(c));
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    for (uint32_t c : cols) {
+      m.coo.rows.push_back(static_cast<uint32_t>(r));
+      m.coo.cols.push_back(c);
+      m.coo.values.push_back(rng.UniformDouble(0.1, 1.0));
+    }
+  }
+  return m;
+}
+
+SyntheticMatrix HarborLike(double scale, uint64_t seed) {
+  const int64_t n = std::max<int64_t>(64, static_cast<int64_t>(46835 * scale));
+  return MakeBandedMatrix("harbor", n, 22, 6, seed);
+}
+
+SyntheticMatrix Hv15rLike(double scale, uint64_t seed) {
+  const int64_t n =
+      std::max<int64_t>(64, static_cast<int64_t>(120000 * scale));
+  return MakeBandedMatrix("hv15r", n, 20, 5, seed);
+}
+
+SyntheticMatrix Nlp240Like(double scale, uint64_t seed) {
+  const int64_t n =
+      std::max<int64_t>(64, static_cast<int64_t>(300000 * scale));
+  return MakeBandedMatrix("nlp240", n, 5, 3, seed);
+}
+
+Status AddMatrixTable(Catalog* catalog, const std::string& table_name,
+                      const std::string& domain, const SyntheticMatrix& m) {
+  LH_ASSIGN_OR_RETURN(
+      Table * t,
+      catalog->CreateTable(TableSchema(
+          table_name, {ColumnSpec::Key("r", ValueType::kInt64, domain),
+                       ColumnSpec::Key("c", ValueType::kInt64, domain),
+                       ColumnSpec::Annotation("v", ValueType::kDouble)})));
+  for (size_t i = 0; i < m.coo.nnz(); ++i) {
+    LH_RETURN_NOT_OK(t->AppendRow({Value::Int(m.coo.rows[i]),
+                                   Value::Int(m.coo.cols[i]),
+                                   Value::Real(m.coo.values[i])}));
+  }
+  return Status::OK();
+}
+
+Status AddDenseMatrixTable(Catalog* catalog, const std::string& table_name,
+                           const std::string& domain, int64_t n,
+                           uint64_t seed) {
+  LH_ASSIGN_OR_RETURN(
+      Table * t,
+      catalog->CreateTable(TableSchema(
+          table_name, {ColumnSpec::Key("r", ValueType::kInt64, domain),
+                       ColumnSpec::Key("c", ValueType::kInt64, domain),
+                       ColumnSpec::Annotation("v", ValueType::kDouble)})));
+  Rng rng(seed);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      LH_RETURN_NOT_OK(t->AppendRow(
+          {Value::Int(r), Value::Int(c), Value::Real(rng.UniformDouble())}));
+    }
+  }
+  return Status::OK();
+}
+
+Status AddVectorTable(Catalog* catalog, const std::string& table_name,
+                      const std::string& domain, int64_t n, uint64_t seed) {
+  LH_ASSIGN_OR_RETURN(
+      Table * t,
+      catalog->CreateTable(TableSchema(
+          table_name, {ColumnSpec::Key("i", ValueType::kInt64, domain),
+                       ColumnSpec::Annotation("val", ValueType::kDouble)})));
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    LH_RETURN_NOT_OK(
+        t->AppendRow({Value::Int(i), Value::Real(rng.UniformDouble())}));
+  }
+  return Status::OK();
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,415 @@
+#include "workload/tpch_gen.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+
+namespace {
+
+constexpr const char* kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA",
+                                         "EUROPE", "MIDDLE EAST"};
+
+// The 25 TPC-H nations with their region assignment.
+struct NationSpec {
+  const char* name;
+  int region;
+};
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},     {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},      {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},      {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},   {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},       {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},     {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},       {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},     {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "HOUSEHOLD", "MACHINERY"};
+
+constexpr const char* kColors[] = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chiffon",
+    "chocolate", "coral", "cornflower", "cream", "cyan", "dark", "deep",
+    "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+    "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow"};
+constexpr int kNumColors = sizeof(kColors) / sizeof(kColors[0]);
+
+constexpr const char* kTypeSyl1[6] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                                      "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                      "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                      "COPPER"};
+
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                       "TRUCK",   "MAIL", "FOB"};
+
+std::string RandomPhone(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(rng->UniformInt(10, 34)),
+                static_cast<int>(rng->UniformInt(100, 999)),
+                static_cast<int>(rng->UniformInt(100, 999)),
+                static_cast<int>(rng->UniformInt(1000, 9999)));
+  return buf;
+}
+
+std::string RandomText(Rng* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kColors[rng->Uniform(kNumColors)];
+  }
+  return out;
+}
+
+/// Supplier j (0..3) of part p, TPC-H style: deterministic spread so that
+/// lineitem (partkey, suppkey) pairs always exist in partsupp.
+int64_t PartSupplier(int64_t p, int j, int64_t num_suppliers) {
+  return (p + j * (num_suppliers / 4 + 1)) % num_suppliers;
+}
+
+}  // namespace
+
+Status TpchGenerator::Populate(Catalog* catalog) const {
+  Rng rng(seed_);
+  const int64_t S = num_suppliers();
+  const int64_t C = num_customers();
+  const int64_t P = num_parts();
+  const int64_t O = num_orders();
+
+  const int32_t kStartDate = DaysFromCivil({1992, 1, 1});
+  const int32_t kEndDate = DaysFromCivil({1998, 8, 2});
+
+  // region
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "region",
+            {ColumnSpec::Key("r_regionkey", ValueType::kInt64, "regionkey"),
+             ColumnSpec::Annotation("r_name", ValueType::kString),
+             ColumnSpec::Annotation("r_comment", ValueType::kString)})));
+    for (int r = 0; r < 5; ++r) {
+      LH_RETURN_NOT_OK(t->AppendRow({Value::Int(r), Value::Str(kRegionNames[r]),
+                                     Value::Str(RandomText(&rng, 4))}));
+    }
+  }
+  // nation
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "nation",
+            {ColumnSpec::Key("n_nationkey", ValueType::kInt64, "nationkey"),
+             ColumnSpec::Key("n_regionkey", ValueType::kInt64, "regionkey"),
+             ColumnSpec::Annotation("n_name", ValueType::kString),
+             ColumnSpec::Annotation("n_comment", ValueType::kString)})));
+    for (int n = 0; n < 25; ++n) {
+      LH_RETURN_NOT_OK(
+          t->AppendRow({Value::Int(n), Value::Int(kNations[n].region),
+                        Value::Str(kNations[n].name),
+                        Value::Str(RandomText(&rng, 4))}));
+    }
+  }
+  // supplier
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "supplier",
+            {ColumnSpec::Key("s_suppkey", ValueType::kInt64, "suppkey"),
+             ColumnSpec::Key("s_nationkey", ValueType::kInt64, "nationkey"),
+             ColumnSpec::Annotation("s_name", ValueType::kString),
+             ColumnSpec::Annotation("s_acctbal", ValueType::kDouble),
+             ColumnSpec::Annotation("s_phone", ValueType::kString)})));
+    for (int64_t s = 0; s < S; ++s) {
+      LH_RETURN_NOT_OK(t->AppendRow(
+          {Value::Int(s), Value::Int(rng.UniformInt(0, 24)),
+           Value::Str("Supplier#" + std::to_string(s)),
+           Value::Real(rng.UniformDouble(-999.99, 9999.99)),
+           Value::Str(RandomPhone(&rng))}));
+    }
+  }
+  // customer
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "customer",
+            {ColumnSpec::Key("c_custkey", ValueType::kInt64, "custkey"),
+             ColumnSpec::Key("c_nationkey", ValueType::kInt64, "nationkey"),
+             ColumnSpec::Annotation("c_name", ValueType::kString),
+             ColumnSpec::Annotation("c_address", ValueType::kString),
+             ColumnSpec::Annotation("c_phone", ValueType::kString),
+             ColumnSpec::Annotation("c_acctbal", ValueType::kDouble),
+             ColumnSpec::Annotation("c_mktsegment", ValueType::kString),
+             ColumnSpec::Annotation("c_comment", ValueType::kString)})));
+    for (int64_t c = 0; c < C; ++c) {
+      LH_RETURN_NOT_OK(t->AppendRow(
+          {Value::Int(c), Value::Int(rng.UniformInt(0, 24)),
+           Value::Str("Customer#" + std::to_string(c)),
+           Value::Str(RandomText(&rng, 2) + " st " +
+                      std::to_string(rng.UniformInt(1, 999))),
+           Value::Str(RandomPhone(&rng)),
+           Value::Real(rng.UniformDouble(-999.99, 9999.99)),
+           Value::Str(kSegments[rng.Uniform(5)]),
+           Value::Str(RandomText(&rng, 6))}));
+    }
+  }
+  // part
+  std::vector<double> part_price(P);
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "part",
+            {ColumnSpec::Key("p_partkey", ValueType::kInt64, "partkey"),
+             ColumnSpec::Annotation("p_name", ValueType::kString),
+             ColumnSpec::Annotation("p_type", ValueType::kString),
+             ColumnSpec::Annotation("p_size", ValueType::kInt32),
+             ColumnSpec::Annotation("p_retailprice", ValueType::kDouble)})));
+    for (int64_t p = 0; p < P; ++p) {
+      std::string name = RandomText(&rng, 5);
+      std::string type = std::string(kTypeSyl1[rng.Uniform(6)]) + " " +
+                         kTypeSyl2[rng.Uniform(5)] + " " +
+                         kTypeSyl3[rng.Uniform(5)];
+      part_price[p] = 900.0 + (p % 2000) / 10.0 + 100.0 * (p % 5);
+      LH_RETURN_NOT_OK(t->AppendRow(
+          {Value::Int(p), Value::Str(name), Value::Str(type),
+           Value::Int(rng.UniformInt(1, 50)), Value::Real(part_price[p])}));
+    }
+  }
+  // partsupp: 4 suppliers per part.
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "partsupp",
+            {ColumnSpec::Key("ps_partkey", ValueType::kInt64, "partkey"),
+             ColumnSpec::Key("ps_suppkey", ValueType::kInt64, "suppkey"),
+             ColumnSpec::Annotation("ps_availqty", ValueType::kInt32),
+             ColumnSpec::Annotation("ps_supplycost", ValueType::kDouble)})));
+    for (int64_t p = 0; p < P; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        LH_RETURN_NOT_OK(t->AppendRow(
+            {Value::Int(p), Value::Int(PartSupplier(p, j, S)),
+             Value::Int(rng.UniformInt(1, 9999)),
+             Value::Real(rng.UniformDouble(1.0, 1000.0))}));
+      }
+    }
+  }
+  // orders + lineitem
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * orders,
+        catalog->CreateTable(TableSchema(
+            "orders",
+            {ColumnSpec::Key("o_orderkey", ValueType::kInt64, "orderkey"),
+             ColumnSpec::Key("o_custkey", ValueType::kInt64, "custkey"),
+             ColumnSpec::Annotation("o_orderdate", ValueType::kDate),
+             ColumnSpec::Annotation("o_orderpriority", ValueType::kString),
+             ColumnSpec::Annotation("o_shippriority", ValueType::kInt32),
+             ColumnSpec::Annotation("o_totalprice", ValueType::kDouble)})));
+    LH_ASSIGN_OR_RETURN(
+        Table * lineitem,
+        catalog->CreateTable(TableSchema(
+            "lineitem",
+            {ColumnSpec::Key("l_orderkey", ValueType::kInt64, "orderkey"),
+             ColumnSpec::Key("l_partkey", ValueType::kInt64, "partkey"),
+             ColumnSpec::Key("l_suppkey", ValueType::kInt64, "suppkey"),
+             ColumnSpec::Key("l_linenumber", ValueType::kInt32, "linenumber"),
+             ColumnSpec::Annotation("l_quantity", ValueType::kDouble),
+             ColumnSpec::Annotation("l_extendedprice", ValueType::kDouble),
+             ColumnSpec::Annotation("l_discount", ValueType::kDouble),
+             ColumnSpec::Annotation("l_tax", ValueType::kDouble),
+             ColumnSpec::Annotation("l_returnflag", ValueType::kString),
+             ColumnSpec::Annotation("l_linestatus", ValueType::kString),
+             ColumnSpec::Annotation("l_shipdate", ValueType::kDate),
+             ColumnSpec::Annotation("l_commitdate", ValueType::kDate),
+             ColumnSpec::Annotation("l_receiptdate", ValueType::kDate),
+             ColumnSpec::Annotation("l_shipmode", ValueType::kString)})));
+
+    const int32_t kCutoff = DaysFromCivil({1995, 6, 17});
+    for (int64_t o = 0; o < O; ++o) {
+      const int32_t odate = static_cast<int32_t>(
+          rng.UniformInt(kStartDate, kEndDate - 151));
+      const int lines = static_cast<int>(rng.UniformInt(1, 7));
+      double total = 0;
+      // Distinct partkeys within an order keep (orderkey, partkey, suppkey)
+      // unique — the data model's 1-1 key/annotation mapping.
+      int64_t pbase = rng.UniformInt(0, P - 1);
+      for (int l = 0; l < lines; ++l) {
+        const int64_t p = (pbase + l * 17) % P;
+        const int64_t s =
+            PartSupplier(p, static_cast<int>(rng.Uniform(4)), S);
+        const double qty = static_cast<double>(rng.UniformInt(1, 50));
+        const double price = qty * part_price[p] / 10.0;
+        const double disc = rng.UniformInt(0, 10) / 100.0;
+        const double tax = rng.UniformInt(0, 8) / 100.0;
+        const int32_t ship =
+            odate + static_cast<int32_t>(rng.UniformInt(1, 121));
+        const int32_t commit =
+            odate + static_cast<int32_t>(rng.UniformInt(30, 90));
+        const int32_t receipt =
+            ship + static_cast<int32_t>(rng.UniformInt(1, 30));
+        const bool old = ship < kCutoff;
+        const char* flag = old ? (rng.Bernoulli(0.5) ? "R" : "A") : "N";
+        total += price * (1 - disc) * (1 + tax);
+        LH_RETURN_NOT_OK(lineitem->AppendRow(
+            {Value::Int(o), Value::Int(p), Value::Int(s), Value::Int(l + 1),
+             Value::Real(qty), Value::Real(price), Value::Real(disc),
+             Value::Real(tax), Value::Str(flag), Value::Str(old ? "F" : "O"),
+             Value::Int(ship), Value::Int(commit), Value::Int(receipt),
+             Value::Str(kShipModes[rng.Uniform(7)])}));
+      }
+      LH_RETURN_NOT_OK(orders->AppendRow(
+          {Value::Int(o), Value::Int(rng.UniformInt(0, C - 1)),
+           Value::Int(odate), Value::Str(kPriorities[rng.Uniform(5)]),
+           Value::Int(rng.UniformInt(0, 1)), Value::Real(total)}));
+    }
+  }
+  return Status::OK();
+}
+
+const char* TpchQuery(const char* name) {
+  const std::string q(name);
+  if (q == "q1") {
+    return R"(
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+GROUP BY l_returnflag, l_linestatus)";
+  }
+  if (q == "q3") {
+    return R"(
+SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey AND o_orderdate < date '1995-03-15'
+  AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority)";
+  }
+  if (q == "q5") {
+    return R"(
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01'
+  AND o_orderdate < date '1995-01-01'
+GROUP BY n_name)";
+  }
+  if (q == "q6") {
+    return R"(
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01' AND l_shipdate < date '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24)";
+  }
+  if (q == "q8") {
+    // Flattened from the TPC-H derived-table form; identical semantics.
+    return R"(
+SELECT extract(year from o_orderdate) AS o_year,
+       sum(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY o_year)";
+  }
+  if (q == "q9") {
+    // Flattened from the TPC-H derived-table form; identical semantics.
+    return R"(
+SELECT n_name AS nation, extract(year from o_orderdate) AS o_year,
+       sum(l_extendedprice * (1 - l_discount)
+           - ps_supplycost * l_quantity) AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY nation, o_year)";
+  }
+  if (q == "q10") {
+    return R"(
+SELECT c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= date '1993-10-01' AND o_orderdate < date '1994-01-01'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+         c_comment)";
+  }
+  if (q == "q12") {
+    // Extension beyond the paper's seven: supported by the engine's
+    // IN-list, CASE, and column-vs-column predicates.
+    return R"(
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT'
+                  OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END)
+         AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT'
+                 AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END)
+         AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01'
+  AND l_receiptdate < date '1995-01-01'
+GROUP BY l_shipmode)";
+  }
+  if (q == "q14") {
+    // Extension beyond the paper's seven.
+    return R"(
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '1995-09-01'
+  AND l_shipdate < date '1995-10-01')";
+  }
+  LH_CHECK(false) << "unknown TPC-H query " << name;
+  return "";
+}
+
+}  // namespace levelheaded

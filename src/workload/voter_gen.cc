@@ -1,0 +1,87 @@
+#include "workload/voter_gen.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace levelheaded {
+
+namespace {
+constexpr const char* kGenders[2] = {"F", "M"};
+constexpr const char* kEthnicities[5] = {"A", "B", "H", "W", "O"};
+constexpr const char* kStatuses[3] = {"ACTIVE", "INACTIVE", "REMOVED"};
+constexpr const char* kCounties[8] = {"WAKE",   "DURHAM", "ORANGE",
+                                      "GUILFORD", "MECKLENBURG", "FORSYTH",
+                                      "CUMBERLAND", "BUNCOMBE"};
+}  // namespace
+
+Status VoterGenerator::Populate(Catalog* catalog) const {
+  Rng rng(seed_);
+
+  // precincts(precinct_id; county, urban, avg_income)
+  std::vector<double> precinct_income(num_precincts_);
+  std::vector<int> precinct_urban(num_precincts_);
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "precincts",
+            {ColumnSpec::Key("p_precinct_id", ValueType::kInt64,
+                             "precinct_id"),
+             ColumnSpec::Annotation("p_county", ValueType::kString),
+             ColumnSpec::Annotation("p_urban", ValueType::kString),
+             ColumnSpec::Annotation("p_avg_income", ValueType::kDouble)})));
+    for (int64_t p = 0; p < num_precincts_; ++p) {
+      precinct_income[p] = rng.UniformDouble(25000, 140000);
+      precinct_urban[p] = rng.Bernoulli(0.4) ? 1 : 0;
+      LH_RETURN_NOT_OK(t->AppendRow(
+          {Value::Int(p), Value::Str(kCounties[rng.Uniform(8)]),
+           Value::Str(precinct_urban[p] ? "URBAN" : "RURAL"),
+           Value::Real(precinct_income[p])}));
+    }
+  }
+
+  // voters(voter_id, precinct_id; gender, age, ethnicity, status, label)
+  {
+    LH_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(TableSchema(
+            "voters",
+            {ColumnSpec::Key("v_voter_id", ValueType::kInt64, "voter_id"),
+             ColumnSpec::Key("v_precinct_id", ValueType::kInt64,
+                             "precinct_id"),
+             ColumnSpec::Annotation("v_gender", ValueType::kString),
+             ColumnSpec::Annotation("v_age", ValueType::kInt32),
+             ColumnSpec::Annotation("v_ethnicity", ValueType::kString),
+             ColumnSpec::Annotation("v_status", ValueType::kString),
+             ColumnSpec::Annotation("v_label", ValueType::kInt32)})));
+    for (int64_t v = 0; v < num_voters_; ++v) {
+      const int64_t precinct = rng.UniformInt(0, num_precincts_ - 1);
+      const int age = static_cast<int>(rng.UniformInt(18, 95));
+      const int gender = static_cast<int>(rng.Uniform(2));
+      const int eth = static_cast<int>(rng.Uniform(5));
+      // Ground-truth logistic model: age, urbanity, income, gender.
+      const double z = -1.0 + 0.02 * (age - 50) +
+                       0.9 * precinct_urban[precinct] +
+                       0.3 * (gender == 0) - 0.2 * eth +
+                       (precinct_income[precinct] - 80000) / 120000.0;
+      const double prob = 1.0 / (1.0 + std::exp(-z));
+      const int label = rng.Bernoulli(prob) ? 1 : 0;
+      LH_RETURN_NOT_OK(t->AppendRow(
+          {Value::Int(v), Value::Int(precinct), Value::Str(kGenders[gender]),
+           Value::Int(age), Value::Str(kEthnicities[eth]),
+           Value::Str(kStatuses[rng.Uniform(3)]), Value::Int(label)}));
+    }
+  }
+  return Status::OK();
+}
+
+const char* VoterGenerator::FeatureQuery() {
+  return R"(
+SELECT v_voter_id, v_gender, v_age, v_ethnicity, p_urban, p_avg_income,
+       v_label
+FROM voters, precincts
+WHERE v_precinct_id = p_precinct_id AND v_status = 'ACTIVE')";
+}
+
+}  // namespace levelheaded

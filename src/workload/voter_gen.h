@@ -1,0 +1,40 @@
+// Synthetic voter-classification dataset (§VII). Substitutes for the North
+// Carolina voter data used by the paper's application benchmark: a voters
+// table (demographics + a party-affiliation label) and a precincts table
+// (2751 precincts, as in the original), joined on precinct_id. Labels are
+// drawn from a ground-truth logistic model over the features plus noise, so
+// a trained classifier has signal to find.
+
+#ifndef LEVELHEADED_WORKLOAD_VOTER_GEN_H_
+#define LEVELHEADED_WORKLOAD_VOTER_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+class VoterGenerator {
+ public:
+  VoterGenerator(int64_t num_voters, int64_t num_precincts = 2751,
+                 uint64_t seed = 45)
+      : num_voters_(num_voters), num_precincts_(num_precincts), seed_(seed) {}
+
+  /// Creates `voters` and `precincts`. Caller finalizes the catalog.
+  Status Populate(Catalog* catalog) const;
+
+  /// The application's feature-extraction SQL (§VII phase 1): join voters
+  /// with their precincts, filter to active registrations, and project the
+  /// model features plus the label.
+  static const char* FeatureQuery();
+
+ private:
+  int64_t num_voters_;
+  int64_t num_precincts_;
+  uint64_t seed_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_WORKLOAD_VOTER_GEN_H_

@@ -1,0 +1,170 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baseline/pairwise_engine.h"
+#include "core/engine.h"
+#include "reference_executor.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+namespace {
+
+using ::levelheaded::testing::ExpectResultsMatch;
+using ::levelheaded::testing::ReferenceExecute;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(99);
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "edge",
+                         {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                          ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                          ColumnSpec::Annotation("w", ValueType::kDouble)}))
+                     .ValueOrDie();
+      std::set<std::pair<int, int>> seen;
+      while (seen.size() < 80) {
+        int a = static_cast<int>(rng.Uniform(20));
+        int b = static_cast<int>(rng.Uniform(20));
+        if (a == b || !seen.insert({a, b}).second) continue;
+        ASSERT_TRUE(t->AppendRow({Value::Int(a), Value::Int(b),
+                                  Value::Real(rng.UniformDouble(0, 2))})
+                        .ok());
+      }
+    }
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "nation",
+                         {ColumnSpec::Key("n_nationkey", ValueType::kInt64,
+                                          "nationkey"),
+                          ColumnSpec::Annotation("n_name",
+                                                 ValueType::kString)}))
+                     .ValueOrDie();
+      const char* names[] = {"A", "B", "C", "D"};
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Str(names[i])}).ok());
+      }
+    }
+    {
+      Table* t =
+          catalog_
+              .CreateTable(TableSchema(
+                  "customer",
+                  {ColumnSpec::Key("c_custkey", ValueType::kInt64, "custkey"),
+                   ColumnSpec::Key("c_nationkey", ValueType::kInt64,
+                                   "nationkey"),
+                   ColumnSpec::Annotation("c_acctbal", ValueType::kDouble)}))
+              .ValueOrDie();
+      for (int c = 0; c < 40; ++c) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(c),
+                                  Value::Int(static_cast<int>(rng.Uniform(4))),
+                                  Value::Real(rng.UniformDouble(-50, 500))})
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  void CheckAllModes(const std::string& sql) {
+    auto parsed = ParseSelect(sql);
+    ASSERT_TRUE(parsed.ok());
+    auto bound = Bind(parsed.TakeValue(), catalog_);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    QueryResult expected = ReferenceExecute(bound.value());
+    for (BaselineMode mode :
+         {BaselineMode::kVectorized, BaselineMode::kMaterialized,
+          BaselineMode::kInterpreted}) {
+      PairwiseEngine engine(&catalog_, mode);
+      auto r = engine.Query(sql);
+      ASSERT_TRUE(r.ok()) << BaselineModeName(mode) << ": "
+                          << r.status().ToString();
+      ExpectResultsMatch(r.value(), expected,
+                         std::string(BaselineModeName(mode)) + ": " + sql);
+    }
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BaselineTest, ScanAggregate) {
+  CheckAllModes("SELECT sum(w), min(w), max(w), count(*) FROM edge "
+                "WHERE w > 0.5");
+}
+
+TEST_F(BaselineTest, TwoWayJoin) {
+  CheckAllModes(
+      "SELECT n_name, sum(c_acctbal), avg(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey GROUP BY n_name");
+}
+
+TEST_F(BaselineTest, SelfJoinPath) {
+  CheckAllModes(
+      "SELECT sum(e1.w * e2.w) FROM edge e1, edge e2 WHERE e1.dst = e2.src");
+}
+
+TEST_F(BaselineTest, TriangleCount) {
+  CheckAllModes(
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src");
+}
+
+TEST_F(BaselineTest, GroupByKeyColumn) {
+  CheckAllModes(
+      "SELECT c_custkey, sum(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey GROUP BY c_custkey");
+}
+
+TEST_F(BaselineTest, FilterPushdown) {
+  CheckAllModes(
+      "SELECT n_name, count(*) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey AND c_acctbal > 100 "
+      "AND n_name <> 'B' GROUP BY n_name");
+}
+
+TEST_F(BaselineTest, EmptyResultSet) {
+  CheckAllModes(
+      "SELECT n_name, sum(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey AND c_acctbal > 1e12 GROUP BY n_name");
+}
+
+TEST_F(BaselineTest, IntermediateCapReportsOom) {
+  PairwiseEngine engine(&catalog_, BaselineMode::kVectorized);
+  engine.set_intermediate_cap(4);
+  auto r = engine.Query(
+      "SELECT count(*) FROM edge e1, edge e2 WHERE e1.dst = e2.src");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of memory"), std::string::npos);
+
+  PairwiseEngine mat(&catalog_, BaselineMode::kMaterialized);
+  mat.set_intermediate_cap(4);
+  auto r2 = mat.Query(
+      "SELECT count(*) FROM edge e1, edge e2 WHERE e1.dst = e2.src");
+  ASSERT_FALSE(r2.ok());
+}
+
+TEST_F(BaselineTest, MatchesLevelHeadedOnSharedCorpus) {
+  Engine lh(&catalog_);
+  const char* queries[] = {
+      "SELECT n_name, sum(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey GROUP BY n_name",
+      "SELECT sum(e1.w + e2.w) FROM edge e1, edge e2 WHERE e1.dst = e2.src",
+  };
+  for (const char* sql : queries) {
+    auto expected = lh.Query(sql);
+    ASSERT_TRUE(expected.ok());
+    PairwiseEngine base(&catalog_, BaselineMode::kVectorized);
+    auto actual = base.Query(sql);
+    ASSERT_TRUE(actual.ok());
+    ExpectResultsMatch(actual.value(), expected.value(), sql);
+  }
+}
+
+}  // namespace
+}  // namespace levelheaded

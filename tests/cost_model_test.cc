@@ -1,0 +1,178 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+
+namespace levelheaded {
+namespace {
+
+// The TPC-H Q5 root GHD node of Example 5.1 / Figure 5c:
+// vertices (local): 0=orderkey, 1=custkey, 2=nationkey, 3=suppkey.
+// relations: orders{o,c}, lineitem{o,s}, customer{c,n}, supplier{s,n},
+// node1-result{n}. Cardinalities per Example 5.3's SF-10 scores.
+CostModelInput Q5NodeInput() {
+  CostModelInput in;
+  in.relations = {
+      {{0, 1}, 15000000, false},  // orders  (score 26)
+      {{0, 3}, 60000000, false},  // lineitem (score 100)
+      {{1, 2}, 1500000, false},   // customer (score 3)
+      {{3, 2}, 100000, false},    // supplier (score 1)
+      {{2}, 25, false},           // node1 (region⋈nation result)
+  };
+  in.vertices.resize(4);
+  in.vertices[0].name = "orderkey";
+  in.vertices[1].name = "custkey";
+  in.vertices[2].name = "nationkey";
+  in.vertices[3].name = "suppkey";
+  return in;
+}
+
+TEST(CostModelTest, CardinalityScoresMatchExample53) {
+  CostModelInput in = Q5NodeInput();
+  std::vector<int> scores = CardinalityScores(in);
+  EXPECT_EQ(scores[0], 25);  // orders: ceil(15/60*100) = 25 at exact ratios
+  EXPECT_EQ(scores[1], 100);
+  EXPECT_EQ(scores[2], 3);
+  EXPECT_EQ(scores[3], 1);
+  EXPECT_EQ(scores[4], 1);
+}
+
+TEST(CostModelTest, WeightsFollowMinRule) {
+  CostModelInput in = Q5NodeInput();
+  // weight(orderkey) = min(orders, lineitem) = min(25,100).
+  EXPECT_EQ(VertexWeight(in, 0), 25);
+  // weight(custkey) = min(orders, customer) = min(25,3).
+  EXPECT_EQ(VertexWeight(in, 1), 3);
+  // weight(nationkey) = min(customer, supplier, node1) = 1.
+  EXPECT_EQ(VertexWeight(in, 2), 1);
+  // weight(suppkey) = min(lineitem, supplier) = 1.
+  EXPECT_EQ(VertexWeight(in, 3), 1);
+}
+
+TEST(CostModelTest, EqualitySelectionTakesMaxScore) {
+  CostModelInput in = Q5NodeInput();
+  in.vertices[0].has_equality_selection = true;
+  // max(orders, lineitem) = 100 instead of min = 25.
+  EXPECT_EQ(VertexWeight(in, 0), 100);
+}
+
+TEST(CostModelTest, ICostsReproduceExample51) {
+  CostModelInput in = Q5NodeInput();
+  // Order [orderkey, custkey, nationkey, suppkey].
+  std::vector<int> order = {0, 1, 2, 3};
+  // orderkey: orders ∩ lineitem, both first levels -> bs∩bs = 1.
+  EXPECT_DOUBLE_EQ(VertexICost(in, order, 0), 1);
+  // custkey: orders touched (uint) ∩ customer fresh (bs) -> 10.
+  EXPECT_DOUBLE_EQ(VertexICost(in, order, 1), 10);
+  // nationkey: customer touched (uint), supplier fresh (bs), node1 fresh
+  // (bs) -> bs∩bs (1) then ∩uint (10) = 11.
+  EXPECT_DOUBLE_EQ(VertexICost(in, order, 2), 11);
+  // suppkey: lineitem touched, supplier touched -> uint∩uint = 50.
+  EXPECT_DOUBLE_EQ(VertexICost(in, order, 3), 50);
+}
+
+TEST(CostModelTest, SingleRelationVertexIsFree) {
+  CostModelInput in = Q5NodeInput();
+  // A vertex covered by one relation needs no intersection.
+  in.relations = {{{0}, 100, false}};
+  in.vertices.resize(1);
+  EXPECT_DOUBLE_EQ(VertexICost(in, {0}, 0), 0);
+}
+
+TEST(CostModelTest, DenseRelationsHaveZeroICost) {
+  // §V-A1: completely dense relations skip intersections.
+  CostModelInput in;
+  in.relations = {
+      {{0, 1}, 1 << 20, true},  // dense matrix m1(i,k)
+      {{1, 2}, 1 << 20, true},  // dense matrix m2(k,j)
+  };
+  in.vertices.resize(3);
+  in.vertices[0].materialized = true;
+  in.vertices[2].materialized = true;
+  for (const auto& cand : EnumerateAttributeOrders(in, true)) {
+    EXPECT_DOUBLE_EQ(cand.cost, 0) << "dense plans cost nothing";
+  }
+}
+
+// Sparse matrix multiplication (Example 5.2 / Figure 5b):
+// m1(i,k) ⋈ m2(k,j); i and j materialized, k projected.
+CostModelInput SmmInput() {
+  CostModelInput in;
+  in.relations = {
+      {{0, 1}, 400000000, false},  // m1 over (i,k)
+      {{1, 2}, 400000000, false},  // m2 over (k,j)
+  };
+  in.vertices.resize(3);
+  in.vertices[0].name = "i";
+  in.vertices[0].materialized = true;
+  in.vertices[1].name = "k";
+  in.vertices[2].name = "j";
+  in.vertices[2].materialized = true;
+  return in;
+}
+
+TEST(CostModelTest, MaterializedFirstRuleEnforced) {
+  CostModelInput in = SmmInput();
+  auto orders = EnumerateAttributeOrders(in, /*allow_relaxation=*/false);
+  // Only [i,j,k] and [j,i,k] are valid without relaxation.
+  ASSERT_EQ(orders.size(), 2u);
+  for (const auto& cand : orders) {
+    EXPECT_EQ(cand.order[2], 1);  // k (projected) must come last
+    EXPECT_FALSE(cand.union_relaxed);
+  }
+}
+
+TEST(CostModelTest, RelaxationRecoversMklLoopOrder) {
+  CostModelInput in = SmmInput();
+  auto orders = EnumerateAttributeOrders(in, /*allow_relaxation=*/true);
+  ASSERT_GE(orders.size(), 3u);
+  // The best order is the relaxed [i,k,j] (Example 5.2): icost(k) drops
+  // from uint∩uint (50) to bs∩uint (10).
+  EXPECT_TRUE(orders[0].union_relaxed);
+  EXPECT_EQ(orders[0].order, (std::vector<int>{0, 1, 2}));
+  EXPECT_LT(orders[0].cost, orders.back().cost);
+  // Non-relaxed best is 5x the relaxed cost (50 -> 10 at equal weights).
+  const OrderCandidate* best_plain = nullptr;
+  for (const auto& cand : orders) {
+    if (!cand.union_relaxed && best_plain == nullptr) best_plain = &cand;
+  }
+  ASSERT_NE(best_plain, nullptr);
+  EXPECT_DOUBLE_EQ(best_plain->cost / orders[0].cost, 5.0);
+}
+
+TEST(CostModelTest, RelaxationRequiresExpensiveLastIntersection) {
+  // SMV-like: matrix(i,j) ⋈ vector(j): last intersection is bs∩uint (10),
+  // below the uint∩uint threshold -> no relaxed candidate.
+  CostModelInput in;
+  in.relations = {
+      {{0, 1}, 2329092, false},  // matrix
+      {{1}, 46835, false},       // vector
+  };
+  in.vertices.resize(2);
+  in.vertices[0].materialized = true;
+  for (const auto& cand : EnumerateAttributeOrders(in, true)) {
+    EXPECT_FALSE(cand.union_relaxed);
+  }
+}
+
+TEST(CostModelTest, CandidatesSortedByCost) {
+  CostModelInput in = Q5NodeInput();
+  auto orders = EnumerateAttributeOrders(in, true);
+  ASSERT_EQ(orders.size(), 24u);  // 4! permutations, nothing materialized
+  for (size_t i = 1; i < orders.size(); ++i) {
+    EXPECT_LE(orders[i - 1].cost, orders[i].cost);
+  }
+  // Figure 5c: [orderkey,...] orders dominate; the best order starts with
+  // the highest-cardinality attribute (Observation 5.2).
+  EXPECT_EQ(orders[0].order[0], 0);
+}
+
+TEST(CostModelTest, WorstOrderMuchCostlierThanBest) {
+  CostModelInput in = Q5NodeInput();
+  auto orders = EnumerateAttributeOrders(in, false);
+  EXPECT_GT(orders.back().cost / orders.front().cost, 3.0);
+}
+
+}  // namespace
+}  // namespace levelheaded

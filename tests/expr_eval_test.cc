@@ -1,0 +1,125 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/expr_eval.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/date.h"
+
+namespace levelheaded {
+namespace {
+
+TEST(LikeMatcherTest, ExactAndWildcards) {
+  EXPECT_TRUE(LikeMatcher("abc").Matches("abc"));
+  EXPECT_FALSE(LikeMatcher("abc").Matches("abcd"));
+  EXPECT_TRUE(LikeMatcher("%green%").Matches("forest green metal"));
+  EXPECT_TRUE(LikeMatcher("%green%").Matches("green"));
+  EXPECT_FALSE(LikeMatcher("%green%").Matches("gren"));
+  EXPECT_TRUE(LikeMatcher("a%c").Matches("abbbbc"));
+  EXPECT_TRUE(LikeMatcher("a%c").Matches("ac"));
+  EXPECT_FALSE(LikeMatcher("a%c").Matches("acb"));
+  EXPECT_TRUE(LikeMatcher("a_c").Matches("abc"));
+  EXPECT_FALSE(LikeMatcher("a_c").Matches("ac"));
+  EXPECT_TRUE(LikeMatcher("%").Matches(""));
+  EXPECT_TRUE(LikeMatcher("").Matches(""));
+  EXPECT_FALSE(LikeMatcher("").Matches("x"));
+  EXPECT_TRUE(LikeMatcher("%%b%").Matches("ab"));
+  // Backtracking case: first % match must retreat.
+  EXPECT_TRUE(LikeMatcher("%ab%ab").Matches("abxabab"));
+}
+
+class RowFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* t =
+        catalog_
+            .CreateTable(TableSchema(
+                "t", {ColumnSpec::Key("k", ValueType::kInt64),
+                      ColumnSpec::Annotation("num", ValueType::kDouble),
+                      ColumnSpec::Annotation("day", ValueType::kDate),
+                      ColumnSpec::Annotation("name", ValueType::kString)}))
+            .ValueOrDie();
+    const char* names[] = {"forest green", "royal blue", "light green",
+                           "dim grey", "hot pink"};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Real(i * 1.5),
+                                Value::Int(ParseDate("1994-01-01")
+                                               .ValueOrDie() +
+                                           i * 100),
+                                Value::Str(names[i])})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+    table_ = catalog_.GetTable("t");
+  }
+
+  std::vector<uint32_t> Select(const std::string& predicate) {
+    auto parsed =
+        ParseSelect("SELECT k FROM t WHERE " + predicate);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto bound = Bind(parsed.TakeValue(), catalog_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    bound_queries_.push_back(
+        std::make_unique<LogicalQuery>(bound.TakeValue()));
+    const LogicalQuery& q = *bound_queries_.back();
+    std::vector<const Expr*> conjuncts;
+    for (const ExprPtr& f : q.relations[0].filters) {
+      conjuncts.push_back(f.get());
+    }
+    auto filter = RowFilter::Compile(conjuncts, *table_);
+    EXPECT_TRUE(filter.ok());
+    return filter.value().SelectedRows();
+  }
+
+  Catalog catalog_;
+  const Table* table_ = nullptr;
+  std::vector<std::unique_ptr<LogicalQuery>> bound_queries_;
+};
+
+TEST_F(RowFilterTest, NumericComparisons) {
+  EXPECT_EQ(Select("num > 3"), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ(Select("num <= 1.5"), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(Select("num = 3"), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(Select("num <> 3"), (std::vector<uint32_t>{0, 1, 3, 4}));
+  EXPECT_EQ(Select("3 < num"), (std::vector<uint32_t>{3, 4}));  // flipped
+}
+
+TEST_F(RowFilterTest, BetweenAndDates) {
+  EXPECT_EQ(Select("num BETWEEN 1.5 AND 4.5"),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(Select("day >= date '1994-07-01'"),
+            (std::vector<uint32_t>{2, 3, 4}));
+  EXPECT_EQ(Select("day < date '1994-01-01' + interval '150' day"),
+            (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(RowFilterTest, StringEqualityViaCodes) {
+  EXPECT_EQ(Select("name = 'dim grey'"), (std::vector<uint32_t>{3}));
+  EXPECT_EQ(Select("name <> 'dim grey'").size(), 4u);
+  // Literal absent from the dictionary: never matches.
+  EXPECT_TRUE(Select("name = 'nope'").empty());
+  EXPECT_EQ(Select("name <> 'nope'").size(), 5u);
+}
+
+TEST_F(RowFilterTest, LikeUsesDictionaryBitmap) {
+  EXPECT_EQ(Select("name LIKE '%green%'"), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(Select("NOT name LIKE '%green%'"),
+            (std::vector<uint32_t>{1, 3, 4}));
+}
+
+TEST_F(RowFilterTest, GenericFallbackOrAndCase) {
+  EXPECT_EQ(Select("num > 4 OR name = 'royal blue'"),
+            (std::vector<uint32_t>{1, 3, 4}));
+  EXPECT_EQ(Select("num + k > 7"), (std::vector<uint32_t>{3, 4}));
+}
+
+TEST_F(RowFilterTest, ConjunctionShortCircuits) {
+  EXPECT_EQ(Select("num > 1 AND name LIKE '%g%' AND day < "
+                   "date '1995-01-01'"),
+            (std::vector<uint32_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace levelheaded

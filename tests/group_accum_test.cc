@@ -1,0 +1,133 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/group_accum.h"
+#include "core/plan.h"
+
+namespace levelheaded {
+namespace {
+
+std::vector<AggExec> MakeAggs(std::initializer_list<AggFunc> funcs) {
+  std::vector<AggExec> aggs;
+  for (AggFunc f : funcs) {
+    AggExec a;
+    a.func = f;
+    aggs.push_back(std::move(a));
+  }
+  return aggs;
+}
+
+TEST(GroupAccumTest, HashedGrouping) {
+  auto aggs = MakeAggs({AggFunc::kSum, AggFunc::kCount});
+  GroupAccum g(1, &aggs);
+  const double main1[] = {2.5, 1.0};
+  const double aux1[] = {0.0, 0.0};
+  uint64_t k1 = 7, k2 = 9;
+  g.Apply(g.FindOrCreate(&k1), main1, aux1);
+  g.Apply(g.FindOrCreate(&k2), main1, aux1);
+  g.Apply(g.FindOrCreate(&k1), main1, aux1);
+  ASSERT_EQ(g.num_groups(), 2u);
+  // Group order is insertion order.
+  EXPECT_EQ(g.key(0)[0], 7u);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.Finalize(1, 0), 2.5);
+}
+
+TEST(GroupAccumTest, MinMaxInitialization) {
+  auto aggs = MakeAggs({AggFunc::kMin, AggFunc::kMax});
+  GroupAccum g(1, &aggs);
+  uint64_t k = 1;
+  const double m1[] = {5.0, 5.0};
+  const double m2[] = {-2.0, -2.0};
+  const double aux[] = {0.0, 0.0};
+  g.Apply(g.FindOrCreate(&k), m1, aux);
+  g.Apply(g.FindOrCreate(&k), m2, aux);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 1), 5.0);
+}
+
+TEST(GroupAccumTest, AvgDividesByAux) {
+  auto aggs = MakeAggs({AggFunc::kAvg});
+  GroupAccum g(0, &aggs);
+  const double main1[] = {10.0};
+  const double aux1[] = {1.0};
+  const double main2[] = {20.0};
+  const double aux2[] = {1.0};
+  g.Apply(g.ScalarGroup(), main1, aux1);
+  g.Apply(g.ScalarGroup(), main2, aux2);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 0), 15.0);
+}
+
+TEST(GroupAccumTest, AppendModeDetectsRepeats) {
+  auto aggs = MakeAggs({AggFunc::kSum});
+  GroupAccum g(2, &aggs);
+  const double main[] = {1.0};
+  const double aux[] = {0.0};
+  uint64_t k1[] = {1, 2};
+  uint64_t k2[] = {1, 3};
+  g.Apply(g.AppendOrLast(k1), main, aux);
+  g.Apply(g.AppendOrLast(k1), main, aux);
+  g.Apply(g.AppendOrLast(k2), main, aux);
+  ASSERT_EQ(g.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.Finalize(1, 0), 1.0);
+}
+
+TEST(GroupAccumTest, MergeCombinesAllFuncs) {
+  auto aggs =
+      MakeAggs({AggFunc::kSum, AggFunc::kMin, AggFunc::kMax, AggFunc::kAvg});
+  GroupAccum a(1, &aggs), b(1, &aggs);
+  uint64_t k = 42;
+  const double main1[] = {1.0, 3.0, 3.0, 4.0};
+  const double aux1[] = {0.0, 0.0, 0.0, 1.0};
+  const double main2[] = {2.0, -1.0, 7.0, 8.0};
+  const double aux2[] = {0.0, 0.0, 0.0, 1.0};
+  a.Apply(a.FindOrCreate(&k), main1, aux1);
+  b.Apply(b.FindOrCreate(&k), main2, aux2);
+  a.MergeFrom(b);
+  ASSERT_EQ(a.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(a.Finalize(0, 0), 3.0);   // sum
+  EXPECT_DOUBLE_EQ(a.Finalize(0, 1), -1.0);  // min
+  EXPECT_DOUBLE_EQ(a.Finalize(0, 2), 7.0);   // max
+  EXPECT_DOUBLE_EQ(a.Finalize(0, 3), 6.0);   // avg
+}
+
+TEST(GroupAccumTest, ConcatMergesBoundaryGroup) {
+  auto aggs = MakeAggs({AggFunc::kSum});
+  GroupAccum a(1, &aggs), b(1, &aggs);
+  const double main[] = {1.0};
+  const double aux[] = {0.0};
+  uint64_t k1 = 1, k2 = 2, k3 = 3;
+  a.Apply(a.AppendOrLast(&k1), main, aux);
+  a.Apply(a.AppendOrLast(&k2), main, aux);
+  // b starts with the same group a ended with.
+  b.Apply(b.AppendOrLast(&k2), main, aux);
+  b.Apply(b.AppendOrLast(&k3), main, aux);
+  a.ConcatFrom(b);
+  ASSERT_EQ(a.num_groups(), 3u);
+  EXPECT_DOUBLE_EQ(a.Finalize(1, 0), 2.0);  // k2 merged across the boundary
+  EXPECT_DOUBLE_EQ(a.Finalize(2, 0), 1.0);
+}
+
+TEST(GroupAccumTest, ScalarGroupSingleton) {
+  auto aggs = MakeAggs({AggFunc::kCount});
+  GroupAccum g(0, &aggs);
+  EXPECT_EQ(g.num_groups(), 0u);
+  const double main[] = {1.0};
+  const double aux[] = {0.0};
+  g.Apply(g.ScalarGroup(), main, aux);
+  g.Apply(g.ScalarGroup(), main, aux);
+  EXPECT_EQ(g.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(g.Finalize(0, 0), 2.0);
+}
+
+TEST(BitcastTest, RoundTrip) {
+  for (double d : {0.0, -1.5, 3.14159, 1e300, -1e-300}) {
+    EXPECT_EQ(UnbitcastDouble(BitcastDouble(d)), d);
+  }
+}
+
+}  // namespace
+}  // namespace levelheaded

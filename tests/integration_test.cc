@@ -1,0 +1,213 @@
+// Randomized end-to-end property suite: generated star/chain queries over
+// generated data, executed by the WCOJ engine (under several option arms)
+// and the pairwise baselines, all checked against the brute-force
+// reference executor.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/pairwise_engine.h"
+#include "core/engine.h"
+#include "reference_executor.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+namespace {
+
+using ::levelheaded::testing::ExpectResultsMatch;
+using ::levelheaded::testing::ReferenceExecute;
+
+/// A small star schema: fact(f_a, f_b; fx, fy, ftag) with dimensions
+/// dim_a(a; aname, aval) and dim_b(b; bname, bval).
+class RandomQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int kDomainA = 12;
+  static constexpr int kDomainB = 9;
+
+  void SetUp() override {
+    Rng rng(GetParam() * 7919 + 5);
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "dim_a",
+                         {ColumnSpec::Key("a", ValueType::kInt64, "da"),
+                          ColumnSpec::Annotation("aname", ValueType::kString),
+                          ColumnSpec::Annotation("aval",
+                                                 ValueType::kDouble)}))
+                     .ValueOrDie();
+      const char* names[] = {"red", "green", "blue"};
+      for (int i = 0; i < kDomainA; ++i) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Str(names[i % 3]),
+                                  Value::Real(rng.UniformDouble(-5, 5))})
+                        .ok());
+      }
+    }
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "dim_b",
+                         {ColumnSpec::Key("b", ValueType::kInt64, "db"),
+                          ColumnSpec::Annotation("bname", ValueType::kString),
+                          ColumnSpec::Annotation("bval",
+                                                 ValueType::kDouble)}))
+                     .ValueOrDie();
+      const char* names[] = {"north", "south", "east", "west"};
+      for (int i = 0; i < kDomainB; ++i) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Str(names[i % 4]),
+                                  Value::Real(rng.UniformDouble(0, 3))})
+                        .ok());
+      }
+    }
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "fact",
+                         {ColumnSpec::Key("f_a", ValueType::kInt64, "da"),
+                          ColumnSpec::Key("f_b", ValueType::kInt64, "db"),
+                          ColumnSpec::Annotation("fx", ValueType::kDouble),
+                          ColumnSpec::Annotation("fy", ValueType::kDouble),
+                          ColumnSpec::Annotation("ftag",
+                                                 ValueType::kString)}))
+                     .ValueOrDie();
+      const char* tags[] = {"p", "q"};
+      const int rows = 40 + static_cast<int>(rng.Uniform(120));
+      for (int i = 0; i < rows; ++i) {
+        ASSERT_TRUE(
+            t->AppendRow(
+                 {Value::Int(rng.UniformInt(0, kDomainA - 1)),
+                  Value::Int(rng.UniformInt(0, kDomainB - 1)),
+                  Value::Real(rng.UniformDouble(0, 10)),
+                  Value::Real(rng.UniformDouble(-2, 2)),
+                  Value::Str(tags[rng.Uniform(2)])})
+                .ok());
+      }
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+    engine_ = std::make_unique<Engine>(&catalog_);
+  }
+
+  std::string RandomAggregate(Rng* rng) {
+    switch (rng->Uniform(6)) {
+      case 0:
+        return "sum(fx)";
+      case 1:
+        return "sum(fx * bval)";
+      case 2:
+        return "count(*)";
+      case 3:
+        return "avg(fx + fy)";
+      case 4:
+        return "min(aval)";
+      default:
+        return "sum(CASE WHEN ftag = 'p' THEN fx ELSE 0 END)";
+    }
+  }
+
+  enum class Scope { kFactOnly, kFactAndB, kAll };
+
+  std::string RandomFilter(Rng* rng, Scope scope = Scope::kAll) {
+    const uint64_t choices =
+        scope == Scope::kFactOnly ? 3 : (scope == Scope::kFactAndB ? 4 : 5);
+    switch (rng->Uniform(choices)) {
+      case 0:
+        return "fx > 5";
+      case 1:
+        return "ftag = 'q'";
+      case 2:
+        return "(fy < 0 OR fx >= 3)";
+      case 3:
+        return "bval BETWEEN 0.5 AND 2.5";
+      default:
+        return "aname = 'red'";
+    }
+  }
+
+  void CheckEverywhere(const std::string& sql) {
+    SCOPED_TRACE(sql);
+    auto parsed = ParseSelect(sql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto bound = Bind(parsed.TakeValue(), catalog_);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    QueryResult expected = ReferenceExecute(bound.value());
+
+    auto lh = engine_->Query(sql);
+    ASSERT_TRUE(lh.ok()) << lh.status().ToString();
+    ExpectResultsMatch(lh.value(), expected, "levelheaded: " + sql);
+
+    QueryOptions worst;
+    worst.order_mode = OrderMode::kWorst;
+    auto lw = engine_->Query(sql, worst);
+    ASSERT_TRUE(lw.ok()) << lw.status().ToString();
+    ExpectResultsMatch(lw.value(), expected, "worst-order: " + sql);
+
+    QueryOptions no_elim;
+    no_elim.use_attribute_elimination = false;
+    auto le = engine_->Query(sql, no_elim);
+    ASSERT_TRUE(le.ok()) << le.status().ToString();
+    ExpectResultsMatch(le.value(), expected, "-attr-elim: " + sql);
+
+    PairwiseEngine vec(&catalog_, BaselineMode::kVectorized);
+    auto bv = vec.Query(sql);
+    ASSERT_TRUE(bv.ok()) << bv.status().ToString();
+    ExpectResultsMatch(bv.value(), expected, "vectorized: " + sql);
+
+    PairwiseEngine interp(&catalog_, BaselineMode::kInterpreted);
+    auto bi = interp.Query(sql);
+    ASSERT_TRUE(bi.ok()) << bi.status().ToString();
+    ExpectResultsMatch(bi.value(), expected, "interpreted: " + sql);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(RandomQueryTest, StarJoinWithRandomPieces) {
+  Rng rng(GetParam() * 31 + 1);
+  std::string sql = "SELECT ";
+  const bool group_by_a = rng.Bernoulli(0.5);
+  const bool group_by_b = rng.Bernoulli(0.4);
+  std::vector<std::string> dims;
+  if (group_by_a) dims.push_back(rng.Bernoulli(0.5) ? "aname" : "f_a");
+  if (group_by_b) dims.push_back("bname");
+  for (const std::string& d : dims) sql += d + ", ";
+  sql += RandomAggregate(&rng);
+  if (rng.Bernoulli(0.5)) sql += ", " + RandomAggregate(&rng);
+  sql += " FROM fact, dim_a, dim_b WHERE f_a = a AND f_b = b";
+  if (rng.Bernoulli(0.7)) sql += " AND " + RandomFilter(&rng);
+  if (rng.Bernoulli(0.3)) sql += " AND " + RandomFilter(&rng);
+  if (!dims.empty()) {
+    sql += " GROUP BY " + dims[0];
+    for (size_t i = 1; i < dims.size(); ++i) sql += ", " + dims[i];
+  }
+  CheckEverywhere(sql);
+}
+
+TEST_P(RandomQueryTest, PartialJoinsAndScans) {
+  Rng rng(GetParam() * 101 + 17);
+  switch (rng.Uniform(3)) {
+    case 0:
+      CheckEverywhere(
+          "SELECT bname, sum(fx), count(*) FROM fact, dim_b "
+          "WHERE f_b = b AND " +
+          RandomFilter(&rng, Scope::kFactAndB) + " GROUP BY bname");
+      break;
+    case 1:
+      CheckEverywhere("SELECT ftag, max(fx), min(fy) FROM fact GROUP BY "
+                      "ftag");
+      break;
+    default:
+      CheckEverywhere("SELECT f_a, f_b FROM fact WHERE " +
+                      RandomFilter(&rng, Scope::kFactOnly));
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace levelheaded

@@ -1,0 +1,201 @@
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+namespace {
+
+std::vector<double> RandomMatrix(Rng* rng, int64_t rows, int64_t cols) {
+  std::vector<double> m(rows * cols);
+  for (double& v : m) v = rng->UniformDouble(-1, 1);
+  return m;
+}
+
+CooMatrix RandomCoo(Rng* rng, int64_t n, int64_t nnz_target) {
+  CooMatrix coo;
+  coo.num_rows = coo.num_cols = n;
+  for (int64_t i = 0; i < nnz_target; ++i) {
+    coo.rows.push_back(static_cast<uint32_t>(rng->Uniform(n)));
+    coo.cols.push_back(static_cast<uint32_t>(rng->Uniform(n)));
+    coo.values.push_back(rng->UniformDouble(0.1, 1.0));
+  }
+  return coo;
+}
+
+std::vector<double> CsrToDense(const CsrMatrix& a) {
+  std::vector<double> d(a.num_rows * a.num_cols, 0.0);
+  for (int64_t r = 0; r < a.num_rows; ++r) {
+    for (int64_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      d[r * a.num_cols + a.col_idx[i]] += a.values[i];
+    }
+  }
+  return d;
+}
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesNaive) {
+  auto [m, n, k] = GetParam();
+  Rng rng(m * 1000 + n * 10 + k);
+  auto a = RandomMatrix(&rng, m, k);
+  auto b = RandomMatrix(&rng, k, n);
+  std::vector<double> c_fast(m * n), c_ref(m * n);
+  Gemm(m, n, k, a.data(), b.data(), c_fast.data());
+  GemmNaive(m, n, k, a.data(), b.data(), c_ref.data());
+  for (int64_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c_fast[i], c_ref[i], 1e-9 * k) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 5, 3),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(100, 37, 253),
+                      std::make_tuple(257, 129, 65),
+                      std::make_tuple(1, 300, 300)));
+
+TEST(GemvTest, MatchesNaive) {
+  Rng rng(7);
+  const int64_t m = 301, n = 127;
+  auto a = RandomMatrix(&rng, m, n);
+  auto x = RandomMatrix(&rng, n, 1);
+  std::vector<double> y(m), y_ref(m);
+  Gemv(m, n, a.data(), x.data(), y.data());
+  GemvNaive(m, n, a.data(), x.data(), y_ref.data());
+  for (int64_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-9);
+}
+
+TEST(GemvTest, IdentityMatrix) {
+  const int64_t n = 64;
+  std::vector<double> eye(n * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) eye[i * n + i] = 1.0;
+  std::vector<double> x(n), y(n);
+  for (int64_t i = 0; i < n; ++i) x[i] = i * 0.5;
+  Gemv(n, n, eye.data(), x.data(), y.data());
+  EXPECT_EQ(y, x);
+}
+
+TEST(CooToCsrTest, SortsRowsAndColumns) {
+  CooMatrix coo;
+  coo.num_rows = coo.num_cols = 3;
+  // Unsorted, with a duplicate position (2,1).
+  coo.rows = {2, 0, 2, 1, 2};
+  coo.cols = {1, 2, 0, 1, 1};
+  coo.values = {5, 1, 4, 2, 7};
+  CsrMatrix csr = CooToCsr(coo);
+  EXPECT_EQ(csr.row_ptr, (std::vector<int64_t>{0, 1, 2, 5}));
+  EXPECT_EQ(csr.col_idx, (std::vector<uint32_t>{2, 1, 0, 1, 1}));
+  // Row 2 columns ascending: 0, 1, 1 (duplicate kept adjacent).
+  EXPECT_DOUBLE_EQ(csr.values[2], 4);
+}
+
+TEST(CooToCsrTest, EmptyAndDenseRows) {
+  CooMatrix coo;
+  coo.num_rows = 4;
+  coo.num_cols = 2;
+  coo.rows = {1, 1};
+  coo.cols = {0, 1};
+  coo.values = {1, 2};
+  CsrMatrix csr = CooToCsr(coo);
+  EXPECT_EQ(csr.row_ptr, (std::vector<int64_t>{0, 0, 2, 2, 2}));
+}
+
+TEST(SpMVTest, MatchesNaiveOnRandom) {
+  Rng rng(11);
+  CooMatrix coo = RandomCoo(&rng, 500, 5000);
+  CsrMatrix a = CooToCsr(coo);
+  std::vector<double> x(500), y(500), y_ref(500);
+  for (auto& v : x) v = rng.UniformDouble();
+  SpMV(a, x.data(), y.data());
+  SpMVNaive(a, x.data(), y_ref.data());
+  for (int64_t i = 0; i < 500; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-9);
+}
+
+TEST(SpGemmTest, MatchesDenseReference) {
+  Rng rng(13);
+  const int64_t n = 120;
+  CooMatrix ca = RandomCoo(&rng, n, 800);
+  CooMatrix cb = RandomCoo(&rng, n, 800);
+  CsrMatrix a = CooToCsr(ca);
+  CsrMatrix b = CooToCsr(cb);
+  CsrMatrix c = SpGEMM(a, b);
+
+  auto da = CsrToDense(a);
+  auto db = CsrToDense(b);
+  std::vector<double> dref(n * n);
+  GemmNaive(n, n, n, da.data(), db.data(), dref.data());
+  auto dc = CsrToDense(c);
+  for (int64_t i = 0; i < n * n; ++i) EXPECT_NEAR(dc[i], dref[i], 1e-9);
+
+  // Column indices ascending within each row.
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t i = c.row_ptr[r] + 1; i < c.row_ptr[r + 1]; ++i) {
+      EXPECT_LT(c.col_idx[i - 1], c.col_idx[i]);
+    }
+  }
+}
+
+TEST(SpGemmTest, IdentityTimesAnything) {
+  Rng rng(17);
+  const int64_t n = 50;
+  CooMatrix eye;
+  eye.num_rows = eye.num_cols = n;
+  for (int64_t i = 0; i < n; ++i) {
+    eye.rows.push_back(static_cast<uint32_t>(i));
+    eye.cols.push_back(static_cast<uint32_t>(i));
+    eye.values.push_back(1.0);
+  }
+  CsrMatrix a = CooToCsr(RandomCoo(&rng, n, 300));
+  CsrMatrix c = SpGEMM(CooToCsr(eye), a);
+  // Dedup duplicates in `a` for comparison via dense forms.
+  EXPECT_EQ(CsrToDense(c), CsrToDense(a));
+}
+
+TEST(SpGemmTest, EmptyMatrix) {
+  CsrMatrix a;
+  a.num_rows = a.num_cols = 4;
+  a.row_ptr.assign(5, 0);
+  CsrMatrix c = SpGEMM(a, a);
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace levelheaded
+
+namespace levelheaded {
+namespace {
+
+// --- Single-precision kernels (the BLAS s-prefix variants) ---
+
+TEST(FloatGemmTest, MatchesNaive) {
+  Rng rng(23);
+  const int64_t m = 33, n = 17, k = 29;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  for (float& v : a) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  for (float& v : b) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  Gemm(m, n, k, a.data(), b.data(), c.data());
+  GemmNaive(m, n, k, a.data(), b.data(), ref.data());
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(FloatGemvTest, MatchesNaive) {
+  Rng rng(29);
+  const int64_t m = 71, n = 41;
+  std::vector<float> a(m * n), x(n), y(m), ref(m);
+  for (float& v : a) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  for (float& v : x) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  Gemv(m, n, a.data(), x.data(), y.data());
+  GemvNaive(m, n, a.data(), x.data(), ref.data());
+  for (int64_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace levelheaded

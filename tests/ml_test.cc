@@ -1,0 +1,113 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "ml/feature_encoder.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+#include "workload/voter_gen.h"
+
+namespace levelheaded {
+namespace {
+
+TEST(FeatureEncoderTest, MixedColumns) {
+  QueryResult rows;
+  rows.num_rows = 3;
+  ResultColumn id;
+  id.name = "id";
+  id.type = ValueType::kInt64;
+  id.ints = {1, 2, 3};
+  ResultColumn age;
+  age.name = "age";
+  age.type = ValueType::kInt64;
+  age.ints = {20, 40, 60};
+  ResultColumn color;
+  color.name = "color";
+  color.type = ValueType::kString;
+  color.strs = {"red", "blue", "red"};
+  ResultColumn label;
+  label.name = "label";
+  label.type = ValueType::kInt64;
+  label.ints = {0, 1, 1};
+  rows.columns = {std::move(id), std::move(age), std::move(color),
+                  std::move(label)};
+
+  auto fs = EncodeFeatures(rows, "label", {"id"});
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  const FeatureSet& f = fs.value();
+  // Features: age (scaled) + one-hot(color) with 2 categories.
+  EXPECT_EQ(f.x.num_cols, 3);
+  EXPECT_EQ(f.x.num_rows, 3);
+  EXPECT_EQ(f.labels, (std::vector<double>{0, 1, 1}));
+  EXPECT_EQ(f.feature_names.size(), 3u);
+  // Age scaling: (20-20)/(60-20)=0, (40-20)/40=0.5, 1.0.
+  EXPECT_DOUBLE_EQ(f.x.values[0], 0.0);
+  // Each row has exactly 2 nonzeros (age + its color indicator).
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(f.x.row_ptr[r + 1] - f.x.row_ptr[r], 2);
+  }
+}
+
+TEST(FeatureEncoderTest, MissingLabelRejected) {
+  QueryResult rows;
+  rows.num_rows = 0;
+  EXPECT_FALSE(EncodeFeatures(rows, "nope").ok());
+}
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  // y = 1 iff x0 > 0.5; one dense feature.
+  Rng rng(3);
+  CsrMatrix x;
+  x.num_rows = 500;
+  x.num_cols = 1;
+  x.row_ptr.push_back(0);
+  std::vector<double> labels;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.UniformDouble();
+    x.col_idx.push_back(0);
+    x.values.push_back(v);
+    x.row_ptr.push_back(static_cast<int64_t>(x.values.size()));
+    labels.push_back(v > 0.5 ? 1.0 : 0.0);
+  }
+  LogisticOptions opts;
+  opts.iterations = 200;
+  opts.learning_rate = 5.0;
+  LogisticModel model = TrainLogistic(x, labels, opts);
+  EXPECT_GT(Accuracy(model, x, labels), 0.9);
+  EXPECT_GT(model.weights[0], 0);  // positive correlation learned
+}
+
+TEST(LogisticRegressionTest, FiveIterationsImproveOverChance) {
+  Catalog catalog;
+  VoterGenerator gen(4000, 40);
+  ASSERT_TRUE(gen.Populate(&catalog).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  Engine engine(&catalog);
+  auto rows = engine.Query(VoterGenerator::FeatureQuery());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT(rows.value().num_rows, 1000u);
+
+  auto fs = EncodeFeatures(rows.value(), "v_label", {"v_voter_id"});
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+
+  LogisticOptions opts;  // the paper's 5 iterations
+  LogisticModel model = TrainLogistic(fs.value().x, fs.value().labels, opts);
+  const double acc = Accuracy(model, fs.value().x, fs.value().labels);
+  // Base rate is well inside (0.35, 0.65); the model must beat coin flips
+  // against the majority class within 5 iterations.
+  EXPECT_GT(acc, 0.55);
+}
+
+TEST(LogisticRegressionTest, EmptyInput) {
+  CsrMatrix x;
+  x.num_rows = 0;
+  x.num_cols = 2;
+  x.row_ptr.push_back(0);
+  LogisticModel m = TrainLogistic(x, {});
+  EXPECT_EQ(m.weights.size(), 2u);
+  EXPECT_EQ(Accuracy(m, x, {}), 0);
+}
+
+}  // namespace
+}  // namespace levelheaded

@@ -1,0 +1,220 @@
+// Unit tests for the physical planner: scan-path routing, dense-kernel
+// detection, trie level assignment, lookup planning, and the option arms.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/plan.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+
+namespace levelheaded {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static constexpr int kN = 8;
+
+  void SetUp() override {
+    Rng rng(3);
+    {  // dense matrix over idx
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "d",
+                         {ColumnSpec::Key("r", ValueType::kInt64, "idx"),
+                          ColumnSpec::Key("c", ValueType::kInt64, "idx"),
+                          ColumnSpec::Annotation("v", ValueType::kDouble)}))
+                     .ValueOrDie();
+      for (int i = 0; i < kN; ++i) {
+        for (int j = 0; j < kN; ++j) {
+          ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Int(j),
+                                    Value::Real(rng.UniformDouble())})
+                          .ok());
+        }
+      }
+    }
+    {  // sparse matrix over idx (missing entries)
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "s",
+                         {ColumnSpec::Key("r", ValueType::kInt64, "idx"),
+                          ColumnSpec::Key("c", ValueType::kInt64, "idx"),
+                          ColumnSpec::Annotation("v", ValueType::kDouble)}))
+                     .ValueOrDie();
+      for (int i = 0; i < kN; ++i) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Int(i),
+                                  Value::Real(1.0)})
+                        .ok());
+      }
+    }
+    {  // vector over idx
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "x",
+                         {ColumnSpec::Key("i", ValueType::kInt64, "idx"),
+                          ColumnSpec::Annotation("val", ValueType::kDouble)}))
+                     .ValueOrDie();
+      for (int i = 0; i < kN; ++i) {
+        ASSERT_TRUE(
+            t->AppendRow({Value::Int(i), Value::Real(rng.UniformDouble())})
+                .ok());
+      }
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  Result<PhysicalPlan> Plan(const std::string& sql,
+                            QueryOptions options = QueryOptions()) {
+    auto parsed = ParseSelect(sql);
+    if (!parsed.ok()) return parsed.status();
+    auto bound = Bind(parsed.TakeValue(), catalog_);
+    if (!bound.ok()) return bound.status();
+    return BuildPlan(bound.TakeValue(), catalog_, options);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlannerTest, SingleRelationUsesScanPath) {
+  auto p = Plan("SELECT sum(v) FROM d WHERE v > 0.5");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p.value().scan_only);
+  EXPECT_TRUE(p.value().nodes.empty());
+}
+
+TEST_F(PlannerTest, DenseGemmDetected) {
+  auto p = Plan(
+      "SELECT d1.r, d2.c, sum(d1.v * d2.v) FROM d d1, d d2 "
+      "WHERE d1.c = d2.r GROUP BY d1.r, d2.c");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().dense, DenseKernel::kGemm);
+}
+
+TEST_F(PlannerTest, DenseGemvDetected) {
+  auto p = Plan(
+      "SELECT d.r, sum(d.v * x.val) FROM d, x WHERE d.c = x.i GROUP BY d.r");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().dense, DenseKernel::kGemv);
+}
+
+TEST_F(PlannerTest, SparseInputDefeatsDenseDispatch) {
+  auto p = Plan(
+      "SELECT s1.r, s2.c, sum(s1.v * s2.v) FROM s s1, s s2 "
+      "WHERE s1.c = s2.r GROUP BY s1.r, s2.c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dense, DenseKernel::kNone);
+}
+
+TEST_F(PlannerTest, FilterDefeatsDenseDispatch) {
+  auto p = Plan(
+      "SELECT d1.r, d2.c, sum(d1.v * d2.v) FROM d d1, d d2 "
+      "WHERE d1.c = d2.r AND d1.v > 0.5 GROUP BY d1.r, d2.c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dense, DenseKernel::kNone);
+}
+
+TEST_F(PlannerTest, OptionsDefeatDenseDispatch) {
+  const std::string sql =
+      "SELECT d1.r, d2.c, sum(d1.v * d2.v) FROM d d1, d d2 "
+      "WHERE d1.c = d2.r GROUP BY d1.r, d2.c";
+  QueryOptions no_blas;
+  no_blas.enable_blas = false;
+  EXPECT_EQ(Plan(sql, no_blas).value().dense, DenseKernel::kNone);
+  QueryOptions no_elim;
+  no_elim.use_attribute_elimination = false;
+  EXPECT_EQ(Plan(sql, no_elim).value().dense, DenseKernel::kNone);
+}
+
+TEST_F(PlannerTest, HavingDefeatsDenseDispatch) {
+  auto p = Plan(
+      "SELECT d1.r, d2.c, sum(d1.v * d2.v) FROM d d1, d d2 "
+      "WHERE d1.c = d2.r GROUP BY d1.r, d2.c HAVING sum(d1.v * d2.v) > 1");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().dense, DenseKernel::kNone);
+}
+
+TEST_F(PlannerTest, TrieLevelsFollowAttributeOrder) {
+  auto p = Plan(
+      "SELECT s1.r, s2.c, sum(s1.v * s2.v) FROM s s1, s s2 "
+      "WHERE s1.c = s2.r GROUP BY s1.r, s2.c");
+  ASSERT_TRUE(p.ok());
+  const NodePlan& root = p.value().nodes[0];
+  // Every relation's levels must appear in attribute-order positions.
+  for (const RelationPlan& rp : root.relations) {
+    int last_pos = -1;
+    for (int v : rp.levels_vertex) {
+      int pos = -1;
+      for (size_t i = 0; i < root.attr_order.size(); ++i) {
+        if (root.attr_order[i] == v) pos = static_cast<int>(i);
+      }
+      ASSERT_GE(pos, 0);
+      EXPECT_GT(pos, last_pos);
+      last_pos = pos;
+    }
+    EXPECT_EQ(rp.levels_vertex.size(), rp.levels_col.size());
+  }
+}
+
+TEST_F(PlannerTest, RelaxationGatedByOption) {
+  const std::string sql =
+      "SELECT s1.r, s2.c, sum(s1.v * s2.v) FROM s s1, s s2 "
+      "WHERE s1.c = s2.r GROUP BY s1.r, s2.c";
+  // Candidates include a relaxed order by default.
+  auto with = Plan(sql);
+  ASSERT_TRUE(with.ok());
+  bool any_relaxed = false;
+  for (const OrderCandidate& c : with.value().nodes[0].candidates) {
+    any_relaxed |= c.union_relaxed;
+  }
+  EXPECT_TRUE(any_relaxed);
+  QueryOptions off;
+  off.enable_union_relaxation = false;
+  auto without = Plan(sql, off);
+  ASSERT_TRUE(without.ok());
+  for (const OrderCandidate& c : without.value().nodes[0].candidates) {
+    EXPECT_FALSE(c.union_relaxed);
+  }
+}
+
+TEST_F(PlannerTest, NoEliminationAddsExtraLevels) {
+  QueryOptions no_elim;
+  no_elim.use_attribute_elimination = false;
+  // Query touches only s.r of the key columns; without elimination the
+  // trie must also key on s.c.
+  auto p = Plan("SELECT s.r, sum(s.v) FROM s, x WHERE s.r = x.i GROUP BY s.r",
+                no_elim);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const RelationPlan* s_rel = nullptr;
+  for (const RelationPlan& rp : p.value().nodes[0].relations) {
+    if (p.value().query.relations[rp.rel].alias == "s") s_rel = &rp;
+  }
+  ASSERT_NE(s_rel, nullptr);
+  EXPECT_EQ(s_rel->levels_col.size(), 1u);
+  EXPECT_EQ(s_rel->extra_level_cols.size(), 1u);
+}
+
+TEST_F(PlannerTest, CrossProductRejected) {
+  auto p = Plan("SELECT sum(s.v * x.val) FROM s, x");
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kPlanError);
+}
+
+TEST_F(PlannerTest, ForcedOrderValidation) {
+  const std::string sql =
+      "SELECT s1.r, s2.c, sum(s1.v * s2.v) FROM s s1, s s2 "
+      "WHERE s1.c = s2.r GROUP BY s1.r, s2.c";
+  QueryOptions opts;
+  opts.force_attr_order = {"r", "c", "c_2"};  // projected attr in middle
+  opts.enable_union_relaxation = false;
+  // [r, c, c_2] with c projected between materialized attrs is invalid
+  // without relaxation.
+  EXPECT_FALSE(Plan(sql, opts).ok());
+  opts.force_attr_order = {"r", "c_2", "c"};
+  EXPECT_TRUE(Plan(sql, opts).ok());
+}
+
+}  // namespace
+}  // namespace levelheaded

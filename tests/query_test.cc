@@ -1,0 +1,262 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/decomposer.h"
+#include "query/ghd.h"
+#include "query/hypergraph.h"
+#include "query/simplex.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace levelheaded {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simplex / fractional edge cover.
+// ---------------------------------------------------------------------------
+
+TEST(SimplexTest, BasicMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2 -> x=2, y=2, obj=10.
+  std::vector<double> sol;
+  auto r = SolveLpMax({3, 2}, {{1, 1}, {1, 0}}, {4, 2}, &sol);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 10.0, 1e-9);
+  EXPECT_NEAR(sol[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  auto r = SolveLpMax({1}, {}, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimplexTest, DegenerateZeroObjective) {
+  auto r = SolveLpMax({0, 0}, {{1, 1}}, {1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 0.0, 1e-9);
+}
+
+TEST(FractionalCoverTest, TriangleIsThreeHalves) {
+  // The AGM classic: triangle R(a,b), S(b,c), T(a,c) -> cover 1.5.
+  double w = FractionalEdgeCover(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_NEAR(w, 1.5, 1e-9);
+}
+
+TEST(FractionalCoverTest, PathNeedsTwoEdges) {
+  double w = FractionalEdgeCover(3, {{0, 1}, {1, 2}});
+  EXPECT_NEAR(w, 2.0, 1e-9);
+}
+
+TEST(FractionalCoverTest, SingleEdgeCoversItself) {
+  EXPECT_NEAR(FractionalEdgeCover(2, {{0, 1}}), 1.0, 1e-9);
+}
+
+TEST(FractionalCoverTest, UncoverableVertexIsInfinite) {
+  EXPECT_TRUE(std::isinf(FractionalEdgeCover(2, {{0}})));
+}
+
+TEST(FractionalCoverTest, EmptyVertexSetIsZero) {
+  EXPECT_NEAR(FractionalEdgeCover(0, {}), 0.0, 1e-9);
+}
+
+TEST(FractionalCoverTest, FourCycleIsTwo) {
+  // C4: edges (0,1),(1,2),(2,3),(3,0) -> fractional cover 2 (opposite pairs).
+  double w = FractionalEdgeCover(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_NEAR(w, 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Hypergraph + GHD over bound queries (TPC-H-like micro-catalog).
+// ---------------------------------------------------------------------------
+
+class GhdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](const std::string& name, std::vector<ColumnSpec> cols,
+                   std::vector<std::vector<Value>> rows) {
+      Table* t = catalog_.CreateTable(TableSchema(name, std::move(cols)))
+                     .ValueOrDie();
+      for (auto& r : rows) ASSERT_TRUE(t->AppendRow(r).ok());
+    };
+    add("region",
+        {ColumnSpec::Key("r_regionkey", ValueType::kInt64, "regionkey"),
+         ColumnSpec::Annotation("r_name", ValueType::kString)},
+        {{Value::Int(0), Value::Str("ASIA")}});
+    add("nation",
+        {ColumnSpec::Key("n_nationkey", ValueType::kInt64, "nationkey"),
+         ColumnSpec::Key("n_regionkey", ValueType::kInt64, "regionkey"),
+         ColumnSpec::Annotation("n_name", ValueType::kString)},
+        {{Value::Int(0), Value::Int(0), Value::Str("CHINA")}});
+    add("customer",
+        {ColumnSpec::Key("c_custkey", ValueType::kInt64, "custkey"),
+         ColumnSpec::Key("c_nationkey", ValueType::kInt64, "nationkey")},
+        {{Value::Int(0), Value::Int(0)}});
+    add("orders",
+        {ColumnSpec::Key("o_orderkey", ValueType::kInt64, "orderkey"),
+         ColumnSpec::Key("o_custkey", ValueType::kInt64, "custkey"),
+         ColumnSpec::Annotation("o_orderdate", ValueType::kDate)},
+        {{Value::Int(0), Value::Int(0), Value::Int(8800)}});
+    add("lineitem",
+        {ColumnSpec::Key("l_orderkey", ValueType::kInt64, "orderkey"),
+         ColumnSpec::Key("l_suppkey", ValueType::kInt64, "suppkey"),
+         ColumnSpec::Annotation("l_extendedprice", ValueType::kDouble),
+         ColumnSpec::Annotation("l_discount", ValueType::kDouble)},
+        {{Value::Int(0), Value::Int(0), Value::Real(10), Value::Real(0.1)}});
+    add("supplier",
+        {ColumnSpec::Key("s_suppkey", ValueType::kInt64, "suppkey"),
+         ColumnSpec::Key("s_nationkey", ValueType::kInt64, "nationkey")},
+        {{Value::Int(0), Value::Int(0)}});
+    add("edge",
+        {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+         ColumnSpec::Key("dst", ValueType::kInt64, "node")},
+        {{Value::Int(0), Value::Int(1)}});
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  LogicalQuery BindSql(const std::string& sql) {
+    auto parsed = ParseSelect(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto bound = Bind(parsed.TakeValue(), catalog_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return bound.TakeValue();
+  }
+
+  Catalog catalog_;
+
+  static constexpr const char* kQ5 =
+      "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS rev "
+      "FROM customer, orders, lineitem, supplier, nation, region "
+      "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+      "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+      "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'ASIA' "
+      "AND o_orderdate >= date '1994-01-01' "
+      "AND o_orderdate < date '1995-01-01' "
+      "GROUP BY n_name";
+};
+
+TEST_F(GhdTest, HypergraphStructureForQ5) {
+  LogicalQuery q = BindSql(kQ5);
+  auto h = BuildHypergraph(q);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  // 6 relations, 5 vertices (regionkey, nationkey, suppkey, custkey,
+  // orderkey).
+  EXPECT_EQ(h.value().edges.size(), 6u);
+  EXPECT_EQ(h.value().num_vertices, 5);
+  int filtered = 0;
+  for (const Hyperedge& e : h.value().edges) filtered += e.has_filter;
+  EXPECT_EQ(filtered, 2);  // region and orders carry selections
+}
+
+TEST_F(GhdTest, TriangleQueryIsSingleNodeWithAgmWidth) {
+  LogicalQuery q = BindSql(
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src");
+  auto h = BuildHypergraph(q).ValueOrDie();
+  Ghd ghd = ChooseGhd(q, h).ValueOrDie();
+  EXPECT_EQ(ghd.nodes.size(), 1u);
+  EXPECT_NEAR(ghd.fhw, 1.5, 1e-9);
+  EXPECT_TRUE(ValidateGhd(ghd, h).ok());
+}
+
+TEST_F(GhdTest, Q5ChoosesTwoNodePlanWithRegionNationChild) {
+  LogicalQuery q = BindSql(kQ5);
+  auto h = BuildHypergraph(q).ValueOrDie();
+  Ghd ghd = ChooseGhd(q, h).ValueOrDie();
+  ASSERT_EQ(ghd.nodes.size(), 2u) << ghd.ToString(h);
+  // Child must hold exactly region and nation (Figure 4's node1).
+  const GhdNode& child = ghd.nodes[1];
+  ASSERT_EQ(child.edges.size(), 2u);
+  std::set<std::string> aliases;
+  for (int e : child.edges) {
+    aliases.insert(q.relations[h.edges[e].relation].alias);
+  }
+  EXPECT_TRUE(aliases.count("region") == 1 && aliases.count("nation") == 1)
+      << ghd.ToString(h);
+  EXPECT_TRUE(ValidateGhd(ghd, h).ok());
+  // Two-node FHW (2) beats the single-node bag (3).
+  EXPECT_NEAR(ghd.fhw, 2.0, 1e-9);
+}
+
+TEST_F(GhdTest, AcyclicJoinWithoutFiltersStaysSingleNode) {
+  LogicalQuery q = BindSql(
+      "SELECT n_name, sum(o_orderdate) FROM customer, orders, nation "
+      "WHERE o_custkey = c_custkey AND c_nationkey = n_nationkey "
+      "GROUP BY n_name");
+  auto h = BuildHypergraph(q).ValueOrDie();
+  Ghd ghd = ChooseGhd(q, h).ValueOrDie();
+  EXPECT_EQ(ghd.nodes.size(), 1u);
+}
+
+TEST_F(GhdTest, CountStarNeverSplits) {
+  LogicalQuery q = BindSql(
+      "SELECT count(*) FROM customer, nation, region "
+      "WHERE c_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'ASIA'");
+  auto h = BuildHypergraph(q).ValueOrDie();
+  Ghd ghd = ChooseGhd(q, h).ValueOrDie();
+  EXPECT_EQ(ghd.nodes.size(), 1u);
+}
+
+TEST_F(GhdTest, ValidateRejectsBrokenGhds) {
+  LogicalQuery q = BindSql(kQ5);
+  auto h = BuildHypergraph(q).ValueOrDie();
+  Ghd good = ChooseGhd(q, h).ValueOrDie();
+
+  // Uncovered edge.
+  Ghd missing = good;
+  missing.nodes[0].edges.pop_back();
+  if (missing.nodes.size() > 1 && !missing.nodes[1].edges.empty()) {
+    EXPECT_TRUE(ValidateGhd(good, h).ok());
+  }
+  bool all_assigned = true;
+  std::set<int> assigned;
+  for (const GhdNode& n : missing.nodes) {
+    for (int e : n.edges) assigned.insert(e);
+  }
+  all_assigned = assigned.size() == h.edges.size();
+  if (!all_assigned) EXPECT_FALSE(ValidateGhd(missing, h).ok());
+
+  // Edge not inside its bag.
+  Ghd bad_bag = good;
+  bad_bag.nodes[0].bag.clear();
+  EXPECT_FALSE(ValidateGhd(bad_bag, h).ok());
+
+  // Broken running intersection: duplicate a vertex into a disconnected
+  // node. Construct a 3-node chain and put vertex 0 in nodes 0 and 2 only.
+  Ghd rip;
+  rip.nodes.resize(3);
+  rip.nodes[0].bag = h.VerticesOf({0, 1, 2, 3, 4, 5});
+  rip.nodes[0].edges = {0, 1, 2, 3, 4, 5};
+  rip.nodes[1].parent = 0;
+  rip.nodes[1].bag = {1};
+  rip.nodes[2].parent = 1;
+  rip.nodes[2].bag = {0, 2};
+  Status st = ValidateGhd(rip, h);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(GhdTest, HeuristicOrdering) {
+  LogicalQuery q = BindSql(kQ5);
+  auto h = BuildHypergraph(q).ValueOrDie();
+  auto all = EnumerateGhds(q, h).ValueOrDie();
+  ASSERT_GE(all.size(), 2u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(GhdPreferred(all[i], all[0], h));
+  }
+}
+
+TEST_F(GhdTest, GhdMetricsComputed) {
+  LogicalQuery q = BindSql(kQ5);
+  auto h = BuildHypergraph(q).ValueOrDie();
+  Ghd ghd = ChooseGhd(q, h).ValueOrDie();
+  EXPECT_EQ(ghd.depth(), 1);
+  EXPECT_GE(ghd.shared_vertices(), 1);  // nationkey shared
+  EXPECT_GT(ghd.selection_depth(h), 0);  // region filter sits at depth 1
+}
+
+}  // namespace
+}  // namespace levelheaded

@@ -1,0 +1,281 @@
+// Test-only reference executor: evaluates a bound LogicalQuery by brute
+// force (nested loops over decoded rows, hash grouping), independent of the
+// trie/WCOJ machinery. Used to cross-check LevelHeaded end to end.
+
+#ifndef LEVELHEADED_TESTS_REFERENCE_EXECUTOR_H_
+#define LEVELHEADED_TESTS_REFERENCE_EXECUTOR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/expr_eval.h"
+#include "core/result.h"
+#include "sql/logical_query.h"
+#include "util/logging.h"
+
+namespace levelheaded::testing {
+
+/// CellAccessor over one row per relation.
+class TupleCells : public CellAccessor {
+ public:
+  explicit TupleCells(const LogicalQuery& q) : q_(q), rows_(q.relations.size()) {}
+  std::vector<uint32_t> rows_;
+
+  double Number(int rel, int col) const override {
+    const ColumnData& c = q_.relations[rel].table->column(col);
+    const uint32_t row = rows_[rel];
+    if (!c.ints.empty()) return static_cast<double>(c.ints[row]);
+    if (!c.reals.empty()) return c.reals[row];
+    return static_cast<double>(c.codes[row]);
+  }
+  int64_t Code(int rel, int col) const override {
+    const ColumnData& c = q_.relations[rel].table->column(col);
+    if (c.dict == nullptr || c.dict->type() != ValueType::kString) return -1;
+    return c.codes[rows_[rel]];
+  }
+  const Dictionary* Dict(int rel, int col) const override {
+    const ColumnData& c = q_.relations[rel].table->column(col);
+    return c.dict != nullptr && c.dict->type() == ValueType::kString ? c.dict
+                                                                     : nullptr;
+  }
+
+ private:
+  const LogicalQuery& q_;
+};
+
+/// Brute-force evaluation. Exponential in the number of relations — use
+/// tiny tables only.
+inline QueryResult ReferenceExecute(const LogicalQuery& q) {
+  TupleCells cells(q);
+  const size_t nrels = q.relations.size();
+
+  // Grouping dimensions (mirrors the planner's implicit-distinct rule).
+  std::vector<const Expr*> dims;
+  std::vector<std::string> dim_names;
+  bool implicit_distinct = q.aggregates.empty() && q.group_by.empty();
+  if (implicit_distinct) {
+    for (const OutputItem& o : q.outputs) {
+      dims.push_back(o.expr.get());
+      dim_names.push_back(o.name);
+    }
+  } else {
+    for (const GroupBySpec& g : q.group_by) {
+      dims.push_back(g.expr.get());
+      dim_names.push_back(g.name);
+    }
+  }
+
+  struct Acc {
+    std::vector<double> main;
+    std::vector<double> aux;
+    std::vector<Value> dim_values;
+  };
+  std::map<std::string, Acc> groups;
+
+  std::function<void(size_t)> recurse = [&](size_t rel) {
+    if (rel == nrels) {
+      // Join conditions: all columns of each vertex agree.
+      for (const JoinVertex& v : q.vertices) {
+        for (size_t i = 1; i < v.columns.size(); ++i) {
+          const auto& a = v.columns[0];
+          const auto& b = v.columns[i];
+          if (q.relations[a.rel].table->CodeAt(cells.rows_[a.rel], a.col) !=
+              q.relations[b.rel].table->CodeAt(cells.rows_[b.rel], b.col)) {
+            return;
+          }
+        }
+      }
+      // Group key.
+      std::string key;
+      std::vector<Value> dim_values;
+      for (const Expr* d : dims) {
+        Value v = EvalValue(*d, cells);
+        key += v.ToString();
+        key += '\x1f';
+        dim_values.push_back(std::move(v));
+      }
+      Acc& acc = groups[key];
+      if (acc.main.empty()) {
+        acc.main.assign(std::max<size_t>(1, q.aggregates.size()), 0);
+        acc.aux.assign(std::max<size_t>(1, q.aggregates.size()), 0);
+        acc.dim_values = std::move(dim_values);
+        for (size_t i = 0; i < q.aggregates.size(); ++i) {
+          if (q.aggregates[i].func == AggFunc::kMin) {
+            acc.main[i] = std::numeric_limits<double>::infinity();
+          } else if (q.aggregates[i].func == AggFunc::kMax) {
+            acc.main[i] = -std::numeric_limits<double>::infinity();
+          }
+        }
+      }
+      for (size_t i = 0; i < q.aggregates.size(); ++i) {
+        const AggregateSpec& agg = q.aggregates[i];
+        switch (agg.func) {
+          case AggFunc::kCount:
+            acc.main[i] += 1;
+            break;
+          case AggFunc::kSum:
+            acc.main[i] += EvalNumber(*agg.arg, cells);
+            break;
+          case AggFunc::kAvg:
+            acc.main[i] += EvalNumber(*agg.arg, cells);
+            acc.aux[i] += 1;
+            break;
+          case AggFunc::kMin:
+            acc.main[i] = std::min(acc.main[i], EvalNumber(*agg.arg, cells));
+            break;
+          case AggFunc::kMax:
+            acc.main[i] = std::max(acc.main[i], EvalNumber(*agg.arg, cells));
+            break;
+        }
+      }
+      return;
+    }
+    const RelationRef& ref = q.relations[rel];
+    for (uint32_t row = 0; row < ref.table->num_rows(); ++row) {
+      cells.rows_[rel] = row;
+      bool pass = true;
+      for (const ExprPtr& f : ref.filters) {
+        if (!EvalBool(*f, cells)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) recurse(rel + 1);
+    }
+  };
+  if (!q.always_empty) recurse(0);
+
+  // Materialize outputs.
+  QueryResult result;
+  result.num_rows = groups.size();
+  for (const OutputItem& o : q.outputs) {
+    ResultColumn col;
+    col.name = o.name;
+    size_t g = 0;
+    for (const auto& [key, acc] : groups) {
+      (void)key;
+      Value v;
+      if (o.direct_group_index >= 0) {
+        v = acc.dim_values[o.direct_group_index];
+      } else if (o.direct_agg_slot >= 0) {
+        const int slot = o.direct_agg_slot;
+        double val = acc.main[slot];
+        if (q.aggregates[slot].func == AggFunc::kAvg) {
+          val = acc.aux[slot] == 0 ? 0 : val / acc.aux[slot];
+        }
+        v = Value::Real(val);
+      } else {
+        // Post-aggregation scalar over slots and dims.
+        std::function<double(const Expr&)> eval = [&](const Expr& e) -> double {
+          for (size_t d = 0; d < dims.size(); ++d) {
+            if (ExprEquals(e, *dims[d])) return acc.dim_values[d].AsReal();
+          }
+          switch (e.kind) {
+            case Expr::Kind::kAggRef: {
+              double val = acc.main[e.slot_index];
+              if (q.aggregates[e.slot_index].func == AggFunc::kAvg) {
+                val = acc.aux[e.slot_index] == 0
+                          ? 0
+                          : val / acc.aux[e.slot_index];
+              }
+              return val;
+            }
+            case Expr::Kind::kIntLiteral:
+            case Expr::Kind::kDateLiteral:
+              return static_cast<double>(e.int_value);
+            case Expr::Kind::kRealLiteral:
+              return e.real_value;
+            case Expr::Kind::kUnaryMinus:
+              return -eval(*e.children[0]);
+            case Expr::Kind::kBinary: {
+              double l = eval(*e.children[0]), r = eval(*e.children[1]);
+              switch (e.bin_op) {
+                case BinOp::kAdd:
+                  return l + r;
+                case BinOp::kSub:
+                  return l - r;
+                case BinOp::kMul:
+                  return l * r;
+                case BinOp::kDiv:
+                  return l / r;
+                default:
+                  ADD_FAILURE() << "bad output op";
+                  return 0;
+              }
+            }
+            default:
+              ADD_FAILURE() << "bad output expr " << e.ToString();
+              return 0;
+          }
+        };
+        v = Value::Real(eval(*o.expr));
+      }
+      // Typed append: the column's representation is fixed by the first
+      // value; numeric values coerce to it (Int vs Real can vary per row
+      // for double-typed dimensions).
+      if (g == 0) {
+        col.type = v.kind() == Value::Kind::kString ? ValueType::kString
+                   : v.kind() == Value::Kind::kInt  ? ValueType::kInt64
+                                                    : ValueType::kDouble;
+      }
+      if (col.type == ValueType::kString) {
+        col.strs.push_back(v.AsStr());
+      } else if (col.type == ValueType::kInt64) {
+        col.ints.push_back(v.kind() == Value::Kind::kInt
+                               ? v.AsInt()
+                               : static_cast<int64_t>(v.AsReal()));
+      } else {
+        col.reals.push_back(v.AsReal());
+      }
+      ++g;
+    }
+    result.columns.push_back(std::move(col));
+  }
+  return result;
+}
+
+/// Renders one result row as comparable strings (numbers canonicalized).
+inline std::vector<std::string> RowStrings(const QueryResult& r, size_t row) {
+  std::vector<std::string> out;
+  for (size_t c = 0; c < r.columns.size(); ++c) {
+    Value v = r.GetValue(row, static_cast<int>(c));
+    if (v.kind() == Value::Kind::kString) {
+      out.push_back("s:" + v.AsStr());
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "n:%.6g", v.AsReal());
+      out.push_back(buf);
+    }
+  }
+  return out;
+}
+
+/// Asserts two results hold the same multiset of rows (order-insensitive,
+/// numeric values canonicalized to 9 significant digits).
+inline void ExpectResultsMatch(const QueryResult& actual,
+                               const QueryResult& expected,
+                               const std::string& label) {
+  ASSERT_EQ(actual.columns.size(), expected.columns.size()) << label;
+  ASSERT_EQ(actual.num_rows, expected.num_rows) << label;
+  std::vector<std::vector<std::string>> a, b;
+  for (size_t r = 0; r < actual.num_rows; ++r) {
+    a.push_back(RowStrings(actual, r));
+  }
+  for (size_t r = 0; r < expected.num_rows; ++r) {
+    b.push_back(RowStrings(expected, r));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b) << label;
+}
+
+}  // namespace levelheaded::testing
+
+#endif  // LEVELHEADED_TESTS_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/result.h"
+#include "storage/dictionary.h"
+
+namespace levelheaded {
+namespace {
+
+QueryResult SampleResult() {
+  QueryResult r;
+  r.num_rows = 3;
+  ResultColumn name;
+  name.name = "name";
+  name.type = ValueType::kString;
+  name.strs = {"b", "a", "c"};
+  ResultColumn total;
+  total.name = "total";
+  total.type = ValueType::kDouble;
+  total.reals = {2.0, 1.0, 3.0};
+  r.columns = {std::move(name), std::move(total)};
+  return r;
+}
+
+TEST(QueryResultTest, AccessorsAndFind) {
+  QueryResult r = SampleResult();
+  EXPECT_EQ(r.FindColumn("total"), 1);
+  EXPECT_EQ(r.FindColumn("nope"), -1);
+  EXPECT_EQ(r.GetValue(0, 0), Value::Str("b"));
+  EXPECT_EQ(r.GetValue(2, 1), Value::Real(3.0));
+}
+
+TEST(QueryResultTest, ToStringTruncates) {
+  QueryResult r = SampleResult();
+  std::string s = r.ToString(2);
+  EXPECT_NE(s.find("name | total"), std::string::npos);
+  EXPECT_NE(s.find("(1 more rows)"), std::string::npos);
+}
+
+TEST(QueryResultTest, SortRowsIsLexicographic) {
+  QueryResult r = SampleResult();
+  r.SortRows();
+  EXPECT_EQ(r.GetValue(0, 0), Value::Str("a"));
+  EXPECT_EQ(r.GetValue(0, 1), Value::Real(1.0));
+  EXPECT_EQ(r.GetValue(2, 0), Value::Str("c"));
+}
+
+TEST(QueryResultTest, CodedColumnsDecodeOnDemand) {
+  Dictionary dict(ValueType::kString);
+  dict.AddString("apple");
+  dict.AddString("pear");
+  dict.Finalize();
+
+  QueryResult r;
+  r.num_rows = 2;
+  ResultColumn fruit;
+  fruit.name = "fruit";
+  fruit.type = ValueType::kString;
+  fruit.codes = {dict.EncodeString("pear"), dict.EncodeString("apple")};
+  fruit.dict = &dict;
+  r.columns.push_back(std::move(fruit));
+
+  EXPECT_EQ(r.GetValue(0, 0), Value::Str("pear"));
+  EXPECT_EQ(r.GetValue(1, 0), Value::Str("apple"));
+  r.SortRows();  // order-preserving codes sort like strings
+  EXPECT_EQ(r.GetValue(0, 0), Value::Str("apple"));
+}
+
+TEST(QueryResultTest, KeepStringsEncodedEndToEnd) {
+  Catalog catalog;
+  Table* t = catalog
+                 .CreateTable(TableSchema(
+                     "t", {ColumnSpec::Key("k", ValueType::kInt64),
+                           ColumnSpec::Annotation("tag", ValueType::kString),
+                           ColumnSpec::Annotation("v", ValueType::kDouble)}))
+                 .ValueOrDie();
+  ASSERT_TRUE(t->AppendRow({Value::Int(1), Value::Str("red"),
+                            Value::Real(1)})
+                  .ok());
+  ASSERT_TRUE(t->AppendRow({Value::Int(2), Value::Str("blue"),
+                            Value::Real(2)})
+                  .ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  Engine engine(&catalog);
+
+  QueryOptions opts;
+  opts.keep_strings_encoded = true;
+  auto r = engine.Query("SELECT tag, sum(v) FROM t GROUP BY tag", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ResultColumn& tag = r.value().columns[0];
+  EXPECT_TRUE(tag.strs.empty());
+  EXPECT_FALSE(tag.codes.empty());
+  ASSERT_NE(tag.dict, nullptr);
+  // Values still readable through the generic accessor.
+  std::set<std::string> seen;
+  for (size_t row = 0; row < r.value().num_rows; ++row) {
+    seen.insert(r.value().GetValue(row, 0).AsStr());
+  }
+  EXPECT_EQ(seen, (std::set<std::string>{"blue", "red"}));
+}
+
+}  // namespace
+}  // namespace levelheaded

@@ -1,0 +1,225 @@
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/date.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace levelheaded {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("unexpected token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.ToString(), "ParseError: unexpected token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  LH_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = DoublePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = DoublePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitsTest, WordsForBits) {
+  EXPECT_EQ(bits::WordsForBits(0), 0u);
+  EXPECT_EQ(bits::WordsForBits(1), 1u);
+  EXPECT_EQ(bits::WordsForBits(64), 1u);
+  EXPECT_EQ(bits::WordsForBits(65), 2u);
+}
+
+TEST(BitsTest, LowMask) {
+  EXPECT_EQ(bits::LowMask(0), 0ULL);
+  EXPECT_EQ(bits::LowMask(1), 1ULL);
+  EXPECT_EQ(bits::LowMask(64), ~0ULL);
+}
+
+TEST(BitsTest, SetAndTestBit) {
+  uint64_t words[2] = {0, 0};
+  bits::SetBit(words, 0);
+  bits::SetBit(words, 63);
+  bits::SetBit(words, 64);
+  EXPECT_TRUE(bits::TestBit(words, 0));
+  EXPECT_TRUE(bits::TestBit(words, 63));
+  EXPECT_TRUE(bits::TestBit(words, 64));
+  EXPECT_FALSE(bits::TestBit(words, 1));
+  EXPECT_FALSE(bits::TestBit(words, 65));
+}
+
+TEST(DateTest, RoundTripKnownDates) {
+  // 1970-01-01 is day 0.
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(DaysFromCivil({1970, 1, 2}), 1);
+  // 2000-03-01: leap-century boundary.
+  CivilDate d = CivilFromDays(DaysFromCivil({2000, 3, 1}));
+  EXPECT_EQ(d.year, 2000);
+  EXPECT_EQ(d.month, 3);
+  EXPECT_EQ(d.day, 1);
+}
+
+TEST(DateTest, RoundTripSweep) {
+  for (int32_t days = -400 * 365; days <= 400 * 365; days += 13) {
+    CivilDate d = CivilFromDays(days);
+    EXPECT_EQ(DaysFromCivil(d), days);
+  }
+}
+
+TEST(DateTest, ParseAndFormat) {
+  auto r = ParseDate("1994-01-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(FormatDate(r.value()), "1994-01-01");
+  EXPECT_EQ(YearOfDays(r.value()), 1994);
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseDate("1994/01/01").ok());
+  EXPECT_FALSE(ParseDate("94-01-01").ok());
+  EXPECT_FALSE(ParseDate("1994-13-01").ok());
+  EXPECT_FALSE(ParseDate("1994-00-10").ok());
+  EXPECT_FALSE(ParseDate("abcd-ef-gh").ok());
+}
+
+TEST(DateTest, TpchQ1CutoffArithmetic) {
+  // Q1's `date '1998-12-01' - interval '90' day` must land on 1998-09-02.
+  int32_t base = ParseDate("1998-12-01").ValueOrDie();
+  EXPECT_EQ(FormatDate(base - 90), "1998-09-02");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Uniform(17);
+    EXPECT_LT(v, 17u);
+    int64_t w = rng.UniformInt(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 1024, [&](int, int64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelChunksSum) {
+  ThreadPool pool(8);
+  constexpr int64_t kN = 1 << 20;
+  std::atomic<int64_t> total{0};
+  pool.ParallelChunks(0, kN, 4096, [&](int, int64_t lo, int64_t hi) {
+    int64_t local = 0;
+    for (int64_t i = lo; i < hi; ++i) local += i;
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, 1, [&](int, int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, NestedParallelismRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 16, 1, [&](int, int64_t) {
+    pool.ParallelFor(0, 64, 1, [&](int, int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16 * 64);
+}
+
+TEST(ThreadPoolTest, ThreadSlotsWithinBounds) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.ParallelFor(0, 10000, 16, [&](int slot, int64_t) {
+    if (slot < 0 || slot > pool.num_threads()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 1000, 10, [&](int, int64_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 1000);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // ms >= s numerically
+}
+
+TEST(TimerTest, AverageDropsExtremes) {
+  int calls = 0;
+  double avg = TimeAverageMillis(7, [&] { ++calls; });
+  EXPECT_EQ(calls, 7);
+  EXPECT_GE(avg, 0.0);
+}
+
+}  // namespace
+}  // namespace levelheaded

@@ -1,0 +1,210 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baseline/pairwise_engine.h"
+#include "core/engine.h"
+#include "reference_executor.h"
+#include "workload/matrix_gen.h"
+#include "workload/tpch_gen.h"
+#include "workload/voter_gen.h"
+
+namespace levelheaded {
+namespace {
+
+using ::levelheaded::testing::ExpectResultsMatch;
+
+// ---------------------------------------------------------------------------
+// Generator structure checks.
+// ---------------------------------------------------------------------------
+
+TEST(TpchGenTest, PopulatesAllTables) {
+  Catalog catalog;
+  TpchGenerator gen(0.001);
+  ASSERT_TRUE(gen.Populate(&catalog).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  for (const char* name : {"region", "nation", "supplier", "customer",
+                           "part", "partsupp", "orders", "lineitem"}) {
+    const Table* t = catalog.GetTable(name);
+    ASSERT_NE(t, nullptr) << name;
+    EXPECT_GT(t->num_rows(), 0u) << name;
+  }
+  EXPECT_EQ(catalog.GetTable("region")->num_rows(), 5u);
+  EXPECT_EQ(catalog.GetTable("nation")->num_rows(), 25u);
+  // partsupp = 4 suppliers per part.
+  EXPECT_EQ(catalog.GetTable("partsupp")->num_rows(),
+            catalog.GetTable("part")->num_rows() * 4);
+  // lineitem rows join consistently: every (partkey, suppkey) appears in
+  // partsupp (checked via a join query below).
+}
+
+TEST(TpchGenTest, ScaleFactorScalesRows) {
+  Catalog small_cat, big_cat;
+  TpchGenerator small(0.001), big(0.004);
+  ASSERT_TRUE(small.Populate(&small_cat).ok());
+  ASSERT_TRUE(big.Populate(&big_cat).ok());
+  EXPECT_GT(big_cat.GetTable("lineitem")->num_rows(),
+            2 * small_cat.GetTable("lineitem")->num_rows());
+}
+
+TEST(TpchGenTest, Deterministic) {
+  Catalog a, b;
+  ASSERT_TRUE(TpchGenerator(0.001, 7).Populate(&a).ok());
+  ASSERT_TRUE(TpchGenerator(0.001, 7).Populate(&b).ok());
+  const Table* la = a.GetTable("lineitem");
+  const Table* lb = b.GetTable("lineitem");
+  ASSERT_EQ(la->num_rows(), lb->num_rows());
+  for (size_t r = 0; r < std::min<size_t>(50, la->num_rows()); ++r) {
+    EXPECT_EQ(la->GetValue(r, 4), lb->GetValue(r, 4));
+  }
+}
+
+TEST(MatrixGenTest, BandedStructure) {
+  SyntheticMatrix m = MakeBandedMatrix("t", 200, 3, 2, 1);
+  EXPECT_EQ(m.coo.num_rows, 200);
+  // Band of half-width 3 -> at least 7 nnz per interior row.
+  EXPECT_GE(m.coo.nnz(), size_t{200} * 6);
+  // All coordinates in range.
+  for (size_t i = 0; i < m.coo.nnz(); ++i) {
+    EXPECT_LT(m.coo.rows[i], 200u);
+    EXPECT_LT(m.coo.cols[i], 200u);
+  }
+}
+
+TEST(MatrixGenTest, PresetsScale) {
+  SyntheticMatrix h = HarborLike(0.01);
+  EXPECT_GE(h.coo.num_rows, 64);
+  EXPECT_GT(h.coo.nnz(), static_cast<size_t>(h.coo.num_rows) * 10);
+  SyntheticMatrix n = Nlp240Like(0.001);
+  EXPECT_GT(n.coo.nnz(), 0u);
+}
+
+TEST(VoterGenTest, PopulatesAndHasSignal) {
+  Catalog catalog;
+  VoterGenerator gen(2000, 50);
+  ASSERT_TRUE(gen.Populate(&catalog).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  EXPECT_EQ(catalog.GetTable("voters")->num_rows(), 2000u);
+  EXPECT_EQ(catalog.GetTable("precincts")->num_rows(), 50u);
+  // Labels are mixed (not constant).
+  Engine engine(&catalog);
+  auto r = engine.Query("SELECT sum(v_label), count(*) FROM voters");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const double ones = r.value().GetValue(0, 0).AsReal();
+  const double total = r.value().GetValue(0, 1).AsReal();
+  EXPECT_GT(ones, total * 0.1);
+  EXPECT_LT(ones, total * 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H integration: the three independent engines (WCOJ, pairwise
+// vectorized, pairwise materialized) must agree on all seven benchmark
+// queries at a small scale factor.
+// ---------------------------------------------------------------------------
+
+class TpchQueryTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    TpchGenerator gen(0.002);
+    ASSERT_TRUE(gen.Populate(catalog_).ok());
+    ASSERT_TRUE(catalog_->Finalize().ok());
+    engine_ = new Engine(catalog_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+    engine_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static Catalog* catalog_;
+  static Engine* engine_;
+};
+
+Catalog* TpchQueryTest::catalog_ = nullptr;
+Engine* TpchQueryTest::engine_ = nullptr;
+
+TEST_P(TpchQueryTest, EnginesAgree) {
+  const std::string sql = TpchQuery(GetParam());
+  auto lh = engine_->Query(sql);
+  ASSERT_TRUE(lh.ok()) << GetParam() << ": " << lh.status().ToString();
+
+  PairwiseEngine vectorized(catalog_, BaselineMode::kVectorized);
+  auto vec = vectorized.Query(sql);
+  ASSERT_TRUE(vec.ok()) << GetParam() << ": " << vec.status().ToString();
+  ExpectResultsMatch(lh.value(), vec.value(),
+                     std::string(GetParam()) + " vs vectorized");
+
+  PairwiseEngine materialized(catalog_, BaselineMode::kMaterialized);
+  auto mat = materialized.Query(sql);
+  ASSERT_TRUE(mat.ok()) << GetParam() << ": " << mat.status().ToString();
+  ExpectResultsMatch(lh.value(), mat.value(),
+                     std::string(GetParam()) + " vs materialized");
+}
+
+TEST_P(TpchQueryTest, AblationArmsAgreeWithDefault) {
+  const std::string sql = TpchQuery(GetParam());
+  auto expected = engine_->Query(sql);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  QueryOptions no_elim;
+  no_elim.use_attribute_elimination = false;
+  auto r1 = engine_->Query(sql, no_elim);
+  ASSERT_TRUE(r1.ok()) << GetParam() << ": " << r1.status().ToString();
+  ExpectResultsMatch(r1.value(), expected.value(),
+                     std::string(GetParam()) + " -attr-elim");
+
+  QueryOptions worst;
+  worst.order_mode = OrderMode::kWorst;
+  auto r2 = engine_->Query(sql, worst);
+  ASSERT_TRUE(r2.ok()) << GetParam() << ": " << r2.status().ToString();
+  ExpectResultsMatch(r2.value(), expected.value(),
+                     std::string(GetParam()) + " -attr-ord");
+}
+
+TEST_P(TpchQueryTest, NonEmptyResults) {
+  // Selectivities at tiny SFs can produce small, but never absurd, outputs;
+  // Q1 must have <= 6 flag/status groups, Q5 <= 5 nations, etc.
+  auto r = engine_->Query(TpchQuery(GetParam()));
+  ASSERT_TRUE(r.ok());
+  if (std::string(GetParam()) == "q1") {
+    EXPECT_GT(r.value().num_rows, 0u);
+    EXPECT_LE(r.value().num_rows, 6u);
+  }
+  if (std::string(GetParam()) == "q6") EXPECT_EQ(r.value().num_rows, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::Values("q1", "q3", "q5", "q6", "q8",
+                                           "q9", "q10",
+                                           // extensions beyond the paper
+                                           "q12", "q14"));
+
+// LA queries over generated matrices: engines agree.
+TEST(MatrixWorkloadTest, SmvAndSmmEnginesAgree) {
+  Catalog catalog;
+  SyntheticMatrix m = MakeBandedMatrix("m", 300, 2, 2, 5);
+  ASSERT_TRUE(AddMatrixTable(&catalog, "m", "idx", m).ok());
+  ASSERT_TRUE(AddVectorTable(&catalog, "x", "idx", 300, 6).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+
+  Engine lh(&catalog);
+  PairwiseEngine base(&catalog, BaselineMode::kVectorized);
+  const char* kSmv =
+      "SELECT m.r, sum(m.v * x.val) FROM m, x WHERE m.c = x.i GROUP BY m.r";
+  const char* kSmm =
+      "SELECT m1.r, m2.c, sum(m1.v * m2.v) FROM m m1, m m2 "
+      "WHERE m1.c = m2.r GROUP BY m1.r, m2.c";
+  for (const char* sql : {kSmv, kSmm}) {
+    auto a = lh.Query(sql);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    auto b = base.Query(sql);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectResultsMatch(a.value(), b.value(), sql);
+  }
+}
+
+}  // namespace
+}  // namespace levelheaded
