@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_intersect.dir/fig5a_intersect.cc.o"
+  "CMakeFiles/fig5a_intersect.dir/fig5a_intersect.cc.o.d"
+  "fig5a_intersect"
+  "fig5a_intersect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_intersect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_smm_order.dir/fig5b_smm_order.cc.o"
+  "CMakeFiles/fig5b_smm_order.dir/fig5b_smm_order.cc.o.d"
+  "fig5b_smm_order"
+  "fig5b_smm_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_smm_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_q5_orders.dir/fig5c_q5_orders.cc.o"
+  "CMakeFiles/fig5c_q5_orders.dir/fig5c_q5_orders.cc.o.d"
+  "fig5c_q5_orders"
+  "fig5c_q5_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_q5_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

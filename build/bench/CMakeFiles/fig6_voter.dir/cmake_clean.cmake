@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_voter.dir/fig6_voter.cc.o"
+  "CMakeFiles/fig6_voter.dir/fig6_voter.cc.o.d"
+  "fig6_voter"
+  "fig6_voter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_voter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghd_choice.dir/ghd_choice.cc.o"
+  "CMakeFiles/ghd_choice.dir/ghd_choice.cc.o.d"
+  "ghd_choice"
+  "ghd_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghd_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

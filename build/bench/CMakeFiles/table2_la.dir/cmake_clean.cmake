@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_la.dir/table2_la.cc.o"
+  "CMakeFiles/table2_la.dir/table2_la.cc.o.d"
+  "table2_la"
+  "table2_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tpch.dir/table2_tpch.cc.o"
+  "CMakeFiles/table2_tpch.dir/table2_tpch.cc.o.d"
+  "table2_tpch"
+  "table2_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

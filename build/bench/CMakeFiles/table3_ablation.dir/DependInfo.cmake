@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_ablation.cc" "bench/CMakeFiles/table3_ablation.dir/table3_ablation.cc.o" "gcc" "bench/CMakeFiles/table3_ablation.dir/table3_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/lh_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lh_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lh_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/lh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/lh_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lh_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

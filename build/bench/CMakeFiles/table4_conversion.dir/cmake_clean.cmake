@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_conversion.dir/table4_conversion.cc.o"
+  "CMakeFiles/table4_conversion.dir/table4_conversion.cc.o.d"
+  "table4_conversion"
+  "table4_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_triangles.dir/graph_triangles.cc.o"
+  "CMakeFiles/graph_triangles.dir/graph_triangles.cc.o.d"
+  "graph_triangles"
+  "graph_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhsql.dir/lhsql.cc.o"
+  "CMakeFiles/lhsql.dir/lhsql.cc.o.d"
+  "lhsql"
+  "lhsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_linear_algebra.dir/sparse_linear_algebra.cc.o"
+  "CMakeFiles/sparse_linear_algebra.dir/sparse_linear_algebra.cc.o.d"
+  "sparse_linear_algebra"
+  "sparse_linear_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_linear_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voter_pipeline.dir/voter_pipeline.cc.o"
+  "CMakeFiles/voter_pipeline.dir/voter_pipeline.cc.o.d"
+  "voter_pipeline"
+  "voter_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voter_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_baseline.dir/block_eval.cc.o"
+  "CMakeFiles/lh_baseline.dir/block_eval.cc.o.d"
+  "CMakeFiles/lh_baseline.dir/pairwise_engine.cc.o"
+  "CMakeFiles/lh_baseline.dir/pairwise_engine.cc.o.d"
+  "liblh_baseline.a"
+  "liblh_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/lh_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/lh_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/lh_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/expr_eval.cc" "src/core/CMakeFiles/lh_core.dir/expr_eval.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/expr_eval.cc.o.d"
+  "/root/repo/src/core/group_accum.cc" "src/core/CMakeFiles/lh_core.dir/group_accum.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/group_accum.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/lh_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/core/CMakeFiles/lh_core.dir/result.cc.o" "gcc" "src/core/CMakeFiles/lh_core.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/lh_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/lh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/lh_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lh_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_core.dir/cost_model.cc.o"
+  "CMakeFiles/lh_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/lh_core.dir/engine.cc.o"
+  "CMakeFiles/lh_core.dir/engine.cc.o.d"
+  "CMakeFiles/lh_core.dir/executor.cc.o"
+  "CMakeFiles/lh_core.dir/executor.cc.o.d"
+  "CMakeFiles/lh_core.dir/expr_eval.cc.o"
+  "CMakeFiles/lh_core.dir/expr_eval.cc.o.d"
+  "CMakeFiles/lh_core.dir/group_accum.cc.o"
+  "CMakeFiles/lh_core.dir/group_accum.cc.o.d"
+  "CMakeFiles/lh_core.dir/planner.cc.o"
+  "CMakeFiles/lh_core.dir/planner.cc.o.d"
+  "CMakeFiles/lh_core.dir/result.cc.o"
+  "CMakeFiles/lh_core.dir/result.cc.o.d"
+  "liblh_core.a"
+  "liblh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

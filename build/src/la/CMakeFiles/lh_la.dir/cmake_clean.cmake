@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_la.dir/dense.cc.o"
+  "CMakeFiles/lh_la.dir/dense.cc.o.d"
+  "CMakeFiles/lh_la.dir/sparse.cc.o"
+  "CMakeFiles/lh_la.dir/sparse.cc.o.d"
+  "liblh_la.a"
+  "liblh_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_ml.dir/feature_encoder.cc.o"
+  "CMakeFiles/lh_ml.dir/feature_encoder.cc.o.d"
+  "CMakeFiles/lh_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/lh_ml.dir/logistic_regression.cc.o.d"
+  "liblh_ml.a"
+  "liblh_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/decomposer.cc" "src/query/CMakeFiles/lh_query.dir/decomposer.cc.o" "gcc" "src/query/CMakeFiles/lh_query.dir/decomposer.cc.o.d"
+  "/root/repo/src/query/full_decomposer.cc" "src/query/CMakeFiles/lh_query.dir/full_decomposer.cc.o" "gcc" "src/query/CMakeFiles/lh_query.dir/full_decomposer.cc.o.d"
+  "/root/repo/src/query/ghd.cc" "src/query/CMakeFiles/lh_query.dir/ghd.cc.o" "gcc" "src/query/CMakeFiles/lh_query.dir/ghd.cc.o.d"
+  "/root/repo/src/query/hypergraph.cc" "src/query/CMakeFiles/lh_query.dir/hypergraph.cc.o" "gcc" "src/query/CMakeFiles/lh_query.dir/hypergraph.cc.o.d"
+  "/root/repo/src/query/simplex.cc" "src/query/CMakeFiles/lh_query.dir/simplex.cc.o" "gcc" "src/query/CMakeFiles/lh_query.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/lh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/lh_set.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

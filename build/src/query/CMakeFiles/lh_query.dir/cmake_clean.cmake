@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_query.dir/decomposer.cc.o"
+  "CMakeFiles/lh_query.dir/decomposer.cc.o.d"
+  "CMakeFiles/lh_query.dir/full_decomposer.cc.o"
+  "CMakeFiles/lh_query.dir/full_decomposer.cc.o.d"
+  "CMakeFiles/lh_query.dir/ghd.cc.o"
+  "CMakeFiles/lh_query.dir/ghd.cc.o.d"
+  "CMakeFiles/lh_query.dir/hypergraph.cc.o"
+  "CMakeFiles/lh_query.dir/hypergraph.cc.o.d"
+  "CMakeFiles/lh_query.dir/simplex.cc.o"
+  "CMakeFiles/lh_query.dir/simplex.cc.o.d"
+  "liblh_query.a"
+  "liblh_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

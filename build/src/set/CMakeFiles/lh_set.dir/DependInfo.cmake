@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/set/intersect.cc" "src/set/CMakeFiles/lh_set.dir/intersect.cc.o" "gcc" "src/set/CMakeFiles/lh_set.dir/intersect.cc.o.d"
+  "/root/repo/src/set/set.cc" "src/set/CMakeFiles/lh_set.dir/set.cc.o" "gcc" "src/set/CMakeFiles/lh_set.dir/set.cc.o.d"
+  "/root/repo/src/set/simd_intersect.cc" "src/set/CMakeFiles/lh_set.dir/simd_intersect.cc.o" "gcc" "src/set/CMakeFiles/lh_set.dir/simd_intersect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

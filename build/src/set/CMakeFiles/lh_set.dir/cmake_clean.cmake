@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_set.dir/intersect.cc.o"
+  "CMakeFiles/lh_set.dir/intersect.cc.o.d"
+  "CMakeFiles/lh_set.dir/set.cc.o"
+  "CMakeFiles/lh_set.dir/set.cc.o.d"
+  "CMakeFiles/lh_set.dir/simd_intersect.cc.o"
+  "CMakeFiles/lh_set.dir/simd_intersect.cc.o.d"
+  "liblh_set.a"
+  "liblh_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

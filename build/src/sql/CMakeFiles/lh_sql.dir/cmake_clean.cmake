@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_sql.dir/ast.cc.o"
+  "CMakeFiles/lh_sql.dir/ast.cc.o.d"
+  "CMakeFiles/lh_sql.dir/binder.cc.o"
+  "CMakeFiles/lh_sql.dir/binder.cc.o.d"
+  "CMakeFiles/lh_sql.dir/lexer.cc.o"
+  "CMakeFiles/lh_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/lh_sql.dir/parser.cc.o"
+  "CMakeFiles/lh_sql.dir/parser.cc.o.d"
+  "liblh_sql.a"
+  "liblh_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/lh_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/storage/CMakeFiles/lh_storage.dir/dictionary.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/dictionary.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/lh_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/storage/CMakeFiles/lh_storage.dir/snapshot.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/snapshot.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/lh_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/trie.cc" "src/storage/CMakeFiles/lh_storage.dir/trie.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/trie.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/lh_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/lh_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/set/CMakeFiles/lh_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

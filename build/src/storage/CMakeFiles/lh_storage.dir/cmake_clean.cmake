@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_storage.dir/csv.cc.o"
+  "CMakeFiles/lh_storage.dir/csv.cc.o.d"
+  "CMakeFiles/lh_storage.dir/dictionary.cc.o"
+  "CMakeFiles/lh_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/lh_storage.dir/schema.cc.o"
+  "CMakeFiles/lh_storage.dir/schema.cc.o.d"
+  "CMakeFiles/lh_storage.dir/snapshot.cc.o"
+  "CMakeFiles/lh_storage.dir/snapshot.cc.o.d"
+  "CMakeFiles/lh_storage.dir/table.cc.o"
+  "CMakeFiles/lh_storage.dir/table.cc.o.d"
+  "CMakeFiles/lh_storage.dir/trie.cc.o"
+  "CMakeFiles/lh_storage.dir/trie.cc.o.d"
+  "CMakeFiles/lh_storage.dir/value.cc.o"
+  "CMakeFiles/lh_storage.dir/value.cc.o.d"
+  "liblh_storage.a"
+  "liblh_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

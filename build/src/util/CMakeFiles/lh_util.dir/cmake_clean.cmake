@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_util.dir/date.cc.o"
+  "CMakeFiles/lh_util.dir/date.cc.o.d"
+  "CMakeFiles/lh_util.dir/status.cc.o"
+  "CMakeFiles/lh_util.dir/status.cc.o.d"
+  "CMakeFiles/lh_util.dir/thread_pool.cc.o"
+  "CMakeFiles/lh_util.dir/thread_pool.cc.o.d"
+  "liblh_util.a"
+  "liblh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/matrix_gen.cc" "src/workload/CMakeFiles/lh_workload.dir/matrix_gen.cc.o" "gcc" "src/workload/CMakeFiles/lh_workload.dir/matrix_gen.cc.o.d"
+  "/root/repo/src/workload/tpch_gen.cc" "src/workload/CMakeFiles/lh_workload.dir/tpch_gen.cc.o" "gcc" "src/workload/CMakeFiles/lh_workload.dir/tpch_gen.cc.o.d"
+  "/root/repo/src/workload/voter_gen.cc" "src/workload/CMakeFiles/lh_workload.dir/voter_gen.cc.o" "gcc" "src/workload/CMakeFiles/lh_workload.dir/voter_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/lh_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/lh_set.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

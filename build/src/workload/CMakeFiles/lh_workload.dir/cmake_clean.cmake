@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_workload.dir/matrix_gen.cc.o"
+  "CMakeFiles/lh_workload.dir/matrix_gen.cc.o.d"
+  "CMakeFiles/lh_workload.dir/tpch_gen.cc.o"
+  "CMakeFiles/lh_workload.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/lh_workload.dir/voter_gen.cc.o"
+  "CMakeFiles/lh_workload.dir/voter_gen.cc.o.d"
+  "liblh_workload.a"
+  "liblh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

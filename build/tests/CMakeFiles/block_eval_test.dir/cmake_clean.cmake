@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_eval_test.dir/block_eval_test.cc.o"
+  "CMakeFiles/block_eval_test.dir/block_eval_test.cc.o.d"
+  "block_eval_test"
+  "block_eval_test.pdb"
+  "block_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

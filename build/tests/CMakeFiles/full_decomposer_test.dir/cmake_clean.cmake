@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_decomposer_test.dir/full_decomposer_test.cc.o"
+  "CMakeFiles/full_decomposer_test.dir/full_decomposer_test.cc.o.d"
+  "full_decomposer_test"
+  "full_decomposer_test.pdb"
+  "full_decomposer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_decomposer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

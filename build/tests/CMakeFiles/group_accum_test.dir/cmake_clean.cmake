@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_accum_test.dir/group_accum_test.cc.o"
+  "CMakeFiles/group_accum_test.dir/group_accum_test.cc.o.d"
+  "group_accum_test"
+  "group_accum_test.pdb"
+  "group_accum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_accum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_ranked_test.dir/set_ranked_test.cc.o"
+  "CMakeFiles/set_ranked_test.dir/set_ranked_test.cc.o.d"
+  "set_ranked_test"
+  "set_ranked_test.pdb"
+  "set_ranked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_ranked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

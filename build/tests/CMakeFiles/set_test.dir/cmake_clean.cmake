@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_test.dir/set_test.cc.o"
+  "CMakeFiles/set_test.dir/set_test.cc.o.d"
+  "set_test"
+  "set_test.pdb"
+  "set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/set_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/set_ranked_test[1]_include.cmake")
+include("/root/repo/build/tests/group_accum_test[1]_include.cmake")
+include("/root/repo/build/tests/block_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/result_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_features_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/full_decomposer_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
