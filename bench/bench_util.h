@@ -10,15 +10,155 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/json_writer.h"
+#include "obs/profile.h"
 #include "util/timer.h"
 
 namespace levelheaded::bench {
 
+/// A measurement: a time, or a failure marker ("oom" / "t/o" / "-").
+struct Measurement {
+  double ms = 0;
+  std::string marker;  // non-empty overrides ms
+
+  bool ok() const { return marker.empty(); }
+  static Measurement Time(double ms) { return {ms, ""}; }
+  static Measurement Mark(std::string m) { return {0, std::move(m)}; }
+};
+
+/// Process-wide collector behind the machine-readable BENCH_<name>.json
+/// export. Every bench binary understands two flags (stripped from argv by
+/// InitBench so google-benchmark / env parsing never sees them):
+///
+///   --smoke        shrink the workload to one tiny query per measurement
+///                  (Reps() becomes 1; benches also trim their scale knobs)
+///   --json[=path]  write the recorded measurements + execution profiles as
+///                  JSON; default path is BENCH_<name>.json in the cwd
+///
+/// Schema (validated by bench/validate_stats.cc):
+///   {"schema_version": 1, "bench": "<name>", "smoke": bool,
+///    "entries": [{"label": str, "ms": num | "marker": str,
+///                 "profile"?: <QueryProfile JSON>}]}
+class StatsLog {
+ public:
+  static StatsLog& Get() {
+    static StatsLog log;
+    return log;
+  }
+
+  void Init(const char* name, int* argc, char** argv) {
+    name_ = name;
+    if (argc == nullptr || argv == nullptr) return;
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--smoke") {
+        smoke_ = true;
+      } else if (arg == "--json") {
+        json_ = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_ = true;
+        path_ = arg.substr(7);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+  }
+
+  bool smoke() const { return smoke_; }
+  bool json_enabled() const { return json_; }
+
+  void Record(std::string label, const Measurement& m,
+              std::shared_ptr<const obs::QueryProfile> profile = nullptr) {
+    if (label.empty()) label = "entry" + std::to_string(entries_.size() + 1);
+    entries_.push_back({std::move(label), m, std::move(profile)});
+  }
+
+  /// Writes the JSON export if --json was given. Returns a process exit
+  /// code (non-zero when the output file cannot be written).
+  int Finish() const {
+    if (!json_) return 0;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Uint(1);
+    w.Key("bench");
+    w.String(name_);
+    w.Key("smoke");
+    w.Bool(smoke_);
+    w.Key("entries");
+    w.BeginArray();
+    for (const Entry& e : entries_) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(e.label);
+      if (e.m.ok()) {
+        w.Key("ms");
+        w.Number(e.m.ms);
+      } else {
+        w.Key("marker");
+        w.String(e.m.marker);
+      }
+      if (e.profile != nullptr) {
+        w.Key("profile");
+        e.profile->WriteJson(&w);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string path =
+        path_.empty() ? "BENCH_" + name_ + ".json" : path_;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu entries)\n", path.c_str(),
+                 entries_.size());
+    return 0;
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    Measurement m;
+    std::shared_ptr<const obs::QueryProfile> profile;
+  };
+
+  std::string name_ = "bench";
+  std::string path_;
+  bool smoke_ = false;
+  bool json_ = false;
+  std::vector<Entry> entries_;
+};
+
+/// Call first thing in main: registers the bench name and strips
+/// --smoke / --json[=path] from argv.
+inline void InitBench(const char* name, int* argc, char** argv) {
+  StatsLog::Get().Init(name, argc, argv);
+}
+
+/// True when running under --smoke: use the smallest workload that still
+/// exercises the full query path.
+inline bool Smoke() { return StatsLog::Get().smoke(); }
+
+/// Call last thing in main (after Run() succeeded): flushes the JSON
+/// export and returns the process exit code.
+inline int FinishBench() { return StatsLog::Get().Finish(); }
+
 inline int Reps() {
+  if (Smoke()) return 1;
   const char* env = std::getenv("LH_BENCH_REPS");
   int reps = env != nullptr ? std::atoi(env) : 5;
   return reps > 0 ? reps : 1;
@@ -44,16 +184,6 @@ inline std::vector<double> EnvDoubleList(const char* name,
   }
   return out.empty() ? fallback : out;
 }
-
-/// A measurement: a time, or a failure marker ("oom" / "t/o" / "-").
-struct Measurement {
-  double ms = 0;
-  std::string marker;  // non-empty overrides ms
-
-  bool ok() const { return marker.empty(); }
-  static Measurement Time(double ms) { return {ms, ""}; }
-  static Measurement Mark(std::string m) { return {0, std::move(m)}; }
-};
 
 /// "12.3ms" / "1.42s" / the marker.
 inline std::string FormatTime(const Measurement& m) {
@@ -100,22 +230,38 @@ inline double AverageDroppingExtremes(const std::vector<double>& times) {
 
 /// Measures a query through the LevelHeaded engine: one warm-up run (builds
 /// cached tries), then Reps() measured runs of QueryMillis (parse + plan +
-/// filter + execute; index creation excluded, §VI-A).
+/// filter + execute; index creation excluded, §VI-A). Every measurement is
+/// recorded into the StatsLog under `label` (auto-numbered when empty);
+/// with --json an extra QueryAnalyze run attaches the execution profile.
 inline Measurement MeasureLevelHeaded(Engine* engine, const std::string& sql,
-                                      const QueryOptions& options = {}) {
+                                      const QueryOptions& options = {},
+                                      const std::string& label = "") {
   auto warm = engine->Query(sql, options);
   if (!warm.ok()) {
     std::fprintf(stderr, "levelheaded error: %s\n",
                  warm.status().ToString().c_str());
-    return Measurement::Mark("err");
+    const Measurement m = Measurement::Mark("err");
+    StatsLog::Get().Record(label, m);
+    return m;
   }
   std::vector<double> times;
   for (int i = 0; i < Reps(); ++i) {
     auto r = engine->Query(sql, options);
-    if (!r.ok()) return Measurement::Mark("err");
+    if (!r.ok()) {
+      const Measurement m = Measurement::Mark("err");
+      StatsLog::Get().Record(label, m);
+      return m;
+    }
     times.push_back(r.value().timing.QueryMillis());
   }
-  return Measurement::Time(AverageDroppingExtremes(times));
+  const Measurement m = Measurement::Time(AverageDroppingExtremes(times));
+  std::shared_ptr<const obs::QueryProfile> profile;
+  if (StatsLog::Get().json_enabled()) {
+    auto analyzed = engine->QueryAnalyze(sql, options);
+    if (analyzed.ok()) profile = analyzed.value().profile;
+  }
+  StatsLog::Get().Record(label, m, std::move(profile));
+  return m;
 }
 
 /// Prints one table row: name column then fixed-width cells.

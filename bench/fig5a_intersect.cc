@@ -2,14 +2,24 @@
 // uint ∩ bs, and bs ∩ bs at cardinalities 1e6 and 1e7. These measurements
 // are the source of the icost constants (1 / 10 / 50) in §V-A1.
 //
-// Uses google-benchmark; run with --benchmark_* flags if desired.
+// Uses google-benchmark; run with --benchmark_* flags if desired. With
+// --smoke and/or --json the binary instead runs one direct measurement per
+// layout pair (under an ExecStats scope so the per-kernel counters land in
+// the JSON export) and skips the google-benchmark harness.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_util.h"
+#include "obs/profile.h"
+#include "obs/stats.h"
 #include "set/intersect.h"
 #include "set/set.h"
+#include "util/timer.h"
 #include "util/rng.h"
 
 namespace levelheaded {
@@ -82,6 +92,52 @@ BENCHMARK_CAPTURE(BM_Intersect, bs_bs, SetLayout::kBitset, SetLayout::kBitset)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+/// The --smoke / --json path: one timed Intersect per layout pair, with the
+/// kernel-tagged intersection counters captured into the recorded profile.
+int RunDirect() {
+  using bench::Measurement;
+  struct Pair {
+    const char* name;
+    SetLayout a, b;
+  };
+  const Pair pairs[] = {
+      {"uint_uint", SetLayout::kUint, SetLayout::kUint},
+      {"uint_bs", SetLayout::kUint, SetLayout::kBitset},
+      {"bs_bs", SetLayout::kBitset, SetLayout::kBitset},
+  };
+  const int64_t card = bench::Smoke() ? (1 << 12) : (1 << 20);
+  for (const Pair& p : pairs) {
+    Fixture f = MakeSets(card, p.a, p.b);
+    ScratchSet out;
+    obs::ExecStats stats;
+    WallTimer t;
+    {
+      obs::StatsScope scope(&stats);
+      Intersect(f.a.view(), f.b.view(), &out);
+    }
+    const Measurement m = Measurement::Time(t.ElapsedMillis());
+    auto profile = std::make_shared<obs::QueryProfile>();
+    profile->counters = stats.Snapshot();
+    bench::StatsLog::Get().Record(p.name, m, std::move(profile));
+    std::printf("%-10s card=%lld -> %llu values, %s\n", p.name,
+                static_cast<long long>(card),
+                static_cast<unsigned long long>(out.view().cardinality),
+                bench::FormatTime(m).c_str());
+  }
+  return bench::FinishBench();
+}
+
 }  // namespace levelheaded
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("fig5a_intersect", &argc, argv);
+  if (levelheaded::bench::Smoke() ||
+      levelheaded::bench::StatsLog::Get().json_enabled()) {
+    return levelheaded::RunDirect();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

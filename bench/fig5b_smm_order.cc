@@ -23,7 +23,7 @@ int Run() {
   // Reduced instance: the bad order is ~two orders of magnitude slower,
   // so size for seconds, not hours.
   SyntheticMatrix m =
-      Nlp240Like(EnvDouble("LH_FIG5B_SCALE", 0.004));
+      Nlp240Like(Smoke() ? 0.001 : EnvDouble("LH_FIG5B_SCALE", 0.004));
   auto catalog = std::make_unique<Catalog>();
   AddMatrixTable(catalog.get(), "m", "idx", m).CheckOK();
   catalog->Finalize().CheckOK();
@@ -50,7 +50,7 @@ int Run() {
   PrintRow("Order", {"Cost", "Runtime"}, 24, 12);
   {
     // The optimizer's chosen (relaxed, cost-10) order.
-    Measurement good = MeasureLevelHeaded(&lh, sql);
+    Measurement good = MeasureLevelHeaded(&lh, sql, {}, "order_ikj");
     char cost[32];
     std::snprintf(cost, sizeof(cost), "%.0f", info.value().root_cost);
     PrintRow("[i,k,j] (cost-based)", {cost, FormatTime(good)}, 24, 12);
@@ -62,7 +62,7 @@ int Run() {
     opts.force_attr_order = {"r", "c_2", "c"};
     auto forced_info = lh.Explain(sql, opts);
     forced_info.status().CheckOK();
-    Measurement bad = MeasureLevelHeaded(&lh, sql, opts);
+    Measurement bad = MeasureLevelHeaded(&lh, sql, opts, "order_ijk");
     char cost[32];
     std::snprintf(cost, sizeof(cost), "%.0f", forced_info.value().root_cost);
     PrintRow("[i,j,k] (EmptyHeaded)", {cost, FormatTime(bad)}, 24, 12);
@@ -77,4 +77,8 @@ int Run() {
 }  // namespace
 }  // namespace levelheaded::bench
 
-int main() { return levelheaded::bench::Run(); }
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("fig5b_smm_order", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

@@ -29,7 +29,7 @@ std::vector<std::string> SplitOrder(const std::string& joined) {
 }
 
 int Run() {
-  const double sf = EnvDouble("LH_TPCH_SF", 0.05);
+  const double sf = Smoke() ? 0.01 : EnvDouble("LH_TPCH_SF", 0.05);
   auto catalog = std::make_unique<Catalog>();
   TpchGenerator gen(sf);
   gen.Populate(catalog.get()).CheckOK();
@@ -45,12 +45,16 @@ int Run() {
       "runtime\n(%zu candidate orders; showing best, two middles, worst)\n\n",
       sf, candidates.size());
 
-  // Best, two interior quantiles, worst.
+  // Best, two interior quantiles, worst (smoke: first measurable only).
   std::vector<size_t> picks;
-  picks.push_back(0);
-  if (candidates.size() > 3) picks.push_back(candidates.size() / 3);
-  if (candidates.size() > 2) picks.push_back(2 * candidates.size() / 3);
-  picks.push_back(candidates.size() - 1);
+  if (Smoke()) {
+    for (size_t i = 0; i < candidates.size(); ++i) picks.push_back(i);
+  } else {
+    picks.push_back(0);
+    if (candidates.size() > 3) picks.push_back(candidates.size() / 3);
+    if (candidates.size() > 2) picks.push_back(2 * candidates.size() / 3);
+    picks.push_back(candidates.size() - 1);
+  }
 
   PrintRow("Order", {"Cost", "Runtime"}, 40, 12);
   for (size_t p : picks) {
@@ -58,10 +62,12 @@ int Run() {
     opts.force_attr_order = SplitOrder(candidates[p].order);
     opts.enable_union_relaxation = false;
     if (candidates[p].union_relaxed) continue;
-    Measurement m = MeasureLevelHeaded(&lh, sql, opts);
+    Measurement m =
+        MeasureLevelHeaded(&lh, sql, opts, "order_" + candidates[p].order);
     char cost[32];
     std::snprintf(cost, sizeof(cost), "%.0f", candidates[p].cost);
     PrintRow("[" + candidates[p].order + "]", {cost, FormatTime(m)}, 40, 12);
+    if (Smoke()) break;
   }
   std::printf("\n(chosen order: [%s], cost %.0f)\n",
               info.value().root_order.c_str(), info.value().root_cost);
@@ -71,4 +77,8 @@ int Run() {
 }  // namespace
 }  // namespace levelheaded::bench
 
-int main() { return levelheaded::bench::Run(); }
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("fig5c_q5_orders", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

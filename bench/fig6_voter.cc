@@ -60,8 +60,8 @@ Phases RunPipeline(const std::function<Result<QueryResult>()>& run_sql) {
 }
 
 int Run() {
-  const int64_t voters =
-      static_cast<int64_t>(EnvDouble("LH_VOTERS", 200000));
+  const int64_t voters = static_cast<int64_t>(
+      Smoke() ? 5000 : EnvDouble("LH_VOTERS", 200000));
   auto catalog = std::make_unique<Catalog>();
   VoterGenerator gen(voters);
   gen.Populate(catalog.get()).CheckOK();
@@ -90,6 +90,14 @@ int Run() {
              {FormatTime(p.sql), FormatTime(p.encode), FormatTime(p.train),
               FormatTime(Measurement::Time(p.total()))},
              24, 11);
+    std::shared_ptr<const obs::QueryProfile> profile;
+    if (StatsLog::Get().json_enabled()) {
+      auto analyzed = lh.QueryAnalyze(sql, opts);
+      if (analyzed.ok()) profile = analyzed.value().profile;
+    }
+    StatsLog::Get().Record("levelheaded_sql", p.sql, std::move(profile));
+    StatsLog::Get().Record("levelheaded_encode", p.encode);
+    StatsLog::Get().Record("levelheaded_train", p.train);
   }
   for (BaselineMode mode :
        {BaselineMode::kVectorized, BaselineMode::kMaterialized,
@@ -107,4 +115,8 @@ int Run() {
 }  // namespace
 }  // namespace levelheaded::bench
 
-int main() { return levelheaded::bench::Run(); }
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("fig6_voter", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

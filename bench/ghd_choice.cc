@@ -23,7 +23,7 @@ namespace levelheaded::bench {
 namespace {
 
 int Run() {
-  const double sf = EnvDouble("LH_TPCH_SF", 0.05);
+  const double sf = Smoke() ? 0.01 : EnvDouble("LH_TPCH_SF", 0.05);
   auto catalog = std::make_unique<Catalog>();
   TpchGenerator gen(sf);
   gen.Populate(catalog.get()).CheckOK();
@@ -56,7 +56,7 @@ int Run() {
 
   PrintRow("Plan", {"Runtime"}, 44, 12);
   {
-    Measurement chosen = MeasureLevelHeaded(&lh, sql);
+    Measurement chosen = MeasureLevelHeaded(&lh, sql, {}, "two_node_ghd");
     PrintRow("two-node GHD (region⋈nation child)", {FormatTime(chosen)}, 44,
              12);
   }
@@ -84,7 +84,7 @@ int Run() {
         "ORDER BY n_name";
     auto info = lh.Explain(filtered);
     info.status().CheckOK();
-    Measurement m = MeasureLevelHeaded(&lh, filtered);
+    Measurement m = MeasureLevelHeaded(&lh, filtered, {}, "single_node_ghd");
     char head[64];
     std::snprintf(head, sizeof(head), "single-node GHD (%zu nodes)",
                   info.value().num_ghd_nodes);
@@ -100,4 +100,8 @@ int Run() {
 }  // namespace
 }  // namespace levelheaded::bench
 
-int main() { return levelheaded::bench::Run(); }
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("ghd_choice", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

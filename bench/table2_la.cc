@@ -129,18 +129,21 @@ Measurement MeasureLaLibrary(const Dataset& d, const std::string& query) {
 int Run() {
   std::vector<Dataset> datasets;
   {
-    SyntheticMatrix m = HarborLike(EnvDouble("LH_LA_SCALE_HARBOR", 0.1));
+    SyntheticMatrix m =
+        HarborLike(Smoke() ? 0.02 : EnvDouble("LH_LA_SCALE_HARBOR", 0.1));
     datasets.push_back({"harbor", false, m.coo.num_rows, std::move(m.coo)});
   }
-  {
+  if (!Smoke()) {
     SyntheticMatrix m = Hv15rLike(EnvDouble("LH_LA_SCALE_HV15R", 0.05));
     datasets.push_back({"hv15r", false, m.coo.num_rows, std::move(m.coo)});
   }
-  {
+  if (!Smoke()) {
     SyntheticMatrix m = Nlp240Like(EnvDouble("LH_LA_SCALE_NLP240", 0.05));
     datasets.push_back({"nlp240", false, m.coo.num_rows, std::move(m.coo)});
   }
-  for (double n : EnvDoubleList("LH_DENSE_SIZES", {192, 256, 384})) {
+  for (double n : Smoke()
+                      ? std::vector<double>{64}
+                      : EnvDoubleList("LH_DENSE_SIZES", {192, 256, 384})) {
     Dataset d;
     d.name = std::to_string(static_cast<int64_t>(n));
     d.dense = true;
@@ -187,7 +190,7 @@ int Run() {
       const uint64_t est = EstimateTuples(d, q);
 
       std::vector<Measurement> ms;
-      ms.push_back(MeasureLevelHeaded(&lh, sql));
+      ms.push_back(MeasureLevelHeaded(&lh, sql, {}, q + "_" + d.name));
       ms.push_back(MeasureLaLibrary(d, q));
       ms.push_back(MeasureBaseline(catalog.get(), BaselineMode::kVectorized,
                                    sql, est));
@@ -212,4 +215,8 @@ int Run() {
 }  // namespace
 }  // namespace levelheaded::bench
 
-int main() { return levelheaded::bench::Run(); }
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("table2_la", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

@@ -38,8 +38,13 @@ Measurement MeasureBaseline(Catalog* catalog, BaselineMode mode,
 }
 
 int Run() {
-  const std::vector<double> sfs = EnvDoubleList("LH_TPCH_SFS", {0.01, 0.05});
-  const char* queries[] = {"q1", "q3", "q5", "q6", "q8", "q9", "q10"};
+  const std::vector<double> sfs =
+      Smoke() ? std::vector<double>{0.01}
+              : EnvDoubleList("LH_TPCH_SFS", {0.01, 0.05});
+  const std::vector<const char*> queries =
+      Smoke() ? std::vector<const char*>{"q5"}
+              : std::vector<const char*>{"q1", "q3", "q5", "q6",
+                                         "q8", "q9", "q10"};
 
   std::printf(
       "Table II (BI): TPC-H runtimes — best engine absolute, others "
@@ -61,8 +66,10 @@ int Run() {
 
     for (const char* q : queries) {
       const std::string sql = TpchQuery(q);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s_sf%g", q, sf);
       std::vector<Measurement> ms;
-      ms.push_back(MeasureLevelHeaded(&lh, sql));
+      ms.push_back(MeasureLevelHeaded(&lh, sql, {}, label));
       ms.push_back(
           MeasureBaseline(catalog.get(), BaselineMode::kVectorized, sql));
       ms.push_back(
@@ -90,4 +97,8 @@ int Run() {
 }  // namespace
 }  // namespace levelheaded::bench
 
-int main() { return levelheaded::bench::Run(); }
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("table2_tpch", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

@@ -1,0 +1,109 @@
+// Validates BENCH_*.json stats exports against the schema produced by
+// bench_util.h's StatsLog (see the comment there):
+//
+//   {"schema_version": 1, "bench": str, "smoke": bool,
+//    "entries": [{"label": str, "ms": num | "marker": str,
+//                 "profile"?: <QueryProfile JSON>}]}
+//
+// Used by the `bench_smoke` target; exits non-zero on the first file that
+// fails to parse or deviates from the schema.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/profile.h"
+
+namespace levelheaded::obs {
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool Fail(const char* path, const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n", path, why.c_str());
+  return false;
+}
+
+bool ValidateEntry(const char* path, const JsonValue& e, size_t index) {
+  const std::string where = "entries[" + std::to_string(index) + "]";
+  if (!e.IsObject()) return Fail(path, where + " is not an object");
+  const JsonValue* label = e.Find("label");
+  if (label == nullptr || !label->IsString()) {
+    return Fail(path, where + " missing string \"label\"");
+  }
+  const JsonValue* ms = e.Find("ms");
+  const JsonValue* marker = e.Find("marker");
+  if ((ms == nullptr) == (marker == nullptr)) {
+    return Fail(path, where + " needs exactly one of \"ms\" / \"marker\"");
+  }
+  if (ms != nullptr && !ms->IsNumber()) {
+    return Fail(path, where + " \"ms\" is not a number");
+  }
+  if (marker != nullptr && !marker->IsString()) {
+    return Fail(path, where + " \"marker\" is not a string");
+  }
+  if (const JsonValue* profile = e.Find("profile")) {
+    QueryProfile parsed;
+    if (!QueryProfile::FromJson(*profile, &parsed)) {
+      return Fail(path, where + " \"profile\" does not match the "
+                        "QueryProfile schema");
+    }
+  }
+  return true;
+}
+
+bool ValidateFile(const char* path) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail(path, "cannot read");
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(text, &doc, &error)) return Fail(path, "parse: " + error);
+  if (!doc.IsObject()) return Fail(path, "top level is not an object");
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->IsNumber() || version->number != 1) {
+    return Fail(path, "missing or unsupported \"schema_version\"");
+  }
+  const JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->IsString() || bench->string.empty()) {
+    return Fail(path, "missing string \"bench\"");
+  }
+  const JsonValue* smoke = doc.Find("smoke");
+  if (smoke == nullptr || smoke->kind != JsonValue::Kind::kBool) {
+    return Fail(path, "missing bool \"smoke\"");
+  }
+  const JsonValue* entries = doc.Find("entries");
+  if (entries == nullptr || !entries->IsArray()) {
+    return Fail(path, "missing array \"entries\"");
+  }
+  size_t profiles = 0;
+  for (size_t i = 0; i < entries->array.size(); ++i) {
+    if (!ValidateEntry(path, entries->array[i], i)) return false;
+    if (entries->array[i].Find("profile") != nullptr) ++profiles;
+  }
+  std::printf("%s: ok (bench=%s, %zu entries, %zu profiles)\n", path,
+              bench->string.c_str(), entries->array.size(), profiles);
+  return true;
+}
+
+}  // namespace
+}  // namespace levelheaded::obs
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s stats.json [stats.json ...]\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (!levelheaded::obs::ValidateFile(argv[i])) return 1;
+  }
+  return 0;
+}

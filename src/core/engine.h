@@ -52,9 +52,17 @@ class Engine {
   /// `catalog` must be finalized and outlive the engine.
   explicit Engine(Catalog* catalog) : catalog_(catalog) {}
 
-  /// Runs one SELECT statement.
+  /// Runs one SELECT statement. Statements prefixed with EXPLAIN return the
+  /// plan shape as a one-column ("QUERY PLAN") text result; EXPLAIN ANALYZE
+  /// executes the query with stats collection and returns the rendered
+  /// profile (span tree + counters) instead of the query's rows.
   Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& options = QueryOptions());
+
+  /// Runs one SELECT with stats collection forced on: the normal result
+  /// rows plus the execution profile in QueryResult::profile.
+  Result<QueryResult> QueryAnalyze(
+      const std::string& sql, const QueryOptions& options = QueryOptions());
 
   /// Plans without executing.
   Result<ExplainInfo> Explain(const std::string& sql,
@@ -65,9 +73,11 @@ class Engine {
   TrieCache* trie_cache() { return &trie_cache_; }
 
  private:
+  Result<QueryResult> RunQuery(const std::string& sql,
+                               const QueryOptions& options);
   Result<PhysicalPlan> Prepare(const std::string& sql,
                                const QueryOptions& options,
-                               QueryResult::Timing* timing);
+                               QueryResult::Timing* timing, obs::Trace* trace);
 
   Catalog* catalog_;
   TrieCache trie_cache_;

@@ -11,6 +11,8 @@
 
 #include "core/expr_eval.h"
 #include "core/group_accum.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/date.h"
 #include "la/dense.h"
 #include "set/intersect.h"
@@ -124,7 +126,9 @@ std::vector<double> ComputeRowExpr(const Expr& arg, const Table& table) {
 Result<BuiltRelation> BuildRelationTrie(
     const PhysicalPlan& plan, const Catalog& catalog, int rel,
     const std::vector<int>& level_cols, int num_query_levels,
-    bool attach_aggregates, TrieCache* cache, QueryResult::Timing* timing) {
+    bool attach_aggregates, TrieCache* cache, QueryResult::Timing* timing,
+    obs::QueryObs* qobs) {
+  obs::TraceSpan span(qobs != nullptr ? &qobs->trace : nullptr, "trie_build");
   BuiltRelation out;
   const RelationRef& ref = plan.query.relations[rel];
   out.ref = &ref;
@@ -206,6 +210,8 @@ Result<BuiltRelation> BuildRelationTrie(
       if (std::shared_ptr<Trie> cached = cache->Get(sig)) {
         out.trie = cached;
         out.unique_keys = cached->num_tuples() == ref.table->num_rows();
+        span.SetDetail(ref.table->schema().name() + " [cached]");
+        span.AddMetric("tuples", static_cast<double>(cached->num_tuples()));
         return out;
       }
     }
@@ -243,6 +249,9 @@ Result<BuiltRelation> BuildRelationTrie(
                     (filtered ? selection.size() : ref.table->num_rows());
   out.trie = std::make_shared<Trie>(std::move(built.value()));
   if (!filtered && cache != nullptr) cache->Put(signature, out.trie);
+  span.SetDetail(ref.table->schema().name() +
+                 (filtered ? " [filtered]" : " [built]"));
+  span.AddMetric("tuples", static_cast<double>(out.trie->num_tuples()));
   return out;
 }
 
@@ -696,6 +705,8 @@ class NodeExec {
         out.push_back(v);
       }
     });
+    w.leaf_count += out.size();
+    AbsorbWorker(w);
     return out;
   }
 
@@ -756,8 +767,17 @@ class NodeExec {
         result.MergeFrom(*chunk_out[c]);
       }
     }
+    AbsorbWorker(seed);
+    for (const auto& w : workers) {
+      if (w != nullptr) AbsorbWorker(*w);
+    }
     return result;
   }
+
+  /// Leaves reached (tuples emitted) across all runs on this node.
+  uint64_t leaves() const { return total_leaves_; }
+  /// Trie node descents across all runs on this node.
+  uint64_t nodes_visited() const { return total_nodes_; }
 
  private:
   struct Worker {
@@ -775,7 +795,16 @@ class NodeExec {
     std::vector<uint8_t> relax_occ;
     std::vector<uint32_t> relax_touched;
     std::vector<uint32_t> fused_vals, fused_ra, fused_rb;
+    // Plain worker-local tallies (absorbed in bulk after the parallel run,
+    // so the hot loops never touch atomics).
+    uint64_t leaf_count = 0;
+    uint64_t nodes_visited = 0;
   };
+
+  void AbsorbWorker(const Worker& w) {
+    total_leaves_ += w.leaf_count;
+    total_nodes_ += w.nodes_visited;
+  }
 
   int PosOf(int vertex) const {
     for (size_t i = 0; i < node_.attr_order.size(); ++i) {
@@ -851,6 +880,7 @@ class NodeExec {
   bool Descend(Worker* w, int depth, uint32_t v) const {
     for (const Participant& p : participants_[depth]) {
       if (p.is_child) continue;
+      ++w->nodes_visited;
       const Trie& trie = *rels_[p.slot]->trie;
       const uint32_t set_idx =
           p.level == 0 ? 0 : w->ranks[p.slot][p.level - 1];
@@ -891,6 +921,7 @@ class NodeExec {
     if (direct_[depth]) {
       const Participant& p = participants_[depth][0];
       const int64_t base = w->single_base[depth];
+      w->nodes_visited += s->cardinality;
       s->ForEach([&](uint32_t v, uint32_t r) {
         w->ranks[p.slot][p.level] = static_cast<uint32_t>(base) + r;
         w->vals[depth] = v;
@@ -936,9 +967,11 @@ class NodeExec {
                                        w->fused_ra.data(),
                                        w->fused_rb.data());
     if (n == 0) return;
+    w->nodes_visited += 2ull * n;
     const uint32_t base0 = t0.level(p0.level).base_rank(si0);
     const uint32_t base1 = t1.level(p1.level).base_rank(si1);
     if (fast_single_sum_ && append_mode_) {
+      w->leaf_count += n;
       // Single SUM over unique-key relations with compiled argument: the
       // tightest interpreted loops we can produce.
       if (max_dim_pos_ < depth) {
@@ -1071,6 +1104,7 @@ class NodeExec {
   void FlushRelaxed(Worker* w, int depth, size_t stride) {
     const int k = static_cast<int>(node_.attr_order.size());
     (void)depth;
+    w->leaf_count += w->relax_touched.size();
     std::sort(w->relax_touched.begin(), w->relax_touched.end());
     for (uint32_t m : w->relax_touched) {
       w->vals[k - 1] = m;
@@ -1275,6 +1309,7 @@ class NodeExec {
       ++nr;
     }
     while (true) {
+      ++w->leaf_count;
       ComputeDeltas(w);
       double* acc;
       if (dims_->empty()) {
@@ -1417,6 +1452,7 @@ class NodeExec {
       SubrowLeaf(w);
       return;
     }
+    ++w->leaf_count;
     ComputeDeltas(w);
     double* acc;
     if (dims_->empty()) {
@@ -1449,6 +1485,8 @@ class NodeExec {
   std::vector<bool> fused_pair_;
   uint32_t last_domain_size_ = 0;
   bool append_mode_ = false;
+  uint64_t total_leaves_ = 0;
+  uint64_t total_nodes_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -1457,9 +1495,13 @@ class NodeExec {
 
 Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
                                 const Catalog& catalog,
-                                QueryResult::Timing* timing) {
+                                QueryResult::Timing* timing,
+                                obs::QueryObs* qobs) {
   const RelationRef& ref = plan.query.relations[0];
   const Table& table = *ref.table;
+  obs::TraceSpan span(qobs != nullptr ? &qobs->trace : nullptr, "scan");
+  span.SetDetail(table.schema().name());
+  span.AddMetric("rows", static_cast<double>(table.num_rows()));
 
   std::vector<const Expr*> conjuncts;
   for (const ExprPtr& f : ref.filters) conjuncts.push_back(f.get());
@@ -1555,6 +1597,10 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
   }
   timing->exec_ms += t.ElapsedMillis();
   QueryResult result = MaterializeGroups(plan, total, dim_infos);
+  if (qobs != nullptr) {
+    qobs->stats.CountTuplesEmitted(result.num_rows);
+    qobs->node_tuples.assign(1, result.num_rows);
+  }
   result.timing = *timing;
   return result;
 }
@@ -1578,7 +1624,8 @@ int DimOfRelation(const PhysicalPlan& plan, int rel) {
 
 Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
                                  const Catalog& catalog, TrieCache* cache,
-                                 QueryResult::Timing* timing) {
+                                 QueryResult::Timing* timing,
+                                 obs::QueryObs* qobs) {
   const NodePlan& node = plan.nodes[0];
   // Identify A (carries the first output dimension), B (the other), and
   // the shared vertex k.
@@ -1628,12 +1675,12 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
   LH_ASSIGN_OR_RETURN(
       BuiltRelation a,
       BuildRelationTrie(plan, catalog, rp_a->rel, cols_a, 2,
-                        /*attach_aggregates=*/false, cache, timing));
+                        /*attach_aggregates=*/false, cache, timing, qobs));
   LH_ASSIGN_OR_RETURN(
       BuiltRelation b,
       BuildRelationTrie(plan, catalog, rp_b->rel, cols_b,
                         static_cast<int>(cols_b.size()),
-                        /*attach_aggregates=*/false, cache, timing));
+                        /*attach_aggregates=*/false, cache, timing, qobs));
 
   // The aggregate argument is colref(A.v) * colref(B.v); fetch each side's
   // annotation buffer (leaf order == row-major dense layout).
@@ -1661,6 +1708,10 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
   const int64_t kk = dom_k->size();
 
   WallTimer t;
+  obs::TraceSpan span(qobs != nullptr ? &qobs->trace : nullptr, "dense_blas");
+  span.SetDetail(plan.dense == DenseKernel::kGemm ? "gemm" : "gemv");
+  span.AddMetric("m", static_cast<double>(m));
+  span.AddMetric("k", static_cast<double>(kk));
   QueryResult result;
   std::vector<double> out_values;
   int64_t nn = 1;
@@ -1673,6 +1724,11 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
   } else {
     out_values.resize(m);
     Gemv(m, kk, abuf->data(), bbuf->data(), out_values.data());
+  }
+  span.End();
+  if (qobs != nullptr) {
+    qobs->stats.CountTuplesEmitted(out_values.size());
+    qobs->node_tuples.assign(1, out_values.size());
   }
 
   // Key production (the paper's <2% overhead): materialize output columns.
@@ -1713,7 +1769,10 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
 
 Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
-                                QueryResult::Timing* timing) {
+                                QueryResult::Timing* timing,
+                                obs::QueryObs* qobs) {
+  obs::Trace* trace = qobs != nullptr ? &qobs->trace : nullptr;
+  if (qobs != nullptr) qobs->node_tuples.assign(plan.nodes.size(), 0);
   // Build tries for every node's relations.
   std::vector<std::vector<std::unique_ptr<BuiltRelation>>> built(
       plan.nodes.size());
@@ -1730,7 +1789,7 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
           BuiltRelation br,
           BuildRelationTrie(plan, catalog, rp.rel, level_cols,
                             static_cast<int>(rp.levels_col.size()),
-                            /*attach_aggregates=*/true, cache, timing));
+                            /*attach_aggregates=*/true, cache, timing, qobs));
       built[ni].push_back(std::make_unique<BuiltRelation>(std::move(br)));
     }
   }
@@ -1748,7 +1807,7 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
     LH_ASSIGN_OR_RETURN(
         BuiltRelation br,
         BuildRelationTrie(plan, catalog, lp.rel, {col}, 1,
-                          /*attach_aggregates=*/false, cache, timing));
+                          /*attach_aggregates=*/false, cache, timing, qobs));
     lookup_built.push_back(std::make_unique<BuiltRelation>(std::move(br)));
     lookup_rel_ids.push_back(lp.rel);
     int pos = -1;
@@ -1764,11 +1823,19 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
   std::vector<OwnedSet> child_results(plan.nodes.size());
   std::vector<std::vector<DimInfo>> no_dims(1);
   for (size_t ni = plan.nodes.size(); ni-- > 1;) {
+    obs::TraceSpan span(trace, "semijoin");
+    span.SetDetail("node " + std::to_string(ni));
     std::vector<const BuiltRelation*> rels;
     for (const auto& br : built[ni]) rels.push_back(br.get());
     NodeExec exec(plan, plan.nodes[ni], std::move(rels), {}, {}, {}, {},
                   &no_dims[0]);
     std::vector<uint32_t> codes = exec.RunExistential();
+    span.AddMetric("tuples", static_cast<double>(codes.size()));
+    if (qobs != nullptr) {
+      qobs->node_tuples[ni] = codes.size();
+      qobs->stats.CountTuplesEmitted(codes.size());
+      qobs->stats.CountTrieNodesVisited(exec.nodes_visited());
+    }
     child_results[ni] = OwnedSet::FromSorted(codes);
   }
 
@@ -1807,11 +1874,23 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
         catalog.GetDomain(plan.query.vertices[last].domain);
     exec.set_last_domain_size(dom->size());
   }
+  obs::TraceSpan wcoj_span(trace, "wcoj");
+  wcoj_span.SetDetail("root, order " + plan.RootOrderString());
   GroupAccum groups = exec.RunAggregate();
+  if (qobs != nullptr) {
+    qobs->node_tuples[0] = exec.leaves();
+    qobs->stats.CountTuplesEmitted(exec.leaves());
+    qobs->stats.CountTrieNodesVisited(exec.nodes_visited());
+  }
+  wcoj_span.AddMetric("tuples", static_cast<double>(exec.leaves()));
+  wcoj_span.End();
   timing->exec_ms += t.ElapsedMillis();
 
   WallTimer mt;
+  obs::TraceSpan mat_span(trace, "materialize");
   QueryResult result = MaterializeGroups(plan, groups, dim_infos);
+  mat_span.AddMetric("rows", static_cast<double>(result.num_rows));
+  mat_span.End();
   timing->exec_ms += mt.ElapsedMillis();
   result.timing = *timing;
   return result;
@@ -1833,7 +1912,8 @@ QueryResult EmptyResult(const PhysicalPlan& plan) {
 
 Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
-                                QueryResult::Timing* timing) {
+                                QueryResult::Timing* timing,
+                                obs::QueryObs* qobs) {
   if (!plan.options.use_trie_cache) cache = nullptr;
   if (plan.query.always_empty) {
     QueryResult r = EmptyResult(plan);
@@ -1841,10 +1921,10 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
     return r;
   }
   Result<QueryResult> result =
-      plan.scan_only ? ExecuteScan(plan, catalog, timing)
+      plan.scan_only ? ExecuteScan(plan, catalog, timing, qobs)
       : plan.dense != DenseKernel::kNone
-          ? ExecuteDense(plan, catalog, cache, timing)
-          : ExecuteJoin(plan, catalog, cache, timing);
+          ? ExecuteDense(plan, catalog, cache, timing, qobs)
+          : ExecuteJoin(plan, catalog, cache, timing, qobs);
   if (result.ok()) {
     WallTimer t;
     ApplyOrderAndLimit(plan.query, &result.value());

@@ -48,6 +48,11 @@ struct QueryOptions {
   /// excluded from measured time, §VI-A). Filtered relations always build
   /// their tries inside the measured query.
   bool use_trie_cache = true;
+
+  /// Collect an execution profile (tracing spans + kernel counters) into
+  /// QueryResult::profile. Off by default: enabling it turns on per-kernel
+  /// counting in the hot intersection loops.
+  bool collect_stats = false;
 };
 
 }  // namespace levelheaded

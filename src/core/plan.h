@@ -19,6 +19,10 @@
 
 namespace levelheaded {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 /// One aggregate slot, execution view.
 struct AggExec {
   AggFunc func = AggFunc::kSum;
@@ -101,9 +105,11 @@ struct PhysicalPlan {
 
 /// Builds the physical plan: GHD choice, §V attribute ordering per node,
 /// trie level assignment, aggregate/dimension execution specs, and dense
-/// kernel detection.
+/// kernel detection. `trace`, when non-null, receives planning-phase spans
+/// (hypergraph, GHD enumeration, attribute ordering).
 Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
-                               const QueryOptions& options);
+                               const QueryOptions& options,
+                               obs::Trace* trace = nullptr);
 
 }  // namespace levelheaded
 

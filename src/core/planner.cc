@@ -2,6 +2,7 @@
 #include <set>
 
 #include "core/plan.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace levelheaded {
@@ -96,7 +97,8 @@ std::string PhysicalPlan::RootOrderString() const {
 }
 
 Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
-                               const QueryOptions& options) {
+                               const QueryOptions& options,
+                               obs::Trace* trace) {
   PhysicalPlan plan;
   plan.options = options;
   plan.query = std::move(query);
@@ -148,8 +150,17 @@ Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
     return plan;
   }
 
-  LH_ASSIGN_OR_RETURN(plan.hypergraph, BuildHypergraph(q));
-  LH_ASSIGN_OR_RETURN(plan.ghd, ChooseGhd(q, plan.hypergraph));
+  {
+    obs::TraceSpan span(trace, "hypergraph");
+    LH_ASSIGN_OR_RETURN(plan.hypergraph, BuildHypergraph(q));
+    span.AddMetric("edges", static_cast<double>(plan.hypergraph.edges.size()));
+  }
+  {
+    obs::TraceSpan span(trace, "ghd_enumeration");
+    LH_ASSIGN_OR_RETURN(plan.ghd, ChooseGhd(q, plan.hypergraph));
+    span.AddMetric("nodes", static_cast<double>(plan.ghd.nodes.size()));
+    span.AddMetric("fhw", plan.ghd.fhw);
+  }
 
   // Relaxation requires all grouping dimensions to be key vertices (the
   // flushed last level must itself be a group dimension).
@@ -158,6 +169,7 @@ Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
     if (d.vertex < 0) all_dims_keys = false;
   }
 
+  obs::TraceSpan order_span(trace, "attr_ordering");
   plan.nodes.resize(plan.ghd.nodes.size());
   for (size_t ni = 0; ni < plan.ghd.nodes.size(); ++ni) {
     const GhdNode& gnode = plan.ghd.nodes[ni];
@@ -343,6 +355,7 @@ Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
       }
     }
   }
+  order_span.End();
 
   // Annotation lookups: relations referenced by dimensions or outputs but
   // not participating in the root node (they live in a child; Figure 4's

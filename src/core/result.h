@@ -6,11 +6,16 @@
 #define LEVELHEADED_CORE_RESULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/dictionary.h"
 #include "storage/value.h"
+
+namespace levelheaded::obs {
+struct QueryProfile;
+}  // namespace levelheaded::obs
 
 namespace levelheaded {
 
@@ -53,6 +58,10 @@ class QueryResult {
   std::vector<ResultColumn> columns;
   size_t num_rows = 0;
   Timing timing;
+
+  /// Execution profile (span tree + counters), populated only when the query
+  /// ran with QueryOptions::collect_stats (or via Engine::QueryAnalyze).
+  std::shared_ptr<const obs::QueryProfile> profile;
 
   int FindColumn(const std::string& name) const;
 

@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability layer: an emitter used by the
+// profile exporter and bench harness (machine-readable BENCH_*.json stats
+// records), and a small parser used by tests and the bench/smoke schema
+// validator. No external dependencies; numbers are doubles (uint64 counters
+// below 2^53 round-trip exactly).
+
+#ifndef LEVELHEADED_OBS_JSON_WRITER_H_
+#define LEVELHEADED_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace levelheaded::obs {
+
+/// Streaming JSON emitter with comma/indent bookkeeping.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("bench"); w.String("fig5a");
+///   w.Key("entries"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string json = w.str();
+class JsonWriter {
+ public:
+  /// `pretty` adds newlines and two-space indentation.
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  void BeginObject() { BeginContainer('{'); }
+  void EndObject() { EndContainer('}'); }
+  void BeginArray() { BeginContainer('['); }
+  void EndArray() { EndContainer(']'); }
+
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Number(double value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeginContainer(char open);
+  void EndContainer(char close);
+  void BeforeValue();
+  void AppendEscaped(const std::string& s);
+  void NewlineIndent();
+
+  bool pretty_;
+  std::string out_;
+  /// Per open container: true once it holds at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+  std::vector<JsonValue> array;
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+};
+
+/// Parses a complete JSON document. Returns false (with a diagnostic in
+/// `error` if non-null) on malformed input or trailing garbage.
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_JSON_WRITER_H_

@@ -1,0 +1,59 @@
+// Per-query observability bundle: the span tree collected by the Trace,
+// the ExecStats counter snapshot, and per-GHD-node output sizes, with
+// renderers for the EXPLAIN ANALYZE aligned text profile and the JSON
+// stats export consumed by the bench harness.
+
+#ifndef LEVELHEADED_OBS_PROFILE_H_
+#define LEVELHEADED_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace levelheaded::obs {
+
+class JsonWriter;
+struct JsonValue;
+
+/// Everything observability knows about one executed query.
+struct QueryProfile {
+  std::vector<SpanRecord> spans;
+  StatsSnapshot counters;
+  /// Tuples emitted per GHD node (index-aligned with the plan's nodes;
+  /// child nodes report their existential semijoin output cardinality).
+  std::vector<uint64_t> node_tuples;
+
+  /// Aligned text profile: indented span tree with start/duration columns,
+  /// followed by the counter table (the EXPLAIN ANALYZE rendering).
+  std::string ToText() const;
+
+  /// JSON object {"spans": [...], "counters": {...}, "node_tuples": [...]}
+  /// — the schema documented in DESIGN.md §Observability.
+  void WriteJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+
+  /// Inverse of WriteJson (tests, tooling). Returns false on a value that
+  /// does not match the schema.
+  static bool FromJson(const JsonValue& value, QueryProfile* out);
+};
+
+/// Live collection state threaded through one query's execution: the trace
+/// and counter block plus coordinator-filled per-node outputs. Null
+/// pointers of this type mean "collection off" at every instrumentation
+/// site.
+struct QueryObs {
+  Trace trace;
+  ExecStats stats;
+  std::vector<uint64_t> node_tuples;
+
+  /// Snapshots everything into an immutable profile.
+  std::shared_ptr<const QueryProfile> Finish() const;
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_PROFILE_H_

@@ -1,0 +1,62 @@
+#include "obs/stats.h"
+
+namespace levelheaded::obs {
+
+namespace {
+std::atomic<ExecStats*> g_active_stats{nullptr};
+}  // namespace
+
+ExecStats* ActiveStats() {
+  return g_active_stats.load(std::memory_order_relaxed);
+}
+
+StatsScope::StatsScope(ExecStats* stats)
+    : previous_(g_active_stats.exchange(stats, std::memory_order_relaxed)) {}
+
+StatsScope::~StatsScope() {
+  g_active_stats.store(previous_, std::memory_order_relaxed);
+}
+
+StatsSnapshot ExecStats::Snapshot() const {
+  StatsSnapshot s;
+  s.intersect_uint_uint = intersect_[0].load(std::memory_order_relaxed);
+  s.intersect_uint_bitset = intersect_[1].load(std::memory_order_relaxed);
+  s.intersect_bitset_bitset = intersect_[2].load(std::memory_order_relaxed);
+  s.intersect_result_values =
+      intersect_result_values_.load(std::memory_order_relaxed);
+  s.trie_nodes_visited = trie_nodes_visited_.load(std::memory_order_relaxed);
+  s.tuples_emitted = tuples_emitted_.load(std::memory_order_relaxed);
+  s.trie_cache_hits = trie_cache_hits_.load(std::memory_order_relaxed);
+  s.trie_cache_misses = trie_cache_misses_.load(std::memory_order_relaxed);
+  s.tries_built = tries_built_.load(std::memory_order_relaxed);
+  s.thread_pool_chunks = thread_pool_chunks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ExecStats::Reset() {
+  for (auto& c : intersect_) c.store(0, std::memory_order_relaxed);
+  intersect_result_values_.store(0, std::memory_order_relaxed);
+  trie_nodes_visited_.store(0, std::memory_order_relaxed);
+  tuples_emitted_.store(0, std::memory_order_relaxed);
+  trie_cache_hits_.store(0, std::memory_order_relaxed);
+  trie_cache_misses_.store(0, std::memory_order_relaxed);
+  tries_built_.store(0, std::memory_order_relaxed);
+  thread_pool_chunks_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {
+  return {
+      {"intersect.uint_uint", intersect_uint_uint},
+      {"intersect.uint_bitset", intersect_uint_bitset},
+      {"intersect.bitset_bitset", intersect_bitset_bitset},
+      {"intersect.result_values", intersect_result_values},
+      {"trie.nodes_visited", trie_nodes_visited},
+      {"trie.cache_hits", trie_cache_hits},
+      {"trie.cache_misses", trie_cache_misses},
+      {"trie.built", tries_built},
+      {"exec.tuples_emitted", tuples_emitted},
+      {"pool.chunks", thread_pool_chunks},
+  };
+}
+
+}  // namespace levelheaded::obs

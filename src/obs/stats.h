@@ -1,0 +1,121 @@
+// Execution counters for one query: set intersections by kernel type,
+// trie traversal and build activity, trie-cache effectiveness, and thread
+// pool scheduling. The paper's cost model (§V-A1) prices exactly these
+// kernel invocations (uint/uint = 1, uint/bitset = 10, bitset/bitset = 50
+// per element), so regressions in kernel dispatch show up here before they
+// drift a benchmark table.
+//
+// Collection is off by default. Instrumentation sites in the hot kernels
+// (set/intersect.cc, storage/trie.cc, util/thread_pool.cc) go through
+// ActiveStats(): one relaxed atomic load and a branch when disabled —
+// measured < 2% on the Figure 5a intersection microbenchmark. While a
+// query runs with QueryOptions::collect_stats, a StatsScope points the
+// hook at that query's ExecStats block; counters are atomic so thread-pool
+// workers can increment concurrently.
+
+#ifndef LEVELHEADED_OBS_STATS_H_
+#define LEVELHEADED_OBS_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace levelheaded::obs {
+
+/// Intersection kernel layout pairs (§III-C layout dispatch).
+enum class IntersectKernel : int {
+  kUintUint = 0,
+  kUintBitset = 1,
+  kBitsetBitset = 2,
+};
+
+/// Plain-value snapshot of ExecStats — what QueryProfile stores and the
+/// JSON/text renderers consume.
+struct StatsSnapshot {
+  uint64_t intersect_uint_uint = 0;
+  uint64_t intersect_uint_bitset = 0;
+  uint64_t intersect_bitset_bitset = 0;
+  /// Sum of result cardinalities across all intersections.
+  uint64_t intersect_result_values = 0;
+  uint64_t trie_nodes_visited = 0;
+  uint64_t tuples_emitted = 0;
+  uint64_t trie_cache_hits = 0;
+  uint64_t trie_cache_misses = 0;
+  uint64_t tries_built = 0;
+  uint64_t thread_pool_chunks = 0;
+
+  uint64_t TotalIntersections() const {
+    return intersect_uint_uint + intersect_uint_bitset +
+           intersect_bitset_bitset;
+  }
+
+  /// (counter name, value) pairs in render order — single source of truth
+  /// for the text profile, the JSON schema, and the docs glossary.
+  std::vector<std::pair<std::string, uint64_t>> Items() const;
+};
+
+/// Atomic counter block, safe for concurrent increments from thread-pool
+/// workers. Relaxed ordering everywhere: counters are diagnostics, read
+/// only after the query's joins/barriers complete.
+class ExecStats {
+ public:
+  void CountIntersect(IntersectKernel kernel, uint64_t result_cardinality) {
+    intersect_[static_cast<int>(kernel)].fetch_add(
+        1, std::memory_order_relaxed);
+    intersect_result_values_.fetch_add(result_cardinality,
+                                       std::memory_order_relaxed);
+  }
+  void CountTrieNodesVisited(uint64_t n) {
+    trie_nodes_visited_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountTuplesEmitted(uint64_t n) {
+    tuples_emitted_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountTrieCacheHit() {
+    trie_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountTrieCacheMiss() {
+    trie_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountTrieBuilt() { tries_built_.fetch_add(1, std::memory_order_relaxed); }
+  void CountThreadPoolChunk(uint64_t n = 1) {
+    thread_pool_chunks_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  StatsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> intersect_[3] = {};
+  std::atomic<uint64_t> intersect_result_values_{0};
+  std::atomic<uint64_t> trie_nodes_visited_{0};
+  std::atomic<uint64_t> tuples_emitted_{0};
+  std::atomic<uint64_t> trie_cache_hits_{0};
+  std::atomic<uint64_t> trie_cache_misses_{0};
+  std::atomic<uint64_t> tries_built_{0};
+  std::atomic<uint64_t> thread_pool_chunks_{0};
+};
+
+/// The currently collecting counter block, or null when collection is off.
+/// Hot kernels check this before every increment.
+ExecStats* ActiveStats();
+
+/// RAII activation of a counter block. The engine serializes queries, so a
+/// single process-wide hook suffices; scopes nest by restoring the previous
+/// hook on destruction.
+class StatsScope {
+ public:
+  explicit StatsScope(ExecStats* stats);
+  ~StatsScope();
+  StatsScope(const StatsScope&) = delete;
+  StatsScope& operator=(const StatsScope&) = delete;
+
+ private:
+  ExecStats* previous_;
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_STATS_H_

@@ -1,0 +1,52 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <thread>
+
+namespace levelheaded::obs {
+
+namespace {
+uint64_t CurrentThreadId() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id());
+}
+}  // namespace
+
+Trace::Trace() : origin_(Clock::now()) {}
+
+double Trace::NowMillis() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - origin_)
+      .count();
+}
+
+int Trace::Open(const char* name) {
+  const double now = NowMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.name = name;
+  span.start_ms = now;
+  span.thread_id = CurrentThreadId();
+  span.id = static_cast<int>(spans_.size());
+  span.parent = current_;
+  current_ = span.id;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::Close(int id, std::string detail,
+                  std::vector<std::pair<std::string, double>> metrics) {
+  const double now = NowMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  SpanRecord& span = spans_[id];
+  span.duration_ms = now - span.start_ms;
+  span.detail = std::move(detail);
+  span.metrics = std::move(metrics);
+  if (current_ == id) current_ = span.parent;
+}
+
+std::vector<SpanRecord> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+}  // namespace levelheaded::obs

@@ -1,0 +1,104 @@
+// Low-overhead query tracing: TraceSpan RAII spans collected into a
+// per-query span tree. A span records a monotonic start timestamp (relative
+// to the trace origin), a duration, the opening thread, and its parent span,
+// so EXPLAIN ANALYZE can attribute runtime to phases (index build vs.
+// filter vs. WCOJ execution — the breakdown behind Tables II-IV).
+//
+// Tracing is opt-in per query: every instrumentation site takes a `Trace*`
+// that is null when QueryOptions::collect_stats is off, and a TraceSpan
+// constructed with a null trace is a no-op (two pointer checks total).
+
+#ifndef LEVELHEADED_OBS_TRACE_H_
+#define LEVELHEADED_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace levelheaded::obs {
+
+/// One span of a query trace. Spans form a tree through `parent` (an index
+/// into the trace's span vector; -1 for the root).
+struct SpanRecord {
+  std::string name;    ///< phase name ("parse", "trie_build", "wcoj", ...)
+  std::string detail;  ///< free-form qualifier ("lineitem [cached]")
+  double start_ms = 0;       ///< offset from trace origin (monotonic clock)
+  double duration_ms = 0;    ///< 0 while still open
+  uint64_t thread_id = 0;    ///< hash of the opening thread's id
+  int id = -1;               ///< index in the trace's span vector
+  int parent = -1;           ///< parent span id, -1 = root
+  /// Numeric span annotations ("tuples", "cardinality", ...).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Collector for one query's spans. Open/Close are thread-safe; the
+/// parent-nesting stack assumes spans open and close in LIFO order on the
+/// coordinating thread (worker threads do their own bulk counting through
+/// ExecStats instead of opening spans).
+class Trace {
+ public:
+  Trace();
+
+  /// Milliseconds elapsed since the trace was created.
+  double NowMillis() const;
+
+  /// Opens a span under the currently open span; returns its id.
+  int Open(const char* name);
+
+  /// Closes span `id`, recording its duration, detail, and metrics.
+  void Close(int id, std::string detail,
+             std::vector<std::pair<std::string, double>> metrics);
+
+  /// Snapshot of all spans recorded so far (ids are stable).
+  std::vector<SpanRecord> Spans() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // guarded by mu_
+  int current_ = -1;               // innermost open span, guarded by mu_
+};
+
+/// RAII span handle. All members are no-ops when `trace` is null, so
+/// instrumentation sites cost one branch when collection is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, const char* name)
+      : trace_(trace), id_(trace != nullptr ? trace->Open(name) : -1) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// Attaches a free-form qualifier rendered next to the span name.
+  void SetDetail(std::string detail) {
+    if (trace_ != nullptr) detail_ = std::move(detail);
+  }
+
+  /// Attaches a numeric annotation ("tuples", "cardinality", ...).
+  void AddMetric(const char* name, double value) {
+    if (trace_ != nullptr) metrics_.emplace_back(name, value);
+  }
+
+  /// Closes the span now (idempotent; the destructor is then a no-op).
+  void End() {
+    if (trace_ == nullptr) return;
+    trace_->Close(id_, std::move(detail_), std::move(metrics_));
+    trace_ = nullptr;
+  }
+
+ private:
+  Trace* trace_;
+  int id_;
+  std::string detail_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_TRACE_H_

@@ -1,5 +1,6 @@
 #include "set/intersect.h"
 
+#include "obs/stats.h"
 #include "set/simd_intersect.h"
 
 #include <algorithm>
@@ -124,6 +125,15 @@ void IntersectBitsetBitset(const SetView& a, const SetView& b,
   out->FinishBitset(running, base, nw);
 }
 
+// Classifies the layout pair for the kernel counters.
+obs::IntersectKernel KernelFor(const SetView& a, const SetView& b) {
+  const int bitsets = (a.layout == SetLayout::kBitset ? 1 : 0) +
+                      (b.layout == SetLayout::kBitset ? 1 : 0);
+  if (bitsets == 2) return obs::IntersectKernel::kBitsetBitset;
+  if (bitsets == 1) return obs::IntersectKernel::kUintBitset;
+  return obs::IntersectKernel::kUintUint;
+}
+
 }  // namespace
 
 void Intersect(const SetView& a, const SetView& b, ScratchSet* out) {
@@ -133,6 +143,10 @@ void Intersect(const SetView& a, const SetView& b, ScratchSet* out) {
   }
   if (a.layout == SetLayout::kBitset && b.layout == SetLayout::kBitset) {
     IntersectBitsetBitset(a, b, out);
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountIntersect(obs::IntersectKernel::kBitsetBitset,
+                            out->view().cardinality);
+    }
     return;
   }
   if (a.layout == SetLayout::kUint && b.layout == SetLayout::kUint) {
@@ -141,6 +155,9 @@ void Intersect(const SetView& a, const SetView& b, ScratchSet* out) {
     uint32_t n = set_internal::IntersectUintUint(a.values, a.cardinality,
                                                  b.values, b.cardinality, buf);
     out->FinishUint(n);
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountIntersect(obs::IntersectKernel::kUintUint, n);
+    }
     return;
   }
   const SetView& u = a.layout == SetLayout::kUint ? a : b;
@@ -148,6 +165,9 @@ void Intersect(const SetView& a, const SetView& b, ScratchSet* out) {
   uint32_t* buf = out->PrepareUint(u.cardinality);
   uint32_t n = IntersectUintBitset(u, bs, buf);
   out->FinishUint(n);
+  if (obs::ExecStats* stats = obs::ActiveStats()) {
+    stats->CountIntersect(obs::IntersectKernel::kUintBitset, n);
+  }
 }
 
 uint32_t IntersectCount(const SetView& a, const SetView& b) {
@@ -163,6 +183,9 @@ uint32_t IntersectCount(const SetView& a, const SetView& b) {
     const uint64_t* wb = b.words + (base - b.word_base) / bits::kWordBits;
     uint32_t count = 0;
     for (uint32_t w = 0; w < nw; ++w) count += bits::PopCount(wa[w] & wb[w]);
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountIntersect(obs::IntersectKernel::kBitsetBitset, count);
+    }
     return count;
   }
   ScratchSet scratch;
@@ -170,9 +193,10 @@ uint32_t IntersectCount(const SetView& a, const SetView& b) {
   return scratch.view().cardinality;
 }
 
-uint32_t IntersectRanked(const SetView& a, const SetView& b, uint32_t* vals,
-                         uint32_t* rank_a, uint32_t* rank_b) {
-  if (a.empty() || b.empty()) return 0;
+namespace {
+
+uint32_t IntersectRankedImpl(const SetView& a, const SetView& b, uint32_t* vals,
+                             uint32_t* rank_a, uint32_t* rank_b) {
   uint32_t n = 0;
   if (a.layout == SetLayout::kUint && b.layout == SetLayout::kUint) {
     uint32_t i = 0, j = 0;
@@ -239,6 +263,18 @@ uint32_t IntersectRanked(const SetView& a, const SetView& b, uint32_t* vals,
           bs.word_ranks[w] + bits::PopCount(bs.words[w] & bits::LowMask(bit));
       ++n;
     }
+  }
+  return n;
+}
+
+}  // namespace
+
+uint32_t IntersectRanked(const SetView& a, const SetView& b, uint32_t* vals,
+                         uint32_t* rank_a, uint32_t* rank_b) {
+  if (a.empty() || b.empty()) return 0;
+  const uint32_t n = IntersectRankedImpl(a, b, vals, rank_a, rank_b);
+  if (obs::ExecStats* stats = obs::ActiveStats()) {
+    stats->CountIntersect(KernelFor(a, b), n);
   }
   return n;
 }

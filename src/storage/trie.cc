@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 
 namespace levelheaded {
@@ -343,6 +344,7 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
     trie.annotations_.push_back(std::move(buf));
   }
 
+  if (obs::ExecStats* stats = obs::ActiveStats()) stats->CountTrieBuilt();
   return trie;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 
 namespace levelheaded {
@@ -56,13 +57,20 @@ void ThreadPool::WorkerLoop(int slot) {
 void ThreadPool::RunJobSlice(ParallelJob* job, int slot) {
   const int64_t grain = job->grain;
   t_in_parallel_region = true;
+  uint64_t chunks = 0;
   while (true) {
     int64_t start = job->next.fetch_add(grain, std::memory_order_relaxed);
     if (start >= job->end) break;
     int64_t stop = std::min(start + grain, job->end);
     (*job->fn)(slot, start, stop);
+    ++chunks;
   }
   t_in_parallel_region = false;
+  if (chunks > 0) {
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountThreadPoolChunk(chunks);
+    }
+  }
 }
 
 void ThreadPool::ParallelChunks(
@@ -75,6 +83,9 @@ void ThreadPool::ParallelChunks(
   // parallel regions, which would otherwise deadlock on the single job slot.
   if (total <= grain || workers_.empty() || t_in_parallel_region) {
     fn(num_threads(), begin, end);
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountThreadPoolChunk(1);
+    }
     return;
   }
   std::lock_guard<std::mutex> submit_lock(submit_mu_);

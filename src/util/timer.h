@@ -7,6 +7,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/logging.h"
+
 namespace levelheaded {
 
 /// Monotonic wall-clock stopwatch.
@@ -35,6 +37,8 @@ class WallTimer {
 /// three repetitions (the paper's measurement protocol, §VI-A).
 template <typename Fn>
 double TimeAverageMillis(int repetitions, Fn&& fn) {
+  LH_DCHECK(repetitions > 0);
+  if (repetitions <= 0) return 0;
   double sum = 0, lo = 1e300, hi = -1e300;
   for (int i = 0; i < repetitions; ++i) {
     WallTimer t;

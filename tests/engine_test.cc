@@ -1,9 +1,11 @@
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "obs/profile.h"
 #include "reference_executor.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -489,6 +491,83 @@ TEST_F(EngineTest, TrieCacheReuse) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(engine_->trie_cache()->size(), cached);
   EXPECT_EQ(second.value().timing.index_build_ms, 0.0);
+}
+
+TEST_F(EngineTest, QueryAnalyzeCollectsProfile) {
+  const std::string sql =
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src";
+  auto r = engine_->QueryAnalyze(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().profile, nullptr);
+  const obs::QueryProfile& profile = *r.value().profile;
+
+  std::set<std::string> phases;
+  for (const obs::SpanRecord& s : profile.spans) phases.insert(s.name);
+  EXPECT_GE(phases.size(), 6u) << profile.ToText();
+  for (const char* expected :
+       {"query", "parse", "bind", "plan", "execute", "wcoj"}) {
+    EXPECT_TRUE(phases.count(expected)) << "missing span " << expected;
+  }
+
+  // The triangle runs the WCOJ kernels: per-kernel counts must be nonzero.
+  EXPECT_GT(profile.counters.TotalIntersections(), 0u);
+  EXPECT_GT(profile.counters.intersect_result_values, 0u);
+  EXPECT_GT(profile.counters.trie_nodes_visited, 0u);
+  EXPECT_GT(profile.counters.tuples_emitted, 0u);
+  ASSERT_FALSE(profile.node_tuples.empty());
+}
+
+TEST_F(EngineTest, QueryAnalyzeReportsCachedTries) {
+  engine_->trie_cache()->Clear();
+  const std::string sql =
+      "SELECT n_name, sum(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey GROUP BY n_name";
+  auto first = engine_->QueryAnalyze(sql);
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first.value().profile, nullptr);
+  EXPECT_GT(first.value().profile->counters.tries_built, 0u);
+
+  auto second = engine_->QueryAnalyze(sql);
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(second.value().profile, nullptr);
+  // Re-execution hits the trie cache: no index rebuild.
+  EXPECT_EQ(second.value().timing.index_build_ms, 0.0);
+  EXPECT_GT(second.value().profile->counters.trie_cache_hits, 0u);
+}
+
+TEST_F(EngineTest, DefaultQueryCollectsNoProfile) {
+  auto r = engine_->Query("SELECT count(*) FROM lineitem");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().profile, nullptr);
+}
+
+TEST_F(EngineTest, ExplainAnalyzeReturnsTextProfile) {
+  auto r = engine_->Query(
+      "EXPLAIN ANALYZE SELECT n_name, sum(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey GROUP BY n_name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 1u);
+  EXPECT_EQ(r.value().columns[0].name, "QUERY PLAN");
+  ASSERT_GT(r.value().num_rows, 0u);
+  std::string all;
+  for (const std::string& line : r.value().columns[0].strs) {
+    all += line;
+    all += "\n";
+  }
+  EXPECT_NE(all.find("query"), std::string::npos);
+  EXPECT_NE(all.find("intersect.uint_uint"), std::string::npos);
+  ASSERT_NE(r.value().profile, nullptr);
+}
+
+TEST_F(EngineTest, ExplainPrefixReturnsPlanText) {
+  auto r = engine_->Query(
+      "explain SELECT n_name, sum(c_acctbal) FROM customer, nation "
+      "WHERE c_nationkey = n_nationkey GROUP BY n_name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 1u);
+  ASSERT_GT(r.value().num_rows, 0u);
+  EXPECT_NE(r.value().columns[0].strs[0].find("plan:"), std::string::npos);
 }
 
 TEST_F(EngineTest, ExplainReportsPlanShape) {

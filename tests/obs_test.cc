@@ -1,0 +1,303 @@
+// Unit tests for the observability layer: trace span nesting, counter
+// atomicity under the thread pool, and the JSON writer / parser / profile
+// round-trip behind the BENCH_*.json export.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_writer.h"
+#include "obs/profile.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded::obs {
+namespace {
+
+// --- Trace / TraceSpan -------------------------------------------------------
+
+TEST(TraceTest, SpansNestThroughParentIds) {
+  Trace trace;
+  {
+    TraceSpan query(&trace, "query");
+    {
+      TraceSpan parse(&trace, "parse");
+      parse.SetDetail("select");
+    }
+    {
+      TraceSpan exec(&trace, "execute");
+      TraceSpan wcoj(&trace, "wcoj");
+      wcoj.AddMetric("tuples", 42);
+    }
+  }
+  std::vector<SpanRecord> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "parse");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].detail, "select");
+  EXPECT_EQ(spans[2].name, "execute");
+  EXPECT_EQ(spans[2].parent, spans[0].id);
+  EXPECT_EQ(spans[3].name, "wcoj");
+  EXPECT_EQ(spans[3].parent, spans[2].id);
+  ASSERT_EQ(spans[3].metrics.size(), 1u);
+  EXPECT_EQ(spans[3].metrics[0].first, "tuples");
+  EXPECT_EQ(spans[3].metrics[0].second, 42);
+  for (const SpanRecord& s : spans) {
+    EXPECT_GE(s.duration_ms, 0);
+    EXPECT_GE(s.start_ms, 0);
+  }
+}
+
+TEST(TraceTest, NullTraceSpanIsNoOp) {
+  TraceSpan span(nullptr, "never");
+  span.SetDetail("ignored");
+  span.AddMetric("n", 1);
+  span.End();
+  span.End();  // idempotent
+}
+
+TEST(TraceTest, ExplicitEndMakesDestructorNoOp) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "once");
+    span.End();
+    span.End();
+  }
+  EXPECT_EQ(trace.Spans().size(), 1u);
+}
+
+// --- ExecStats ---------------------------------------------------------------
+
+TEST(ExecStatsTest, CountersAccumulateAndReset) {
+  ExecStats stats;
+  stats.CountIntersect(IntersectKernel::kUintUint, 3);
+  stats.CountIntersect(IntersectKernel::kUintBitset, 5);
+  stats.CountIntersect(IntersectKernel::kBitsetBitset, 7);
+  stats.CountTrieNodesVisited(11);
+  stats.CountTuplesEmitted(13);
+  stats.CountTrieCacheHit();
+  stats.CountTrieCacheMiss();
+  stats.CountTrieBuilt();
+  stats.CountThreadPoolChunk(2);
+
+  StatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.intersect_uint_uint, 1u);
+  EXPECT_EQ(snap.intersect_uint_bitset, 1u);
+  EXPECT_EQ(snap.intersect_bitset_bitset, 1u);
+  EXPECT_EQ(snap.intersect_result_values, 15u);
+  EXPECT_EQ(snap.TotalIntersections(), 3u);
+  EXPECT_EQ(snap.trie_nodes_visited, 11u);
+  EXPECT_EQ(snap.tuples_emitted, 13u);
+  EXPECT_EQ(snap.trie_cache_hits, 1u);
+  EXPECT_EQ(snap.trie_cache_misses, 1u);
+  EXPECT_EQ(snap.tries_built, 1u);
+  EXPECT_EQ(snap.thread_pool_chunks, 2u);
+
+  stats.Reset();
+  snap = stats.Snapshot();
+  EXPECT_EQ(snap.TotalIntersections(), 0u);
+  EXPECT_EQ(snap.thread_pool_chunks, 0u);
+}
+
+TEST(ExecStatsTest, ItemsCoverEveryCounter) {
+  ExecStats stats;
+  stats.CountIntersect(IntersectKernel::kUintUint, 2);
+  StatsSnapshot snap = stats.Snapshot();
+  std::vector<std::pair<std::string, uint64_t>> items = snap.Items();
+  EXPECT_EQ(items.size(), 10u);
+  bool saw_uint_uint = false;
+  for (const auto& [name, value] : items) {
+    if (name == "intersect.uint_uint") {
+      saw_uint_uint = true;
+      EXPECT_EQ(value, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_uint_uint);
+}
+
+TEST(ExecStatsTest, AtomicUnderThreadPool) {
+  constexpr int64_t kN = 20000;
+  ExecStats stats;
+  {
+    StatsScope scope(&stats);
+    ASSERT_EQ(ActiveStats(), &stats);
+    ThreadPool::Global().ParallelFor(0, kN, 64, [](int, int64_t) {
+      if (ExecStats* s = ActiveStats()) {
+        s->CountIntersect(IntersectKernel::kUintUint, 1);
+        s->CountTrieNodesVisited(2);
+      }
+    });
+  }
+  EXPECT_EQ(ActiveStats(), nullptr);
+  StatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.intersect_uint_uint, static_cast<uint64_t>(kN));
+  EXPECT_EQ(snap.intersect_result_values, static_cast<uint64_t>(kN));
+  EXPECT_EQ(snap.trie_nodes_visited, static_cast<uint64_t>(2 * kN));
+  // The pool instrumentation itself counted the claimed chunks.
+  EXPECT_GT(snap.thread_pool_chunks, 0u);
+}
+
+TEST(ExecStatsTest, ScopesNest) {
+  ExecStats outer, inner;
+  EXPECT_EQ(ActiveStats(), nullptr);
+  {
+    StatsScope a(&outer);
+    EXPECT_EQ(ActiveStats(), &outer);
+    {
+      StatsScope b(&inner);
+      EXPECT_EQ(ActiveStats(), &inner);
+    }
+    EXPECT_EQ(ActiveStats(), &outer);
+  }
+  EXPECT_EQ(ActiveStats(), nullptr);
+}
+
+// --- JsonWriter / ParseJson --------------------------------------------------
+
+TEST(JsonTest, WriterEmitsValidCompactJson) {
+  JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("name");
+  w.String("a \"quoted\"\nvalue");
+  w.Key("count");
+  w.Uint(18446744073709551615ull % (1ull << 53));  // within exact range
+  w.Key("pi");
+  w.Number(3.25);
+  w.Key("neg");
+  w.Int(-7);
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("nothing");
+  w.Null();
+  w.Key("list");
+  w.BeginArray();
+  w.Number(1);
+  w.Number(2);
+  w.EndArray();
+  w.EndObject();
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &v, &error)) << error << "\n" << w.str();
+  ASSERT_TRUE(v.IsObject());
+  EXPECT_EQ(v.Find("name")->string, "a \"quoted\"\nvalue");
+  EXPECT_EQ(v.Find("pi")->number, 3.25);
+  EXPECT_EQ(v.Find("neg")->number, -7);
+  EXPECT_TRUE(v.Find("flag")->boolean);
+  EXPECT_EQ(v.Find("nothing")->kind, JsonValue::Kind::kNull);
+  ASSERT_TRUE(v.Find("list")->IsArray());
+  EXPECT_EQ(v.Find("list")->array.size(), 2u);
+}
+
+TEST(JsonTest, DoubleRoundTripIsExact) {
+  const double values[] = {0.0, 1.0, 0.1, 123456.789, 1e-9, 9007199254740991.0};
+  for (double d : values) {
+    JsonWriter w(false);
+    w.BeginArray();
+    w.Number(d);
+    w.EndArray();
+    JsonValue v;
+    ASSERT_TRUE(ParseJson(w.str(), &v, nullptr));
+    ASSERT_EQ(v.array.size(), 1u);
+    EXPECT_EQ(v.array[0].number, d) << w.str();
+  }
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  JsonValue v;
+  EXPECT_FALSE(ParseJson("", &v, nullptr));
+  EXPECT_FALSE(ParseJson("{", &v, nullptr));
+  EXPECT_FALSE(ParseJson("{\"a\":}", &v, nullptr));
+  EXPECT_FALSE(ParseJson("[1,2,]", &v, nullptr));
+  EXPECT_FALSE(ParseJson("[1] trailing", &v, nullptr));
+  EXPECT_FALSE(ParseJson("nul", &v, nullptr));
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\" 1}", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, ParserHandlesEscapesAndNesting) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"s": "tab\tA", "o": {"a": [true, null]}})",
+                        &v, nullptr));
+  EXPECT_EQ(v.Find("s")->string, "tab\tA");
+  const JsonValue* o = v.Find("o");
+  ASSERT_NE(o, nullptr);
+  ASSERT_TRUE(o->Find("a")->IsArray());
+  EXPECT_EQ(o->Find("a")->array.size(), 2u);
+}
+
+// --- QueryProfile round-trip -------------------------------------------------
+
+TEST(QueryProfileTest, JsonRoundTrip) {
+  QueryObs qobs;
+  {
+    TraceSpan query(&qobs.trace, "query");
+    TraceSpan exec(&qobs.trace, "execute");
+    exec.SetDetail("node 0");
+    exec.AddMetric("tuples", 7);
+  }
+  qobs.stats.CountIntersect(IntersectKernel::kUintBitset, 9);
+  qobs.stats.CountTuplesEmitted(7);
+  qobs.node_tuples = {7, 3};
+  std::shared_ptr<const QueryProfile> profile = qobs.Finish();
+  ASSERT_NE(profile, nullptr);
+
+  const std::string json = profile->ToJson();
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  QueryProfile back;
+  ASSERT_TRUE(QueryProfile::FromJson(v, &back));
+
+  ASSERT_EQ(back.spans.size(), profile->spans.size());
+  for (size_t i = 0; i < back.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i].name, profile->spans[i].name);
+    EXPECT_EQ(back.spans[i].detail, profile->spans[i].detail);
+    EXPECT_EQ(back.spans[i].id, profile->spans[i].id);
+    EXPECT_EQ(back.spans[i].parent, profile->spans[i].parent);
+    EXPECT_EQ(back.spans[i].start_ms, profile->spans[i].start_ms);
+    EXPECT_EQ(back.spans[i].duration_ms, profile->spans[i].duration_ms);
+    ASSERT_EQ(back.spans[i].metrics.size(), profile->spans[i].metrics.size());
+    for (size_t j = 0; j < back.spans[i].metrics.size(); ++j) {
+      EXPECT_EQ(back.spans[i].metrics[j], profile->spans[i].metrics[j]);
+    }
+  }
+  EXPECT_EQ(back.counters.intersect_uint_bitset, 1u);
+  EXPECT_EQ(back.counters.intersect_result_values, 9u);
+  EXPECT_EQ(back.counters.tuples_emitted, 7u);
+  EXPECT_EQ(back.node_tuples, (std::vector<uint64_t>{7, 3}));
+}
+
+TEST(QueryProfileTest, FromJsonRejectsWrongShape) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("[1,2,3]", &v, nullptr));
+  QueryProfile p;
+  EXPECT_FALSE(QueryProfile::FromJson(v, &p));
+  ASSERT_TRUE(ParseJson("{\"spans\": 5}", &v, nullptr));
+  EXPECT_FALSE(QueryProfile::FromJson(v, &p));
+}
+
+TEST(QueryProfileTest, ToTextListsSpansAndCounters) {
+  QueryObs qobs;
+  {
+    TraceSpan query(&qobs.trace, "query");
+    TraceSpan parse(&qobs.trace, "parse");
+  }
+  qobs.stats.CountIntersect(IntersectKernel::kUintUint, 4);
+  qobs.node_tuples = {10};
+  std::shared_ptr<const QueryProfile> profile = qobs.Finish();
+  const std::string text = profile->ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("parse"), std::string::npos);
+  EXPECT_NE(text.find("intersect.uint_uint"), std::string::npos);
+  EXPECT_NE(text.find("node[0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace levelheaded::obs
