@@ -1,0 +1,36 @@
+# Runs every bench binary in --smoke mode, exporting BENCH_<name>.json, then
+# validates all exports with validate_stats. Shared by the `bench_smoke`
+# build target and the `bench_smoke` ctest entry (which the ASan preset runs
+# so the bench binaries' --smoke --json paths are leak-checked).
+#
+#   cmake -DBENCH_DIR=<bindir> -DBENCHES=<name,name,...> -P smoke.cmake
+#
+# BENCHES is comma-separated (semicolons do not survive CMake list storage).
+
+if(NOT DEFINED BENCH_DIR OR NOT DEFINED BENCHES)
+  message(FATAL_ERROR "smoke.cmake requires -DBENCH_DIR=... and -DBENCHES=...")
+endif()
+string(REPLACE "," ";" BENCHES "${BENCHES}")
+
+set(jsons "")
+foreach(bench IN LISTS BENCHES)
+  set(json "${BENCH_DIR}/BENCH_${bench}.json")
+  message(STATUS "smoke: ${bench}")
+  execute_process(
+    COMMAND "${BENCH_DIR}/${bench}" --smoke "--json=${json}"
+    WORKING_DIRECTORY "${BENCH_DIR}"
+    RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${bench} --smoke failed (exit ${rv})")
+  endif()
+  list(APPEND jsons "${json}")
+endforeach()
+
+execute_process(
+  COMMAND "${BENCH_DIR}/validate_stats" ${jsons}
+  WORKING_DIRECTORY "${BENCH_DIR}"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "validate_stats failed (exit ${rv})")
+endif()
+message(STATUS "smoke: all exports validated")

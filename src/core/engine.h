@@ -56,16 +56,16 @@ class Engine {
   /// plan shape as a one-column ("QUERY PLAN") text result; EXPLAIN ANALYZE
   /// executes the query with stats collection and returns the rendered
   /// profile (span tree + counters) instead of the query's rows.
-  Result<QueryResult> Query(const std::string& sql,
+  [[nodiscard]] Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& options = QueryOptions());
 
   /// Runs one SELECT with stats collection forced on: the normal result
   /// rows plus the execution profile in QueryResult::profile.
-  Result<QueryResult> QueryAnalyze(
+  [[nodiscard]] Result<QueryResult> QueryAnalyze(
       const std::string& sql, const QueryOptions& options = QueryOptions());
 
   /// Plans without executing.
-  Result<ExplainInfo> Explain(const std::string& sql,
+  [[nodiscard]] Result<ExplainInfo> Explain(const std::string& sql,
                               const QueryOptions& options = QueryOptions());
 
   /// The unfiltered-trie cache ("index creation"); exposed so benchmarks
@@ -73,9 +73,9 @@ class Engine {
   TrieCache* trie_cache() { return &trie_cache_; }
 
  private:
-  Result<QueryResult> RunQuery(const std::string& sql,
+  [[nodiscard]] Result<QueryResult> RunQuery(const std::string& sql,
                                const QueryOptions& options);
-  Result<PhysicalPlan> Prepare(const std::string& sql,
+  [[nodiscard]] Result<PhysicalPlan> Prepare(const std::string& sql,
                                const QueryOptions& options,
                                QueryResult::Timing* timing, obs::Trace* trace);
 

@@ -806,6 +806,16 @@ class NodeExec {
     total_nodes_ += w.nodes_visited;
   }
 
+  /// Read of a worker's rank cursor for relation slot `slot` at trie level
+  /// `level`, bounds-checked in debug/hardened builds. A cursor outside its
+  /// vector means a descent wrote past the planned level count — exactly the
+  /// corruption that silently skews aggregate results in release.
+  static uint32_t RankCursor(const Worker& w, size_t slot, size_t level) {
+    LH_DCHECK_BOUNDS(slot, w.ranks.size());
+    LH_DCHECK_BOUNDS(level, w.ranks[slot].size());
+    return w.ranks[slot][level];
+  }
+
   int PosOf(int vertex) const {
     for (size_t i = 0; i < node_.attr_order.size(); ++i) {
       if (node_.attr_order[i] == vertex) return static_cast<int>(i);
@@ -843,7 +853,7 @@ class NodeExec {
       } else {
         const Trie& trie = *rels_[p.slot]->trie;
         const uint32_t set_idx =
-            p.level == 0 ? 0 : w->ranks[p.slot][p.level - 1];
+            p.level == 0 ? 0 : RankCursor(*w, p.slot, p.level - 1);
         w->gather.push_back(trie.level(p.level).set(set_idx));
       }
     }
@@ -852,7 +862,7 @@ class NodeExec {
         const Participant& p = parts[0];
         const Trie& trie = *rels_[p.slot]->trie;
         const uint32_t set_idx =
-            p.level == 0 ? 0 : w->ranks[p.slot][p.level - 1];
+            p.level == 0 ? 0 : RankCursor(*w, p.slot, p.level - 1);
         w->single_base[depth] = trie.level(p.level).base_rank(set_idx);
       }
       w->scratch_a[depth].Alias(w->gather[0]);
@@ -883,7 +893,7 @@ class NodeExec {
       ++w->nodes_visited;
       const Trie& trie = *rels_[p.slot]->trie;
       const uint32_t set_idx =
-          p.level == 0 ? 0 : w->ranks[p.slot][p.level - 1];
+          p.level == 0 ? 0 : RankCursor(*w, p.slot, p.level - 1);
       const SetView set = trie.level(p.level).set(set_idx);
       const int64_t r = set.Rank(v);
       if (r < 0) return false;
@@ -952,8 +962,10 @@ class NodeExec {
     const Participant& p1 = participants_[depth][1];
     const Trie& t0 = *rels_[p0.slot]->trie;
     const Trie& t1 = *rels_[p1.slot]->trie;
-    const uint32_t si0 = p0.level == 0 ? 0 : w->ranks[p0.slot][p0.level - 1];
-    const uint32_t si1 = p1.level == 0 ? 0 : w->ranks[p1.slot][p1.level - 1];
+    const uint32_t si0 =
+        p0.level == 0 ? 0 : RankCursor(*w, p0.slot, p0.level - 1);
+    const uint32_t si1 =
+        p1.level == 0 ? 0 : RankCursor(*w, p1.slot, p1.level - 1);
     const SetView s0 = t0.level(p0.level).set(si0);
     const SetView s1 = t1.level(p1.level).set(si1);
     if (s0.empty() || s1.empty()) return;
@@ -1010,7 +1022,7 @@ class NodeExec {
           w->ranks[p0.slot][p0.level] = base0 + w->fused_ra[i];
           w->ranks[p1.slot][p1.level] = base1 + w->fused_rb[i];
           sum += agg_progs_[0].Eval([&](int slot, int level) {
-            return w->ranks[slot][level];
+            return RankCursor(*w, slot, level);
           });
         }
         acc[0] += sum;
@@ -1023,7 +1035,7 @@ class NodeExec {
         EncodeGroupKey(w);
         double* acc = w->groups->AppendOrLast(w->group_key.data());
         acc[0] += agg_progs_[0].Eval([&](int slot, int level) {
-          return w->ranks[slot][level];
+          return RankCursor(*w, slot, level);
         });
       }
       return;
@@ -1080,9 +1092,9 @@ class NodeExec {
     const Trie& tm = *rels_[pm.slot]->trie;
     s->ForEach([&](uint32_t v, uint32_t) {
       if (!Descend(w, depth, v)) return;
-      const double fixed = fixbuf[w->ranks[fs][fl]];
+      const double fixed = fixbuf[RankCursor(*w, fs, fl)];
       const uint32_t set_idx =
-          pm.level == 0 ? 0 : w->ranks[pm.slot][pm.level - 1];
+          pm.level == 0 ? 0 : RankCursor(*w, pm.slot, pm.level - 1);
       const SetView sm = tm.level(pm.level).set(set_idx);
       const uint32_t base = tm.level(pm.level).base_rank(set_idx);
       const double* values = varbuf + base;
@@ -1129,7 +1141,6 @@ class NodeExec {
   /// scratch (Figure 4's `sj` buffer), then flush in sorted order.
   void RelaxedTail(Worker* w, int depth) {
     if (RelaxedTailFast(w, depth)) return;
-    const int k = static_cast<int>(node_.attr_order.size());
     const size_t naggs = std::max<size_t>(1, plan_.aggs.size());
     const size_t stride = 2 * naggs;
     LH_CHECK_GT(last_domain_size_, 0u);
@@ -1205,7 +1216,7 @@ class NodeExec {
         // per-base-row cursor set by the subrow-mode leaf (translated when
         // the annotation attaches above the trie's own leaf level).
         if (buf.level < br.num_query_levels) {
-          *rank = w_.ranks[s][buf.level];
+          *rank = RankCursor(w_, s, buf.level);
         } else if (buf.level + 1 == br.trie->num_levels()) {
           *rank = w_.subrow[s];
         } else {
@@ -1238,10 +1249,10 @@ class NodeExec {
     const BuiltRelation& br = *rels_[s];
     const AnnotationBuffer& buf = br.trie->annotation(a);
     if (buf.level < br.num_query_levels) {
-      return buf.AsDouble(w->ranks[s][buf.level]);
+      return buf.AsDouble(RankCursor(*w, s, buf.level));
     }
     const int last = br.num_query_levels - 1;
-    const uint32_t rank = w->ranks[s][last];
+    const uint32_t rank = RankCursor(*w, s, last);
     const TrieLevel& level = br.trie->level(last);
     const uint32_t lo = level.first_leaf(rank);
     const uint32_t hi = level.first_leaf(rank + 1);
@@ -1300,7 +1311,7 @@ class NodeExec {
       if (!iterated_[s]) continue;
       const BuiltRelation& br = *rels_[s];
       const int last = br.num_query_levels - 1;
-      const uint32_t rank = w->ranks[s][last];
+      const uint32_t rank = RankCursor(*w, s, last);
       const TrieLevel& level = br.trie->level(last);
       LH_CHECK_LT(nr, 16);
       ranges[nr] = {static_cast<int>(s), level.first_leaf(rank),
@@ -1357,7 +1368,7 @@ class NodeExec {
             v = AnnotValuePoint(w, s, rels_[s]->agg_annot[i]);
           } else if (agg_prog_ok_[i]) {
             v = agg_progs_[i].Eval([&](int slot, int level) {
-              return w->ranks[slot][level];
+              return RankCursor(*w, slot, level);
             });
           } else {
             v = EvalNumber(*agg.arg, cells);
@@ -1389,7 +1400,7 @@ class NodeExec {
               v = 1.0;
             } else if (agg_prog_ok_[i]) {
               v = agg_progs_[i].Eval([&](int slot, int level) {
-                return w->ranks[slot][level];
+                return RankCursor(*w, slot, level);
               });
             } else {
               v = EvalNumber(*agg.arg, cells);

@@ -66,7 +66,7 @@ class TrieCache {
 /// `qobs`, when non-null, receives tracing spans, per-node tuple counts, and
 /// coordinator-side counters (kernel counters flow through the global
 /// ActiveStats() hook, activated by the engine).
-Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+[[nodiscard]] Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
                                 QueryResult::Timing* timing,
                                 obs::QueryObs* qobs = nullptr);

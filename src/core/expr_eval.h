@@ -64,7 +64,7 @@ class RowFilter {
  public:
   /// Compiles `conjuncts` (bound, all referencing the same relation whose
   /// table is `table`). The expressions must outlive the filter.
-  static Result<RowFilter> Compile(const std::vector<const Expr*>& conjuncts,
+  [[nodiscard]] static Result<RowFilter> Compile(const std::vector<const Expr*>& conjuncts,
                                    const Table& table);
 
   bool Matches(uint32_t row) const;

@@ -107,7 +107,7 @@ struct PhysicalPlan {
 /// trie level assignment, aggregate/dimension execution specs, and dense
 /// kernel detection. `trace`, when non-null, receives planning-phase spans
 /// (hypergraph, GHD enumeration, attribute ordering).
-Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
+[[nodiscard]] Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
                                const QueryOptions& options,
                                obs::Trace* trace = nullptr);
 

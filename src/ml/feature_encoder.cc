@@ -52,10 +52,10 @@ Result<FeatureSet> EncodeFeatures(
           plan.code_to_feature[code] = next_cat++;
         }
       }
-      for (uint32_t c = 0; c < col.dict->size(); ++c) {
-        if (plan.code_to_feature[c] >= 0) {
+      for (uint32_t code = 0; code < col.dict->size(); ++code) {
+        if (plan.code_to_feature[code] >= 0) {
           out.feature_names.push_back(col.name + "=" +
-                                      col.dict->DecodeString(c));
+                                      col.dict->DecodeString(code));
         }
       }
       num_features += next_cat;

@@ -63,7 +63,7 @@ int64_t SetView::Rank(uint32_t v) const {
 }
 
 uint32_t SetView::Select(uint32_t rank) const {
-  LH_DCHECK(rank < cardinality);
+  LH_DCHECK_BOUNDS(rank, cardinality);
   if (layout == SetLayout::kUint) return values[rank];
   // Binary search the word whose cumulative rank covers `rank`.
   uint32_t lo = 0, hi = num_words;

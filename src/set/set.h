@@ -64,9 +64,11 @@ struct SetView {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     if (layout == SetLayout::kUint) {
+      LH_DCHECK(cardinality == 0 || values != nullptr);
       for (uint32_t r = 0; r < cardinality; ++r) fn(values[r], r);
       return;
     }
+    LH_DCHECK(num_words == 0 || words != nullptr);
     uint32_t rank = 0;
     for (uint32_t w = 0; w < num_words; ++w) {
       uint64_t word = words[w];
@@ -77,6 +79,9 @@ struct SetView {
         word &= word - 1;
       }
     }
+    // Word population must agree with the descriptor cardinality, or ranks
+    // derived from this set would mis-index child sets and annotations.
+    LH_DCHECK_EQ(rank, cardinality);
   }
 
   /// Materializes the set into a vector of values (ascending).

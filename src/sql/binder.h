@@ -14,7 +14,7 @@
 namespace levelheaded {
 
 /// Binds `stmt` (consumed) against `catalog`.
-Result<LogicalQuery> Bind(SelectStmt stmt, const Catalog& catalog);
+[[nodiscard]] Result<LogicalQuery> Bind(SelectStmt stmt, const Catalog& catalog);
 
 }  // namespace levelheaded
 

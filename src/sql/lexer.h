@@ -14,7 +14,7 @@ namespace levelheaded {
 /// Tokenizes `sql`; the result always ends with a kEof token. Identifiers
 /// are uppercased in `text` (keyword matching is case-insensitive); string
 /// literals keep their exact contents. `--` line comments are skipped.
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace levelheaded
 

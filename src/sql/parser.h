@@ -16,7 +16,7 @@
 namespace levelheaded {
 
 /// Parses one SELECT statement.
-Result<SelectStmt> ParseSelect(const std::string& sql);
+[[nodiscard]] Result<SelectStmt> ParseSelect(const std::string& sql);
 
 }  // namespace levelheaded
 

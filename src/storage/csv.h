@@ -21,16 +21,16 @@ struct CsvOptions {
 
 /// Appends the rows of a delimited file to `table`, parsing each field with
 /// the column's schema type. DATE columns expect YYYY-MM-DD.
-Status LoadCsvFile(const std::string& path, const CsvOptions& options,
+[[nodiscard]] Status LoadCsvFile(const std::string& path, const CsvOptions& options,
                    Table* table);
 
 /// Same, from an in-memory buffer (tests, examples).
-Status LoadCsvString(const std::string& data, const CsvOptions& options,
+[[nodiscard]] Status LoadCsvString(const std::string& data, const CsvOptions& options,
                      Table* table);
 
 /// Writes `table` as a delimited file (DATE columns as YYYY-MM-DD). The
 /// output round-trips through LoadCsvFile with the same options.
-Status SaveCsvFile(const Table& table, const std::string& path,
+[[nodiscard]] Status SaveCsvFile(const Table& table, const std::string& path,
                    const CsvOptions& options);
 
 }  // namespace levelheaded

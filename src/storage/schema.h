@@ -62,7 +62,7 @@ class TableSchema {
 
   /// Validates name uniqueness and key typing (keys must be integer- or
   /// string-typed; float keys are rejected).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::string name_;

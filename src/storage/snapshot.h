@@ -19,10 +19,10 @@
 namespace levelheaded {
 
 /// Writes `catalog` (which must be finalized) to `path`.
-Status SaveCatalog(const Catalog& catalog, const std::string& path);
+[[nodiscard]] Status SaveCatalog(const Catalog& catalog, const std::string& path);
 
 /// Loads a snapshot; the returned catalog is finalized and ready to query.
-Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& path);
+[[nodiscard]] Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& path);
 
 }  // namespace levelheaded
 

@@ -18,8 +18,8 @@
 namespace levelheaded {
 
 class Catalog;
-Status SaveCatalog(const Catalog& catalog, const std::string& path);
-Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& path);
+[[nodiscard]] Status SaveCatalog(const Catalog& catalog, const std::string& path);
+[[nodiscard]] Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& path);
 
 /// Storage for one column. Which vectors are populated depends on the
 /// column type and on whether the owning catalog has been finalized:
@@ -54,7 +54,7 @@ class Table {
   /// Appends one row; values must match the schema arity and types
   /// (integers for int/date columns, reals or ints for float/double,
   /// strings for string columns).
-  Status AppendRow(const std::vector<Value>& row);
+  [[nodiscard]] Status AppendRow(const std::vector<Value>& row);
 
   /// Direct column access.
   const ColumnData& column(int i) const { return columns_[i]; }
@@ -89,7 +89,7 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Creates an empty table; fails on duplicate names or invalid schemas.
-  Result<Table*> CreateTable(TableSchema schema);
+  [[nodiscard]] Result<Table*> CreateTable(TableSchema schema);
 
   /// Lookup; nullptr when absent.
   Table* GetTable(const std::string& name);
@@ -104,7 +104,7 @@ class Catalog {
   /// Builds all domain dictionaries from every key column, encodes key
   /// columns, and dictionary-encodes string annotation columns. Must be
   /// called exactly once, after all data is loaded.
-  Status Finalize();
+  [[nodiscard]] Status Finalize();
 
   std::vector<std::string> TableNames() const;
 

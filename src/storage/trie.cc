@@ -9,7 +9,7 @@
 namespace levelheaded {
 
 SetView TrieLevel::set(uint32_t set_idx) const {
-  LH_DCHECK(set_idx < sets_.size());
+  LH_DCHECK_BOUNDS(set_idx, sets_.size());
   const SetDesc& d = sets_[set_idx];
   SetView v;
   v.layout = d.layout;
@@ -26,7 +26,7 @@ SetView TrieLevel::set(uint32_t set_idx) const {
 }
 
 uint32_t TrieLevel::AncestorOfLeaf(uint32_t leaf) const {
-  LH_DCHECK(leaf < leaf_end_);
+  LH_DCHECK_BOUNDS(leaf, leaf_end_);
   auto it = std::upper_bound(first_leaf_.begin(), first_leaf_.end(), leaf);
   LH_DCHECK(it != first_leaf_.begin());
   return static_cast<uint32_t>(it - first_leaf_.begin()) - 1;

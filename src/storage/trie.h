@@ -48,9 +48,17 @@ struct AnnotationBuffer {
   const Dictionary* dict = nullptr;
 
   /// Numeric view of entry `i` (codes are returned as their numeric code).
+  /// `i` must be a global element rank of the attachment level.
   double AsDouble(uint32_t i) const {
-    if (!reals.empty()) return reals[i];
-    if (!ints.empty()) return static_cast<double>(ints[i]);
+    if (!reals.empty()) {
+      LH_DCHECK_BOUNDS(i, reals.size());
+      return reals[i];
+    }
+    if (!ints.empty()) {
+      LH_DCHECK_BOUNDS(i, ints.size());
+      return static_cast<double>(ints[i]);
+    }
+    LH_DCHECK_BOUNDS(i, codes.size());
     return static_cast<double>(codes[i]);
   }
 };
@@ -66,6 +74,7 @@ class TrieLevel {
 
   /// Global rank of the first element of set `set_idx`.
   uint32_t base_rank(uint32_t set_idx) const {
+    LH_DCHECK_BOUNDS(set_idx, sets_.size());
     return sets_[set_idx].base_rank;
   }
 
@@ -145,10 +154,13 @@ class Trie {
  public:
   /// Sorts the (selected) rows by the key codes, deduplicates key tuples,
   /// and lays out level sets and annotation buffers.
-  static Result<Trie> Build(const TrieBuildSpec& spec);
+  [[nodiscard]] static Result<Trie> Build(const TrieBuildSpec& spec);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
-  const TrieLevel& level(int i) const { return levels_[i]; }
+  const TrieLevel& level(int i) const {
+    LH_DCHECK_BOUNDS(i, levels_.size());
+    return levels_[i];
+  }
 
   /// The single set at level 0.
   SetView root() const { return levels_[0].set(0); }
@@ -158,6 +170,7 @@ class Trie {
 
   size_t num_annotations() const { return annotations_.size(); }
   const AnnotationBuffer& annotation(size_t i) const {
+    LH_DCHECK_BOUNDS(i, annotations_.size());
     return annotations_[i];
   }
   /// Annotation lookup by name; -1 when absent.

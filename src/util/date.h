@@ -30,7 +30,7 @@ CivilDate CivilFromDays(int32_t days);
 int32_t YearOfDays(int32_t days);
 
 /// Parses "YYYY-MM-DD" into days since epoch.
-Result<int32_t> ParseDate(std::string_view text);
+[[nodiscard]] Result<int32_t> ParseDate(std::string_view text);
 
 /// Formats days since epoch as "YYYY-MM-DD".
 std::string FormatDate(int32_t days);

@@ -3,6 +3,7 @@
 #ifndef LEVELHEADED_UTIL_LOGGING_H_
 #define LEVELHEADED_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -54,11 +55,34 @@ struct Voidify {
 #define LH_CHECK_GT(a, b) LH_CHECK((a) > (b))
 #define LH_CHECK_GE(a, b) LH_CHECK((a) >= (b))
 
-/// Debug-only checks for hot paths.
-#ifndef NDEBUG
+/// Hardened-mode invariants for hot paths (set kernels, trie traversal, the
+/// executor's inner loops). Active in debug builds and whenever the build
+/// defines LH_HARDENED (the CMake option of the same name; sanitizer builds
+/// force it ON so ASan/UBSan/TSan runs also validate logical invariants).
+/// In plain release builds the condition is never evaluated — `true || (x)`
+/// short-circuits and the optimizer deletes the dead branch — so the macros
+/// compile to nothing while still type-checking their arguments.
+#if !defined(NDEBUG) || defined(LH_HARDENED)
+#define LH_DCHECK_ENABLED 1
 #define LH_DCHECK(cond) LH_CHECK(cond)
 #else
+#define LH_DCHECK_ENABLED 0
 #define LH_DCHECK(cond) LH_CHECK(true || (cond))
 #endif
+
+#define LH_DCHECK_EQ(a, b) LH_DCHECK((a) == (b))
+#define LH_DCHECK_NE(a, b) LH_DCHECK((a) != (b))
+#define LH_DCHECK_LT(a, b) LH_DCHECK((a) < (b))
+#define LH_DCHECK_LE(a, b) LH_DCHECK((a) <= (b))
+#define LH_DCHECK_GT(a, b) LH_DCHECK((a) > (b))
+#define LH_DCHECK_GE(a, b) LH_DCHECK((a) >= (b))
+
+/// Bounds invariant for indexed hot-path access: `i` must lie in [0, n).
+/// Both operands are widened to uint64_t so mixed signed/size_t callers do
+/// not trip -Wsign-compare at the macro site.
+#define LH_DCHECK_BOUNDS(i, n)                                      \
+  LH_DCHECK(static_cast<uint64_t>(i) < static_cast<uint64_t>(n))    \
+      << " index " << static_cast<uint64_t>(i) << " out of bounds " \
+      << "[0, " << static_cast<uint64_t>(n) << ")"
 
 #endif  // LEVELHEADED_UTIL_LOGGING_H_

@@ -39,8 +39,10 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// `Status` is cheap to copy in the success case (no allocation) and carries
 /// a message only on error. Callers must either check `ok()` or propagate
-/// with the `LH_RETURN_NOT_OK` macro.
-class Status {
+/// with the `LH_RETURN_NOT_OK` macro; the class-level [[nodiscard]] makes
+/// silently dropping a returned Status a compile-time warning (an error
+/// under LH_WERROR, which CI enforces).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -48,43 +50,43 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status BindError(std::string msg) {
+  [[nodiscard]] static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
   }
-  static Status PlanError(std::string msg) {
+  [[nodiscard]] static Status PlanError(std::string msg) {
     return Status(StatusCode::kPlanError, std::move(msg));
   }
-  static Status ExecutionError(std::string msg) {
+  [[nodiscard]] static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
@@ -102,8 +104,9 @@ class Status {
 ///
 /// Access the value only after checking `ok()`; `ValueOrDie()` aborts on
 /// error states (used in tests and examples, not library internals).
+/// [[nodiscard]] at class level: ignoring a Result drops an error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: enables `return t;` in Result-returning functions.
   Result(T value) : payload_(std::move(value)) {}
@@ -115,7 +118,7 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
 
   const Status& status() const {
     static const Status kOk;

@@ -124,8 +124,10 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool();
-  return *pool;
+  // Meyers singleton: workers are joined by the destructor at process exit,
+  // so sanitizer runs see a clean shutdown instead of a leaked pool.
+  static ThreadPool pool;
+  return pool;
 }
 
 }  // namespace levelheaded

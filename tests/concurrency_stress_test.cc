@@ -1,0 +1,166 @@
+// Concurrency stress suite — the TSan leg's main workload (labelled
+// `concurrency` in tests/CMakeLists.txt; `ctest --preset tsan` runs it).
+//
+// Each test hammers one shared-state surface the engine relies on during
+// parallel WCOJ execution: the global thread pool (concurrent ParallelFor /
+// ParallelChunks drivers, pool construction/teardown churn), the atomic
+// ExecStats counter block incremented by all workers, the process-wide
+// ActiveStats() hook, the Trace span collector, and the TrieCache probe
+// counters. Sizes are small (the point is interleavings, not throughput) so
+// the suite stays inside the tier-1 budget even under TSan.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded {
+namespace {
+
+TEST(ThreadPoolStressTest, ConcurrentParallelChunksDrivers) {
+  // Several caller threads drive the *same* global pool at once;
+  // submit_mu_ must serialize the jobs without losing or double-running
+  // indices.
+  constexpr int kCallers = 4;
+  constexpr int64_t kN = 2000;
+  std::vector<std::atomic<int64_t>> sums(kCallers);
+  for (auto& s : sums) s.store(0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &sums] {
+      ThreadPool::Global().ParallelChunks(
+          0, kN, 7, [c, &sums](int, int64_t lo, int64_t hi) {
+            int64_t local = 0;
+            for (int64_t i = lo; i < hi; ++i) local += i;
+            sums[c].fetch_add(local, std::memory_order_relaxed);
+          });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), kN * (kN - 1) / 2) << "caller " << c;
+  }
+}
+
+TEST(ThreadPoolStressTest, ConstructionTeardownChurn) {
+  // Pools must join their workers cleanly even when destroyed immediately
+  // after a burst of work (the shutdown handshake is a TSan magnet).
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int64_t> count{0};
+    pool.ParallelFor(0, 500, 1, [&count](int, int64_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 500);
+  }
+}
+
+TEST(ThreadPoolStressTest, ThreadSlotsStayInRange) {
+  ThreadPool pool(2);
+  const int upper = pool.num_threads() + 1;
+  std::atomic<bool> ok{true};
+  pool.ParallelChunks(0, 1000, 3, [&ok, upper](int slot, int64_t, int64_t) {
+    if (slot < 0 || slot >= upper) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ExecStatsStressTest, ConcurrentCountersAggregateExactly) {
+  obs::ExecStats stats;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stats.CountIntersect(obs::IntersectKernel::kUintUint, 2);
+        stats.CountTrieNodesVisited(3);
+        stats.CountTuplesEmitted(1);
+        stats.CountThreadPoolChunk();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::StatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.intersect_uint_uint,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.intersect_result_values,
+            static_cast<uint64_t>(kThreads) * kPerThread * 2);
+  EXPECT_EQ(snap.trie_nodes_visited,
+            static_cast<uint64_t>(kThreads) * kPerThread * 3);
+  EXPECT_EQ(snap.tuples_emitted, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.thread_pool_chunks,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ExecStatsStressTest, ActiveStatsHookVisibleToPoolWorkers) {
+  // The engine publishes the hook before fanning work out; every worker
+  // increment must land in the hooked block.
+  obs::ExecStats stats;
+  obs::StatsScope scope(&stats);
+  ThreadPool::Global().ParallelFor(0, 3000, 5, [](int, int64_t) {
+    if (obs::ExecStats* s = obs::ActiveStats()) {
+      s->CountIntersect(obs::IntersectKernel::kBitsetBitset, 1);
+    }
+  });
+  EXPECT_EQ(stats.Snapshot().intersect_bitset_bitset, 3000u);
+}
+
+TEST(TraceStressTest, ConcurrentOpenCloseKeepsEverySpan) {
+  obs::Trace trace;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::TraceSpan span(&trace, "wcoj");
+        span.AddMetric("tuples", 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.name, "wcoj");
+    EXPECT_GE(s.duration_ms, 0.0);
+  }
+}
+
+TEST(TrieCacheStressTest, ProbeCountersSurviveConcurrentReaders) {
+  // Get() is const and may run while pool workers also probe ActiveStats();
+  // the hit/miss tallies are atomics and must add up. (Mutation of the
+  // cache map itself is coordinator-only by contract.)
+  TrieCache cache;
+  cache.Put("sig", nullptr);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)cache.Get("sig");
+        (void)cache.Get("missing");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(cache.misses(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace levelheaded

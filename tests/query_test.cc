@@ -218,7 +218,9 @@ TEST_F(GhdTest, ValidateRejectsBrokenGhds) {
     for (int e : n.edges) assigned.insert(e);
   }
   all_assigned = assigned.size() == h.edges.size();
-  if (!all_assigned) EXPECT_FALSE(ValidateGhd(missing, h).ok());
+  if (!all_assigned) {
+    EXPECT_FALSE(ValidateGhd(missing, h).ok());
+  }
 
   // Edge not inside its bag.
   Ghd bad_bag = good;

@@ -25,7 +25,7 @@ namespace levelheaded::testing {
 /// CellAccessor over one row per relation.
 class TupleCells : public CellAccessor {
  public:
-  explicit TupleCells(const LogicalQuery& q) : q_(q), rows_(q.relations.size()) {}
+  explicit TupleCells(const LogicalQuery& q) : rows_(q.relations.size()), q_(q) {}
   std::vector<uint32_t> rows_;
 
   double Number(int rel, int col) const override {

@@ -209,7 +209,7 @@ TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
 TEST(TimerTest, MeasuresElapsedTime) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // ms >= s numerically
 }

@@ -106,38 +106,36 @@ TEST(VoterGenTest, PopulatesAndHasSignal) {
 class TpchQueryTest : public ::testing::TestWithParam<const char*> {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog();
+    catalog_ = std::make_unique<Catalog>();
     TpchGenerator gen(0.002);
-    ASSERT_TRUE(gen.Populate(catalog_).ok());
+    ASSERT_TRUE(gen.Populate(catalog_.get()).ok());
     ASSERT_TRUE(catalog_->Finalize().ok());
-    engine_ = new Engine(catalog_);
+    engine_ = std::make_unique<Engine>(catalog_.get());
   }
   static void TearDownTestSuite() {
-    delete engine_;
-    delete catalog_;
-    engine_ = nullptr;
-    catalog_ = nullptr;
+    engine_.reset();
+    catalog_.reset();
   }
 
-  static Catalog* catalog_;
-  static Engine* engine_;
+  static std::unique_ptr<Catalog> catalog_;
+  static std::unique_ptr<Engine> engine_;
 };
 
-Catalog* TpchQueryTest::catalog_ = nullptr;
-Engine* TpchQueryTest::engine_ = nullptr;
+std::unique_ptr<Catalog> TpchQueryTest::catalog_;
+std::unique_ptr<Engine> TpchQueryTest::engine_;
 
 TEST_P(TpchQueryTest, EnginesAgree) {
   const std::string sql = TpchQuery(GetParam());
   auto lh = engine_->Query(sql);
   ASSERT_TRUE(lh.ok()) << GetParam() << ": " << lh.status().ToString();
 
-  PairwiseEngine vectorized(catalog_, BaselineMode::kVectorized);
+  PairwiseEngine vectorized(catalog_.get(), BaselineMode::kVectorized);
   auto vec = vectorized.Query(sql);
   ASSERT_TRUE(vec.ok()) << GetParam() << ": " << vec.status().ToString();
   ExpectResultsMatch(lh.value(), vec.value(),
                      std::string(GetParam()) + " vs vectorized");
 
-  PairwiseEngine materialized(catalog_, BaselineMode::kMaterialized);
+  PairwiseEngine materialized(catalog_.get(), BaselineMode::kMaterialized);
   auto mat = materialized.Query(sql);
   ASSERT_TRUE(mat.ok()) << GetParam() << ": " << mat.status().ToString();
   ExpectResultsMatch(lh.value(), mat.value(),
@@ -173,7 +171,9 @@ TEST_P(TpchQueryTest, NonEmptyResults) {
     EXPECT_GT(r.value().num_rows, 0u);
     EXPECT_LE(r.value().num_rows, 6u);
   }
-  if (std::string(GetParam()) == "q6") EXPECT_EQ(r.value().num_rows, 1u);
+  if (std::string(GetParam()) == "q6") {
+    EXPECT_EQ(r.value().num_rows, 1u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,

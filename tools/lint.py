@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Custom repo lints for LevelHeaded (dependency-free; python3 stdlib only).
+
+Run from the repository root (the `lint` CMake target does this):
+
+    python3 tools/lint.py [--list-rules] [paths...]
+
+Rules (all findings are errors; the target requires zero):
+
+  naked-new        `new` expressions outside smart-pointer factories. The
+                   engine allocates through containers and make_unique; a
+                   naked new is either a leak or a double-delete waiting for
+                   an error path.
+  banned-rand      `rand()` / `srand()`. All randomness goes through
+                   util/rng.h (deterministic, seedable per workload).
+  span-taxonomy    TraceSpan / Trace::Open phase names in src/ and bench/
+                   must come from the phase taxonomy below; EXPLAIN ANALYZE
+                   renderers, validate_stats, and the docs glossary key on
+                   these exact strings.
+  include-cycle    Cycles in the project `#include "..."` graph.
+
+Suppress a finding on one line with a trailing `// lint: allow(<rule>)`.
+"""
+
+import os
+import re
+import sys
+
+REPO_DIRS = ["src", "tests", "bench", "examples"]
+CXX_EXTENSIONS = (".h", ".cc")
+
+# The TraceSpan phase taxonomy. One name per engine phase; EXPLAIN ANALYZE,
+# the JSON profile schema, and DESIGN.md's phase glossary all key on these.
+# Additions here must be mirrored in DESIGN.md ("Correctness harness").
+SPAN_TAXONOMY = {
+    "query",
+    "parse",
+    "bind",
+    "plan",
+    "hypergraph",
+    "ghd_enumeration",
+    "attr_ordering",
+    "execute",
+    "trie_build",
+    "scan",
+    "semijoin",
+    "wcoj",
+    "materialize",
+    "dense_blas",
+}
+
+# Rules that apply only under these directories.
+SPAN_RULE_DIRS = ("src", "bench")
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
+
+NAKED_NEW_RE = re.compile(r"(?<![\w.>])new\b(?!\s*\()")
+PLACEMENT_NEW_RE = re.compile(r"(?<![\w.>])new\s*\(")
+BANNED_RAND_RE = re.compile(r"\b(?:s?rand)\s*\(")
+SPAN_RE = re.compile(
+    r"\bTraceSpan\s+\w+\s*\([^,()]*(?:\([^()]*\))?[^,()]*,\s*\"(?P<name>[^\"]*)\""
+)
+OPEN_RE = re.compile(r"(?:->|\.)Open\s*\(\s*\"(?P<name>[^\"]*)\"")
+INCLUDE_RE = re.compile(r'^\s*#include\s+"(?P<path>[^"]+)"')
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments, and blanks out string/char literal contents, so
+    the token rules do not fire inside text. Block comments are handled by
+    the caller via state; this repo style only uses line comments."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_files(paths):
+    for root_dir in paths:
+        if os.path.isfile(root_dir):
+            yield root_dir
+            continue
+        for dirpath, dirnames, filenames in os.walk(root_dir):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def allowed(line, rule):
+    m = ALLOW_RE.search(line)
+    return m is not None and m.group("rule") == rule
+
+
+def lint_file(path, findings):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    in_span_dirs = path.split(os.sep, 1)[0] in SPAN_RULE_DIRS
+    includes = []
+    for lineno, raw in enumerate(raw_lines, start=1):
+        code = strip_comments_and_strings(raw)
+
+        m = INCLUDE_RE.match(raw)
+        if m:
+            includes.append(m.group("path"))
+
+        if NAKED_NEW_RE.search(code) and not PLACEMENT_NEW_RE.search(code):
+            if not allowed(raw, "naked-new"):
+                findings.append(
+                    (path, lineno, "naked-new",
+                     "naked `new`; use make_unique/containers "
+                     "(or annotate `// lint: allow(naked-new)`)"))
+
+        if BANNED_RAND_RE.search(code) and not allowed(raw, "banned-rand"):
+            findings.append(
+                (path, lineno, "banned-rand",
+                 "rand()/srand() is banned; use util/rng.h"))
+
+        if in_span_dirs:
+            for m in list(SPAN_RE.finditer(raw)) + list(OPEN_RE.finditer(raw)):
+                name = m.group("name")
+                if name not in SPAN_TAXONOMY and not allowed(
+                        raw, "span-taxonomy"):
+                    findings.append(
+                        (path, lineno, "span-taxonomy",
+                         f'span name "{name}" not in the phase taxonomy '
+                         f"(tools/lint.py SPAN_TAXONOMY)"))
+    return includes
+
+
+def resolve_include(inc):
+    """Maps an #include "..." path to a repo file, or None for externals."""
+    for base in ("src", "", "tests", "bench"):
+        candidate = os.path.join(base, inc) if base else inc
+        if os.path.isfile(candidate):
+            return os.path.normpath(candidate)
+    return None
+
+
+def find_include_cycles(graph, findings):
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack.append(node)
+        for dep in graph.get(node, ()):
+            if dep not in color:
+                continue
+            if color[dep] == GRAY:
+                cycle = stack[stack.index(dep):] + [dep]
+                findings.append(
+                    (dep, 1, "include-cycle", " -> ".join(cycle)))
+            elif color[dep] == WHITE:
+                dfs(dep)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+
+
+def main(argv):
+    if "--list-rules" in argv:
+        print("naked-new banned-rand span-taxonomy include-cycle")
+        return 0
+    paths = [a for a in argv if not a.startswith("-")] or REPO_DIRS
+    findings = []
+    graph = {}
+    for path in iter_files(paths):
+        includes = lint_file(path, findings)
+        deps = []
+        for inc in includes:
+            resolved = resolve_include(inc)
+            if resolved is not None:
+                deps.append(resolved)
+        graph[os.path.normpath(path)] = deps
+
+    find_include_cycles(graph, findings)
+
+    for path, lineno, rule, message in findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint: OK ({len(graph)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
