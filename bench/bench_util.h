@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "obs/json_writer.h"
 #include "obs/profile.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace levelheaded::bench {
@@ -93,6 +94,10 @@ class StatsLog {
     w.String(name_);
     w.Key("smoke");
     w.Bool(smoke_);
+    // Worker count of the pool the run actually used (LH_THREADS or the
+    // hardware default) — multi-core results are meaningless without it.
+    w.Key("threads");
+    w.Uint(static_cast<uint64_t>(ThreadPool::Global().num_threads()));
     w.Key("entries");
     w.BeginArray();
     for (const Entry& e : entries_) {

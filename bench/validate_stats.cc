@@ -1,7 +1,7 @@
 // Validates BENCH_*.json stats exports against the schema produced by
 // bench_util.h's StatsLog (see the comment there):
 //
-//   {"schema_version": 1, "bench": str, "smoke": bool,
+//   {"schema_version": 1, "bench": str, "smoke": bool, "threads": num,
 //    "entries": [{"label": str, "ms": num | "marker": str,
 //                 "profile"?: <QueryProfile JSON>}]}
 //
@@ -79,6 +79,10 @@ bool ValidateFile(const char* path) {
   const JsonValue* smoke = doc.Find("smoke");
   if (smoke == nullptr || smoke->kind != JsonValue::Kind::kBool) {
     return Fail(path, "missing bool \"smoke\"");
+  }
+  const JsonValue* threads = doc.Find("threads");
+  if (threads == nullptr || !threads->IsNumber() || threads->number < 1) {
+    return Fail(path, "missing positive number \"threads\"");
   }
   const JsonValue* entries = doc.Find("entries");
   if (entries == nullptr || !entries->IsArray()) {

@@ -731,9 +731,14 @@ class NodeExec {
 
     const int64_t n = static_cast<int64_t>(root_values.size());
     ThreadPool& pool = ThreadPool::Global();
-    const int64_t grain =
-        std::max<int64_t>(1, n / (8 * (pool.num_threads() + 1)) + 1);
+    // Grain and skew threshold are functions of cardinalities only — chunk
+    // and sub-task boundaries are merge boundaries for floating-point
+    // partials, so they must not move with the thread count (results stay
+    // bit-identical under any LH_THREADS). Threads only change which worker
+    // executes a given chunk or task.
+    const int64_t grain = AdaptiveGrain(n);
     const int64_t num_chunks = (n + grain - 1) / grain;
+    skew_threshold_ = SplittableShape(k) ? SkewThreshold() : 0;
 
     std::vector<std::unique_ptr<GroupAccum>> chunk_out(num_chunks);
     std::vector<std::unique_ptr<Worker>> workers(pool.num_threads() + 1);
@@ -753,9 +758,13 @@ class NodeExec {
         w.vals[0] = v;
         if (k == 1) {
           Leaf(&w);
-        } else {
-          Recurse(&w, 1);
+          continue;
         }
+        if (skew_threshold_ > 0 &&
+            TrySplitHeavyRoot(&w, key_width, k, pool)) {
+          continue;
+        }
+        Recurse(&w, 1);
       }
     });
 
@@ -795,6 +804,9 @@ class NodeExec {
     std::vector<uint8_t> relax_occ;
     std::vector<uint32_t> relax_touched;
     std::vector<uint32_t> fused_vals, fused_ra, fused_rb;
+    // Materialized level-1 values/ranks of a heavy root value while its
+    // iteration is split across tasks (read-only once the tasks start).
+    std::vector<uint32_t> split_vals, split_ranks;
     // Plain worker-local tallies (absorbed in bulk after the parallel run,
     // so the hot loops never touch atomics).
     uint64_t leaf_count = 0;
@@ -913,6 +925,147 @@ class NodeExec {
       if (Descend(w, depth, v) && Satisfiable(w, depth + 1)) found = true;
     });
     return found;
+  }
+
+  // ---- Skew-resistant execution (the paper's parfor, made nest-capable).
+  //
+  // The root parallel loop alone serializes on a heavy-hitter root value (a
+  // hub vertex, a dominant orderkey range): one chunk then carries most of
+  // the query. When a root value's level-1 set is large enough, its level-1
+  // iteration is split into fixed sub-ranges that run as ThreadPool tasks,
+  // each into its own GroupAccum, merged back in sub-range order.
+
+  /// Minimum level-1 cardinality ever worth splitting (sub-task setup costs
+  /// a worker init plus an accumulator).
+  static constexpr int64_t kMinSkewSplitWork = 2048;
+  /// A root value owning more than 1/64 of the node's estimated level-1
+  /// work is "heavy". Fixed fraction, not total/num_threads: the decision
+  /// must be thread-count independent (see RunAggregate).
+  static constexpr int64_t kSkewSplitFraction = 64;
+
+  /// Node shapes whose depth-1 iteration can be partitioned. RelaxedTail
+  /// (k==3 union-relaxed) and the fused ranked-intersection leaf (k==2)
+  /// consume the whole depth-1 set in one specialized pass.
+  bool SplittableShape(int k) const {
+    if (k < 2) return false;
+    if (node_.union_relaxed && k == 3) return false;
+    if (k == 2 && fused_pair_[1]) return false;
+    return true;
+  }
+
+  /// Heavy-hitter threshold from cardinalities only: the tightest level-1
+  /// participant bounds the node's total level-1 work.
+  int64_t SkewThreshold() const {
+    int64_t total = std::numeric_limits<int64_t>::max();
+    for (const Participant& p : participants_[1]) {
+      const int64_t t =
+          p.is_child
+              ? static_cast<int64_t>(child_sets_[p.slot].cardinality)
+              : static_cast<int64_t>(
+                    rels_[p.slot]->trie->level(p.level).num_elements());
+      total = std::min(total, t);
+    }
+    return std::max<int64_t>(kMinSkewSplitWork, total / kSkewSplitFraction);
+  }
+
+  /// Detects a heavy root value and, if heavy, fans its level-1 iteration
+  /// out as tasks. Returns false (nothing done) when the value is light.
+  /// Probing is staged so light values — the overwhelming majority — pay
+  /// one cardinality comparison and at most one count-only intersection.
+  bool TrySplitHeavyRoot(Worker* w, size_t key_width, int k,
+                         ThreadPool& pool) {
+    const auto& parts = participants_[1];
+    // Stage 1: smallest participant-set cardinality bounds |level-1 set|.
+    w->gather.clear();
+    for (const Participant& p : parts) {
+      if (p.is_child) {
+        w->gather.push_back(child_sets_[p.slot]);
+      } else {
+        const Trie& trie = *rels_[p.slot]->trie;
+        const uint32_t set_idx =
+            p.level == 0 ? 0 : RankCursor(*w, p.slot, p.level - 1);
+        w->gather.push_back(trie.level(p.level).set(set_idx));
+      }
+    }
+    uint32_t min_card = std::numeric_limits<uint32_t>::max();
+    for (const SetView& g : w->gather) {
+      min_card = std::min(min_card, g.cardinality);
+    }
+    if (static_cast<int64_t>(min_card) < skew_threshold_) return false;
+    // Stage 2: count-only probe of the two smallest sets (no allocation).
+    if (w->gather.size() >= 2) {
+      std::partial_sort(w->gather.begin(), w->gather.begin() + 2,
+                        w->gather.end(),
+                        [](const SetView& a, const SetView& b) {
+                          return a.cardinality < b.cardinality;
+                        });
+      const uint32_t probe = IntersectCount(w->gather[0], w->gather[1]);
+      if (static_cast<int64_t>(probe) < skew_threshold_) return false;
+    }
+    // Confirmed heavy: materialize the level-1 set and partition it.
+    const SetView* s = ComputeSet(w, 1);
+    if (static_cast<int64_t>(s->cardinality) < skew_threshold_) return false;
+    if (obs::ExecStats* stats = obs::ActiveStats()) stats->CountSkewSplit();
+    w->split_vals.clear();
+    w->split_ranks.clear();
+    s->ForEach([&](uint32_t v, uint32_t r) {
+      w->split_vals.push_back(v);
+      w->split_ranks.push_back(r);
+    });
+    const int64_t m = static_cast<int64_t>(w->split_vals.size());
+    const int64_t sub_grain = AdaptiveGrain(m, kMinSkewSplitWork / 4);
+    const int64_t num_sub = (m + sub_grain - 1) / sub_grain;
+    const bool direct = direct_[1];
+    const int64_t base = direct ? w->single_base[1] : -1;
+
+    std::vector<std::unique_ptr<Worker>> subs(num_sub);
+    std::vector<std::unique_ptr<GroupAccum>> sub_out(num_sub);
+    ThreadPool::TaskGroup group(&pool);
+    for (int64_t t = 0; t < num_sub; ++t) {
+      subs[t] = std::make_unique<Worker>();
+      Worker* sub = subs[t].get();
+      InitWorker(sub, key_width);
+      sub->ranks = w->ranks;  // level-0 cursors from the parent's descent
+      sub->vals[0] = w->vals[0];
+      sub_out[t] = std::make_unique<GroupAccum>(key_width, &plan_.aggs);
+      sub->groups = sub_out[t].get();
+      const int64_t lo = t * sub_grain;
+      const int64_t hi = std::min(m, lo + sub_grain);
+      pool.Submit(&group, [this, w, sub, lo, hi, base, direct, k] {
+        for (int64_t i = lo; i < hi; ++i) {
+          const uint32_t v = w->split_vals[i];
+          if (direct) {
+            const Participant& p = participants_[1][0];
+            ++sub->nodes_visited;
+            sub->ranks[p.slot][p.level] =
+                static_cast<uint32_t>(base) + w->split_ranks[i];
+          } else if (!Descend(sub, 1, v)) {
+            continue;
+          }
+          sub->vals[1] = v;
+          if (k == 2) {
+            Leaf(sub);
+          } else {
+            Recurse(sub, 2);
+          }
+        }
+      });
+    }
+    // Helps drain the queue while waiting, so progress is guaranteed even
+    // when every pool thread is busy inside this same parallel region.
+    group.Wait();
+    for (const auto& so : sub_out) {
+      if (append_mode_) {
+        w->groups->ConcatFrom(*so);
+      } else {
+        w->groups->MergeFrom(*so);
+      }
+    }
+    for (const auto& sub : subs) {
+      w->leaf_count += sub->leaf_count;
+      w->nodes_visited += sub->nodes_visited;
+    }
+    return true;
   }
 
   void Recurse(Worker* w, int depth) {
@@ -1496,6 +1649,7 @@ class NodeExec {
   std::vector<bool> fused_pair_;
   uint32_t last_domain_size_ = 0;
   bool append_mode_ = false;
+  int64_t skew_threshold_ = 0;  // 0 = splitting disabled for this node
   uint64_t total_leaves_ = 0;
   uint64_t total_nodes_ = 0;
 };
@@ -1534,16 +1688,23 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
   WallTimer t;
   ThreadPool& pool = ThreadPool::Global();
   const size_t key_width = plan.dims.size();
-  std::vector<std::unique_ptr<GroupAccum>> partials(pool.num_threads() + 1);
+  // Per-chunk partials merged in chunk order (not per-slot): which slot runs
+  // a chunk is scheduling noise, so per-slot accumulators would merge
+  // floating-point sums in a different order every run. Chunk boundaries
+  // come from cardinality alone, making results thread-count independent.
+  const int64_t num_rows = static_cast<int64_t>(table.num_rows());
+  const int64_t grain = AdaptiveGrain(num_rows, 2048);
+  const int64_t num_chunks = num_rows == 0 ? 0 : (num_rows + grain - 1) / grain;
+  std::vector<std::unique_ptr<GroupAccum>> partials(num_chunks);
   std::atomic<uint64_t> sink{0};
 
   pool.ParallelChunks(
-      0, static_cast<int64_t>(table.num_rows()), 4096,
+      0, num_rows, grain,
       [&](int slot, int64_t lo, int64_t hi) {
-        if (partials[slot] == nullptr) {
-          partials[slot] = std::make_unique<GroupAccum>(key_width, &plan.aggs);
-        }
-        GroupAccum& groups = *partials[slot];
+        (void)slot;
+        const int64_t chunk = lo / grain;
+        partials[chunk] = std::make_unique<GroupAccum>(key_width, &plan.aggs);
+        GroupAccum& groups = *partials[chunk];
         TableRowCells cells(table);
         std::vector<uint64_t> key(key_width);
         std::vector<double> main(std::max<size_t>(1, plan.aggs.size()));

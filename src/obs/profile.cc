@@ -213,7 +213,10 @@ bool QueryProfile::FromJson(const JsonValue& value, QueryProfile* out) {
   counter("trie.cache_misses", &out->counters.trie_cache_misses);
   counter("trie.built", &out->counters.tries_built);
   counter("exec.tuples_emitted", &out->counters.tuples_emitted);
+  counter("exec.skew_splits", &out->counters.exec_skew_splits);
   counter("pool.chunks", &out->counters.thread_pool_chunks);
+  counter("pool.tasks_spawned", &out->counters.pool_tasks_spawned);
+  counter("pool.task_steals", &out->counters.pool_task_steals);
   if (const JsonValue* nt = value.Find("node_tuples");
       nt != nullptr && nt->IsArray()) {
     for (const JsonValue& v : nt->array) {

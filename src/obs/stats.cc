@@ -30,6 +30,9 @@ StatsSnapshot ExecStats::Snapshot() const {
   s.trie_cache_misses = trie_cache_misses_.load(std::memory_order_relaxed);
   s.tries_built = tries_built_.load(std::memory_order_relaxed);
   s.thread_pool_chunks = thread_pool_chunks_.load(std::memory_order_relaxed);
+  s.pool_tasks_spawned = pool_tasks_spawned_.load(std::memory_order_relaxed);
+  s.pool_task_steals = pool_task_steals_.load(std::memory_order_relaxed);
+  s.exec_skew_splits = exec_skew_splits_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -42,6 +45,9 @@ void ExecStats::Reset() {
   trie_cache_misses_.store(0, std::memory_order_relaxed);
   tries_built_.store(0, std::memory_order_relaxed);
   thread_pool_chunks_.store(0, std::memory_order_relaxed);
+  pool_tasks_spawned_.store(0, std::memory_order_relaxed);
+  pool_task_steals_.store(0, std::memory_order_relaxed);
+  exec_skew_splits_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {
@@ -55,7 +61,10 @@ std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {
       {"trie.cache_misses", trie_cache_misses},
       {"trie.built", tries_built},
       {"exec.tuples_emitted", tuples_emitted},
+      {"exec.skew_splits", exec_skew_splits},
       {"pool.chunks", thread_pool_chunks},
+      {"pool.tasks_spawned", pool_tasks_spawned},
+      {"pool.task_steals", pool_task_steals},
   };
 }
 

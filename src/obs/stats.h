@@ -45,6 +45,13 @@ struct StatsSnapshot {
   uint64_t trie_cache_misses = 0;
   uint64_t tries_built = 0;
   uint64_t thread_pool_chunks = 0;
+  /// Tasks enqueued through ThreadPool::Submit (skew splits, trie build).
+  uint64_t pool_tasks_spawned = 0;
+  /// Tasks that ran on a different thread slot than the one that submitted
+  /// them — how much fan-out work other threads actually absorbed.
+  uint64_t pool_task_steals = 0;
+  /// Heavy root values whose level-1 iteration was split across tasks.
+  uint64_t exec_skew_splits = 0;
 
   uint64_t TotalIntersections() const {
     return intersect_uint_uint + intersect_uint_bitset +
@@ -83,6 +90,15 @@ class ExecStats {
   void CountThreadPoolChunk(uint64_t n = 1) {
     thread_pool_chunks_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountTaskSpawned(uint64_t n = 1) {
+    pool_tasks_spawned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountTaskStolen(uint64_t n = 1) {
+    pool_task_steals_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountSkewSplit(uint64_t n = 1) {
+    exec_skew_splits_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   StatsSnapshot Snapshot() const;
   void Reset();
@@ -96,6 +112,9 @@ class ExecStats {
   std::atomic<uint64_t> trie_cache_misses_{0};
   std::atomic<uint64_t> tries_built_{0};
   std::atomic<uint64_t> thread_pool_chunks_{0};
+  std::atomic<uint64_t> pool_tasks_spawned_{0};
+  std::atomic<uint64_t> pool_task_steals_{0};
+  std::atomic<uint64_t> exec_skew_splits_{0};
 };
 
 /// The currently collecting counter block, or null when collection is off.

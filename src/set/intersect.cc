@@ -15,15 +15,16 @@ void ScratchSet::AssignSorted(const uint32_t* values, uint32_t n) {
 
 namespace set_internal {
 
-namespace {
-
-// Galloping search: first index in [lo, n) with a[idx] >= key.
+// Galloping search: first index in [lo, n) with a[idx] >= key. The probe
+// bound is tracked in 64 bits: with `lo` near n ~ 2^31, doubling a uint32_t
+// `step` makes `hi += step` wrap, which would fold the bracket [lo, hi) back
+// onto a stale range and return an index left of the true lower bound.
 uint32_t GallopLowerBound(const uint32_t* a, uint32_t n, uint32_t lo,
                           uint32_t key) {
-  uint32_t step = 1;
-  uint32_t hi = lo;
+  uint64_t step = 1;
+  uint64_t hi = lo;
   while (hi < n && a[hi] < key) {
-    lo = hi + 1;
+    lo = static_cast<uint32_t>(hi) + 1;
     hi += step;
     step <<= 1;
   }
@@ -31,6 +32,8 @@ uint32_t GallopLowerBound(const uint32_t* a, uint32_t n, uint32_t lo,
   return static_cast<uint32_t>(
       std::lower_bound(a + lo, a + hi, key) - a);
 }
+
+namespace {
 
 // When one input is much smaller, gallop through the big one.
 uint32_t IntersectGalloping(const uint32_t* small, uint32_t ns,
@@ -42,6 +45,22 @@ uint32_t IntersectGalloping(const uint32_t* small, uint32_t ns,
     if (pos == nb) break;
     if (big[pos] == small[i]) {
       out[n++] = small[i];
+      ++pos;
+    }
+  }
+  return n;
+}
+
+// Count-only twin of IntersectGalloping.
+uint32_t CountGalloping(const uint32_t* small, uint32_t ns,
+                        const uint32_t* big, uint32_t nb) {
+  uint32_t n = 0;
+  uint32_t pos = 0;
+  for (uint32_t i = 0; i < ns; ++i) {
+    pos = GallopLowerBound(big, nb, pos, small[i]);
+    if (pos == nb) break;
+    if (big[pos] == small[i]) {
+      ++n;
       ++pos;
     }
   }
@@ -68,6 +87,32 @@ uint32_t IntersectUintUint(const uint32_t* a, uint32_t na, const uint32_t* b,
     uint32_t va = a[i], vb = b[j];
     if (va == vb) {
       out[n++] = va;
+      ++i;
+      ++j;
+    } else if (va < vb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+
+uint32_t IntersectUintUintCount(const uint32_t* a, uint32_t na,
+                                const uint32_t* b, uint32_t nb) {
+  if (na == 0 || nb == 0) return 0;
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (static_cast<uint64_t>(na) * 32 < nb) {
+    return CountGalloping(a, na, b, nb);
+  }
+  uint32_t n = 0, i = 0, j = 0;
+  while (i < na && j < nb) {
+    uint32_t va = a[i], vb = b[j];
+    if (va == vb) {
+      ++n;
       ++i;
       ++j;
     } else if (va < vb) {
@@ -188,9 +233,32 @@ uint32_t IntersectCount(const SetView& a, const SetView& b) {
     }
     return count;
   }
-  ScratchSet scratch;
-  Intersect(a, b, &scratch);
-  return scratch.view().cardinality;
+  // Count-only paths for the remaining layout pairs: the executor's skew
+  // probe calls this per root value, so materializing into a ScratchSet here
+  // would put an allocation on the hot path.
+  if (a.layout == SetLayout::kUint && b.layout == SetLayout::kUint) {
+    const uint32_t count = set_internal::IntersectUintUintCount(
+        a.values, a.cardinality, b.values, b.cardinality);
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountIntersect(obs::IntersectKernel::kUintUint, count);
+    }
+    return count;
+  }
+  const SetView& u = a.layout == SetLayout::kUint ? a : b;
+  const SetView& bs = a.layout == SetLayout::kUint ? b : a;
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < u.cardinality; ++i) {
+    const uint32_t v = u.values[i];
+    if (v < bs.word_base) continue;
+    const uint32_t off = v - bs.word_base;
+    const uint32_t w = off / bits::kWordBits;
+    if (w >= bs.num_words) break;  // values are sorted; rest are out of range
+    if ((bs.words[w] >> (off % bits::kWordBits)) & 1ULL) ++count;
+  }
+  if (obs::ExecStats* stats = obs::ActiveStats()) {
+    stats->CountIntersect(obs::IntersectKernel::kUintBitset, count);
+  }
+  return count;
 }
 
 namespace {

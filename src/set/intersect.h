@@ -35,10 +35,21 @@ class ScratchSet {
   /// Fills from sorted unique values with the given layout.
   void AssignSorted(const uint32_t* values, uint32_t n);
 
-  /// Exposes a value buffer of capacity `cap` for a kernel to fill, then
-  /// finalizes cardinality `n` (uint layout).
+  /// Three extra lanes past the requested capacity of every uint buffer.
+  /// The SIMD uint∩uint kernel flushes matches with an unconditional 16-byte
+  /// (4-lane) vector store at the current output cursor; when <= cap results
+  /// remain the cursor can sit at cap-1, so the store may touch up to 3 lanes
+  /// past cap. The slack keeps that tail store in bounds without a branch in
+  /// the kernel's inner loop.
+  static constexpr uint32_t kSimdTailSlack = 3;
+
+  /// Exposes a value buffer of capacity `cap` (plus kSimdTailSlack lanes of
+  /// writable scratch past the end) for a kernel to fill, then finalizes
+  /// cardinality `n` (uint layout).
   uint32_t* PrepareUint(uint32_t cap) {
-    if (values_.size() < cap) values_.resize(cap);
+    if (values_.size() < cap + kSimdTailSlack) {
+      values_.resize(cap + kSimdTailSlack);
+    }
     return values_.data();
   }
   void FinishUint(uint32_t n) {
@@ -95,10 +106,22 @@ uint32_t IntersectRanked(const SetView& a, const SetView& b, uint32_t* vals,
 std::vector<uint32_t> UnionValues(const SetView& a, const SetView& b);
 
 namespace set_internal {
-/// uint∩uint merge/galloping kernel; returns output cardinality. `out` must
-/// have capacity min(|a|,|b|).
+/// uint∩uint merge/galloping/SIMD kernel; returns output cardinality. `out`
+/// must have capacity min(|a|,|b|) + ScratchSet::kSimdTailSlack: the SIMD
+/// path's unconditional 4-lane tail store may scribble up to 3 lanes past
+/// the last result. ScratchSet::PrepareUint provides the slack.
 uint32_t IntersectUintUint(const uint32_t* a, uint32_t na, const uint32_t* b,
                            uint32_t nb, uint32_t* out);
+
+/// Count-only twin of IntersectUintUint: same merge/galloping dispatch, no
+/// output buffer, no allocation.
+uint32_t IntersectUintUintCount(const uint32_t* a, uint32_t na,
+                                const uint32_t* b, uint32_t nb);
+
+/// Galloping search: first index in [lo, n) with a[idx] >= key. Exposed for
+/// boundary tests (the doubling probe must not wrap near 2^31).
+uint32_t GallopLowerBound(const uint32_t* a, uint32_t n, uint32_t lo,
+                          uint32_t key);
 }  // namespace set_internal
 
 }  // namespace levelheaded

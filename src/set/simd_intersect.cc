@@ -80,6 +80,9 @@ uint32_t IntersectUintUintSimd(const uint32_t* a, uint32_t na,
 
     const __m128i shuffled = _mm_shuffle_epi8(
         va, _mm_load_si128(reinterpret_cast<const __m128i*>(kCompact[mask])));
+    // Unconditional 4-lane store: with fewer than 4 matches in this block the
+    // upper lanes scribble past the cursor. `out` must therefore extend
+    // ScratchSet::kSimdTailSlack lanes beyond min(na, nb) — see PrepareUint.
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n), shuffled);
     n += static_cast<uint32_t>(bits::PopCount(static_cast<uint64_t>(mask)));
 

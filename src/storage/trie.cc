@@ -1,12 +1,57 @@
 #include "storage/trie.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "obs/stats.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace levelheaded {
+namespace {
+
+// Sorted runs below this stay on the calling thread; together with the
+// cardinality-only AdaptiveGrain it makes small builds take the exact
+// sequential path automatically.
+constexpr int64_t kMinSortRun = 1 << 15;
+
+/// Parallel sort of the row-id permutation: sort fixed-size runs
+/// concurrently, then log2(runs) passes of pairwise merges. `less` must be a
+/// strict TOTAL order (the build's comparator tie-breaks on row id), which
+/// makes the sorted sequence unique — neither the run width nor the merge
+/// tree can change the output, so builds are identical at every thread
+/// count.
+template <typename Less>
+void ParallelSortRows(std::vector<uint32_t>* rows, const Less& less,
+                      ThreadPool& pool) {
+  const int64_t n = static_cast<int64_t>(rows->size());
+  const int64_t run = AdaptiveGrain(n, kMinSortRun);
+  if (n <= run) {
+    std::sort(rows->begin(), rows->end(), less);
+    return;
+  }
+  pool.ParallelChunks(0, n, run, [&](int, int64_t lo, int64_t hi) {
+    std::sort(rows->begin() + lo, rows->begin() + hi, less);
+  });
+  std::vector<uint32_t> aux(rows->size());
+  std::vector<uint32_t>* src = rows;
+  std::vector<uint32_t>* dst = &aux;
+  for (int64_t width = run; width < n; width *= 2) {
+    const int64_t pairs = (n + 2 * width - 1) / (2 * width);
+    pool.ParallelFor(0, pairs, 1, [&](int, int64_t p) {
+      const int64_t lo = p * 2 * width;
+      const int64_t mid = std::min(n, lo + width);
+      const int64_t hi = std::min(n, lo + 2 * width);
+      std::merge(src->begin() + lo, src->begin() + mid, src->begin() + mid,
+                 src->begin() + hi, dst->begin() + lo, less);
+    });
+    std::swap(src, dst);
+  }
+  if (src != rows) rows->swap(aux);
+}
+
+}  // namespace
 
 SetView TrieLevel::set(uint32_t set_idx) const {
   LH_DCHECK_BOUNDS(set_idx, sets_.size());
@@ -134,25 +179,60 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
   std::vector<const uint32_t*> kc(num_levels);
   for (size_t l = 0; l < num_levels; ++l) kc[l] = spec.key_codes[l]->data();
 
-  std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+  ThreadPool& pool = ThreadPool::Global();
+
+  // Strict TOTAL order: ties on the full key tuple break on row id, so
+  // duplicate key rows keep table order. That pins one canonical sorted
+  // permutation — required both by the parallel sort (merge-tree invariant)
+  // and by annotation merging, whose floating-point folds must visit
+  // duplicates in one fixed sequence to stay bit-reproducible.
+  const auto row_less = [&](uint32_t a, uint32_t b) {
     for (size_t l = 0; l < num_levels; ++l) {
       if (kc[l][a] != kc[l][b]) return kc[l][a] < kc[l][b];
     }
-    return false;
-  });
+    return a < b;
+  };
+  ParallelSortRows(&rows, row_less, pool);
 
   // dlev[i]: first key level on which sorted row i differs from row i-1
   // (num_levels when the full key tuple repeats). dlev[0] = 0.
   std::vector<uint32_t> dlev(n);
-  for (size_t i = 1; i < n; ++i) {
-    uint32_t d = static_cast<uint32_t>(num_levels);
-    for (size_t l = 0; l < num_levels; ++l) {
-      if (kc[l][rows[i]] != kc[l][rows[i - 1]]) {
-        d = static_cast<uint32_t>(l);
-        break;
+  pool.ParallelChunks(
+      1, static_cast<int64_t>(n), AdaptiveGrain(n, kMinSortRun),
+      [&](int, int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          uint32_t d = static_cast<uint32_t>(num_levels);
+          for (size_t l = 0; l < num_levels; ++l) {
+            if (kc[l][rows[i]] != kc[l][rows[i - 1]]) {
+              d = static_cast<uint32_t>(l);
+              break;
+            }
+          }
+          dlev[i] = d;
+        }
+      });
+  if (n > 0) dlev[0] = 0;
+
+  // Root-value starts (== level-0 element starts). Deeper levels are built
+  // in parallel over partitions cut at these row positions: a partition
+  // boundary has dlev == 0, so every per-partition set and element decision
+  // matches what the sequential sweep would make, and fragments splice into
+  // the identical level layout. Cuts depend only on cardinality — trie
+  // bytes are the same at every thread count.
+  std::vector<uint32_t> root_starts;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 || dlev[i] == 0) root_starts.push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<uint32_t> part_start;
+  {
+    const int64_t part_grain = AdaptiveGrain(n, 1 << 14);
+    int64_t next_target = 0;
+    for (uint32_t rs : root_starts) {
+      if (static_cast<int64_t>(rs) >= next_target) {
+        part_start.push_back(rs);
+        next_target = static_cast<int64_t>(rs) + part_grain;
       }
     }
-    dlev[i] = d;
   }
 
   Trie trie;
@@ -162,35 +242,101 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
   // annotation construction.
   std::vector<std::vector<uint32_t>> elem_starts(num_levels);
 
-  std::vector<uint64_t> scratch_words;
-  std::vector<uint32_t> scratch_ranks;
-  std::vector<uint32_t> current_vals;
-
-  for (size_t l = 0; l < num_levels; ++l) {
-    TrieLevel& level = trie.levels_[l];
-    current_vals.clear();
+  // Builds level `l` (>= 1) over sorted-row range [ps, pe) into `level` /
+  // `elems` — the whole range or one root-aligned partition. `ps` must be a
+  // set boundary (row 0 or dlev[ps] < l).
+  const auto build_level_range = [&](size_t l, size_t ps, size_t pe,
+                                     TrieLevel* level,
+                                     std::vector<uint32_t>* elems) {
+    std::vector<uint64_t> scratch_words;
+    std::vector<uint32_t> scratch_ranks;
+    std::vector<uint32_t> current_vals;
     uint32_t base_rank = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const bool new_set = (i == 0) || (l > 0 && dlev[i] < l);
-      const bool new_elem = (i == 0) || (dlev[i] <= l);
-      if (new_set && i != 0) {
+    for (size_t i = ps; i < pe; ++i) {
+      const bool new_set = (i == ps) || dlev[i] < l;
+      const bool new_elem = (i == ps) || dlev[i] <= l;
+      if (new_set && i != ps) {
         TrieLevel::SetDesc desc;
-        EmitSet(current_vals, base_rank, &desc, &level, &scratch_words,
+        EmitSet(current_vals, base_rank, &desc, level, &scratch_words,
                 &scratch_ranks);
         base_rank += desc.cardinality;
-        level.sets_.push_back(desc);
+        level->sets_.push_back(desc);
         current_vals.clear();
       }
       if (new_elem) {
         current_vals.push_back(kc[l][rows[i]]);
-        elem_starts[l].push_back(static_cast<uint32_t>(i));
+        elems->push_back(static_cast<uint32_t>(i));
       }
     }
-    // Final set; level 0 always has exactly one set (possibly empty).
     TrieLevel::SetDesc desc;
-    EmitSet(current_vals, base_rank, &desc, &level, &scratch_words,
+    EmitSet(current_vals, base_rank, &desc, level, &scratch_words,
             &scratch_ranks);
-    level.sets_.push_back(desc);
+    level->sets_.push_back(desc);
+  };
+
+  for (size_t l = 0; l < num_levels; ++l) {
+    TrieLevel& level = trie.levels_[l];
+    if (l == 0) {
+      // Level 0 is a single set of the root values.
+      std::vector<uint64_t> scratch_words;
+      std::vector<uint32_t> scratch_ranks;
+      std::vector<uint32_t> vals;
+      vals.reserve(root_starts.size());
+      for (uint32_t rs : root_starts) vals.push_back(kc[0][rows[rs]]);
+      TrieLevel::SetDesc desc;
+      EmitSet(vals, 0, &desc, &level, &scratch_words, &scratch_ranks);
+      level.sets_.push_back(desc);
+      elem_starts[0] = root_starts;
+    } else if (part_start.size() <= 1) {
+      build_level_range(l, 0, n, &level, &elem_starts[l]);
+    } else {
+      const size_t num_parts = part_start.size();
+      std::vector<TrieLevel> frags(num_parts);
+      std::vector<std::vector<uint32_t>> frag_elems(num_parts);
+      pool.ParallelFor(0, static_cast<int64_t>(num_parts), 1,
+                       [&](int, int64_t p) {
+                         const size_t ps = part_start[p];
+                         const size_t pe = p + 1 < static_cast<int64_t>(
+                                                       num_parts)
+                                               ? part_start[p + 1]
+                                               : n;
+                         build_level_range(l, ps, pe, &frags[p],
+                                           &frag_elems[p]);
+                       });
+      // Splice the fragments in partition order, rebasing buffer offsets
+      // and global ranks by the preceding fragments' totals. Fragment-local
+      // base_ranks are already cumulative within the fragment, so every set
+      // shifts by the same constant: the element count of all prior
+      // fragments.
+      uint32_t rank_off = 0;
+      for (size_t p = 0; p < num_parts; ++p) {
+        const TrieLevel& f = frags[p];
+        const uint32_t voff =
+            static_cast<uint32_t>(level.uint_values_.size());
+        const uint32_t woff = static_cast<uint32_t>(level.words_.size());
+        uint32_t frag_elements = 0;
+        for (TrieLevel::SetDesc d : f.sets_) {
+          d.base_rank += rank_off;
+          if (d.layout == SetLayout::kUint) {
+            d.values_offset += voff;
+          } else {
+            d.words_offset += woff;
+          }
+          level.sets_.push_back(d);
+          frag_elements += d.cardinality;
+        }
+        rank_off += frag_elements;
+        level.uint_values_.insert(level.uint_values_.end(),
+                                  f.uint_values_.begin(),
+                                  f.uint_values_.end());
+        level.words_.insert(level.words_.end(), f.words_.begin(),
+                            f.words_.end());
+        level.word_ranks_.insert(level.word_ranks_.end(),
+                                 f.word_ranks_.begin(), f.word_ranks_.end());
+        elem_starts[l].insert(elem_starts[l].end(), frag_elems[p].begin(),
+                              frag_elems[p].end());
+      }
+    }
     level.num_elements_ = elem_starts[l].size();
 
     if (l < spec.domain_sizes.size() && spec.domain_sizes[l] > 0) {
@@ -210,17 +356,27 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
   const size_t num_leaves = leaf_starts.size();
 
   // Per-level first-leaf index (subtree leaf ranges). Every element start
-  // row is also a leaf start row, so a two-pointer walk suffices.
+  // row is also a leaf start row: each chunk binary-searches its first
+  // element, then walks a two-pointer like the sequential sweep.
   for (size_t l = 0; l < num_levels; ++l) {
     TrieLevel& level = trie.levels_[l];
-    level.first_leaf_.resize(elem_starts[l].size());
-    size_t leaf = 0;
-    for (size_t j = 0; j < elem_starts[l].size(); ++j) {
-      while (leaf < num_leaves && leaf_starts[leaf] < elem_starts[l][j]) {
-        ++leaf;
-      }
-      level.first_leaf_[j] = static_cast<uint32_t>(leaf);
-    }
+    const std::vector<uint32_t>& starts = elem_starts[l];
+    level.first_leaf_.resize(starts.size());
+    pool.ParallelChunks(
+        0, static_cast<int64_t>(starts.size()),
+        AdaptiveGrain(starts.size(), 1 << 14),
+        [&](int, int64_t jlo, int64_t jhi) {
+          size_t leaf = static_cast<size_t>(
+              std::lower_bound(leaf_starts.begin(), leaf_starts.end(),
+                               starts[jlo]) -
+              leaf_starts.begin());
+          for (int64_t j = jlo; j < jhi; ++j) {
+            while (leaf < num_leaves && leaf_starts[leaf] < starts[j]) {
+              ++leaf;
+            }
+            level.first_leaf_[j] = static_cast<uint32_t>(leaf);
+          }
+        });
     level.leaf_end_ = static_cast<uint32_t>(num_leaves);
   }
 
@@ -244,29 +400,37 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
       buf.type = ValueType::kDouble;
       buf.level = static_cast<int>(num_levels) - 1;
       buf.reals.resize(num_leaves);
-      for (size_t j = 0; j < num_leaves; ++j) {
-        const uint32_t end = elem_range_end(leaf_starts, j);
-        double acc = a.merge == AnnotationMerge::kSum
-                         ? 0.0
-                         : source_double(rows[leaf_starts[j]]);
-        for (uint32_t i = leaf_starts[j]; i < end; ++i) {
-          const double v = source_double(rows[i]);
-          switch (a.merge) {
-            case AnnotationMerge::kSum:
-              acc += v;
-              break;
-            case AnnotationMerge::kMin:
-              acc = std::min(acc, v);
-              break;
-            case AnnotationMerge::kMax:
-              acc = std::max(acc, v);
-              break;
-            case AnnotationMerge::kFirst:
-              break;
-          }
-        }
-        buf.reals[j] = acc;
-      }
+      // Parallel over leaves; each leaf's fold runs whole on one thread in
+      // sorted-row order, so the result is bit-identical to the sequential
+      // build at any thread count.
+      pool.ParallelChunks(
+          0, static_cast<int64_t>(num_leaves),
+          AdaptiveGrain(num_leaves, 1 << 13),
+          [&](int, int64_t jlo, int64_t jhi) {
+            for (int64_t j = jlo; j < jhi; ++j) {
+              const uint32_t end = elem_range_end(leaf_starts, j);
+              double acc = a.merge == AnnotationMerge::kSum
+                               ? 0.0
+                               : source_double(rows[leaf_starts[j]]);
+              for (uint32_t i = leaf_starts[j]; i < end; ++i) {
+                const double v = source_double(rows[i]);
+                switch (a.merge) {
+                  case AnnotationMerge::kSum:
+                    acc += v;
+                    break;
+                  case AnnotationMerge::kMin:
+                    acc = std::min(acc, v);
+                    break;
+                  case AnnotationMerge::kMax:
+                    acc = std::max(acc, v);
+                    break;
+                  case AnnotationMerge::kFirst:
+                    break;
+                }
+              }
+              buf.reals[j] = acc;
+            }
+          });
     } else {
       // kFirst: attach at the shallowest level where the value is constant
       // within every element's row range.
@@ -286,14 +450,24 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
       };
       auto constant_at_level = [&](int l) {
         const std::vector<uint32_t>& starts = elem_starts[l];
-        for (size_t j = 0; j < starts.size(); ++j) {
-          const uint32_t end = elem_range_end(starts, j);
-          const uint64_t first = value_at(rows[starts[j]]);
-          for (uint32_t i = starts[j] + 1; i < end; ++i) {
-            if (value_at(rows[i]) != first) return false;
-          }
-        }
-        return true;
+        std::atomic<bool> constant{true};
+        pool.ParallelChunks(
+            0, static_cast<int64_t>(starts.size()),
+            AdaptiveGrain(starts.size(), 1 << 13),
+            [&](int, int64_t jlo, int64_t jhi) {
+              if (!constant.load(std::memory_order_relaxed)) return;
+              for (int64_t j = jlo; j < jhi; ++j) {
+                const uint32_t end = elem_range_end(starts, j);
+                const uint64_t first = value_at(rows[starts[j]]);
+                for (uint32_t i = starts[j] + 1; i < end; ++i) {
+                  if (value_at(rows[i]) != first) {
+                    constant.store(false, std::memory_order_relaxed);
+                    return;
+                  }
+                }
+              }
+            });
+        return constant.load(std::memory_order_relaxed);
       };
       bool found = false;
       for (int l = 0; l < static_cast<int>(num_levels) - 1; ++l) {
@@ -314,20 +488,25 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
       const size_t count = starts.size();
       if (a.ints != nullptr) {
         buf.ints.resize(count);
-        for (size_t j = 0; j < count; ++j) {
-          buf.ints[j] = (*a.ints)[rows[starts[j]]];
-        }
       } else if (a.codes != nullptr) {
         buf.codes.resize(count);
-        for (size_t j = 0; j < count; ++j) {
-          buf.codes[j] = (*a.codes)[rows[starts[j]]];
-        }
       } else {
         buf.reals.resize(count);
-        for (size_t j = 0; j < count; ++j) {
-          buf.reals[j] = (*a.reals)[rows[starts[j]]];
-        }
       }
+      pool.ParallelChunks(0, static_cast<int64_t>(count),
+                          AdaptiveGrain(count, 1 << 14),
+                          [&](int, int64_t jlo, int64_t jhi) {
+                            for (int64_t j = jlo; j < jhi; ++j) {
+                              const uint32_t row = rows[starts[j]];
+                              if (a.ints != nullptr) {
+                                buf.ints[j] = (*a.ints)[row];
+                              } else if (a.codes != nullptr) {
+                                buf.codes[j] = (*a.codes)[row];
+                              } else {
+                                buf.reals[j] = (*a.reals)[row];
+                              }
+                            }
+                          });
     }
     trie.annotations_.push_back(std::move(buf));
   }
@@ -338,9 +517,14 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
     buf.type = ValueType::kInt64;
     buf.level = static_cast<int>(num_levels) - 1;
     buf.ints.resize(num_leaves);
-    for (size_t j = 0; j < num_leaves; ++j) {
-      buf.ints[j] = elem_range_end(leaf_starts, j) - leaf_starts[j];
-    }
+    pool.ParallelChunks(0, static_cast<int64_t>(num_leaves),
+                        AdaptiveGrain(num_leaves, 1 << 14),
+                        [&](int, int64_t jlo, int64_t jhi) {
+                          for (int64_t j = jlo; j < jhi; ++j) {
+                            buf.ints[j] =
+                                elem_range_end(leaf_starts, j) - leaf_starts[j];
+                          }
+                        });
     trie.annotations_.push_back(std::move(buf));
   }
 

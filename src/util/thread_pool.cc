@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
 
 #include "obs/stats.h"
 #include "util/logging.h"
@@ -11,6 +14,25 @@ namespace {
 // parallel WCOJ loop) run inline on the calling thread rather than
 // re-entering the pool.
 thread_local bool t_in_parallel_region = false;
+
+// Pool-worker slot of the current thread, or -1 for external threads.
+// Submit() records it so task execution can tell a steal (task ran on a
+// different slot than it was submitted from) from a local run.
+thread_local int t_worker_slot = -1;
+
+// The global pool lives behind a unique_ptr (instead of a plain Meyers
+// static) so SetGlobalThreadsForTesting can join and replace it; the static
+// local still destroys the final pool at process exit, keeping the clean
+// sanitizer shutdown from the singleton design.
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -33,23 +55,98 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(int slot) {
+  t_worker_slot = slot;
   uint64_t seen_epoch = 0;
   while (true) {
     ParallelJob* job = nullptr;
+    Task task;
+    bool have_task = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       wake_cv_.wait(lock, [&] {
-        return shutdown_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
+        return shutdown_ || !tasks_.empty() ||
+               (current_job_ != nullptr && job_epoch_ != seen_epoch);
       });
       if (shutdown_) return;
-      seen_epoch = job_epoch_;
-      job = current_job_;
-      job->active_workers.fetch_add(1, std::memory_order_relaxed);
+      // Tasks take priority over job chunks: tasks are sub-work spawned from
+      // inside running chunks, so draining them first bounds the queue and
+      // unblocks waiters helping on TaskGroup::Wait.
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        have_task = true;
+      } else {
+        seen_epoch = job_epoch_;
+        job = current_job_;
+        job->active_workers.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (have_task) {
+      RunTask(task, slot);
+      continue;
     }
     RunJobSlice(job, slot);
     if (job->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunTask(Task& task, int slot) {
+  // Tasks count as a parallel region: a ParallelChunks issued from inside a
+  // task runs inline instead of re-entering the single job slot. Save and
+  // restore rather than set/clear — helping threads run tasks from within
+  // regions that are themselves parallel.
+  const bool saved_region = t_in_parallel_region;
+  t_in_parallel_region = true;
+  task.fn();
+  t_in_parallel_region = saved_region;
+  if (slot != task.submitter_slot) {
+    if (obs::ExecStats* stats = obs::ActiveStats()) {
+      stats->CountTaskStolen(1);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--task.group->pending_ == 0) task_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Submit(TaskGroup* group, std::function<void()> fn) {
+  LH_DCHECK(group->pool_ == this);
+  const int submitter = t_worker_slot >= 0 ? t_worker_slot : num_threads();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++group->pending_;
+    tasks_.push_back(Task{std::move(fn), group, submitter});
+  }
+  wake_cv_.notify_one();
+  if (obs::ExecStats* stats = obs::ActiveStats()) {
+    stats->CountTaskSpawned(1);
+  }
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  LH_CHECK_EQ(pending_, 0);
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  const int slot =
+      t_worker_slot >= 0 ? t_worker_slot : pool_->num_threads();
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  while (pending_ > 0) {
+    if (!pool_->tasks_.empty()) {
+      Task task = std::move(pool_->tasks_.front());
+      pool_->tasks_.pop_front();
+      lock.unlock();
+      pool_->RunTask(task, slot);
+      lock.lock();
+    } else {
+      // All of this group's remaining tasks are running on other threads;
+      // task_cv_ fires as each one completes.
+      pool_->task_cv_.wait(lock);
     }
   }
 }
@@ -124,10 +221,24 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
 }
 
 ThreadPool& ThreadPool::Global() {
-  // Meyers singleton: workers are joined by the destructor at process exit,
-  // so sanitizer runs see a clean shutdown instead of a leaked pool.
-  static ThreadPool pool;
-  return pool;
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  if (!slot) {
+    int num_threads = 0;  // 0 = hardware concurrency
+    if (const char* env = std::getenv("LH_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) num_threads = parsed;
+    }
+    slot = std::make_unique<ThreadPool>(num_threads);
+  }
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreadsForTesting(int num_threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  slot.reset();  // join the old pool before the new one spins up
+  slot = std::make_unique<ThreadPool>(num_threads);
 }
 
 }  // namespace levelheaded

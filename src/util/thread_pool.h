@@ -5,9 +5,11 @@
 #ifndef LEVELHEADED_UTIL_THREAD_POOL_H_
 #define LEVELHEADED_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,6 +17,18 @@
 #include <vector>
 
 namespace levelheaded {
+
+/// Shared grain heuristic for every parallel loop in the engine. Targets a
+/// fixed number of chunks so chunk boundaries — which are also the merge
+/// boundaries for floating-point partials — depend only on the input
+/// cardinality, never on the thread count. That is what keeps query results
+/// bit-identical across LH_THREADS settings: more threads change who runs a
+/// chunk, not where the chunks are cut.
+inline int64_t AdaptiveGrain(int64_t total, int64_t min_grain = 1) {
+  constexpr int64_t kTargetChunks = 64;
+  const int64_t grain = (total + kTargetChunks - 1) / kTargetChunks;
+  return std::max<int64_t>(min_grain, grain);
+}
 
 /// A fixed-size worker pool with a blocking ParallelFor.
 ///
@@ -46,11 +60,54 @@ class ThreadPool {
       int64_t begin, int64_t end, int64_t grain,
       const std::function<void(int, int64_t, int64_t)>& fn);
 
-  /// Process-wide default pool (created on first use).
+  /// Tracks a batch of tasks submitted via Submit(). Wait() blocks until all
+  /// of the group's tasks have finished, *helping*: while waiting it pops and
+  /// runs queued tasks (from any group) on the calling thread, so a worker
+  /// inside a ParallelChunks chunk can fan out sub-work and wait for it
+  /// without deadlocking even when every pool thread is busy.
+  ///
+  /// A group must be waited (pending reaches zero) before it is destroyed
+  /// and before its pool is destroyed.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+    ~TaskGroup();
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    ThreadPool* pool_;
+    int64_t pending_ = 0;  // guarded by pool_->mu_
+  };
+
+  /// Enqueues `fn` to run on any pool thread (or on a thread that helps while
+  /// waiting on the group). Unlike ParallelChunks this never blocks and is
+  /// legal from inside a parallel region — it is the nesting escape hatch the
+  /// skew splitter uses. Tasks run with the nested-region flag set, so a
+  /// ParallelChunks call made from inside a task executes inline.
+  void Submit(TaskGroup* group, std::function<void()> fn);
+
+  /// Process-wide default pool (created on first use). Thread count comes
+  /// from the LH_THREADS environment variable when set (and positive),
+  /// otherwise the hardware concurrency.
   static ThreadPool& Global();
 
+  /// Replaces the global pool with one of `num_threads` workers, joining the
+  /// old pool first. Test-only: must not race with in-flight queries.
+  static void SetGlobalThreadsForTesting(int num_threads);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+    int submitter_slot = -1;
+  };
+
   void WorkerLoop(int slot);
+  void RunTask(Task& task, int slot);
 
   struct ParallelJob {
     std::atomic<int64_t> next{0};
@@ -67,6 +124,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable task_cv_;     // signaled as group tasks finish
+  std::deque<Task> tasks_;              // guarded by mu_
   ParallelJob* current_job_ = nullptr;  // guarded by mu_
   uint64_t job_epoch_ = 0;              // guarded by mu_
   bool shutdown_ = false;               // guarded by mu_

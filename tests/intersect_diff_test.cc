@@ -138,8 +138,8 @@ TEST(IntersectDiffTest, SimdKernelMatchesScalarKernel) {
     // Sparse regime: both kernels take the uint/uint path.
     const std::vector<uint32_t> a = RandomSortedUnique(&rng, 400, 100000);
     const std::vector<uint32_t> b = RandomSortedUnique(&rng, 400, 100000);
-    const uint32_t cap =
-        static_cast<uint32_t>(std::min(a.size(), b.size())) + 1;
+    const uint32_t cap = static_cast<uint32_t>(std::min(a.size(), b.size())) +
+                         ScratchSet::kSimdTailSlack;
     std::vector<uint32_t> scalar_out(cap), simd_out(cap);
     const uint32_t n_scalar = set_internal::IntersectUintUint(
         a.data(), static_cast<uint32_t>(a.size()), b.data(),

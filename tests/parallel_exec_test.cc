@@ -1,0 +1,483 @@
+// Nested-parallel execution and intersection-kernel memory-safety tests.
+//
+// Covers the skew-resistant executor work as one suite:
+//   - the SIMD tail-store regression (exact-capacity ScratchSet intersection
+//     that scribbled past the buffer before PrepareUint grew
+//     kSimdTailSlack) — fails under ASan on the pre-fix layout;
+//   - GallopLowerBound boundary behavior against std::lower_bound;
+//   - count-only kernels against their materializing twins;
+//   - bit-identical query results across LH_THREADS ∈ {1, 2, 8} on a
+//     skewed graph where one hub owns most of the tuples (the shape that
+//     triggers heavy-root task splitting);
+//   - a nested-parallelism stress: ParallelChunks workers fanning out
+//     Submit/Wait sub-tasks concurrently.
+//
+// Registered under the `concurrency` ctest label so the TSan preset runs it.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "obs/profile.h"
+#include "set/intersect.h"
+#include "set/set.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Satellite (a): SIMD tail store must stay inside ScratchSet's buffer.
+
+// Minimal shape that drives the AVX2 kernel's unconditional 4-lane store to
+// the last legal cursor position: a = {1..7, BIG} and b = {1..12} intersect
+// to 7 values (cap = 8). Block (i=4, j=8) compares {5,6,7,BIG} against
+// {9,10,11,12}, matches nothing, and still stores 16 bytes at out + 7 —
+// lanes 8..10 past an exact-capacity buffer. PrepareUint's kSimdTailSlack
+// absorbs the overhang; without it ASan reports a heap-buffer-overflow here.
+TEST(SimdTailStoreTest, ExactCapacityIntersectStaysInBounds) {
+  const std::vector<uint32_t> a = {1, 2, 3, 4, 5, 6, 7, 0x7fffffffu};
+  const std::vector<uint32_t> b = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  const OwnedSet sa = OwnedSet::FromSortedWithLayout(a, SetLayout::kUint);
+  const OwnedSet sb = OwnedSet::FromSortedWithLayout(b, SetLayout::kUint);
+  ScratchSet out;  // fresh scratch: allocates exactly what PrepareUint asks
+  Intersect(sa.view(), sb.view(), &out);
+  EXPECT_EQ(out.view().ToVector(),
+            (std::vector<uint32_t>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+// Randomized exact-capacity intersections across sizes that keep the SIMD
+// path engaged (na >= 8, size ratio below the galloping cutoff). Each case
+// uses a fresh ScratchSet so the allocation is exactly PrepareUint(cap).
+TEST(SimdTailStoreTest, RandomizedExactCapacityIntersections) {
+  Rng rng(0x7A11570);
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint32_t na = 8 + static_cast<uint32_t>(rng.Uniform(64));
+    const uint32_t nb = na + static_cast<uint32_t>(rng.Uniform(4 * na));
+    std::vector<uint32_t> a, b;
+    uint32_t v = 0;
+    for (uint32_t i = 0; i < na; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(5));
+      a.push_back(v);
+    }
+    v = 0;
+    for (uint32_t i = 0; i < nb; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(5));
+      b.push_back(v);
+    }
+    const OwnedSet sa = OwnedSet::FromSortedWithLayout(a, SetLayout::kUint);
+    const OwnedSet sb = OwnedSet::FromSortedWithLayout(b, SetLayout::kUint);
+    ScratchSet out;
+    Intersect(sa.view(), sb.view(), &out);
+    // Cross-check cardinality against the count-only kernel.
+    EXPECT_EQ(out.view().cardinality, IntersectCount(sa.view(), sb.view()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (b): galloping probe bounds.
+
+TEST(GallopLowerBoundTest, MatchesStdLowerBound) {
+  Rng rng(0x6A110B);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<uint32_t> a;
+    uint32_t v = 0;
+    const uint32_t n = static_cast<uint32_t>(rng.Uniform(300));
+    for (uint32_t i = 0; i < n; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(1000));
+      a.push_back(v);
+    }
+    for (int probe = 0; probe < 40; ++probe) {
+      const uint32_t lo = n == 0 ? 0 : static_cast<uint32_t>(rng.Uniform(n));
+      uint32_t key;
+      switch (probe % 4) {
+        case 0:  // somewhere inside the value range
+          key = static_cast<uint32_t>(rng.Uniform(v + 2));
+          break;
+        case 1:  // exact hit
+          key = n == 0 ? 0 : a[rng.Uniform(n)];
+          break;
+        case 2:  // beyond every element — probe must clamp, not wrap
+          key = 0xffffffffu;
+          break;
+        default:  // before every element in the suffix
+          key = 0;
+          break;
+      }
+      const uint32_t got = set_internal::GallopLowerBound(a.data(), n, lo, key);
+      const uint32_t want = static_cast<uint32_t>(
+          std::lower_bound(a.begin() + lo, a.end(), key) - a.begin());
+      ASSERT_EQ(got, want) << "n=" << n << " lo=" << lo << " key=" << key;
+    }
+  }
+}
+
+// lo == n and empty-array edges.
+TEST(GallopLowerBoundTest, BoundaryPositions) {
+  const std::vector<uint32_t> a = {2, 4, 6, 8};
+  EXPECT_EQ(set_internal::GallopLowerBound(a.data(), 4, 4, 1), 4u);
+  EXPECT_EQ(set_internal::GallopLowerBound(a.data(), 4, 3, 9), 4u);
+  EXPECT_EQ(set_internal::GallopLowerBound(a.data(), 4, 0, 0xffffffffu), 4u);
+  EXPECT_EQ(set_internal::GallopLowerBound(a.data(), 0, 0, 5), 0u);
+  // Max-value key sitting at the very end: the doubling probe walks past n
+  // with a[hi] < key at every step — the 64-bit bound must clamp to n.
+  std::vector<uint32_t> big(1000);
+  for (uint32_t i = 0; i < 1000; ++i) big[i] = i * 2;
+  EXPECT_EQ(
+      set_internal::GallopLowerBound(big.data(), 1000, 990, 0xfffffffeu),
+      1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (c): count-only kernels agree with the materializing ones.
+
+TEST(IntersectCountTest, CountKernelMatchesMaterializingKernel) {
+  Rng rng(0xC0047);
+  for (int iter = 0; iter < 100; ++iter) {
+    // Mix of comparable sizes (merge/SIMD path) and skewed sizes (gallop).
+    const uint32_t na = 1 + static_cast<uint32_t>(rng.Uniform(40));
+    const uint32_t nb =
+        (iter % 2 == 0) ? 1 + static_cast<uint32_t>(rng.Uniform(40))
+                        : 64 * na + static_cast<uint32_t>(rng.Uniform(512));
+    std::vector<uint32_t> a, b;
+    uint32_t v = 0;
+    for (uint32_t i = 0; i < na; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(16));
+      a.push_back(v);
+    }
+    v = 0;
+    for (uint32_t i = 0; i < nb; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(16));
+      b.push_back(v);
+    }
+    std::vector<uint32_t> out(std::min(na, nb) + ScratchSet::kSimdTailSlack);
+    const uint32_t n_mat = set_internal::IntersectUintUint(
+        a.data(), na, b.data(), nb, out.data());
+    EXPECT_EQ(set_internal::IntersectUintUintCount(a.data(), na, b.data(), nb),
+              n_mat);
+    EXPECT_EQ(set_internal::IntersectUintUintCount(b.data(), nb, a.data(), na),
+              n_mat);
+  }
+}
+
+TEST(IntersectCountTest, MixedLayoutsMatchMaterializedCardinality) {
+  Rng rng(0xC0048);
+  const SetLayout layouts[] = {SetLayout::kUint, SetLayout::kBitset};
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<uint32_t> a, b;
+    uint32_t v = 0;
+    const uint32_t na = 1 + static_cast<uint32_t>(rng.Uniform(200));
+    for (uint32_t i = 0; i < na; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(4));
+      a.push_back(v);
+    }
+    v = 0;
+    const uint32_t nb = 1 + static_cast<uint32_t>(rng.Uniform(200));
+    for (uint32_t i = 0; i < nb; ++i) {
+      v += 1 + static_cast<uint32_t>(rng.Uniform(4));
+      b.push_back(v);
+    }
+    for (SetLayout la : layouts) {
+      for (SetLayout lb : layouts) {
+        const OwnedSet sa = OwnedSet::FromSortedWithLayout(a, la);
+        const OwnedSet sb = OwnedSet::FromSortedWithLayout(b, lb);
+        ScratchSet out;
+        Intersect(sa.view(), sb.view(), &out);
+        EXPECT_EQ(IntersectCount(sa.view(), sb.view()),
+                  out.view().cardinality)
+            << SetLayoutName(la) << "/" << SetLayoutName(lb);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (d): bit-identical results across thread counts.
+
+// Bitwise comparison: double columns are compared as raw bits, so even a
+// last-ulp difference from a reordered floating-point fold fails the test.
+void ExpectBitIdentical(const QueryResult& x, const QueryResult& y,
+                        const std::string& what) {
+  ASSERT_EQ(x.num_rows, y.num_rows) << what;
+  ASSERT_EQ(x.columns.size(), y.columns.size()) << what;
+  for (size_t c = 0; c < x.columns.size(); ++c) {
+    const ResultColumn& xc = x.columns[c];
+    const ResultColumn& yc = y.columns[c];
+    EXPECT_EQ(xc.name, yc.name) << what;
+    EXPECT_EQ(xc.type, yc.type) << what;
+    EXPECT_EQ(xc.ints, yc.ints) << what << " column " << xc.name;
+    EXPECT_EQ(xc.strs, yc.strs) << what << " column " << xc.name;
+    EXPECT_EQ(xc.codes, yc.codes) << what << " column " << xc.name;
+    ASSERT_EQ(xc.reals.size(), yc.reals.size()) << what;
+    for (size_t i = 0; i < xc.reals.size(); ++i) {
+      uint64_t xb, yb;
+      std::memcpy(&xb, &xc.reals[i], sizeof(xb));
+      std::memcpy(&yb, &yc.reals[i], sizeof(yb));
+      ASSERT_EQ(xb, yb) << what << " column " << xc.name << " row " << i
+                        << " (" << xc.reals[i] << " vs " << yc.reals[i]
+                        << ")";
+    }
+  }
+}
+
+// Skewed graph: hub node 0 owns > 50% of the edges (a star into every other
+// node), so its level-1 set dwarfs the skew threshold and the executor must
+// split it across tasks. Every mid node gets a forward edge and the first
+// nodes close cycles back to the hub so triangle queries have work.
+class ThreadCountDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr int kHubFanout = 3000;
+
+  void SetUp() override {
+    Rng rng(20260807);
+    Table* t =
+        catalog_
+            .CreateTable(TableSchema(
+                "edge",
+                {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                 ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                 ColumnSpec::Annotation("w", ValueType::kDouble)}))
+            .ValueOrDie();
+    for (int i = 1; i <= kHubFanout; ++i) {
+      // Magnitude-varying weights: summation order shows up in the bits.
+      ASSERT_TRUE(t->AppendRow({Value::Int(0), Value::Int(i),
+                                Value::Real(rng.UniformDouble(0, 1) *
+                                            (1 + (i % 13) * 1e3))})
+                      .ok());
+      ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Int(1 + (i % 97)),
+                                Value::Real(rng.UniformDouble(-1, 1))})
+                      .ok());
+    }
+    for (int j = 1; j <= 97; ++j) {
+      ASSERT_TRUE(t->AppendRow({Value::Int(j), Value::Int(0),
+                                Value::Real(rng.UniformDouble(0, 2))})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  void TearDown() override {
+    ThreadPool::SetGlobalThreadsForTesting(0);  // back to the default
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ThreadCountDifferentialTest, ResultsBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> queries = {
+      "SELECT count(*) FROM edge e1, edge e2 WHERE e1.dst = e2.src",
+      "SELECT sum(e1.w * e2.w) FROM edge e1, edge e2 WHERE e1.dst = e2.src",
+      "SELECT e1.src, sum(e1.w * e2.w) FROM edge e1, edge e2 "
+      "WHERE e1.dst = e2.src GROUP BY e1.src",
+      "SELECT e1.src, e2.dst, sum(e1.w * e2.w) FROM edge e1, edge e2 "
+      "WHERE e1.dst = e2.src GROUP BY e1.src, e2.dst",
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+      "SELECT sum(e1.w * e2.w * e3.w) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+  };
+
+  // Reference run at one thread, then wider pools must reproduce it bit for
+  // bit: chunk and split boundaries derive from cardinality alone, so the
+  // merge order of floating-point partials never moves.
+  std::vector<QueryResult> reference;
+  ThreadPool::SetGlobalThreadsForTesting(1);
+  {
+    Engine engine(&catalog_);
+    for (const std::string& q : queries) {
+      auto r = engine.Query(q);
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+      r.value().SortRows();
+      reference.push_back(std::move(r).value());
+    }
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool::SetGlobalThreadsForTesting(threads);
+    Engine engine(&catalog_);  // fresh trie cache: parallel build included
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto r = engine.Query(queries[i]);
+      ASSERT_TRUE(r.ok()) << queries[i] << ": " << r.status().ToString();
+      r.value().SortRows();
+      ExpectBitIdentical(reference[i], r.value(),
+                         queries[i] + " @ " + std::to_string(threads) +
+                             " threads");
+    }
+  }
+}
+
+// The hub's fan-out exceeds the skew threshold, so the heavy-root splitter
+// must actually fire (it fires at every thread count — the decision is
+// cardinality-only — making this assertion thread-count independent). The
+// triangle shape is used because the two-relation joins here fuse their
+// leaf pair into the depth-1 loop, a shape the splitter leaves alone.
+TEST_F(ThreadCountDifferentialTest, SkewSplitterEngagesOnHubRoot) {
+  ThreadPool::SetGlobalThreadsForTesting(4);
+  Engine engine(&catalog_);
+  auto r = engine.QueryAnalyze(
+      "SELECT sum(e1.w * e2.w * e3.w) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().profile, nullptr);
+  const obs::StatsSnapshot& c = r.value().profile->counters;
+  EXPECT_GT(c.exec_skew_splits, 0u);
+  EXPECT_GT(c.pool_tasks_spawned, 0u);
+}
+
+// The partitioned trie build (engaged above ~16k rows regardless of pool
+// size) must splice fragment sets with correct global base ranks —
+// fragment-local ranks are already cumulative, so each set shifts by the
+// prior fragments' element total, not a per-set accumulator. A wrong rank
+// silently reads the wrong annotation slot, so integer-valued weights make
+// any slip an exact mismatch.
+TEST(PartitionedTrieBuildTest, AnnotationRanksSurviveFragmentSplice) {
+  constexpr int kRows = 40000;
+  constexpr int kRoots = 5003;
+  Catalog catalog;
+  Table* t =
+      catalog
+          .CreateTable(TableSchema(
+              "edge", {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                       ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                       ColumnSpec::Annotation("w", ValueType::kDouble)}))
+          .ValueOrDie();
+  std::vector<double> per_root(kRoots, 0.0);
+  double total = 0.0;
+  for (int i = 0; i < kRows; ++i) {
+    const int src = i % kRoots;
+    const double w = (i % 11) + 1;
+    ASSERT_TRUE(t->AppendRow({Value::Int(src), Value::Int(i / kRoots),
+                              Value::Real(w)})
+                    .ok());
+    per_root[src] += w;
+    total += w;
+  }
+  ASSERT_TRUE(catalog.Finalize().ok());
+  Engine engine(&catalog);
+
+  auto sum = engine.Query("SELECT sum(w) FROM edge");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  ASSERT_EQ(sum.value().num_rows, 1u);
+  EXPECT_EQ(sum.value().GetValue(0, 0).AsReal(), total);
+
+  auto grouped =
+      engine.Query("SELECT src, sum(w) FROM edge GROUP BY src");
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  ASSERT_EQ(grouped.value().num_rows, static_cast<size_t>(kRoots));
+  for (size_t row = 0; row < grouped.value().num_rows; ++row) {
+    const int src = static_cast<int>(grouped.value().GetValue(row, 0).AsInt());
+    ASSERT_GE(src, 0);
+    ASSERT_LT(src, kRoots);
+    EXPECT_EQ(grouped.value().GetValue(row, 1).AsReal(), per_root[src])
+        << "src=" << src;
+  }
+
+  // The join path resolves annotation slots through set base ranks
+  // (Descend: rank = base_rank(set) + in-set rank), unlike the single-table
+  // scan above — this is the access pattern a bad splice corrupts.
+  std::vector<double> sum_by_dst(kRoots, 0.0), sum_by_src(kRoots, 0.0);
+  for (int i = 0; i < kRows; ++i) {
+    const double w = (i % 11) + 1;
+    sum_by_src[i % kRoots] += w;
+    if (i / kRoots < kRoots) sum_by_dst[i / kRoots] += w;
+  }
+  double join_total = 0.0;
+  for (int v = 0; v < kRoots; ++v) join_total += sum_by_dst[v] * sum_by_src[v];
+  auto join = engine.Query(
+      "SELECT sum(e1.w * e2.w) FROM edge e1, edge e2 WHERE e1.dst = e2.src");
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  ASSERT_EQ(join.value().num_rows, 1u);
+  EXPECT_EQ(join.value().GetValue(0, 0).AsReal(), join_total);
+
+  // Retaining a non-join attribute defeats attribute elimination, so e1's
+  // leaf annotation is resolved per element through base_rank instead of a
+  // first_leaf range fold — the lookup that actually dereferences the
+  // spliced ranks.
+  std::vector<double> per_src_join(kRoots, 0.0);
+  for (int i = 0; i < kRows; ++i) {
+    per_src_join[i % kRoots] +=
+        ((i % 11) + 1) * (i / kRoots < kRoots ? sum_by_src[i / kRoots] : 0.0);
+  }
+  auto grouped_join = engine.Query(
+      "SELECT e1.src, sum(e1.w * e2.w) FROM edge e1, edge e2 "
+      "WHERE e1.dst = e2.src GROUP BY e1.src");
+  ASSERT_TRUE(grouped_join.ok()) << grouped_join.status().ToString();
+  ASSERT_EQ(grouped_join.value().num_rows, static_cast<size_t>(kRoots));
+  for (size_t row = 0; row < grouped_join.value().num_rows; ++row) {
+    const int src =
+        static_cast<int>(grouped_join.value().GetValue(row, 0).AsInt());
+    ASSERT_GE(src, 0);
+    ASSERT_LT(src, kRoots);
+    EXPECT_EQ(grouped_join.value().GetValue(row, 1).AsReal(),
+              per_src_join[src])
+        << "src=" << src;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nested-parallelism stress: many ParallelChunks workers concurrently fan
+// out Submit/Wait groups. Exercises task-queue priority, the help-while-wait
+// path, and steal accounting under TSan.
+
+TEST(NestedParallelismStressTest, SubmitInsideParallelChunks) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> total{0};
+  constexpr int64_t kOuter = 64;
+  constexpr int kInnerTasks = 16;
+  pool.ParallelChunks(0, kOuter, 1, [&](int, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ThreadPool::TaskGroup group(&pool);
+      for (int t = 0; t < kInnerTasks; ++t) {
+        pool.Submit(&group, [&total] {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      group.Wait();
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInnerTasks);
+}
+
+TEST(NestedParallelismStressTest, TasksCanSubmitSubTasks) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  ThreadPool::TaskGroup outer(&pool);
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit(&outer, [&] {
+      ThreadPool::TaskGroup inner(&pool);
+      for (int s = 0; s < 8; ++s) {
+        pool.Submit(&inner, [&total] {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(total.load(), 64);
+}
+
+// A ParallelChunks call made from inside a task must run inline (nested
+// region) rather than deadlocking on the single job slot.
+TEST(NestedParallelismStressTest, ParallelChunksInsideTaskRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit(&group, [&] {
+      pool.ParallelChunks(0, 100, 10, [&](int, int64_t lo, int64_t hi) {
+        total.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(total.load(), 400);
+}
+
+}  // namespace
+}  // namespace levelheaded
