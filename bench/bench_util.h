@@ -76,10 +76,16 @@ class StatsLog {
   bool smoke() const { return smoke_; }
   bool json_enabled() const { return json_; }
 
+  /// `extras` are additional numeric facts about the measurement (e.g.
+  /// "qps", "p99_ms"); each pair is written as an extra top-level key on
+  /// the entry object. Names must not collide with the fixed schema keys
+  /// (label/ms/marker/profile); validate_stats ignores unknown keys.
   void Record(std::string label, const Measurement& m,
-              std::shared_ptr<const obs::QueryProfile> profile = nullptr) {
+              std::shared_ptr<const obs::QueryProfile> profile = nullptr,
+              std::vector<std::pair<std::string, double>> extras = {}) {
     if (label.empty()) label = "entry" + std::to_string(entries_.size() + 1);
-    entries_.push_back({std::move(label), m, std::move(profile)});
+    entries_.push_back(
+        {std::move(label), m, std::move(profile), std::move(extras)});
   }
 
   /// Writes the JSON export if --json was given. Returns a process exit
@@ -111,6 +117,10 @@ class StatsLog {
         w.Key("marker");
         w.String(e.m.marker);
       }
+      for (const auto& [key, value] : e.extras) {
+        w.Key(key);
+        w.Number(value);
+      }
       if (e.profile != nullptr) {
         w.Key("profile");
         e.profile->WriteJson(&w);
@@ -139,6 +149,7 @@ class StatsLog {
     std::string label;
     Measurement m;
     std::shared_ptr<const obs::QueryProfile> profile;
+    std::vector<std::pair<std::string, double>> extras;
   };
 
   std::string name_ = "bench";

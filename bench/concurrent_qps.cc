@@ -1,0 +1,171 @@
+// Concurrent-client throughput on one shared Engine: N client threads fire
+// a mixed BI + graph workload (TPC-H Q1/Q5/Q6 plus the triangle aggregate)
+// at the same engine instance and we report sustained QPS and per-query
+// latency percentiles at 1/4/16 clients.
+//
+// This is the acceptance harness for the thread-safety work (DESIGN.md
+// §11): all clients share the engine's sharded trie cache (single-flight
+// build dedup on the cold start, shared hits afterwards) and each query
+// carries its own stats block, so the attached profiles exercise the
+// cache.* counters end to end. Tries are prewarmed before measuring, per
+// the paper's §VI-A protocol of excluding index creation from query time.
+//
+// Knobs: LH_QPS_CLIENTS=1,4,16 (client-thread steps), LH_QPS_OPS (queries
+// per client per step), LH_TPCH_SF (TPC-H scale factor).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/tpch_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+/// TPC-H tables plus a small random graph in one catalog, so BI and graph
+/// queries contend on the same engine and cache.
+std::unique_ptr<Catalog> BuildMixedCatalog(double sf, int graph_nodes,
+                                           int graph_degree) {
+  auto catalog = std::make_unique<Catalog>();
+  TpchGenerator gen(sf);
+  gen.Populate(catalog.get()).CheckOK();
+  Table* t =
+      catalog
+          ->CreateTable(TableSchema(
+              "edge", {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                       ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                       ColumnSpec::Annotation("w", ValueType::kDouble)}))
+          .ValueOrDie();
+  Rng rng(0xC0FFEE);
+  for (int src = 0; src < graph_nodes; ++src) {
+    for (int d = 0; d < graph_degree; ++d) {
+      const int dst = static_cast<int>(rng.Uniform(graph_nodes));
+      if (dst == src) continue;
+      t->AppendRow({Value::Int(src), Value::Int(dst),
+                    Value::Real(rng.UniformDouble(0, 1))})
+          .CheckOK();
+    }
+  }
+  catalog->Finalize().CheckOK();
+  return catalog;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int Run() {
+  const double sf = EnvDouble("LH_TPCH_SF", Smoke() ? 0.002 : 0.01);
+  const int graph_nodes = Smoke() ? 60 : 200;
+  const int ops_per_client = static_cast<int>(
+      EnvDouble("LH_QPS_OPS", Smoke() ? 8 : 40));
+  std::vector<double> client_steps =
+      EnvDoubleList("LH_QPS_CLIENTS", Smoke() ? std::vector<double>{1, 4}
+                                              : std::vector<double>{1, 4, 16});
+
+  auto catalog = BuildMixedCatalog(sf, graph_nodes, /*graph_degree=*/4);
+  Engine engine(catalog.get());
+
+  const std::vector<std::string> mix = {
+      TpchQuery("q1"),
+      TpchQuery("q5"),
+      TpchQuery("q6"),
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+  };
+
+  // Warm the shared trie cache (§VI-A: index creation is excluded from
+  // measured time) and fail fast on a broken query.
+  for (const std::string& sql : mix) {
+    auto r = engine.Query(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "warmup error: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("concurrent mixed workload (TPC-H SF %g + %d-node graph), "
+              "%d queries per client\n\n",
+              sf, graph_nodes, ops_per_client);
+  PrintRow("Clients", {"QPS", "p50", "p99"}, 10, 12);
+
+  for (double step : client_steps) {
+    const int clients = std::max(1, static_cast<int>(step));
+    const int total_ops = clients * ops_per_client;
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    WallTimer wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([c, ops_per_client, &mix, &engine, &latencies] {
+        latencies[c].reserve(ops_per_client);
+        for (int i = 0; i < ops_per_client; ++i) {
+          // Rotate by client id so different queries overlap in time.
+          const std::string& sql = mix[(i + c) % mix.size()];
+          WallTimer op;
+          auto r = engine.Query(sql);
+          if (r.ok()) latencies[c].push_back(op.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_ms = wall.ElapsedMillis();
+
+    std::vector<double> all;
+    all.reserve(total_ops);
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    if (all.size() != static_cast<size_t>(total_ops)) {
+      std::fprintf(stderr, "%zu of %d queries failed\n",
+                   static_cast<size_t>(total_ops) - all.size(), total_ops);
+      StatsLog::Get().Record("clients_" + std::to_string(clients),
+                             Measurement::Mark("err"));
+      continue;
+    }
+    std::sort(all.begin(), all.end());
+    const double qps =
+        wall_ms > 0 ? 1000.0 * static_cast<double>(total_ops) / wall_ms : 0;
+    const double p50 = Percentile(all, 0.50);
+    const double p99 = Percentile(all, 0.99);
+
+    // Attach a profile so the JSON export carries the cache.* counters
+    // (bytes gauge, evictions, build waits) for this engine state. The
+    // triangle query goes through the trie cache (Q1 is scan-only), so its
+    // profile also shows the warm-cache hit accounting.
+    std::shared_ptr<const obs::QueryProfile> profile;
+    if (StatsLog::Get().json_enabled()) {
+      auto analyzed = engine.QueryAnalyze(mix.back());
+      if (analyzed.ok()) profile = analyzed.value().profile;
+    }
+    StatsLog::Get().Record("clients_" + std::to_string(clients),
+                           Measurement::Time(wall_ms), std::move(profile),
+                           {{"qps", qps}, {"p50_ms", p50}, {"p99_ms", p99}});
+    char qps_cell[32];
+    std::snprintf(qps_cell, sizeof(qps_cell), "%.1f", qps);
+    PrintRow(std::to_string(clients),
+             {qps_cell, FormatTime(Measurement::Time(p50)),
+              FormatTime(Measurement::Time(p99))},
+             10, 12);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("concurrent_qps", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

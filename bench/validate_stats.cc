@@ -57,6 +57,22 @@ bool ValidateEntry(const char* path, const JsonValue& e, size_t index) {
       return Fail(path, where + " \"profile\" does not match the "
                         "QueryProfile schema");
     }
+    // Counter completeness: the exporter must emit every counter the
+    // engine defines (StatsSnapshot::Items() is the single source of
+    // truth), so downstream tooling can rely on e.g. cache.evictions and
+    // cache.build_waits being present even when zero.
+    const JsonValue* counters = profile->Find("counters");
+    if (counters == nullptr || !counters->IsObject()) {
+      return Fail(path, where + " \"profile\" missing \"counters\" object");
+    }
+    for (const auto& [name, value] : StatsSnapshot{}.Items()) {
+      (void)value;
+      const JsonValue* c = counters->Find(name);
+      if (c == nullptr || !c->IsNumber()) {
+        return Fail(path, where + " profile counters missing \"" + name +
+                              "\"");
+      }
+    }
   }
   return true;
 }

@@ -125,6 +125,9 @@ Result<QueryResult> Engine::RunQuery(const std::string& sql,
       ExecutePlan(plan.value(), *catalog_, &trie_cache_, &timing, qobs.get());
   exec_span.End();
   query_span.End();
+  // Cache residency is a gauge, not an event counter: sample it after the
+  // query so the profile reports the bytes this engine's cache holds now.
+  qobs->stats.SetCacheBytes(trie_cache_.bytes());
   if (result.ok()) result.value().profile = qobs->Finish();
   return result;
 }

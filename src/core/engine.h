@@ -44,13 +44,32 @@ struct ExplainInfo {
   std::vector<Candidate> root_candidates;
 };
 
+/// Engine-lifetime configuration (per-query knobs live in QueryOptions).
+struct EngineOptions {
+  /// Trie-cache memory budget in bytes; 0 = unbounded. When set, least-
+  /// recently-used cached tries are evicted to stay under budget (tries a
+  /// running query still holds are never evicted mid-query).
+  size_t trie_cache_budget_bytes = 0;
+  /// Trie-cache lock shards (concurrent probes of different relations
+  /// contend per-shard, not globally).
+  int trie_cache_shards = 8;
+};
+
 /// A facade over parse/bind/plan/execute with a shared trie cache.
-/// Not thread-safe for concurrent Query calls (queries themselves use the
-/// global thread pool internally).
+///
+/// Thread-safe: concurrent Query / QueryAnalyze / Explain calls from any
+/// number of threads are supported. The trie cache is sharded and lock-
+/// protected with single-flight build deduplication, and EXPLAIN ANALYZE
+/// counters are collected per query through a thread-local hook the thread
+/// pool propagates to its workers, so overlapping queries never cross-
+/// attribute counters (DESIGN.md §11).
 class Engine {
  public:
   /// `catalog` must be finalized and outlive the engine.
-  explicit Engine(Catalog* catalog) : catalog_(catalog) {}
+  explicit Engine(Catalog* catalog, const EngineOptions& options = {})
+      : catalog_(catalog),
+        trie_cache_(TrieCache::Config{options.trie_cache_budget_bytes,
+                                      options.trie_cache_shards}) {}
 
   /// Runs one SELECT statement. Statements prefixed with EXPLAIN return the
   /// plan shape as a one-column ("QUERY PLAN") text result; EXPLAIN ANALYZE

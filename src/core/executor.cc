@@ -205,52 +205,65 @@ Result<BuiltRelation> BuildRelationTrie(
     timing->filter_ms += t.ElapsedMillis();
   }
 
-  if (!filtered && cache != nullptr) {
-    for (const std::string& sig : {signature, signature + "|rowid"}) {
-      if (std::shared_ptr<Trie> cached = cache->Get(sig)) {
-        out.trie = cached;
-        out.unique_keys = cached->num_tuples() == ref.table->num_rows();
-        span.SetDetail(ref.table->schema().name() + " [cached]");
-        span.AddMetric("tuples", static_cast<double>(cached->num_tuples()));
-        return out;
-      }
+  auto build_trie = [&]() -> Result<TrieCache::Built> {
+    std::string final_signature = signature;
+    Result<Trie> built = Trie::Build(spec);
+    std::vector<uint32_t> rowid;
+    if (!built.ok() &&
+        built.status().code() == StatusCode::kExecutionError) {
+      // Some referenced annotation is not functionally determined by the
+      // queried key attributes (e.g. a multi-relation aggregate argument
+      // over a relation whose key is projected out of the query). Re-key
+      // the trie with a surrogate row-id level so every base row keeps its
+      // identity; the extra level is aggregated over at execution like any
+      // other unjoined level.
+      rowid.resize(ref.table->num_rows());
+      for (uint32_t r = 0; r < rowid.size(); ++r) rowid[r] = r;
+      TrieBuildSpec retry = spec;
+      retry.key_codes.resize(num_query_levels);  // drop ablation extras
+      retry.domain_sizes.resize(num_query_levels);
+      retry.key_codes.push_back(&rowid);
+      retry.domain_sizes.push_back(static_cast<uint32_t>(rowid.size()));
+      final_signature += "|rowid";
+      built = Trie::Build(retry);
     }
-  }
+    if (!built.ok()) return built.status();
+    return TrieCache::Built{
+        std::move(final_signature),
+        std::make_shared<Trie>(std::move(built.value()))};
+  };
 
   WallTimer t;
-  Result<Trie> built = Trie::Build(spec);
-  std::vector<uint32_t> rowid;
-  if (!built.ok() &&
-      built.status().code() == StatusCode::kExecutionError) {
-    // Some referenced annotation is not functionally determined by the
-    // queried key attributes (e.g. a multi-relation aggregate argument over
-    // a relation whose key is projected out of the query). Re-key the trie
-    // with a surrogate row-id level so every base row keeps its identity;
-    // the extra level is aggregated over at execution like any other
-    // unjoined level.
-    rowid.resize(ref.table->num_rows());
-    for (uint32_t r = 0; r < rowid.size(); ++r) rowid[r] = r;
-    TrieBuildSpec retry = spec;
-    retry.key_codes.resize(num_query_levels);  // drop ablation extras
-    retry.domain_sizes.resize(num_query_levels);
-    retry.key_codes.push_back(&rowid);
-    retry.domain_sizes.push_back(static_cast<uint32_t>(rowid.size()));
-    signature += "|rowid";
-    built = Trie::Build(retry);
-  }
-  if (!built.ok()) return built.status();
-  const double ms = t.ElapsedMillis();
-  if (filtered) {
-    timing->filter_ms += ms;
+  TrieCache::Outcome how = TrieCache::Outcome::kBuilt;
+  if (!filtered && cache != nullptr) {
+    // Shared-cache path: probes both signature variants, and on a miss the
+    // single-flight protocol elects one builder across concurrent queries
+    // (others wait and reuse its trie).
+    LH_ASSIGN_OR_RETURN(
+        out.trie, cache->GetOrBuild({signature, signature + "|rowid"},
+                                    build_trie, &how));
   } else {
-    timing->index_build_ms += ms;
+    LH_ASSIGN_OR_RETURN(TrieCache::Built built, build_trie());
+    out.trie = std::move(built.trie);
   }
-  out.unique_keys = built.value().num_tuples() ==
+  if (how != TrieCache::Outcome::kHit) {
+    // Leader build time, or a follower's wait on the leader; cache hits
+    // stay out of the measured time (§VI-A index-creation exclusion).
+    const double ms = t.ElapsedMillis();
+    if (filtered) {
+      timing->filter_ms += ms;
+    } else {
+      timing->index_build_ms += ms;
+    }
+  }
+  out.unique_keys = out.trie->num_tuples() ==
                     (filtered ? selection.size() : ref.table->num_rows());
-  out.trie = std::make_shared<Trie>(std::move(built.value()));
-  if (!filtered && cache != nullptr) cache->Put(signature, out.trie);
+  const char* how_detail = how == TrieCache::Outcome::kHit ? " [cached]"
+                           : how == TrieCache::Outcome::kWaited
+                               ? " [waited]"
+                               : " [built]";
   span.SetDetail(ref.table->schema().name() +
-                 (filtered ? " [filtered]" : " [built]"));
+                 (filtered ? " [filtered]" : how_detail));
   span.AddMetric("tuples", static_cast<double>(out.trie->num_tuples()));
   return out;
 }

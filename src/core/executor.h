@@ -6,14 +6,9 @@
 #ifndef LEVELHEADED_CORE_EXECUTOR_H_
 #define LEVELHEADED_CORE_EXECUTOR_H_
 
-#include <atomic>
-#include <memory>
-#include <string>
-#include <unordered_map>
-
 #include "core/plan.h"
 #include "core/result.h"
-#include "obs/stats.h"
+#include "core/trie_cache.h"
 #include "storage/table.h"
 #include "storage/trie.h"
 #include "util/status.h"
@@ -24,44 +19,9 @@ namespace obs {
 struct QueryObs;
 }  // namespace obs
 
-/// Cache of unfiltered query tries ("index creation" in the paper's
-/// measurement protocol, built once per (table, key order, annotations)).
-///
-/// Hit/miss counts are per Get() probe: the executor probes up to two
-/// signatures per relation (plain, "|rowid"-widened), so one build can record
-/// two misses and one later reuse records one hit.
-class TrieCache {
- public:
-  std::shared_ptr<Trie> Get(const std::string& signature) const {
-    auto it = cache_.find(signature);
-    if (it == cache_.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::ExecStats* stats = obs::ActiveStats()) {
-        stats->CountTrieCacheMiss();
-      }
-      return nullptr;
-    }
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    if (obs::ExecStats* stats = obs::ActiveStats()) stats->CountTrieCacheHit();
-    return it->second;
-  }
-  void Put(const std::string& signature, std::shared_ptr<Trie> trie) {
-    cache_[signature] = std::move(trie);
-  }
-  void Clear() { cache_.clear(); }
-  size_t size() const { return cache_.size(); }
-
-  /// Lifetime probe counts (across all queries against this cache).
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-
- private:
-  std::unordered_map<std::string, std::shared_ptr<Trie>> cache_;
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
-};
-
-/// Executes a physical plan. `cache` may be nullptr (no trie reuse).
+/// Executes a physical plan. `cache` may be nullptr (no trie reuse); it is
+/// the engine's shared, thread-safe trie cache (core/trie_cache.h), so
+/// plans for different queries may execute concurrently.
 /// Timing fields filter_ms / exec_ms / index_build_ms are filled here.
 /// `qobs`, when non-null, receives tracing spans, per-node tuple counts, and
 /// coordinator-side counters (kernel counters flow through the global

@@ -2,33 +2,11 @@
 
 #include <cmath>
 
+#include "obs/stats.h"
 #include "util/date.h"
 #include "util/logging.h"
 
 namespace levelheaded {
-
-bool LikeMatcher::Matches(std::string_view text) const {
-  // Iterative wildcard matching with backtracking to the last '%'.
-  size_t t = 0, p = 0;
-  size_t star_p = std::string::npos, star_t = 0;
-  const std::string& pat = pattern_;
-  while (t < text.size()) {
-    if (p < pat.size() && (pat[p] == '_' || pat[p] == text[t])) {
-      ++p;
-      ++t;
-    } else if (p < pat.size() && pat[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (star_p != std::string::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
-  }
-  while (p < pat.size() && pat[p] == '%') ++p;
-  return p == pat.size();
-}
 
 bool IsStringExpr(const Expr& e, const CellAccessor& cells) {
   if (e.kind == Expr::Kind::kStringLiteral) return true;
@@ -156,6 +134,15 @@ bool EvalBool(const Expr& e, const CellAccessor& cells) {
     case Expr::Kind::kNot:
       return !EvalBool(*e.children[0], cells);
     case Expr::Kind::kLike: {
+      // Binder-compiled matcher (one per expression). The fallback below
+      // only runs for expressions that never went through the binder; it is
+      // counted so EXPLAIN ANALYZE exposes any per-tuple recompilation.
+      if (e.compiled_like != nullptr) {
+        return e.compiled_like->Matches(StringOf(*e.children[0], cells));
+      }
+      if (obs::ExecStats* stats = obs::ActiveStats()) {
+        stats->CountLikeCompile();
+      }
       LikeMatcher matcher(e.str_value);
       return matcher.Matches(StringOf(*e.children[0], cells));
     }
@@ -322,12 +309,16 @@ Result<RowFilter> RowFilter::Compile(
         e->children[0]->kind == Expr::Kind::kColumnRef) {
       const ColumnData& cd = table.column(e->children[0]->bound_col);
       if (cd.dict != nullptr && cd.dict->type() == ValueType::kString) {
-        LikeMatcher matcher(e->str_value);
+        // One matcher per Compile() — prefer the binder's precompiled one.
+        const std::shared_ptr<const LikeMatcher> matcher =
+            e->compiled_like != nullptr
+                ? e->compiled_like
+                : std::make_shared<const LikeMatcher>(e->str_value);
         pred.kind = Pred::Kind::kDictBitmap;
         pred.col = e->children[0]->bound_col;
         pred.bitmap.resize(cd.dict->size());
         for (uint32_t c = 0; c < cd.dict->size(); ++c) {
-          pred.bitmap[c] = matcher.Matches(cd.dict->DecodeString(c)) ? 1 : 0;
+          pred.bitmap[c] = matcher->Matches(cd.dict->DecodeString(c)) ? 1 : 0;
         }
         filter.preds_.push_back(std::move(pred));
         continue;

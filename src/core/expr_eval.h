@@ -13,19 +13,10 @@
 
 #include "sql/ast.h"
 #include "storage/table.h"
+#include "util/like_matcher.h"
 #include "util/status.h"
 
 namespace levelheaded {
-
-/// SQL LIKE with '%' (any run) and '_' (any one character).
-class LikeMatcher {
- public:
-  explicit LikeMatcher(std::string pattern) : pattern_(std::move(pattern)) {}
-  bool Matches(std::string_view text) const;
-
- private:
-  std::string pattern_;
-};
 
 /// Cell access for the generic evaluator. Implementations resolve a bound
 /// column reference (relation, column) in their own context: a table row,

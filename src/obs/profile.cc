@@ -211,7 +211,12 @@ bool QueryProfile::FromJson(const JsonValue& value, QueryProfile* out) {
   counter("trie.nodes_visited", &out->counters.trie_nodes_visited);
   counter("trie.cache_hits", &out->counters.trie_cache_hits);
   counter("trie.cache_misses", &out->counters.trie_cache_misses);
+  counter("trie.cache_probes", &out->counters.trie_cache_probes);
   counter("trie.built", &out->counters.tries_built);
+  counter("cache.bytes", &out->counters.cache_bytes);
+  counter("cache.evictions", &out->counters.cache_evictions);
+  counter("cache.build_waits", &out->counters.cache_build_waits);
+  counter("expr.like_compiles", &out->counters.expr_like_compiles);
   counter("exec.tuples_emitted", &out->counters.tuples_emitted);
   counter("exec.skew_splits", &out->counters.exec_skew_splits);
   counter("pool.chunks", &out->counters.thread_pool_chunks);

@@ -3,19 +3,21 @@
 namespace levelheaded::obs {
 
 namespace {
-std::atomic<ExecStats*> g_active_stats{nullptr};
+// Per-thread hook: concurrent queries each point their own thread (and, via
+// the thread pool's task/job capture, the workers executing on their
+// behalf) at their own counter block. A process-global pointer here was the
+// PR-4 cross-talk bug: two overlapping queries would exchange/restore one
+// shared slot and misattribute every worker increment.
+thread_local ExecStats* t_active_stats = nullptr;
 }  // namespace
 
-ExecStats* ActiveStats() {
-  return g_active_stats.load(std::memory_order_relaxed);
+ExecStats* ActiveStats() { return t_active_stats; }
+
+StatsScope::StatsScope(ExecStats* stats) : previous_(t_active_stats) {
+  t_active_stats = stats;
 }
 
-StatsScope::StatsScope(ExecStats* stats)
-    : previous_(g_active_stats.exchange(stats, std::memory_order_relaxed)) {}
-
-StatsScope::~StatsScope() {
-  g_active_stats.store(previous_, std::memory_order_relaxed);
-}
+StatsScope::~StatsScope() { t_active_stats = previous_; }
 
 StatsSnapshot ExecStats::Snapshot() const {
   StatsSnapshot s;
@@ -28,7 +30,12 @@ StatsSnapshot ExecStats::Snapshot() const {
   s.tuples_emitted = tuples_emitted_.load(std::memory_order_relaxed);
   s.trie_cache_hits = trie_cache_hits_.load(std::memory_order_relaxed);
   s.trie_cache_misses = trie_cache_misses_.load(std::memory_order_relaxed);
+  s.trie_cache_probes = trie_cache_probes_.load(std::memory_order_relaxed);
   s.tries_built = tries_built_.load(std::memory_order_relaxed);
+  s.cache_bytes = cache_bytes_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+  s.cache_build_waits = cache_build_waits_.load(std::memory_order_relaxed);
+  s.expr_like_compiles = expr_like_compiles_.load(std::memory_order_relaxed);
   s.thread_pool_chunks = thread_pool_chunks_.load(std::memory_order_relaxed);
   s.pool_tasks_spawned = pool_tasks_spawned_.load(std::memory_order_relaxed);
   s.pool_task_steals = pool_task_steals_.load(std::memory_order_relaxed);
@@ -43,7 +50,12 @@ void ExecStats::Reset() {
   tuples_emitted_.store(0, std::memory_order_relaxed);
   trie_cache_hits_.store(0, std::memory_order_relaxed);
   trie_cache_misses_.store(0, std::memory_order_relaxed);
+  trie_cache_probes_.store(0, std::memory_order_relaxed);
   tries_built_.store(0, std::memory_order_relaxed);
+  cache_bytes_.store(0, std::memory_order_relaxed);
+  cache_evictions_.store(0, std::memory_order_relaxed);
+  cache_build_waits_.store(0, std::memory_order_relaxed);
+  expr_like_compiles_.store(0, std::memory_order_relaxed);
   thread_pool_chunks_.store(0, std::memory_order_relaxed);
   pool_tasks_spawned_.store(0, std::memory_order_relaxed);
   pool_task_steals_.store(0, std::memory_order_relaxed);
@@ -59,7 +71,12 @@ std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {
       {"trie.nodes_visited", trie_nodes_visited},
       {"trie.cache_hits", trie_cache_hits},
       {"trie.cache_misses", trie_cache_misses},
+      {"trie.cache_probes", trie_cache_probes},
       {"trie.built", tries_built},
+      {"cache.bytes", cache_bytes},
+      {"cache.evictions", cache_evictions},
+      {"cache.build_waits", cache_build_waits},
+      {"expr.like_compiles", expr_like_compiles},
       {"exec.tuples_emitted", tuples_emitted},
       {"exec.skew_splits", exec_skew_splits},
       {"pool.chunks", thread_pool_chunks},

@@ -7,11 +7,13 @@
 //
 // Collection is off by default. Instrumentation sites in the hot kernels
 // (set/intersect.cc, storage/trie.cc, util/thread_pool.cc) go through
-// ActiveStats(): one relaxed atomic load and a branch when disabled —
+// ActiveStats(): one thread-local load and a branch when disabled —
 // measured < 2% on the Figure 5a intersection microbenchmark. While a
 // query runs with QueryOptions::collect_stats, a StatsScope points the
-// hook at that query's ExecStats block; counters are atomic so thread-pool
-// workers can increment concurrently.
+// calling thread's hook at that query's ExecStats block; the thread pool
+// captures the submitter's hook with each task/job and re-installs it on
+// the worker, so concurrent queries never cross-attribute counters.
+// Counters are atomic so pool workers can increment concurrently.
 
 #ifndef LEVELHEADED_OBS_STATS_H_
 #define LEVELHEADED_OBS_STATS_H_
@@ -41,9 +43,25 @@ struct StatsSnapshot {
   uint64_t intersect_result_values = 0;
   uint64_t trie_nodes_visited = 0;
   uint64_t tuples_emitted = 0;
+  /// Logical cache lookups: one per relation probe, regardless of how many
+  /// signature variants the probe tried (see trie_cache_probes).
   uint64_t trie_cache_hits = 0;
   uint64_t trie_cache_misses = 0;
+  /// Raw signature probes. A lookup tries up to two signatures (plain and
+  /// "|rowid"-widened), so probes >= hits + misses.
+  uint64_t trie_cache_probes = 0;
   uint64_t tries_built = 0;
+  /// Trie-cache resident bytes after the query (gauge, not a counter).
+  uint64_t cache_bytes = 0;
+  /// Entries this query's inserts pushed out of the budgeted cache.
+  uint64_t cache_evictions = 0;
+  /// Lookups that waited on another query's in-flight build of the same
+  /// signature (single-flight deduplication) instead of building.
+  uint64_t cache_build_waits = 0;
+  /// LIKE matchers compiled during per-row evaluation — the binder
+  /// precompiles one matcher per expression, so this stays 0 for engine
+  /// queries; nonzero means a pattern was recompiled per tuple.
+  uint64_t expr_like_compiles = 0;
   uint64_t thread_pool_chunks = 0;
   /// Tasks enqueued through ThreadPool::Submit (skew splits, trie build).
   uint64_t pool_tasks_spawned = 0;
@@ -86,7 +104,22 @@ class ExecStats {
   void CountTrieCacheMiss() {
     trie_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountTrieCacheProbe(uint64_t n = 1) {
+    trie_cache_probes_.fetch_add(n, std::memory_order_relaxed);
+  }
   void CountTrieBuilt() { tries_built_.fetch_add(1, std::memory_order_relaxed); }
+  void SetCacheBytes(uint64_t bytes) {
+    cache_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  void CountCacheEviction(uint64_t n = 1) {
+    cache_evictions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountCacheBuildWait() {
+    cache_build_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountLikeCompile() {
+    expr_like_compiles_.fetch_add(1, std::memory_order_relaxed);
+  }
   void CountThreadPoolChunk(uint64_t n = 1) {
     thread_pool_chunks_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -110,20 +143,29 @@ class ExecStats {
   std::atomic<uint64_t> tuples_emitted_{0};
   std::atomic<uint64_t> trie_cache_hits_{0};
   std::atomic<uint64_t> trie_cache_misses_{0};
+  std::atomic<uint64_t> trie_cache_probes_{0};
   std::atomic<uint64_t> tries_built_{0};
+  std::atomic<uint64_t> cache_bytes_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> cache_build_waits_{0};
+  std::atomic<uint64_t> expr_like_compiles_{0};
   std::atomic<uint64_t> thread_pool_chunks_{0};
   std::atomic<uint64_t> pool_tasks_spawned_{0};
   std::atomic<uint64_t> pool_task_steals_{0};
   std::atomic<uint64_t> exec_skew_splits_{0};
 };
 
-/// The currently collecting counter block, or null when collection is off.
-/// Hot kernels check this before every increment.
+/// The counter block the *calling thread* is collecting into, or null when
+/// collection is off. Hot kernels check this before every increment. The
+/// hook is thread-local: each concurrent query sees only its own block, and
+/// the thread pool re-installs the submitting query's hook on whichever
+/// worker runs its tasks (util/thread_pool.cc).
 ExecStats* ActiveStats();
 
-/// RAII activation of a counter block. The engine serializes queries, so a
-/// single process-wide hook suffices; scopes nest by restoring the previous
-/// hook on destruction.
+/// RAII activation of a counter block on the current thread. Scopes nest by
+/// restoring the previous hook on destruction; because the hook is
+/// thread-local, concurrent queries on different threads never clobber each
+/// other's scope.
 class StatsScope {
  public:
   explicit StatsScope(ExecStats* stats);

@@ -64,6 +64,7 @@ ExprPtr Expr::Clone() const {
   out->slot_index = slot_index;
   out->bound_rel = bound_rel;
   out->bound_col = bound_col;
+  out->compiled_like = compiled_like;  // shared, immutable after binding
   out->children.reserve(children.size());
   for (const ExprPtr& c : children) {
     out->children.push_back(c == nullptr ? nullptr : c->Clone());

@@ -13,6 +13,8 @@
 
 namespace levelheaded {
 
+class LikeMatcher;
+
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
@@ -75,6 +77,11 @@ struct Expr {
   // --- binder annotations (set on kColumnRef after binding) ---
   int bound_rel = -1;  ///< index into LogicalQuery::relations
   int bound_col = -1;  ///< column index in that relation's table schema
+
+  /// kLike: matcher compiled once by the binder from str_value. Immutable
+  /// after binding and shared across clones, so concurrent per-row
+  /// evaluation never recompiles the pattern (the pre-fix hot-path bug).
+  std::shared_ptr<const LikeMatcher> compiled_like;
 
   explicit Expr(Kind k) : kind(k) {}
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 
+#include "util/like_matcher.h"
 #include "util/logging.h"
 
 namespace levelheaded {
@@ -205,6 +207,11 @@ class Binder {
       e->bound_rel = key.rel;
       e->bound_col = key.col;
       return Status::OK();
+    }
+    if (e->kind == Expr::Kind::kLike && e->compiled_like == nullptr) {
+      // Compile the LIKE pattern once per expression; evaluation reuses the
+      // shared matcher instead of rebuilding it per tuple.
+      e->compiled_like = std::make_shared<const LikeMatcher>(e->str_value);
     }
     if (e->kind == Expr::Kind::kBinary &&
         (e->bin_op == BinOp::kAdd || e->bin_op == BinOp::kSub)) {

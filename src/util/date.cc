@@ -34,6 +34,18 @@ CivilDate CivilFromDays(int32_t days) {
 
 int32_t YearOfDays(int32_t days) { return CivilFromDays(days).year; }
 
+bool IsLeapYear(int32_t year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int32_t DaysInMonth(int32_t year, int32_t month) {
+  static constexpr int32_t kDays[12] = {31, 28, 31, 30, 31, 30,
+                                        31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
 Result<int32_t> ParseDate(std::string_view text) {
   int year = 0, month = 0, day = 0;
   if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
@@ -54,7 +66,10 @@ Result<int32_t> ParseDate(std::string_view text) {
     return Status::ParseError("malformed date literal: '" +
                               std::string(text) + "'");
   }
-  if (month < 1 || month > 12 || day < 1 || day > 31) {
+  // Validate the day against the actual month length (leap years included)
+  // so impossible dates like 1999-02-30 or 2023-04-31 are rejected instead
+  // of silently wrapping into the next month.
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month)) {
     return Status::ParseError("date out of range: '" + std::string(text) +
                               "'");
   }

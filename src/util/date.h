@@ -29,6 +29,14 @@ CivilDate CivilFromDays(int32_t days);
 /// Extracts the calendar year of a days-since-epoch value.
 int32_t YearOfDays(int32_t days);
 
+/// Gregorian leap-year rule (divisible by 4, except centuries not
+/// divisible by 400).
+bool IsLeapYear(int32_t year);
+
+/// Number of days in `month` of `year` (29 for February in leap years);
+/// 0 for an out-of-range month.
+int32_t DaysInMonth(int32_t year, int32_t month);
+
 /// Parses "YYYY-MM-DD" into days since epoch.
 [[nodiscard]] Result<int32_t> ParseDate(std::string_view text);
 

@@ -1,0 +1,28 @@
+#include "util/like_matcher.h"
+
+namespace levelheaded {
+
+bool LikeMatcher::Matches(std::string_view text) const {
+  // Iterative wildcard matching with backtracking to the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  const std::string& pat = pattern_;
+  while (t < text.size()) {
+    if (p < pat.size() && (pat[p] == '_' || pat[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pat.size() && pat[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '%') ++p;
+  return p == pat.size();
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,31 @@
+// SQL LIKE pattern matching, shared by the binder (which precompiles one
+// matcher per LIKE expression) and the expression evaluator / row filter
+// (which reuse that compiled matcher on the per-tuple path).
+
+#ifndef LEVELHEADED_UTIL_LIKE_MATCHER_H_
+#define LEVELHEADED_UTIL_LIKE_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace levelheaded {
+
+/// SQL LIKE with '%' (any run) and '_' (any one character).
+///
+/// Construction is the "compile" step; Matches() is const and safe to call
+/// concurrently from parallel scan workers on one shared instance.
+class LikeMatcher {
+ public:
+  explicit LikeMatcher(std::string pattern) : pattern_(std::move(pattern)) {}
+  bool Matches(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_LIKE_MATCHER_H_

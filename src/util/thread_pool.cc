@@ -25,7 +25,7 @@ thread_local int t_worker_slot = -1;
 // local still destroys the final pool at process exit, keeping the clean
 // sanitizer shutdown from the singleton design.
 std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
-  static std::unique_ptr<ThreadPool> pool;
+  static std::unique_ptr<ThreadPool> pool;  // lint: allow(global-state)
   return pool;
 }
 
@@ -100,13 +100,17 @@ void ThreadPool::RunTask(Task& task, int slot) {
   // regions that are themselves parallel.
   const bool saved_region = t_in_parallel_region;
   t_in_parallel_region = true;
-  task.fn();
-  t_in_parallel_region = saved_region;
-  if (slot != task.submitter_slot) {
-    if (obs::ExecStats* stats = obs::ActiveStats()) {
-      stats->CountTaskStolen(1);
+  {
+    // Install the *submitting* query's stats hook for the duration of the
+    // task: a thread helping on TaskGroup::Wait may run another query's
+    // task, and its increments must land in that query's counters.
+    obs::StatsScope stats_scope(task.stats);
+    task.fn();
+    if (slot != task.submitter_slot && task.stats != nullptr) {
+      task.stats->CountTaskStolen(1);
     }
   }
+  t_in_parallel_region = saved_region;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (--task.group->pending_ == 0) task_cv_.notify_all();
@@ -116,15 +120,14 @@ void ThreadPool::RunTask(Task& task, int slot) {
 void ThreadPool::Submit(TaskGroup* group, std::function<void()> fn) {
   LH_DCHECK(group->pool_ == this);
   const int submitter = t_worker_slot >= 0 ? t_worker_slot : num_threads();
+  obs::ExecStats* stats = obs::ActiveStats();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++group->pending_;
-    tasks_.push_back(Task{std::move(fn), group, submitter});
+    tasks_.push_back(Task{std::move(fn), group, submitter, stats});
   }
   wake_cv_.notify_one();
-  if (obs::ExecStats* stats = obs::ActiveStats()) {
-    stats->CountTaskSpawned(1);
-  }
+  if (stats != nullptr) stats->CountTaskSpawned(1);
 }
 
 ThreadPool::TaskGroup::~TaskGroup() {
@@ -155,19 +158,23 @@ void ThreadPool::RunJobSlice(ParallelJob* job, int slot) {
   const int64_t grain = job->grain;
   t_in_parallel_region = true;
   uint64_t chunks = 0;
-  while (true) {
-    int64_t start = job->next.fetch_add(grain, std::memory_order_relaxed);
-    if (start >= job->end) break;
-    int64_t stop = std::min(start + grain, job->end);
-    (*job->fn)(slot, start, stop);
-    ++chunks;
-  }
-  t_in_parallel_region = false;
-  if (chunks > 0) {
-    if (obs::ExecStats* stats = obs::ActiveStats()) {
-      stats->CountThreadPoolChunk(chunks);
+  {
+    // Run chunks under the driving query's stats hook so worker-side kernel
+    // counters attribute to the query that issued the ParallelChunks, not to
+    // whatever the worker thread last collected for.
+    obs::StatsScope stats_scope(job->stats);
+    while (true) {
+      int64_t start = job->next.fetch_add(grain, std::memory_order_relaxed);
+      if (start >= job->end) break;
+      int64_t stop = std::min(start + grain, job->end);
+      (*job->fn)(slot, start, stop);
+      ++chunks;
+    }
+    if (chunks > 0 && job->stats != nullptr) {
+      job->stats->CountThreadPoolChunk(chunks);
     }
   }
+  t_in_parallel_region = false;
 }
 
 void ThreadPool::ParallelChunks(
@@ -191,6 +198,7 @@ void ThreadPool::ParallelChunks(
   job.end = end;
   job.grain = grain;
   job.fn = &fn;
+  job.stats = obs::ActiveStats();
 
   {
     std::lock_guard<std::mutex> lock(mu_);

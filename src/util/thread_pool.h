@@ -18,6 +18,10 @@
 
 namespace levelheaded {
 
+namespace obs {
+class ExecStats;
+}  // namespace obs
+
 /// Shared grain heuristic for every parallel loop in the engine. Targets a
 /// fixed number of chunks so chunk boundaries — which are also the merge
 /// boundaries for floating-point partials — depend only on the input
@@ -104,6 +108,11 @@ class ThreadPool {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
     int submitter_slot = -1;
+    /// The submitting query's stats hook, captured at Submit() time and
+    /// re-installed (via StatsScope) on whichever thread runs the task, so
+    /// counters land in the right query even when a helping thread runs a
+    /// task from another query.
+    obs::ExecStats* stats = nullptr;
   };
 
   void WorkerLoop(int slot);
@@ -115,6 +124,8 @@ class ThreadPool {
     int64_t grain = 1;
     const std::function<void(int, int64_t, int64_t)>* fn = nullptr;
     std::atomic<int> active_workers{0};
+    /// Driving query's stats hook (see Task::stats).
+    obs::ExecStats* stats = nullptr;
   };
 
   void RunJobSlice(ParallelJob* job, int slot);

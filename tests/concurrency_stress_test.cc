@@ -1,25 +1,37 @@
 // Concurrency stress suite — the TSan leg's main workload (labelled
 // `concurrency` in tests/CMakeLists.txt; `ctest --preset tsan` runs it).
 //
-// Each test hammers one shared-state surface the engine relies on during
-// parallel WCOJ execution: the global thread pool (concurrent ParallelFor /
+// Each test hammers one shared-state surface the engine relies on under
+// concurrent queries: the global thread pool (concurrent ParallelFor /
 // ParallelChunks drivers, pool construction/teardown churn), the atomic
-// ExecStats counter block incremented by all workers, the process-wide
-// ActiveStats() hook, the Trace span collector, and the TrieCache probe
-// counters. Sizes are small (the point is interleavings, not throughput) so
-// the suite stays inside the tier-1 budget even under TSan.
+// ExecStats counter block incremented by all workers, the thread-local
+// ActiveStats() hook and its propagation into pool workers, the Trace span
+// collector, the sharded TrieCache (logical hit/miss accounting,
+// single-flight build dedup, budget eviction), and whole-Engine concurrent
+// Query/QueryAnalyze callers. Sizes are small (the point is interleavings,
+// not throughput) so the suite stays inside the tier-1 budget even under
+// TSan.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <latch>
 #include <memory>
+#include <set>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/engine.h"
 #include "core/executor.h"
+#include "obs/profile.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "storage/table.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace levelheaded {
@@ -104,8 +116,9 @@ TEST(ExecStatsStressTest, ConcurrentCountersAggregateExactly) {
 }
 
 TEST(ExecStatsStressTest, ActiveStatsHookVisibleToPoolWorkers) {
-  // The engine publishes the hook before fanning work out; every worker
-  // increment must land in the hooked block.
+  // The engine publishes the hook before fanning work out; pool tasks must
+  // inherit the submitting thread's hook (it is thread-local now, so
+  // propagation is explicit via ThreadPool::Submit / ParallelChunks).
   obs::ExecStats stats;
   obs::StatsScope scope(&stats);
   ThreadPool::Global().ParallelFor(0, 3000, 5, [](int, int64_t) {
@@ -114,6 +127,32 @@ TEST(ExecStatsStressTest, ActiveStatsHookVisibleToPoolWorkers) {
     }
   });
   EXPECT_EQ(stats.Snapshot().intersect_bitset_bitset, 3000u);
+}
+
+TEST(ExecStatsStressTest, ConcurrentHooksStayIsolated) {
+  // Two caller threads, two stats blocks, one shared pool: every increment
+  // must land in the caller's own block even when workers interleave tasks
+  // from both jobs.
+  constexpr int kCallers = 4;
+  constexpr int64_t kN = 4000;
+  std::vector<obs::ExecStats> stats(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &stats] {
+      obs::StatsScope scope(&stats[c]);
+      ThreadPool::Global().ParallelFor(0, kN, 7, [](int, int64_t) {
+        if (obs::ExecStats* s = obs::ActiveStats()) {
+          s->CountTuplesEmitted(1);
+        }
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(stats[c].Snapshot().tuples_emitted, static_cast<uint64_t>(kN))
+        << "caller " << c;
+  }
 }
 
 TEST(TraceStressTest, ConcurrentOpenCloseKeepsEverySpan) {
@@ -139,12 +178,34 @@ TEST(TraceStressTest, ConcurrentOpenCloseKeepsEverySpan) {
   }
 }
 
-TEST(TrieCacheStressTest, ProbeCountersSurviveConcurrentReaders) {
-  // Get() is const and may run while pool workers also probe ActiveStats();
-  // the hit/miss tallies are atomics and must add up. (Mutation of the
-  // cache map itself is coordinator-only by contract.)
+// --- TrieCache -------------------------------------------------------------
+
+/// Builds a small real two-level trie (the cache charges Trie::MemoryBytes,
+/// so entries must be actual tries, not nulls).
+std::shared_ptr<Trie> MakeTrie(uint32_t salt = 0, size_t tuples = 8) {
+  std::vector<uint32_t> a(tuples), b(tuples);
+  std::vector<double> w(tuples);
+  for (size_t i = 0; i < tuples; ++i) {
+    a[i] = static_cast<uint32_t>(i / 2 + salt);
+    b[i] = static_cast<uint32_t>(i + salt);
+    w[i] = static_cast<double>(i);
+  }
+  TrieBuildSpec spec;
+  spec.key_codes = {&a, &b};
+  TrieAnnotationSpec ann;
+  ann.name = "w";
+  ann.type = ValueType::kDouble;
+  ann.merge = AnnotationMerge::kSum;
+  ann.reals = &w;
+  spec.annotations.push_back(ann);
+  return std::make_shared<Trie>(Trie::Build(spec).ValueOrDie());
+}
+
+TEST(TrieCacheStressTest, LogicalCountersSurviveConcurrentReaders) {
+  // Get() may run from many query threads at once; the logical hit/miss
+  // tallies (one per lookup) and the raw probe count must add up exactly.
   TrieCache cache;
-  cache.Put("sig", nullptr);
+  cache.Put("sig", MakeTrie());
   constexpr int kThreads = 6;
   constexpr int kPerThread = 2000;
   std::vector<std::thread> threads;
@@ -160,6 +221,329 @@ TEST(TrieCacheStressTest, ProbeCountersSurviveConcurrentReaders) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(cache.misses(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(cache.probes(), 2u * kThreads * kPerThread);
+}
+
+TEST(TrieCacheStressTest, SingleFlightBuildsOncePerSignature) {
+  // N concurrent misses on one signature elect exactly one builder; the
+  // rest wait and reuse its trie. With four distinct signatures hit by two
+  // threads each, exactly four builds run in total.
+  TrieCache cache;
+  constexpr int kSignatures = 4;
+  constexpr int kThreadsPerSig = 4;
+  std::latch start(kSignatures * kThreadsPerSig);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int s = 0; s < kSignatures; ++s) {
+    for (int t = 0; t < kThreadsPerSig; ++t) {
+      threads.emplace_back([s, &cache, &start, &failures] {
+        const std::string sig = "sig" + std::to_string(s);
+        auto build = [s, &sig]() -> Result<TrieCache::Built> {
+          // Widen the race window so followers really do overlap the build.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          return TrieCache::Built{sig, MakeTrie(static_cast<uint32_t>(s))};
+        };
+        start.arrive_and_wait();
+        auto trie = cache.GetOrBuild({sig}, build);
+        if (!trie.ok() || trie.value() == nullptr ||
+            trie.value()->num_tuples() == 0) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The dedup invariant: however the threads interleave, each signature is
+  // built exactly once. (Exact miss/wait splits are timing-dependent — a
+  // thread scheduled after the leader finishes just hits.)
+  EXPECT_EQ(cache.builds(), static_cast<uint64_t>(kSignatures));
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kSignatures));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kSignatures) * kThreadsPerSig);
+  EXPECT_GE(cache.misses(), static_cast<uint64_t>(kSignatures));
+}
+
+TEST(TrieCacheStressTest, BudgetEvictionSkipsInUseTries) {
+  std::shared_ptr<Trie> probe_trie = MakeTrie();
+  const size_t one = probe_trie->MemoryBytes();
+  // Room for ~2 resident tries.
+  TrieCache cache(TrieCache::Config{2 * one + one / 2, 4});
+  cache.Put("keep", MakeTrie());
+  std::shared_ptr<Trie> held = cache.Get("keep");
+  ASSERT_NE(held, nullptr);
+
+  // Flood the cache well past its budget. "keep" has an external holder
+  // (use_count > 1) and must survive every eviction sweep.
+  for (int i = 0; i < 6; ++i) {
+    cache.Put("x" + std::to_string(i), MakeTrie(static_cast<uint32_t>(i)));
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_EQ(cache.Get("keep").get(), held.get());
+
+  // Once the query lets go, the entry becomes evictable again and the
+  // budget is enforceable.
+  held.reset();
+  for (int i = 6; i < 12; ++i) {
+    cache.Put("x" + std::to_string(i), MakeTrie(static_cast<uint32_t>(i)));
+  }
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+}
+
+TEST(TrieCacheStressTest, BudgetThrashUnderConcurrentLoadStaysSafe) {
+  // Tiny budget + many signatures: constant eviction while other threads
+  // hold and read the tries they were handed. TSan verifies no trie is
+  // freed out from under a reader; the invariant check is that every
+  // returned trie is intact.
+  std::shared_ptr<Trie> probe_trie = MakeTrie();
+  TrieCache cache(TrieCache::Config{2 * probe_trie->MemoryBytes(), 2});
+  constexpr int kThreads = 4;
+  constexpr int kIters = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &failures] {
+      Rng rng(1234u + static_cast<uint32_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        const uint32_t which = static_cast<uint32_t>(rng.Uniform(8));
+        const std::string sig = "s" + std::to_string(which);
+        auto build = [which, &sig]() -> Result<TrieCache::Built> {
+          return TrieCache::Built{sig, MakeTrie(which)};
+        };
+        auto trie = cache.GetOrBuild({sig}, build);
+        if (!trie.ok() || trie.value() == nullptr) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Read through the trie while eviction churns around it.
+        if (trie.value()->num_tuples() == 0 ||
+            trie.value()->root().ToVector().empty()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Whole-engine concurrency ---------------------------------------------
+
+/// Mixed-workload fixture: a small graph plus a customer/nation star, one
+/// Engine shared by all test threads (the thread-safety contract under
+/// test; see DESIGN.md §11).
+class EngineConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20260807);
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "edge",
+                         {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                          ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                          ColumnSpec::Annotation("w", ValueType::kDouble)}))
+                     .ValueOrDie();
+      std::set<std::pair<int, int>> seen;
+      while (seen.size() < 40) {
+        int a = static_cast<int>(rng.Uniform(12));
+        int b = static_cast<int>(rng.Uniform(12));
+        if (a == b || !seen.insert({a, b}).second) continue;
+        ASSERT_TRUE(t->AppendRow({Value::Int(a), Value::Int(b),
+                                  Value::Real(rng.UniformDouble(0, 2))})
+                        .ok());
+      }
+    }
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "nation",
+                         {ColumnSpec::Key("n_nationkey", ValueType::kInt64,
+                                          "nationkey"),
+                          ColumnSpec::Annotation("n_name",
+                                                 ValueType::kString)}))
+                     .ValueOrDie();
+      const char* names[] = {"ALGERIA", "BRAZIL", "CHINA", "DENMARK"};
+      for (int n = 0; n < 4; ++n) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(n), Value::Str(names[n])}).ok());
+      }
+    }
+    {
+      Table* t = catalog_
+                     .CreateTable(TableSchema(
+                         "customer",
+                         {ColumnSpec::Key("c_custkey", ValueType::kInt64,
+                                          "custkey"),
+                          ColumnSpec::Key("c_nationkey", ValueType::kInt64,
+                                          "nationkey"),
+                          ColumnSpec::Annotation("c_acctbal",
+                                                 ValueType::kDouble),
+                          ColumnSpec::Annotation("c_mktsegment",
+                                                 ValueType::kString)}))
+                     .ValueOrDie();
+      const char* segs[] = {"BUILDING", "MACHINERY", "AUTOMOBILE"};
+      for (int c = 0; c < 24; ++c) {
+        ASSERT_TRUE(t->AppendRow({Value::Int(c),
+                                  Value::Int(static_cast<int>(rng.Uniform(4))),
+                                  Value::Real(rng.UniformDouble(-100, 1000)),
+                                  Value::Str(segs[rng.Uniform(3)])})
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+    engine_ = std::make_unique<Engine>(&catalog_);
+  }
+
+  static std::vector<std::string> MixedQueries() {
+    return {
+        "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+        "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+        "SELECT n_name, sum(c_acctbal) FROM customer, nation "
+        "WHERE c_nationkey = n_nationkey GROUP BY n_name",
+        "SELECT count(*) FROM customer WHERE c_mktsegment LIKE 'B%'",
+        "SELECT count(*) FROM edge e1, edge e2 WHERE e1.dst = e2.src",
+    };
+  }
+
+  static std::string Canonical(QueryResult result) {
+    result.SortRows();
+    return result.ToString(1u << 20);
+  }
+
+  /// The counters whose values are a function of the query alone (not of
+  /// scheduling): kernel/tuple work and — with a prewarmed cache — the
+  /// cache interaction. pool.* and steal counts depend on the scheduler
+  /// and are deliberately excluded.
+  static std::vector<std::pair<std::string, uint64_t>> DeterministicCounters(
+      const obs::StatsSnapshot& c) {
+    return {
+        {"intersect.uint_uint", c.intersect_uint_uint},
+        {"intersect.uint_bitset", c.intersect_uint_bitset},
+        {"intersect.bitset_bitset", c.intersect_bitset_bitset},
+        {"intersect.result_values", c.intersect_result_values},
+        {"trie.nodes_visited", c.trie_nodes_visited},
+        {"exec.tuples_emitted", c.tuples_emitted},
+        {"exec.skew_splits", c.exec_skew_splits},
+        {"trie.built", c.tries_built},
+        {"trie.cache_hits", c.trie_cache_hits},
+        {"trie.cache_misses", c.trie_cache_misses},
+        {"cache.evictions", c.cache_evictions},
+        {"expr.like_compiles", c.expr_like_compiles},
+    };
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineConcurrencyTest, EightCallersMatchSerialBitForBit) {
+  const std::vector<std::string> queries = MixedQueries();
+
+  // Serial pass: prewarm the trie cache, then record per-query baselines
+  // (sorted result text + deterministic counters).
+  for (const std::string& sql : queries) {
+    ASSERT_TRUE(engine_->Query(sql).ok()) << sql;
+  }
+  std::vector<std::string> baseline_text;
+  std::vector<obs::StatsSnapshot> baseline_counters;
+  for (const std::string& sql : queries) {
+    auto r = engine_->QueryAnalyze(sql);
+    ASSERT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    ASSERT_NE(r.value().profile, nullptr);
+    baseline_counters.push_back(r.value().profile->counters);
+    baseline_text.push_back(Canonical(std::move(r.value())));
+    // Warm cache: every relation hits, nothing is built or missed.
+    EXPECT_EQ(baseline_counters.back().trie_cache_misses, 0u) << sql;
+    EXPECT_EQ(baseline_counters.back().tries_built, 0u) << sql;
+  }
+
+  // Concurrent pass: 8 threads, each running the whole mix (rotated so
+  // different queries overlap), recording result text and counters.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  const size_t kQ = queries.size();
+  std::vector<std::vector<std::string>> got_text(kThreads);
+  std::vector<std::vector<obs::StatsSnapshot>> got_counters(kThreads);
+  std::vector<std::vector<size_t>> got_query(kThreads);
+  std::atomic<int> failures{0};
+  std::latch start(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, kQ, &queries, &got_text, &got_counters,
+                          &got_query, &failures, &start, this] {
+      start.arrive_and_wait();
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < kQ; ++q) {
+          const size_t idx = (q + static_cast<size_t>(t)) % kQ;
+          auto r = engine_->QueryAnalyze(queries[idx]);
+          if (!r.ok() || r.value().profile == nullptr) {
+            failures.fetch_add(1);
+            continue;
+          }
+          got_query[t].push_back(idx);
+          got_counters[t].push_back(r.value().profile->counters);
+          got_text[t].push_back(Canonical(std::move(r.value())));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Every concurrent execution must be bit-identical to its serial
+  // baseline, and its per-query counters must match exactly — proof that
+  // results and EXPLAIN ANALYZE accounting are isolated per caller.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got_text[t].size(), static_cast<size_t>(kRounds) * kQ);
+    for (size_t i = 0; i < got_text[t].size(); ++i) {
+      const size_t idx = got_query[t][i];
+      EXPECT_EQ(got_text[t][i], baseline_text[idx])
+          << "thread " << t << " run " << i << " query " << idx;
+      const auto want = DeterministicCounters(baseline_counters[idx]);
+      const auto have = DeterministicCounters(got_counters[t][i]);
+      for (size_t k = 0; k < want.size(); ++k) {
+        EXPECT_EQ(have[k].second, want[k].second)
+            << "thread " << t << " query " << idx << " counter "
+            << want[k].first;
+      }
+    }
+  }
+}
+
+TEST_F(EngineConcurrencyTest, ColdCacheConcurrentStartBuildsEachTrieOnce) {
+  // All callers start on a cold cache: single-flight must collapse the
+  // concurrent builds so each distinct relation signature is built once
+  // engine-wide, and every caller still gets correct results.
+  const std::string sql = MixedQueries()[1];  // customer ⋈ nation group-by
+  auto serial = engine_->Query(sql);
+  ASSERT_TRUE(serial.ok());
+  const std::string expected = Canonical(std::move(serial.value()));
+  const uint64_t builds_after_serial = engine_->trie_cache()->builds();
+  engine_->trie_cache()->Clear();
+
+  constexpr int kThreads = 8;
+  std::latch start(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sql, &expected, &start, &failures, this] {
+      start.arrive_and_wait();
+      auto r = engine_->Query(sql);
+      if (!r.ok() || Canonical(std::move(r.value())) != expected) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Single-flight: the 8 concurrent cold starts re-built each signature
+  // exactly once (same number of builds the serial pass needed).
+  EXPECT_EQ(engine_->trie_cache()->builds() - builds_after_serial,
+            builds_after_serial);
+  EXPECT_EQ(engine_->trie_cache()->size(), static_cast<size_t>(2));
 }
 
 }  // namespace

@@ -536,6 +536,18 @@ TEST_F(EngineTest, QueryAnalyzeReportsCachedTries) {
   EXPECT_GT(second.value().profile->counters.trie_cache_hits, 0u);
 }
 
+TEST_F(EngineTest, LikePatternsNeverCompilePerRow) {
+  // A LIKE under an OR forces the generic per-row predicate path; the
+  // binder precompiles the matcher, so the fallback-compile counter must
+  // read zero even though the pattern is evaluated for every row.
+  auto r = engine_->QueryAnalyze(
+      "SELECT count(*) FROM customer "
+      "WHERE c_acctbal > 100000 OR c_mktsegment LIKE 'B%'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().profile, nullptr);
+  EXPECT_EQ(r.value().profile->counters.expr_like_compiles, 0u);
+}
+
 TEST_F(EngineTest, DefaultQueryCollectsNoProfile) {
   auto r = engine_->Query("SELECT count(*) FROM lineitem");
   ASSERT_TRUE(r.ok());

@@ -1,9 +1,11 @@
+#include <functional>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/expr_eval.h"
+#include "obs/stats.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 #include "util/date.h"
@@ -119,6 +121,51 @@ TEST_F(RowFilterTest, ConjunctionShortCircuits) {
   EXPECT_EQ(Select("num > 1 AND name LIKE '%g%' AND day < "
                    "date '1995-01-01'"),
             (std::vector<uint32_t>{2, 3}));
+}
+
+TEST_F(RowFilterTest, BinderPrecompilesLikeMatchers) {
+  // LIKE under an OR takes the generic per-row EvalBool path. The binder
+  // attaches a compiled matcher to the expression, so evaluation never
+  // recompiles the pattern per row (expr.like_compiles counts fallback
+  // compilations and must stay zero for bound queries).
+  obs::ExecStats stats;
+  {
+    obs::StatsScope scope(&stats);
+    EXPECT_EQ(Select("num > 100 OR name LIKE '%green%'"),
+              (std::vector<uint32_t>{0, 2}));
+  }
+  EXPECT_EQ(stats.Snapshot().expr_like_compiles, 0u);
+}
+
+TEST_F(RowFilterTest, UncompiledLikeFallsBackOncePerRow) {
+  // Strip the binder's precompiled matcher: evaluation falls back to
+  // compiling the pattern on every row and reports each compile. This is
+  // the per-row cost the eager binder compilation removes.
+  auto parsed = ParseSelect(
+      "SELECT k FROM t WHERE num > 100 OR name LIKE '%green%'");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = Bind(parsed.TakeValue(), catalog_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  LogicalQuery q = bound.TakeValue();
+  std::function<void(Expr*)> strip = [&strip](Expr* e) {
+    e->compiled_like = nullptr;
+    for (ExprPtr& c : e->children) strip(c.get());
+  };
+  std::vector<const Expr*> conjuncts;
+  for (const ExprPtr& f : q.relations[0].filters) {
+    strip(f.get());
+    conjuncts.push_back(f.get());
+  }
+  obs::ExecStats stats;
+  {
+    obs::StatsScope scope(&stats);
+    auto filter = RowFilter::Compile(conjuncts, *table_);
+    ASSERT_TRUE(filter.ok());
+    EXPECT_EQ(filter.value().SelectedRows(), (std::vector<uint32_t>{0, 2}));
+  }
+  // One fallback compile per evaluated row (the OR's left arm never
+  // short-circuits for this data), versus zero when bound normally.
+  EXPECT_EQ(stats.Snapshot().expr_like_compiles, 5u);
 }
 
 }  // namespace

@@ -114,6 +114,48 @@ TEST(DateTest, ParseRejectsMalformed) {
   EXPECT_FALSE(ParseDate("abcd-ef-gh").ok());
 }
 
+TEST(DateTest, ParseRejectsImpossibleDays) {
+  // The day must fit the actual month length, leap years included —
+  // ParseDate used to accept these and silently wrap into the next month.
+  EXPECT_FALSE(ParseDate("1999-02-30").ok());
+  EXPECT_FALSE(ParseDate("1999-02-29").ok());  // 1999 is not a leap year
+  EXPECT_FALSE(ParseDate("2023-04-31").ok());
+  EXPECT_FALSE(ParseDate("1900-02-29").ok());  // century, not div by 400
+  EXPECT_FALSE(ParseDate("1994-01-32").ok());
+  EXPECT_FALSE(ParseDate("1994-06-00").ok());
+  EXPECT_TRUE(ParseDate("2000-02-29").ok());   // div by 400: leap
+  EXPECT_TRUE(ParseDate("1996-02-29").ok());
+  EXPECT_TRUE(ParseDate("1999-02-28").ok());
+  EXPECT_TRUE(ParseDate("2023-04-30").ok());
+  EXPECT_TRUE(ParseDate("1994-01-31").ok());
+}
+
+TEST(DateTest, LeapYearRuleAndMonthLengths) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(1996));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(1999));
+  EXPECT_EQ(DaysInMonth(1999, 2), 28);
+  EXPECT_EQ(DaysInMonth(2000, 2), 29);
+  EXPECT_EQ(DaysInMonth(2023, 4), 30);
+  EXPECT_EQ(DaysInMonth(2023, 12), 31);
+  EXPECT_EQ(DaysInMonth(2023, 0), 0);
+  EXPECT_EQ(DaysInMonth(2023, 13), 0);
+}
+
+TEST(DateTest, ParseFormatRoundTripSweep) {
+  // Every valid day in a leap-spanning window (1995..2005 covers 1996,
+  // 2000, 2004 and the non-leap years between) must survive
+  // ParseDate(FormatDate(d)) == d.
+  const int32_t lo = DaysFromCivil(CivilDate{1995, 1, 1});
+  const int32_t hi = DaysFromCivil(CivilDate{2005, 12, 31});
+  for (int32_t d = lo; d <= hi; ++d) {
+    auto parsed = ParseDate(FormatDate(d));
+    ASSERT_TRUE(parsed.ok()) << FormatDate(d);
+    EXPECT_EQ(parsed.value(), d) << FormatDate(d);
+  }
+}
+
 TEST(DateTest, TpchQ1CutoffArithmetic) {
   // Q1's `date '1998-12-01' - interval '90' day` must land on 1998-09-02.
   int32_t base = ParseDate("1998-12-01").ValueOrDie();

@@ -18,6 +18,13 @@ Rules (all findings are errors; the target requires zero):
                    renderers, validate_stats, and the docs glossary key on
                    these exact strings.
   include-cycle    Cycles in the project `#include "..."` graph.
+  global-state     New process-global mutable state in src/: non-const
+                   `static` data declarations (function-local or namespace
+                   scope) and `g_`-prefixed globals. Concurrent queries
+                   share one process; cross-query state belongs in Engine
+                   (per instance) or thread_local + explicit propagation
+                   (see DESIGN.md §11). Synchronization primitives
+                   (mutex/atomic/once_flag/condition_variable) are exempt.
 
 Suppress a finding on one line with a trailing `// lint: allow(<rule>)`.
 """
@@ -51,6 +58,7 @@ SPAN_TAXONOMY = {
 
 # Rules that apply only under these directories.
 SPAN_RULE_DIRS = ("src", "bench")
+GLOBAL_STATE_DIRS = ("src",)
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 
@@ -62,6 +70,16 @@ SPAN_RE = re.compile(
 )
 OPEN_RE = re.compile(r"(?:->|\.)Open\s*\(\s*\"(?P<name>[^\"]*)\"")
 INCLUDE_RE = re.compile(r'^\s*#include\s+"(?P<path>[^"]+)"')
+
+# `static` data declarations. Lines with a '(' are functions or calls;
+# const/constexpr data is immutable; thread_local is per-thread by design;
+# synchronization primitives and atomics are the sanctioned way to guard
+# whatever state does exist.
+STATIC_DATA_RE = re.compile(r"^\s*static\s+(?!assert\b)")
+GLOBAL_STATE_EXEMPT_RE = re.compile(
+    r"\(|\bconst\b|\bconstexpr\b|\bthread_local\b|\batomic\b|\bmutex\b"
+    r"|\bonce_flag\b|\bcondition_variable\b")
+GLOBAL_NAME_RE = re.compile(r"\bg_\w+")
 
 
 def strip_comments_and_strings(line):
@@ -112,6 +130,7 @@ def lint_file(path, findings):
         raw_lines = f.read().splitlines()
 
     in_span_dirs = path.split(os.sep, 1)[0] in SPAN_RULE_DIRS
+    in_global_state_dirs = path.split(os.sep, 1)[0] in GLOBAL_STATE_DIRS
     includes = []
     for lineno, raw in enumerate(raw_lines, start=1):
         code = strip_comments_and_strings(raw)
@@ -131,6 +150,21 @@ def lint_file(path, findings):
             findings.append(
                 (path, lineno, "banned-rand",
                  "rand()/srand() is banned; use util/rng.h"))
+
+        if in_global_state_dirs and not allowed(raw, "global-state"):
+            if (STATIC_DATA_RE.search(code)
+                    and not GLOBAL_STATE_EXEMPT_RE.search(code)):
+                findings.append(
+                    (path, lineno, "global-state",
+                     "mutable `static` data; hang cross-query state off "
+                     "Engine or use thread_local + explicit propagation "
+                     "(or annotate `// lint: allow(global-state)`)"))
+            elif GLOBAL_NAME_RE.search(code):
+                findings.append(
+                    (path, lineno, "global-state",
+                     "`g_` global; concurrent queries share the process — "
+                     "see DESIGN.md §11 "
+                     "(or annotate `// lint: allow(global-state)`)"))
 
         if in_span_dirs:
             for m in list(SPAN_RE.finditer(raw)) + list(OPEN_RE.finditer(raw)):
@@ -180,7 +214,8 @@ def find_include_cycles(graph, findings):
 
 def main(argv):
     if "--list-rules" in argv:
-        print("naked-new banned-rand span-taxonomy include-cycle")
+        print("naked-new banned-rand span-taxonomy include-cycle "
+              "global-state")
         return 0
     paths = [a for a in argv if not a.startswith("-")] or REPO_DIRS
     findings = []
