@@ -1,0 +1,300 @@
+// Load generator for the serving layer (src/server): N socket clients fire
+// the concurrent_qps mixed workload at an in-process Server over real
+// loopback TCP and we report sustained QPS and client-observed latency
+// percentiles at 1/8/32 connections, plus the server.* admission counters.
+//
+// Two phases:
+//   1. Throughput: connection steps against a normally-provisioned server
+//      (every request must succeed; exports qps/p50_ms/p99_ms and the
+//      server.* counter snapshot per step).
+//   2. Overload: a deliberately starved server (1 worker, queue of 1) takes
+//      a burst of connections; the surplus must be rejected immediately
+//      with the overload error — zero rejections or any hang is a failure.
+//
+// Knobs: LH_LOADGEN_CONNS=1,8,32 (connection steps), LH_LOADGEN_OPS
+// (requests per connection per step), LH_TPCH_SF (TPC-H scale factor).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "obs/json_writer.h"
+#include "server/server.h"
+#include "util/rng.h"
+#include "util/socket.h"
+#include "util/timer.h"
+#include "workload/tpch_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+/// TPC-H tables plus a small random graph, as in concurrent_qps — the
+/// server equivalent of that bench's shared-engine workload.
+std::unique_ptr<Catalog> BuildMixedCatalog(double sf, int graph_nodes,
+                                           int graph_degree) {
+  auto catalog = std::make_unique<Catalog>();
+  TpchGenerator gen(sf);
+  gen.Populate(catalog.get()).CheckOK();
+  Table* t =
+      catalog
+          ->CreateTable(TableSchema(
+              "edge", {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                       ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                       ColumnSpec::Annotation("w", ValueType::kDouble)}))
+          .ValueOrDie();
+  Rng rng(0xC0FFEE);
+  for (int src = 0; src < graph_nodes; ++src) {
+    for (int d = 0; d < graph_degree; ++d) {
+      const int dst = static_cast<int>(rng.Uniform(graph_nodes));
+      if (dst == src) continue;
+      t->AppendRow({Value::Int(src), Value::Int(dst),
+                    Value::Real(rng.UniformDouble(0, 1))})
+          .CheckOK();
+    }
+  }
+  catalog->Finalize().CheckOK();
+  return catalog;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::string RequestLine(const std::string& sql) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("sql");
+  w.String(sql);
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+/// One client connection: sends `ops` requests drawn from `mix`, records
+/// client-observed latency per successful (ok:true) response. Returns the
+/// number of failed requests.
+int RunClient(uint16_t port, int client_id, int ops,
+              const std::vector<std::string>& requests,
+              std::vector<double>* latencies) {
+  auto conn = ConnectLoopback(port);
+  if (!conn.ok()) return ops;
+  if (!SetRecvTimeout(conn.value(), 60'000).ok()) return ops;
+  LineReader reader(&conn.value(), 64u << 20);
+  int failures = 0;
+  latencies->reserve(static_cast<size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    // Rotate by client id so different queries overlap in time.
+    const std::string& request =
+        requests[static_cast<size_t>(i + client_id) % requests.size()];
+    WallTimer op;
+    std::string response;
+    if (!SendAll(conn.value(), request).ok() ||
+        reader.ReadLine(&response) != LineReader::ReadStatus::kLine ||
+        response.find("\"ok\":true") == std::string::npos) {
+      ++failures;
+      continue;
+    }
+    latencies->push_back(op.ElapsedMillis());
+  }
+  return failures;
+}
+
+/// Overload phase: a burst of one-shot clients against a starved server.
+/// Returns the number that received the immediate overload rejection.
+int OverloadBurst(uint16_t port, int burst, const std::string& request) {
+  std::vector<std::thread> threads;
+  std::vector<int> rejected(static_cast<size_t>(burst), 0);
+  threads.reserve(static_cast<size_t>(burst));
+  for (int c = 0; c < burst; ++c) {
+    threads.emplace_back([port, c, &request, &rejected] {
+      auto conn = ConnectLoopback(port);
+      if (!conn.ok()) return;
+      if (!SetRecvTimeout(conn.value(), 60'000).ok()) return;
+      // Admission happens at accept time: a rejected connection gets its
+      // error before (and regardless of) any request we send.
+      if (!SendAll(conn.value(), request).ok()) return;
+      LineReader reader(&conn.value(), 1u << 20);
+      std::string response;
+      if (reader.ReadLine(&response) != LineReader::ReadStatus::kLine) {
+        return;
+      }
+      if (response.find("ResourceExhausted") != std::string::npos) {
+        rejected[static_cast<size_t>(c)] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int total = 0;
+  for (int r : rejected) total += r;
+  return total;
+}
+
+int Run() {
+  const double sf = EnvDouble("LH_TPCH_SF", Smoke() ? 0.002 : 0.01);
+  const int graph_nodes = Smoke() ? 60 : 200;
+  const int ops_per_conn = static_cast<int>(
+      EnvDouble("LH_LOADGEN_OPS", Smoke() ? 6 : 32));
+  std::vector<double> conn_steps = EnvDoubleList(
+      "LH_LOADGEN_CONNS",
+      Smoke() ? std::vector<double>{1, 4} : std::vector<double>{1, 8, 32});
+
+  auto catalog = BuildMixedCatalog(sf, graph_nodes, /*graph_degree=*/4);
+  Engine engine(catalog.get());
+
+  const std::vector<std::string> mix = {
+      TpchQuery("q1"),
+      TpchQuery("q5"),
+      TpchQuery("q6"),
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+  };
+  std::vector<std::string> requests;
+  requests.reserve(mix.size());
+  for (const std::string& sql : mix) requests.push_back(RequestLine(sql));
+
+  // Warm the shared trie cache (§VI-A) and fail fast on a broken query.
+  for (const std::string& sql : mix) {
+    auto r = engine.Query(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "warmup error: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  server::ServerOptions options;
+  options.num_workers = Smoke() ? 4 : 8;
+  options.queue_capacity = 64;  // throughput phase must not reject
+  server::Server server(&engine, options);
+  {
+    Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("server loadgen (TPC-H SF %g + %d-node graph) on "
+              "127.0.0.1:%u, %d workers, %d requests per connection\n\n",
+              sf, graph_nodes, static_cast<unsigned>(server.port()),
+              options.num_workers, ops_per_conn);
+  PrintRow("Conns", {"QPS", "p50", "p99"}, 10, 12);
+
+  for (double step : conn_steps) {
+    const int conns = std::max(1, static_cast<int>(step));
+    const int total_ops = conns * ops_per_conn;
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(conns));
+    std::vector<int> failures(static_cast<size_t>(conns), 0);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(conns));
+    WallTimer wall;
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        failures[static_cast<size_t>(c)] =
+            RunClient(server.port(), c, ops_per_conn, requests,
+                      &latencies[static_cast<size_t>(c)]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_ms = wall.ElapsedMillis();
+
+    std::vector<double> all;
+    all.reserve(static_cast<size_t>(total_ops));
+    int failed = 0;
+    for (int c = 0; c < conns; ++c) {
+      failed += failures[static_cast<size_t>(c)];
+      all.insert(all.end(), latencies[static_cast<size_t>(c)].begin(),
+                 latencies[static_cast<size_t>(c)].end());
+    }
+    const std::string label = "conns_" + std::to_string(conns);
+    if (failed > 0) {
+      std::fprintf(stderr, "%d of %d requests failed\n", failed,
+                   total_ops);
+      StatsLog::Get().Record(label, Measurement::Mark("err"));
+      continue;
+    }
+    std::sort(all.begin(), all.end());
+    const double qps =
+        wall_ms > 0 ? 1000.0 * static_cast<double>(total_ops) / wall_ms
+                    : 0;
+    const double p50 = Percentile(all, 0.50);
+    const double p99 = Percentile(all, 0.99);
+
+    // Export throughput plus the server.* counters (cumulative across
+    // steps) on each entry; validate_stats ignores the extra keys.
+    std::vector<std::pair<std::string, double>> extras = {
+        {"connections", static_cast<double>(conns)},
+        {"qps", qps},
+        {"p50_ms", p50},
+        {"p99_ms", p99}};
+    for (auto& kv : server.stats().Export()) extras.push_back(kv);
+    StatsLog::Get().Record(label, Measurement::Time(wall_ms), nullptr,
+                           std::move(extras));
+
+    char qps_cell[32];
+    std::snprintf(qps_cell, sizeof(qps_cell), "%.1f", qps);
+    PrintRow(std::to_string(conns),
+             {qps_cell, FormatTime(Measurement::Time(p50)),
+              FormatTime(Measurement::Time(p99))},
+             10, 12);
+  }
+  server.Stop();
+
+  // Overload phase: 1 worker + queue of 1 admits at most 2 connections;
+  // the rest of the burst must get the immediate rejection.
+  server::ServerOptions starved;
+  starved.num_workers = 1;
+  starved.queue_capacity = 1;
+  server::Server small(&engine, starved);
+  {
+    Status st = small.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "overload server start: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  const int burst = Smoke() ? 8 : 16;
+  WallTimer overload_wall;
+  const int rejections = OverloadBurst(small.port(), burst, requests[0]);
+  const double overload_ms = overload_wall.ElapsedMillis();
+  const auto small_stats = small.stats().snapshot();
+  small.Stop();
+
+  std::printf("\noverload burst: %d connections at capacity 2 -> "
+              "%d rejected (server counted %llu) in %.1fms\n",
+              burst, rejections,
+              static_cast<unsigned long long>(small_stats.rejected_overload),
+              overload_ms);
+  if (rejections == 0) {
+    std::fprintf(stderr,
+                 "overload burst saw zero rejections — admission control "
+                 "is not rejecting\n");
+    StatsLog::Get().Record("overload", Measurement::Mark("err"));
+    return 1;
+  }
+  StatsLog::Get().Record(
+      "overload", Measurement::Time(overload_ms), nullptr,
+      {{"burst", static_cast<double>(burst)},
+       {"rejected", static_cast<double>(rejections)},
+       {"server_rejected_overload",
+        static_cast<double>(small_stats.rejected_overload)}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("server_loadgen", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  const int finish = levelheaded::bench::FinishBench();
+  return rc != 0 ? rc : finish;
+}

@@ -20,7 +20,6 @@
 // with a schema; queries need tables).
 
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <iostream>
 #include <sstream>
@@ -28,100 +27,12 @@
 #include <vector>
 
 #include "core/engine.h"
-#include "storage/csv.h"
+#include "storage/schema_file.h"
 #include "storage/snapshot.h"
 #include "storage/table.h"
 
 namespace levelheaded {
 namespace {
-
-Result<ColumnSpec> ParseColumnSpec(const std::string& token) {
-  std::vector<std::string> parts;
-  std::stringstream ss(token);
-  std::string part;
-  while (std::getline(ss, part, ':')) parts.push_back(part);
-  if (parts.size() < 2) {
-    return Status::InvalidArgument("bad column spec '" + token +
-                                   "' (want name[:key]:type[:domain])");
-  }
-  const std::string& name = parts[0];
-  size_t idx = 1;
-  bool is_key = false;
-  if (parts[idx] == "key") {
-    is_key = true;
-    ++idx;
-  }
-  if (idx >= parts.size()) {
-    return Status::InvalidArgument("missing type in '" + token + "'");
-  }
-  const std::string& type_name = parts[idx];
-  ValueType type;
-  if (type_name == "int") {
-    type = ValueType::kInt32;
-  } else if (type_name == "long") {
-    type = ValueType::kInt64;
-  } else if (type_name == "float") {
-    type = ValueType::kFloat;
-  } else if (type_name == "double") {
-    type = ValueType::kDouble;
-  } else if (type_name == "string") {
-    type = ValueType::kString;
-  } else if (type_name == "date") {
-    type = ValueType::kDate;
-  } else {
-    return Status::InvalidArgument("unknown type '" + type_name + "'");
-  }
-  if (is_key) {
-    std::string domain = idx + 1 < parts.size() ? parts[idx + 1] : name;
-    return ColumnSpec::Key(name, type, domain);
-  }
-  return ColumnSpec::Annotation(name, type);
-}
-
-Status LoadSchemaFile(const std::string& path, Catalog* catalog) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open schema file " + path);
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::stringstream ss(line);
-    std::string command;
-    if (!(ss >> command) || command[0] == '#') continue;
-    if (command == "table") {
-      std::string name;
-      if (!(ss >> name)) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": table needs a name");
-      }
-      std::vector<ColumnSpec> columns;
-      std::string token;
-      while (ss >> token) {
-        LH_ASSIGN_OR_RETURN(ColumnSpec spec, ParseColumnSpec(token));
-        columns.push_back(std::move(spec));
-      }
-      LH_RETURN_NOT_OK(
-          catalog->CreateTable(TableSchema(name, std::move(columns)))
-              .status());
-    } else if (command == "load") {
-      std::string name, file;
-      if (!(ss >> name >> file)) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": load needs <table> <file>");
-      }
-      Table* table = catalog->GetTable(name);
-      if (table == nullptr) {
-        return Status::NotFound("table '" + name + "' not declared");
-      }
-      LH_RETURN_NOT_OK(LoadCsvFile(file, CsvOptions{}, table));
-    } else {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": unknown directive '" + command +
-                                     "'");
-    }
-  }
-  return Status::OK();
-}
 
 int Shell(int argc, char** argv) {
   std::unique_ptr<Catalog> owned;

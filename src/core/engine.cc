@@ -79,10 +79,26 @@ std::string RenderExplainText(const ExplainInfo& info) {
 
 }  // namespace
 
+QueryGuard Engine::MakeGuard(const QueryOptions& options) const {
+  QueryGuard guard;
+  guard.token = options.cancel_token;
+  if (options.timeout_ms > 0) {
+    guard.has_deadline = true;
+    guard.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             options.timeout_ms));
+  }
+  guard.max_result_rows = options_.max_result_rows;
+  return guard;
+}
+
 Result<PhysicalPlan> Engine::Prepare(const std::string& sql,
                                      const QueryOptions& options,
                                      QueryResult::Timing* timing,
-                                     obs::Trace* trace) {
+                                     obs::Trace* trace,
+                                     const QueryGuard* guard) {
   if (!catalog_->finalized()) {
     return Status::InvalidArgument(
         "catalog must be finalized before querying");
@@ -101,7 +117,7 @@ Result<PhysicalPlan> Engine::Prepare(const std::string& sql,
   WallTimer plan_timer;
   obs::TraceSpan plan_span(trace, "plan");
   Result<PhysicalPlan> plan =
-      BuildPlan(bound.TakeValue(), *catalog_, options, trace);
+      BuildPlan(bound.TakeValue(), *catalog_, options, trace, guard);
   plan_span.End();
   timing->plan_ms = plan_timer.ElapsedMillis();
   return plan;
@@ -110,19 +126,23 @@ Result<PhysicalPlan> Engine::Prepare(const std::string& sql,
 Result<QueryResult> Engine::RunQuery(const std::string& sql,
                                      const QueryOptions& options) {
   QueryResult::Timing timing;
+  const QueryGuard guard = MakeGuard(options);
   if (!options.collect_stats) {
     LH_ASSIGN_OR_RETURN(PhysicalPlan plan,
-                        Prepare(sql, options, &timing, nullptr));
-    return ExecutePlan(plan, *catalog_, &trie_cache_, &timing);
+                        Prepare(sql, options, &timing, nullptr, &guard));
+    return ExecutePlan(plan, *catalog_, &trie_cache_, &timing, nullptr,
+                       &guard);
   }
   auto qobs = std::make_unique<obs::QueryObs>();
   obs::StatsScope stats_scope(&qobs->stats);
   obs::TraceSpan query_span(&qobs->trace, "query");
-  Result<PhysicalPlan> plan = Prepare(sql, options, &timing, &qobs->trace);
+  Result<PhysicalPlan> plan =
+      Prepare(sql, options, &timing, &qobs->trace, &guard);
   if (!plan.ok()) return plan.status();
   obs::TraceSpan exec_span(&qobs->trace, "execute");
-  Result<QueryResult> result =
-      ExecutePlan(plan.value(), *catalog_, &trie_cache_, &timing, qobs.get());
+  Result<QueryResult> result = ExecutePlan(plan.value(), *catalog_,
+                                           &trie_cache_, &timing, qobs.get(),
+                                           &guard);
   exec_span.End();
   query_span.End();
   // Cache residency is a gauge, not an event counter: sample it after the

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/executor.h"
 #include "core/options.h"
 #include "core/plan.h"
@@ -53,6 +54,11 @@ struct EngineOptions {
   /// Trie-cache lock shards (concurrent probes of different relations
   /// contend per-shard, not globally).
   int trie_cache_shards = 8;
+  /// Max rows one query may accumulate/materialize (0 = unlimited). Hitting
+  /// the bound returns a clean kResourceExhausted instead of an OOM on
+  /// accidental cross-product SELECTs; servers should set a sane default
+  /// (lh_serve defaults to 4M rows).
+  size_t max_result_rows = 0;
 };
 
 /// A facade over parse/bind/plan/execute with a shared trie cache.
@@ -68,6 +74,7 @@ class Engine {
   /// `catalog` must be finalized and outlive the engine.
   explicit Engine(Catalog* catalog, const EngineOptions& options = {})
       : catalog_(catalog),
+        options_(options),
         trie_cache_(TrieCache::Config{options.trie_cache_budget_bytes,
                                       options.trie_cache_shards}) {}
 
@@ -96,9 +103,14 @@ class Engine {
                                const QueryOptions& options);
   [[nodiscard]] Result<PhysicalPlan> Prepare(const std::string& sql,
                                const QueryOptions& options,
-                               QueryResult::Timing* timing, obs::Trace* trace);
+                               QueryResult::Timing* timing, obs::Trace* trace,
+                               const QueryGuard* guard = nullptr);
+  /// Per-query cancellation/limit view from the query + engine options;
+  /// the deadline clock starts at the call.
+  [[nodiscard]] QueryGuard MakeGuard(const QueryOptions& options) const;
 
   Catalog* catalog_;
+  EngineOptions options_;
   TrieCache trie_cache_;
 };
 

@@ -1,14 +1,17 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
+#include "core/cancel.h"
 #include "core/expr_eval.h"
 #include "core/group_accum.h"
 #include "obs/profile.h"
@@ -607,7 +610,8 @@ class NodeExec {
            std::vector<SetView> child_sets,
            std::vector<const BuiltRelation*> lookups,
            std::vector<int> lookup_rel_ids, std::vector<int> lookup_positions,
-           const std::vector<DimInfo>* dims)
+           const std::vector<DimInfo>* dims,
+           const QueryGuard* guard = nullptr)
       : plan_(plan),
         node_(node),
         rels_(std::move(rels)),
@@ -615,7 +619,10 @@ class NodeExec {
         lookups_(std::move(lookups)),
         lookup_rel_ids_(std::move(lookup_rel_ids)),
         lookup_positions_(std::move(lookup_positions)),
-        dims_(dims) {
+        dims_(dims),
+        guard_(guard),
+        guard_active_(guard != nullptr && (guard->CancelEnabled() ||
+                                           guard->max_result_rows > 0)) {
     const int k = static_cast<int>(node_.attr_order.size());
     participants_.resize(k);
     int child_idx = 0;
@@ -712,7 +719,11 @@ class NodeExec {
     std::vector<uint32_t> out;
     const SetView* root = ComputeSet(&w, 0);
     if (root->empty()) return out;
+    uint64_t iter = 0;
     root->ForEach([&](uint32_t v, uint32_t) {
+      // ForEach has no break; after an abort the remaining values fall
+      // through the one-flag-load fast path.
+      if (guard_active_ && PollAbort(iter++, /*rows_sofar=*/0)) return;
       if (!Descend(&w, 0, v)) return;
       if (node_.attr_order.size() == 1 || Satisfiable(&w, 1)) {
         out.push_back(v);
@@ -766,6 +777,10 @@ class NodeExec {
       chunk_out[chunk] = std::make_unique<GroupAccum>(key_width, &plan_.aggs);
       w.groups = chunk_out[chunk].get();
       for (int64_t i = lo; i < hi; ++i) {
+        if (guard_active_ &&
+            PollAbort(static_cast<uint64_t>(i - lo), w.groups->num_groups())) {
+          break;
+        }
         const uint32_t v = root_values[i];
         if (!Descend(&w, 0, v)) continue;
         w.vals[0] = v;
@@ -800,6 +815,13 @@ class NodeExec {
   uint64_t leaves() const { return total_leaves_; }
   /// Trie node descents across all runs on this node.
   uint64_t nodes_visited() const { return total_nodes_; }
+  /// OK, or why the last run unwound early (kCancelled / kDeadlineExceeded
+  /// / kResourceExhausted). Callers must consult this before trusting a
+  /// run's output.
+  [[nodiscard]] Status abort_status() {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    return abort_status_;
+  }
 
  private:
   struct Worker {
@@ -829,6 +851,44 @@ class NodeExec {
   void AbsorbWorker(const Worker& w) {
     total_leaves_ += w.leaf_count;
     total_nodes_ += w.nodes_visited;
+  }
+
+  // ---- Cooperative abort (deadline / cancel / row bound, core/cancel.h).
+  //
+  // The root parallel loop and skew-split sub-tasks poll PollAbort every
+  // kAbortStride root values; the first failing check records the status
+  // and raises the flag, every other worker sees the flag at its next
+  // poll (one relaxed load) and stops. Iterations the workers skip after
+  // an abort don't matter — the run's result is discarded.
+
+  static constexpr uint64_t kAbortStride = 32;
+
+  void RecordAbort(Status s) {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (abort_status_.ok()) abort_status_ = std::move(s);
+    aborted_.store(true, std::memory_order_release);
+  }
+
+  bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+  /// Full check: the abort flag, then deadline/cancel, then the row bound
+  /// against this worker's accumulated group count (a per-worker OOM
+  /// backstop — the materialized total is checked again in ExecutePlan).
+  /// True when the caller must stop.
+  bool CheckAbort(size_t rows_sofar) {
+    if (Aborted()) return true;
+    Status s = guard_->Check();
+    if (s.ok()) s = guard_->CheckRows(rows_sofar);
+    if (s.ok()) return false;
+    RecordAbort(std::move(s));
+    return true;
+  }
+
+  /// Strided wrapper for hot loops: cheap flag test always, full check
+  /// every kAbortStride-th call.
+  bool PollAbort(uint64_t iter, size_t rows_sofar) {
+    if (Aborted()) return true;
+    return (iter % kAbortStride) == 0 && CheckAbort(rows_sofar);
   }
 
   /// Read of a worker's rank cursor for relation slot `slot` at trie level
@@ -1046,6 +1106,11 @@ class NodeExec {
       const int64_t hi = std::min(m, lo + sub_grain);
       pool.Submit(&group, [this, w, sub, lo, hi, base, direct, k] {
         for (int64_t i = lo; i < hi; ++i) {
+          if (guard_active_ &&
+              PollAbort(static_cast<uint64_t>(i - lo),
+                        sub->groups->num_groups())) {
+            break;
+          }
           const uint32_t v = w->split_vals[i];
           if (direct) {
             const Participant& p = participants_[1][0];
@@ -1665,6 +1730,12 @@ class NodeExec {
   int64_t skew_threshold_ = 0;  // 0 = splitting disabled for this node
   uint64_t total_leaves_ = 0;
   uint64_t total_nodes_ = 0;
+
+  const QueryGuard* guard_ = nullptr;
+  const bool guard_active_ = false;
+  std::atomic<bool> aborted_{false};
+  std::mutex abort_mu_;
+  Status abort_status_;  // guarded by abort_mu_; first failure wins
 };
 
 // ---------------------------------------------------------------------------
@@ -1674,7 +1745,8 @@ class NodeExec {
 Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
                                 const Catalog& catalog,
                                 QueryResult::Timing* timing,
-                                obs::QueryObs* qobs) {
+                                obs::QueryObs* qobs,
+                                const QueryGuard* guard) {
   const RelationRef& ref = plan.query.relations[0];
   const Table& table = *ref.table;
   obs::TraceSpan span(qobs != nullptr ? &qobs->trace : nullptr, "scan");
@@ -1711,6 +1783,14 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
   std::vector<std::unique_ptr<GroupAccum>> partials(num_chunks);
   std::atomic<uint64_t> sink{0};
 
+  // Cooperative abort for the scan loops (core/cancel.h): first failing
+  // worker records the status, the rest observe the flag each stride.
+  const bool guard_active =
+      guard != nullptr && (guard->CancelEnabled() || guard->max_result_rows > 0);
+  std::atomic<bool> aborted{false};
+  std::mutex abort_mu;
+  Status abort_status;  // guarded by abort_mu; first failure wins
+
   pool.ParallelChunks(
       0, num_rows, grain,
       [&](int slot, int64_t lo, int64_t hi) {
@@ -1724,6 +1804,17 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
         std::vector<double> aux(std::max<size_t>(1, plan.aggs.size()));
         uint64_t local_sink = 0;
         for (int64_t row = lo; row < hi; ++row) {
+          if (guard_active && ((row - lo) & 1023) == 0) {
+            if (aborted.load(std::memory_order_relaxed)) break;
+            Status s = guard->Check();
+            if (s.ok()) s = guard->CheckRows(groups.num_groups());
+            if (!s.ok()) {
+              std::lock_guard<std::mutex> lock(abort_mu);
+              if (abort_status.ok()) abort_status = std::move(s);
+              aborted.store(true, std::memory_order_release);
+              break;
+            }
+          }
           if (!filter.Matches(static_cast<uint32_t>(row))) continue;
           cells.row = static_cast<uint32_t>(row);
           // The -Attr.Elim arm reads every column of each surviving row
@@ -1776,6 +1867,11 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
         sink.fetch_add(local_sink, std::memory_order_relaxed);
       });
 
+  if (aborted.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(abort_mu);
+    return abort_status;
+  }
+
   GroupAccum total(key_width, &plan.aggs);
   for (auto& p : partials) {
     if (p != nullptr) total.MergeFrom(*p);
@@ -1810,7 +1906,9 @@ int DimOfRelation(const PhysicalPlan& plan, int rel) {
 Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
                                  const Catalog& catalog, TrieCache* cache,
                                  QueryResult::Timing* timing,
-                                 obs::QueryObs* qobs) {
+                                 obs::QueryObs* qobs,
+                                 const QueryGuard* guard) {
+  if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
   const NodePlan& node = plan.nodes[0];
   // Identify A (carries the first output dimension), B (the other), and
   // the shared vertex k.
@@ -1897,6 +1995,9 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
   span.SetDetail(plan.dense == DenseKernel::kGemm ? "gemm" : "gemv");
   span.AddMetric("m", static_cast<double>(m));
   span.AddMetric("k", static_cast<double>(kk));
+  // The BLAS kernels are not interruptible; the last poll is just before
+  // dispatch, after the (cacheable) buffer builds.
+  if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
   QueryResult result;
   std::vector<double> out_values;
   int64_t nn = 1;
@@ -1955,14 +2056,17 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
 Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
                                 QueryResult::Timing* timing,
-                                obs::QueryObs* qobs) {
+                                obs::QueryObs* qobs,
+                                const QueryGuard* guard) {
   obs::Trace* trace = qobs != nullptr ? &qobs->trace : nullptr;
   if (qobs != nullptr) qobs->node_tuples.assign(plan.nodes.size(), 0);
-  // Build tries for every node's relations.
+  // Build tries for every node's relations. Each build is one unit of
+  // cancellable work: the guard is polled between builds, not inside one.
   std::vector<std::vector<std::unique_ptr<BuiltRelation>>> built(
       plan.nodes.size());
   for (size_t ni = 0; ni < plan.nodes.size(); ++ni) {
     for (const RelationPlan& rp : plan.nodes[ni].relations) {
+      if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
       if (rp.rel < 0) {
         built[ni].push_back(nullptr);
         continue;
@@ -2013,8 +2117,9 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
     std::vector<const BuiltRelation*> rels;
     for (const auto& br : built[ni]) rels.push_back(br.get());
     NodeExec exec(plan, plan.nodes[ni], std::move(rels), {}, {}, {}, {},
-                  &no_dims[0]);
+                  &no_dims[0], guard);
     std::vector<uint32_t> codes = exec.RunExistential();
+    LH_RETURN_NOT_OK(exec.abort_status());
     span.AddMetric("tuples", static_cast<double>(codes.size()));
     if (qobs != nullptr) {
       qobs->node_tuples[ni] = codes.size();
@@ -2052,7 +2157,7 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
   NodeExec exec(plan, plan.nodes[0], std::move(root_rels),
                 std::move(child_sets), std::move(lookups),
                 std::move(lookup_rel_ids), std::move(lookup_positions),
-                &dim_infos);
+                &dim_infos, guard);
   if (plan.nodes[0].union_relaxed) {
     const int last = plan.nodes[0].attr_order.back();
     const Dictionary* dom =
@@ -2062,6 +2167,7 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
   obs::TraceSpan wcoj_span(trace, "wcoj");
   wcoj_span.SetDetail("root, order " + plan.RootOrderString());
   GroupAccum groups = exec.RunAggregate();
+  LH_RETURN_NOT_OK(exec.abort_status());
   if (qobs != nullptr) {
     qobs->node_tuples[0] = exec.leaves();
     qobs->stats.CountTuplesEmitted(exec.leaves());
@@ -2098,7 +2204,8 @@ QueryResult EmptyResult(const PhysicalPlan& plan) {
 Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
                                 QueryResult::Timing* timing,
-                                obs::QueryObs* qobs) {
+                                obs::QueryObs* qobs,
+                                const QueryGuard* guard) {
   if (!plan.options.use_trie_cache) cache = nullptr;
   if (plan.query.always_empty) {
     QueryResult r = EmptyResult(plan);
@@ -2106,11 +2213,17 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
     return r;
   }
   Result<QueryResult> result =
-      plan.scan_only ? ExecuteScan(plan, catalog, timing, qobs)
+      plan.scan_only ? ExecuteScan(plan, catalog, timing, qobs, guard)
       : plan.dense != DenseKernel::kNone
-          ? ExecuteDense(plan, catalog, cache, timing, qobs)
-          : ExecuteJoin(plan, catalog, cache, timing, qobs);
+          ? ExecuteDense(plan, catalog, cache, timing, qobs, guard)
+          : ExecuteJoin(plan, catalog, cache, timing, qobs, guard);
   if (result.ok()) {
+    // Authoritative row bound: the materialized (pre-ORDER/LIMIT) row
+    // count — the in-flight checks during accumulation are per-worker
+    // backstops and can undercount across workers.
+    if (guard != nullptr) {
+      LH_RETURN_NOT_OK(guard->CheckRows(result.value().num_rows));
+    }
     WallTimer t;
     ApplyOrderAndLimit(plan.query, &result.value());
     timing->exec_ms += t.ElapsedMillis();

@@ -26,10 +26,15 @@ struct QueryObs;
 /// `qobs`, when non-null, receives tracing spans, per-node tuple counts, and
 /// coordinator-side counters (kernel counters flow through the global
 /// ActiveStats() hook, activated by the engine).
+/// `guard`, when non-null, is polled cooperatively at adaptive-grain
+/// boundaries (core/cancel.h): deadline/cancel unwinds with
+/// kDeadlineExceeded / kCancelled, and the max_result_rows bound is
+/// enforced during accumulation and on the materialized result.
 [[nodiscard]] Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
                                 QueryResult::Timing* timing,
-                                obs::QueryObs* qobs = nullptr);
+                                obs::QueryObs* qobs = nullptr,
+                                const QueryGuard* guard = nullptr);
 
 }  // namespace levelheaded
 

@@ -10,6 +10,8 @@
 
 namespace levelheaded {
 
+class CancelToken;
+
 /// Attribute-order selection policy (§V).
 enum class OrderMode {
   kBest,   ///< cost-based optimizer (minimum icost × weight)
@@ -53,6 +55,16 @@ struct QueryOptions {
   /// QueryResult::profile. Off by default: enabling it turns on per-kernel
   /// counting in the hot intersection loops.
   bool collect_stats = false;
+
+  /// Query deadline in milliseconds from the Query() call (0 = none). The
+  /// planner and executor poll the deadline cooperatively at adaptive-grain
+  /// boundaries; an expired query unwinds with kDeadlineExceeded.
+  double timeout_ms = 0;
+
+  /// Optional caller-owned cancellation flag (core/cancel.h); must outlive
+  /// the query. Cancel() from any thread makes the query unwind with
+  /// kCancelled at its next guard check.
+  CancelToken* cancel_token = nullptr;
 };
 
 }  // namespace levelheaded

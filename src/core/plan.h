@@ -23,6 +23,8 @@ namespace obs {
 class Trace;
 }  // namespace obs
 
+struct QueryGuard;
+
 /// One aggregate slot, execution view.
 struct AggExec {
   AggFunc func = AggFunc::kSum;
@@ -106,10 +108,13 @@ struct PhysicalPlan {
 /// Builds the physical plan: GHD choice, §V attribute ordering per node,
 /// trie level assignment, aggregate/dimension execution specs, and dense
 /// kernel detection. `trace`, when non-null, receives planning-phase spans
-/// (hypergraph, GHD enumeration, attribute ordering).
+/// (hypergraph, GHD enumeration, attribute ordering). `guard`, when
+/// non-null, is polled between planning phases so deadline/cancel unwinds
+/// before expensive order enumeration.
 [[nodiscard]] Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
                                const QueryOptions& options,
-                               obs::Trace* trace = nullptr);
+                               obs::Trace* trace = nullptr,
+                               const QueryGuard* guard = nullptr);
 
 }  // namespace levelheaded
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <set>
 
+#include "core/cancel.h"
 #include "core/plan.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -98,7 +99,8 @@ std::string PhysicalPlan::RootOrderString() const {
 
 Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
                                const QueryOptions& options,
-                               obs::Trace* trace) {
+                               obs::Trace* trace, const QueryGuard* guard) {
+  if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
   PhysicalPlan plan;
   plan.options = options;
   plan.query = std::move(query);
@@ -172,6 +174,9 @@ Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
   obs::TraceSpan order_span(trace, "attr_ordering");
   plan.nodes.resize(plan.ghd.nodes.size());
   for (size_t ni = 0; ni < plan.ghd.nodes.size(); ++ni) {
+    // Order enumeration is factorial in bag width; poll per node so an
+    // expired deadline unwinds before the next enumeration.
+    if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
     const GhdNode& gnode = plan.ghd.nodes[ni];
     NodePlan& np = plan.nodes[ni];
 

@@ -1,0 +1,47 @@
+#include "obs/server_stats.h"
+
+#include "obs/json_writer.h"
+
+namespace levelheaded::obs {
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  Snapshot s;
+  s.accepted = accepted_.load(kRelaxed);
+  s.rejected_overload = rejected_overload_.load(kRelaxed);
+  s.timeouts = timeouts_.load(kRelaxed);
+  s.cancelled = cancelled_.load(kRelaxed);
+  s.completed = completed_.load(kRelaxed);
+  s.errors = errors_.load(kRelaxed);
+  s.inflight = inflight_.load(kRelaxed);
+  s.latency_ms_total =
+      static_cast<double>(latency_us_total_.load(kRelaxed)) / 1000.0;
+  s.latency_ms_max =
+      static_cast<double>(latency_us_max_.load(kRelaxed)) / 1000.0;
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> ServerStats::Export() const {
+  const Snapshot s = snapshot();
+  return {
+      {"server.accepted", static_cast<double>(s.accepted)},
+      {"server.rejected_overload", static_cast<double>(s.rejected_overload)},
+      {"server.timeouts", static_cast<double>(s.timeouts)},
+      {"server.cancelled", static_cast<double>(s.cancelled)},
+      {"server.completed", static_cast<double>(s.completed)},
+      {"server.errors", static_cast<double>(s.errors)},
+      {"server.inflight", static_cast<double>(s.inflight)},
+      {"server.latency_ms_total", s.latency_ms_total},
+      {"server.latency_ms_max", s.latency_ms_max},
+  };
+}
+
+void ServerStats::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  for (const auto& [key, value] : Export()) {
+    w->Key(key);
+    w->Number(value);
+  }
+  w->EndObject();
+}
+
+}  // namespace levelheaded::obs

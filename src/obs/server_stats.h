@@ -1,0 +1,92 @@
+// Serving-layer counters (DESIGN.md §12): one ServerStats per Server,
+// updated lock-free by the accept loop and workers, read by /stats
+// responses, the shutdown log line, and bench/server_loadgen's JSON
+// export. Mirrors the ExecStats idiom (stats.h): relaxed atomics on the
+// hot path, a coherent-enough Snapshot for reporting.
+
+#ifndef LEVELHEADED_OBS_SERVER_STATS_H_
+#define LEVELHEADED_OBS_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace levelheaded::obs {
+
+class JsonWriter;
+
+class ServerStats {
+ public:
+  /// Connections admitted by the accept loop.
+  void CountAccepted() { accepted_.fetch_add(1, kRelaxed); }
+  /// Connections refused because the admission queue was full.
+  void CountRejectedOverload() { rejected_overload_.fetch_add(1, kRelaxed); }
+  /// Requests that unwound with kDeadlineExceeded.
+  void CountTimeout() { timeouts_.fetch_add(1, kRelaxed); }
+  /// Requests that unwound with kCancelled (client cancel or shutdown).
+  void CountCancelled() { cancelled_.fetch_add(1, kRelaxed); }
+  /// Requests answered with ok:true.
+  void CountCompleted() { completed_.fetch_add(1, kRelaxed); }
+  /// Requests answered with any other error (parse, bind, exec, ...).
+  void CountError() { errors_.fetch_add(1, kRelaxed); }
+
+  /// In-flight request gauge: Begin when a request line is parsed off the
+  /// wire, End once its response is written.
+  void BeginRequest() { inflight_.fetch_add(1, kRelaxed); }
+  void EndRequest() { inflight_.fetch_sub(1, kRelaxed); }
+
+  /// Wall time from request line to response write, any outcome.
+  void RecordLatencyMs(double ms) {
+    latency_us_total_.fetch_add(static_cast<uint64_t>(ms * 1000.0),
+                                kRelaxed);
+    uint64_t bits = latency_us_max_.load(kRelaxed);
+    const auto us = static_cast<uint64_t>(ms * 1000.0);
+    while (us > bits &&
+           !latency_us_max_.compare_exchange_weak(bits, us, kRelaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    uint64_t accepted = 0;
+    uint64_t rejected_overload = 0;
+    uint64_t timeouts = 0;
+    uint64_t cancelled = 0;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    int64_t inflight = 0;
+    double latency_ms_total = 0;
+    double latency_ms_max = 0;
+    /// completed + errors + timeouts + cancelled.
+    uint64_t requests() const {
+      return completed + errors + timeouts + cancelled;
+    }
+  };
+
+  Snapshot snapshot() const;
+
+  /// "server.<counter>" key/value pairs — the names the loadgen exports as
+  /// bench-entry extras and /stats emits; keep in sync with DESIGN.md §12.
+  std::vector<std::pair<std::string, double>> Export() const;
+
+  /// The Export() pairs as one JSON object (current writer position).
+  void WriteJson(JsonWriter* w) const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<uint64_t> latency_us_total_{0};
+  std::atomic<uint64_t> latency_us_max_{0};
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_SERVER_STATS_H_

@@ -1,0 +1,197 @@
+#include "server/protocol.h"
+
+#include "obs/json_writer.h"
+#include "obs/profile.h"
+#include "storage/value.h"
+
+namespace levelheaded::server {
+
+namespace {
+
+/// Writes one result cell. GetValue normalizes the column's physical form
+/// (typed vectors or dictionary codes) into a Value.
+void WriteCell(obs::JsonWriter* w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      w->Null();
+      break;
+    case Value::Kind::kInt:
+      w->Int(v.AsInt());
+      break;
+    case Value::Kind::kReal:
+      w->Number(v.AsReal());
+      break;
+    case Value::Kind::kString:
+      w->String(v.AsStr());
+      break;
+  }
+}
+
+}  // namespace
+
+Status ParseRequestLine(const std::string& line, ServerRequest* out) {
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::ParseJson(line, &doc, &error)) {
+    return Status::InvalidArgument("malformed request JSON: " + error);
+  }
+  if (!doc.IsObject()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  *out = ServerRequest();
+  if (const obs::JsonValue* stats = doc.Find("stats");
+      stats != nullptr && stats->kind == obs::JsonValue::Kind::kBool &&
+      stats->boolean) {
+    out->mode = ServerRequest::Mode::kStats;
+    return Status::OK();
+  }
+  const obs::JsonValue* sql = doc.Find("sql");
+  if (sql == nullptr || !sql->IsString()) {
+    return Status::InvalidArgument("request needs a string \"sql\" member");
+  }
+  out->sql = sql->string;
+  if (const obs::JsonValue* mode = doc.Find("mode"); mode != nullptr) {
+    if (!mode->IsString()) {
+      return Status::InvalidArgument("\"mode\" must be a string");
+    }
+    if (mode->string == "query") {
+      out->mode = ServerRequest::Mode::kQuery;
+    } else if (mode->string == "analyze") {
+      out->mode = ServerRequest::Mode::kAnalyze;
+    } else if (mode->string == "explain") {
+      out->mode = ServerRequest::Mode::kExplain;
+    } else {
+      return Status::InvalidArgument(
+          "unknown mode \"" + mode->string +
+          "\" (want query | analyze | explain)");
+    }
+  }
+  if (const obs::JsonValue* t = doc.Find("timeout_ms"); t != nullptr) {
+    if (!t->IsNumber() || t->number < 0) {
+      return Status::InvalidArgument(
+          "\"timeout_ms\" must be a non-negative number");
+    }
+    out->timeout_ms = t->number;
+  }
+  return Status::OK();
+}
+
+std::string BuildResultResponse(const QueryResult& result) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("num_rows");
+  w.Uint(result.num_rows);
+  w.Key("columns");
+  w.BeginArray();
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    const ResultColumn& col = result.columns[c];
+    w.BeginObject();
+    w.Key("name");
+    w.String(col.name);
+    w.Key("type");
+    w.String(ValueTypeName(col.type));
+    w.Key("values");
+    w.BeginArray();
+    for (size_t r = 0; r < result.num_rows; ++r) {
+      WriteCell(&w, result.GetValue(r, static_cast<int>(c)));
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("timing");
+  w.BeginObject();
+  w.Key("parse_ms");
+  w.Number(result.timing.parse_ms);
+  w.Key("plan_ms");
+  w.Number(result.timing.plan_ms);
+  w.Key("filter_ms");
+  w.Number(result.timing.filter_ms);
+  w.Key("exec_ms");
+  w.Number(result.timing.exec_ms);
+  w.Key("index_build_ms");
+  w.Number(result.timing.index_build_ms);
+  w.EndObject();
+  if (result.profile != nullptr) {
+    w.Key("profile");
+    result.profile->WriteJson(&w);
+  }
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string BuildExplainResponse(const ExplainInfo& info) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("explain");
+  w.BeginObject();
+  w.Key("scan_only");
+  w.Bool(info.scan_only);
+  w.Key("dense");
+  w.String(info.dense == DenseKernel::kNone
+               ? "none"
+               : (info.dense == DenseKernel::kGemm ? "gemm" : "gemv"));
+  w.Key("num_ghd_nodes");
+  w.Uint(info.num_ghd_nodes);
+  w.Key("fhw");
+  w.Number(info.fhw);
+  w.Key("root_order");
+  w.String(info.root_order);
+  w.Key("root_cost");
+  w.Number(info.root_cost);
+  w.Key("union_relaxed");
+  w.Bool(info.union_relaxed);
+  w.EndObject();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string BuildErrorResponse(
+    const Status& status,
+    const std::vector<std::pair<std::string, double>>& detail) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(false);
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(StatusCodeName(status.code()));
+  w.Key("message");
+  w.String(status.message());
+  w.EndObject();
+  if (!detail.empty()) {
+    w.Key("detail");
+    w.BeginObject();
+    for (const auto& [key, value] : detail) {
+      w.Key(key);
+      w.Number(value);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string BuildStatsResponse(
+    const std::vector<std::pair<std::string, double>>& stats) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("stats");
+  w.BeginObject();
+  for (const auto& [key, value] : stats) {
+    w.Key(key);
+    w.Number(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+}  // namespace levelheaded::server

@@ -1,0 +1,62 @@
+// Wire protocol for the LevelHeaded serving layer: newline-delimited JSON
+// over TCP (DESIGN.md §12). One request line, one response line:
+//
+//   -> {"sql": "SELECT ...", "mode": "query", "timeout_ms": 500}
+//   <- {"ok": true, "num_rows": 1, "columns": [...], "timing": {...}}
+//   <- {"ok": false, "error": {"code": "DeadlineExceeded", "message": ...}}
+//
+// `mode` is "query" (default), "analyze" (rows + execution profile), or
+// "explain" (plan text, no execution). `timeout_ms` overrides the server's
+// default per-request deadline; 0 keeps the default. A special
+// {"stats": true} line returns the server.* counters. Malformed or
+// oversized lines get an ok:false response — never a dropped connection
+// without a reason, never a crash.
+
+#ifndef LEVELHEADED_SERVER_PROTOCOL_H_
+#define LEVELHEADED_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/result.h"
+#include "util/status.h"
+
+namespace levelheaded::server {
+
+struct ServerRequest {
+  enum class Mode { kQuery, kAnalyze, kExplain, kStats };
+  Mode mode = Mode::kQuery;
+  std::string sql;
+  double timeout_ms = 0;  // 0 = use the server default
+};
+
+/// Parses one request line. On error the connection stays usable — the
+/// caller responds with BuildErrorResponse and reads the next line.
+[[nodiscard]] Status ParseRequestLine(const std::string& line,
+                                      ServerRequest* out);
+
+/// {"ok":true,...} response (single line, trailing '\n'). Columns are
+/// serialized column-major; when the query ran with stats collection the
+/// execution profile rides along under "profile".
+[[nodiscard]] std::string BuildResultResponse(const QueryResult& result);
+
+/// {"ok":true,"explain":{...}} response for mode "explain": plan shape
+/// diagnostics (GHD size, fractional hypertree width, chosen attribute
+/// order) without executing the query.
+[[nodiscard]] std::string BuildExplainResponse(const ExplainInfo& info);
+
+/// {"ok":false,"error":{...}} response (single line, trailing '\n').
+/// `detail` adds numeric context (e.g. queue_depth on overload).
+[[nodiscard]] std::string BuildErrorResponse(
+    const Status& status,
+    const std::vector<std::pair<std::string, double>>& detail = {});
+
+/// {"ok":true,"stats":{...}} response for {"stats":true} requests.
+[[nodiscard]] std::string BuildStatsResponse(
+    const std::vector<std::pair<std::string, double>>& stats);
+
+}  // namespace levelheaded::server
+
+#endif  // LEVELHEADED_SERVER_PROTOCOL_H_

@@ -1,0 +1,91 @@
+// The admission queue: a bounded, closable MPSC/MPMC handoff between the
+// accept loop and the worker pool (DESIGN.md §12).
+//
+// Boundedness IS the admission control: when every worker is busy and the
+// queue is at capacity, TryPush fails and the accept loop answers with an
+// immediate overload error instead of letting latency (and server memory)
+// grow without bound. Total admitted in-flight work is therefore capped at
+// num_workers + queue_capacity connections.
+
+#ifndef LEVELHEADED_SERVER_REQUEST_QUEUE_H_
+#define LEVELHEADED_SERVER_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/socket.h"
+
+namespace levelheaded::server {
+
+class RequestQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admit; kFull is the overload signal. *conn is consumed
+  /// only on kOk — on rejection the caller still owns the socket and can
+  /// answer with an overload/drain error before closing it.
+  PushResult TryPush(Socket* conn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(*conn));
+    }
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks for the next connection. False once the queue is closed —
+  /// items still queued at close are left for TryPop (the shutdown path
+  /// answers them with a drain error; workers must not start serving new
+  /// connections after close).
+  bool Pop(Socket* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (closed_) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop that ignores the closed flag (shutdown drain).
+  bool TryPop(Socket* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Wakes every blocked Pop with false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Socket> items_;
+  bool closed_ = false;
+};
+
+}  // namespace levelheaded::server
+
+#endif  // LEVELHEADED_SERVER_REQUEST_QUEUE_H_

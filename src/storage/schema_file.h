@@ -1,0 +1,35 @@
+// Text schema files: a tiny declarative format for standing up a catalog
+// from delimited files, shared by the interactive shell (examples/lhsql)
+// and the server binary (tools/lh_serve).
+//
+//   # comments start with '#'
+//   table nation n_nationkey:key:int:nationkey n_name:string
+//   load nation nation.tbl
+//
+// Column syntax: name[:key]:type[:domain] with type one of
+// int|long|float|double|string|date. Key columns may name their shared
+// domain (defaults to the column name).
+
+#ifndef LEVELHEADED_STORAGE_SCHEMA_FILE_H_
+#define LEVELHEADED_STORAGE_SCHEMA_FILE_H_
+
+#include <string>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Parses one `name[:key]:type[:domain]` column token.
+[[nodiscard]] Result<ColumnSpec> ParseColumnSpec(const std::string& token);
+
+/// Executes the `table`/`load` directives in `path` against `catalog`.
+/// Does not finalize the catalog — callers add more tables or finalize
+/// themselves.
+[[nodiscard]] Status LoadSchemaFile(const std::string& path,
+                                    Catalog* catalog);
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_STORAGE_SCHEMA_FILE_H_

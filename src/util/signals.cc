@@ -1,0 +1,42 @@
+#include "util/signals.h"
+
+#include <csignal>
+
+#include <atomic>
+#include <cstring>
+
+namespace levelheaded {
+
+namespace {
+
+// Lock-free atomic: the only state a signal handler may touch.
+std::atomic<bool> shutdown_signalled{false};
+
+extern "C" void HandleShutdownSignal(int) {
+  shutdown_signalled.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Status InstallShutdownSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGINT, &sa, nullptr) != 0 ||
+      sigaction(SIGTERM, &sa, nullptr) != 0) {
+    return Status::IoError("sigaction failed");
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  return Status::OK();
+}
+
+bool ShutdownSignalled() {
+  return shutdown_signalled.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  shutdown_signalled.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace levelheaded

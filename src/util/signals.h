@@ -1,0 +1,29 @@
+// Process signal plumbing for long-running binaries (tools/lh_serve).
+//
+// A serving process must turn SIGINT/SIGTERM into a graceful drain, not an
+// abrupt exit with in-flight queries half-answered. The handler here only
+// sets a flag; the serving loop polls ShutdownSignalled() and runs the
+// orderly Server::Stop() sequence itself (signal handlers cannot touch
+// locks or allocate).
+
+#ifndef LEVELHEADED_UTIL_SIGNALS_H_
+#define LEVELHEADED_UTIL_SIGNALS_H_
+
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// Installs SIGINT/SIGTERM handlers that raise the shutdown flag, and
+/// ignores SIGPIPE (socket writes report EPIPE instead of killing the
+/// process). Idempotent.
+[[nodiscard]] Status InstallShutdownSignalHandlers();
+
+/// True once SIGINT or SIGTERM was received (or RequestShutdown ran).
+bool ShutdownSignalled();
+
+/// Raises the shutdown flag from ordinary code (tests, admin paths).
+void RequestShutdown();
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_SIGNALS_H_

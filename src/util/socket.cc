@@ -1,0 +1,149 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace levelheaded {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenTcp(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket s(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  return s;
+}
+
+Result<uint16_t> BoundPort(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket s(fd);
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect 127.0.0.1:" + std::to_string(port));
+  return s;
+}
+
+Result<Socket> AcceptWithTimeout(const Socket& listener, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listener.fd();
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return Socket();  // timeout tick
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // The pending connection can vanish between poll and accept.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Socket();
+    }
+    return Errno("accept");
+  }
+  return Socket(fd);
+}
+
+Status SetRecvTimeout(const Socket& s, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(s.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status SendAll(const Socket& s, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(s.fd(), data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+LineReader::ReadStatus LineReader::ReadLine(std::string* out) {
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      return ReadStatus::kLine;
+    }
+    if (buffer_.size() > max_line_bytes_) return ReadStatus::kTooLong;
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadStatus::kEof;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::kTimeout;
+      }
+      return ReadStatus::kError;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,99 @@
+// RAII TCP sockets for the serving layer (src/server).
+//
+// Every raw POSIX socket/file-descriptor call in the repo lives in
+// socket.cc — a leaked fd in a server that accepts thousands of
+// connections is an outage, so ownership is enforced by type (and by the
+// `raw-socket` lint, which bans socket()/accept()/close() outside
+// src/util). The server binds loopback only: LevelHeaded's serving layer
+// is a sidecar for local clients and benchmarks, not an internet-facing
+// daemon.
+
+#ifndef LEVELHEADED_UTIL_SOCKET_H_
+#define LEVELHEADED_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace levelheaded {
+
+/// A uniquely-owned socket file descriptor. Move-only; closes on
+/// destruction. An invalid (default) Socket holds fd -1.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (port 0 picks an
+/// ephemeral port; read it back with BoundPort).
+[[nodiscard]] Result<Socket> ListenTcp(uint16_t port, int backlog = 64);
+
+/// The local port a bound socket listens on.
+[[nodiscard]] Result<uint16_t> BoundPort(const Socket& listener);
+
+/// Connects to 127.0.0.1:`port`.
+[[nodiscard]] Result<Socket> ConnectLoopback(uint16_t port);
+
+/// Waits up to `timeout_ms` for a pending connection on `listener`.
+/// Returns an invalid Socket when the wait simply timed out — callers use
+/// the tick to re-check their shutdown flag.
+[[nodiscard]] Result<Socket> AcceptWithTimeout(const Socket& listener,
+                                               int timeout_ms);
+
+/// Bounds how long a recv() on `s` may block before failing with
+/// EAGAIN/EWOULDBLOCK (surfaced as LineReader::ReadStatus::kTimeout).
+[[nodiscard]] Status SetRecvTimeout(const Socket& s, int timeout_ms);
+
+/// Writes all of `data`, retrying short writes. Sends with MSG_NOSIGNAL so
+/// a peer that hung up yields an error instead of SIGPIPE.
+[[nodiscard]] Status SendAll(const Socket& s, const std::string& data);
+
+/// Buffered newline-delimited reads with a hard line-length bound (a
+/// client streaming an unbounded "line" must not grow server memory).
+class LineReader {
+ public:
+  enum class ReadStatus {
+    kLine,     ///< one complete line in *out (newline stripped)
+    kEof,      ///< peer closed; no more data
+    kTimeout,  ///< recv timeout expired (see SetRecvTimeout)
+    kTooLong,  ///< line exceeds max_line_bytes; connection unusable
+    kError,    ///< transport error
+  };
+
+  LineReader(const Socket* socket, size_t max_line_bytes)
+      : socket_(socket), max_line_bytes_(max_line_bytes) {}
+
+  [[nodiscard]] ReadStatus ReadLine(std::string* out);
+
+ private:
+  const Socket* socket_;
+  size_t max_line_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_SOCKET_H_

@@ -30,6 +30,15 @@ enum class StatusCode {
   kExecutionError,
   kIoError,
   kInternal,
+  /// The query's deadline passed before execution finished (cooperative
+  /// cancellation; see core/cancel.h).
+  kDeadlineExceeded,
+  /// The query was cancelled through its CancelToken (client disconnect,
+  /// server shutdown, explicit caller cancel).
+  kCancelled,
+  /// A resource bound was hit before completion: a full server admission
+  /// queue, or EngineOptions::max_result_rows exceeded.
+  kResourceExhausted,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -83,6 +92,15 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,450 @@
+// Integration tests for the serving layer (src/server): protocol parsing,
+// concurrent clients vs. direct-Query ground truth, admission control,
+// deadlines, malformed input, and graceful shutdown. Runs entirely over
+// real loopback sockets against an in-process Server on an ephemeral port.
+
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "obs/json_writer.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/rng.h"
+#include "util/socket.h"
+
+namespace levelheaded {
+namespace {
+
+using server::Server;
+using server::ServerOptions;
+using server::ServerRequest;
+
+constexpr char kTriangleSql[] =
+    "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+    "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src";
+constexpr char kGroupBySql[] =
+    "SELECT src, count(*) FROM edge GROUP BY src ORDER BY src";
+
+/// A blocking client: one connection, newline-delimited JSON round trips.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port, int recv_timeout_ms = 30000) {
+    auto conn = ConnectLoopback(port);
+    if (conn.ok()) {
+      socket_ = conn.TakeValue();
+      (void)SetRecvTimeout(socket_, recv_timeout_ms).ok();
+    }
+  }
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Sends `line` (terminated) and parses the one-line JSON response.
+  /// Returns false on transport failure or unparsable response.
+  bool RoundTrip(const std::string& line, obs::JsonValue* out) {
+    if (!SendAll(socket_, line + "\n").ok()) return false;
+    return ReadResponse(out);
+  }
+
+  bool ReadResponse(obs::JsonValue* out) {
+    std::string response;
+    if (reader_.ReadLine(&response) != LineReader::ReadStatus::kLine) {
+      return false;
+    }
+    return obs::ParseJson(response, out);
+  }
+
+  bool SendRaw(const std::string& data) {
+    return SendAll(socket_, data).ok();
+  }
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  /// Persistent so bytes buffered past one line aren't lost between reads.
+  LineReader reader_{&socket_, 64u << 20};
+};
+
+std::string QueryLine(const std::string& sql, double timeout_ms = 0) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("sql");
+  w.String(sql);
+  if (timeout_ms > 0) {
+    w.Key("timeout_ms");
+    w.Number(timeout_ms);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+bool IsOk(const obs::JsonValue& response) {
+  const obs::JsonValue* ok = response.Find("ok");
+  return ok != nullptr && ok->kind == obs::JsonValue::Kind::kBool &&
+         ok->boolean;
+}
+
+std::string ErrorCode(const obs::JsonValue& response) {
+  const obs::JsonValue* error = response.Find("error");
+  if (error == nullptr) return "";
+  const obs::JsonValue* code = error->Find("code");
+  return code != nullptr && code->IsString() ? code->string : "";
+}
+
+/// Flattens a response's columns into row-major cells for comparison with
+/// a direct QueryResult (numbers compared exactly: the JSON writer emits
+/// round-trippable doubles).
+std::vector<std::vector<double>> NumericRows(const obs::JsonValue& resp) {
+  std::vector<std::vector<double>> rows;
+  const obs::JsonValue* num_rows = resp.Find("num_rows");
+  const obs::JsonValue* columns = resp.Find("columns");
+  if (num_rows == nullptr || columns == nullptr) return rows;
+  rows.resize(static_cast<size_t>(num_rows->number));
+  for (const obs::JsonValue& col : columns->array) {
+    const obs::JsonValue* values = col.Find("values");
+    if (values == nullptr) continue;
+    for (size_t r = 0; r < rows.size() && r < values->array.size(); ++r) {
+      rows[r].push_back(values->array[r].number);
+    }
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> DirectRows(const QueryResult& result) {
+  std::vector<std::vector<double>> rows(result.num_rows);
+  for (size_t r = 0; r < result.num_rows; ++r) {
+    for (size_t c = 0; c < result.columns.size(); ++c) {
+      const Value v = result.GetValue(r, c);
+      rows[r].push_back(v.kind() == Value::Kind::kInt
+                            ? static_cast<double>(v.AsInt())
+                            : v.AsReal());
+    }
+  }
+  return rows;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static constexpr int kNodes = 30;
+  static constexpr size_t kEdges = 250;
+
+  void SetUp() override {
+    Table* t = catalog_
+                   .CreateTable(TableSchema(
+                       "edge",
+                       {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                        ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                        ColumnSpec::Annotation("w", ValueType::kDouble)}))
+                   .ValueOrDie();
+    Rng rng(0x5E17E5);
+    std::set<std::pair<int, int>> seen;
+    while (seen.size() < kEdges) {
+      int a = static_cast<int>(rng.Uniform(kNodes));
+      int b = static_cast<int>(rng.Uniform(kNodes));
+      if (a == b || !seen.insert({a, b}).second) continue;
+      ASSERT_TRUE(t->AppendRow({Value::Int(a), Value::Int(b),
+                                Value::Real(rng.UniformDouble(0, 1))})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+    engine_ = std::make_unique<Engine>(&catalog_);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ServerTest, StartStopIdempotent) {
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // second Stop is a no-op
+}
+
+TEST_F(ServerTest, ConcurrentClientsMatchDirectQuery) {
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 4;
+  ServerOptions options;
+  options.num_workers = 4;
+  Server server(engine_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Ground truth from the embedded API.
+  auto direct_triangles = engine_->Query(kTriangleSql);
+  auto direct_groups = engine_->Query(kGroupBySql);
+  ASSERT_TRUE(direct_triangles.ok());
+  ASSERT_TRUE(direct_groups.ok());
+  const auto want_triangles = DirectRows(direct_triangles.value());
+  const auto want_groups = DirectRows(direct_groups.value());
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      if (!client.connected()) {
+        failures[c] = 100;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const bool triangles = (c + r) % 2 == 0;
+        obs::JsonValue resp;
+        if (!client.RoundTrip(
+                QueryLine(triangles ? kTriangleSql : kGroupBySql),
+                &resp) ||
+            !IsOk(resp)) {
+          ++failures[c];
+          continue;
+        }
+        const auto got = NumericRows(resp);
+        const auto& want = triangles ? want_triangles : want_groups;
+        if (got != want) ++failures[c];  // exact double equality
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+
+  const auto stats = server.stats().snapshot();
+  EXPECT_GE(stats.completed,
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  server.Stop();
+}
+
+TEST_F(ServerTest, OverloadRejectsWithQueueDetail) {
+  ServerOptions options;
+  options.num_workers = 0;  // nothing drains the queue: deterministic fill
+  options.queue_capacity = 2;
+  options.drain_timeout_ms = 100;
+  Server server(engine_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The first two connections are admitted (and never served); the third
+  // must be rejected immediately with the queue depth in the detail.
+  TestClient first(server.port(), /*recv_timeout_ms=*/10000);
+  TestClient second(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+
+  TestClient third(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(third.connected());
+  obs::JsonValue resp;
+  ASSERT_TRUE(third.ReadResponse(&resp));
+  EXPECT_FALSE(IsOk(resp));
+  EXPECT_EQ(ErrorCode(resp), "ResourceExhausted");
+  const obs::JsonValue* detail = resp.Find("detail");
+  ASSERT_NE(detail, nullptr);
+  const obs::JsonValue* capacity = detail->Find("queue_capacity");
+  ASSERT_NE(capacity, nullptr);
+  EXPECT_EQ(capacity->number, 2.0);
+  const obs::JsonValue* depth = detail->Find("queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->number, 2.0);
+
+  EXPECT_GE(server.stats().snapshot().rejected_overload, 1u);
+
+  // Stop() answers the still-queued connections with a drain error rather
+  // than silently dropping them.
+  server.Stop();
+  obs::JsonValue drain1, drain2;
+  ASSERT_TRUE(first.ReadResponse(&drain1));
+  ASSERT_TRUE(second.ReadResponse(&drain2));
+  EXPECT_EQ(ErrorCode(drain1), "Cancelled");
+  EXPECT_EQ(ErrorCode(drain2), "Cancelled");
+}
+
+TEST_F(ServerTest, TimeoutReturnsDeadlineExceededAndWorkerSurvives) {
+  ServerOptions options;
+  options.num_workers = 1;  // the same worker must serve the follow-up
+  Server server(engine_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql, /*timeout_ms=*/1e-6),
+                               &resp));
+  EXPECT_FALSE(IsOk(resp));
+  EXPECT_EQ(ErrorCode(resp), "DeadlineExceeded");
+
+  // Same connection, same (sole) worker: the token was re-armed and the
+  // query runs to completion.
+  obs::JsonValue ok_resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &ok_resp));
+  EXPECT_TRUE(IsOk(ok_resp));
+
+  const auto stats = server.stats().snapshot();
+  EXPECT_GE(stats.timeouts, 1u);
+  EXPECT_GE(stats.completed, 1u);
+  server.Stop();
+}
+
+TEST_F(ServerTest, MalformedRequestsGetErrorsNotCrashes) {
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip("this is not json", &resp));
+  EXPECT_FALSE(IsOk(resp));
+  EXPECT_EQ(ErrorCode(resp), "InvalidArgument");
+
+  ASSERT_TRUE(client.RoundTrip(R"({"sql": 5})", &resp));
+  EXPECT_FALSE(IsOk(resp));
+
+  ASSERT_TRUE(client.RoundTrip(R"({"mode": "query"})", &resp));
+  EXPECT_FALSE(IsOk(resp));  // sql missing
+
+  ASSERT_TRUE(
+      client.RoundTrip(R"({"sql": "SELECT 1", "mode": "bogus"})", &resp));
+  EXPECT_FALSE(IsOk(resp));
+
+  ASSERT_TRUE(client.RoundTrip(
+      R"({"sql": "SELECT 1", "timeout_ms": -5})", &resp));
+  EXPECT_FALSE(IsOk(resp));
+
+  // The connection survives all of the above.
+  obs::JsonValue ok_resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &ok_resp));
+  EXPECT_TRUE(IsOk(ok_resp));
+  server.Stop();
+}
+
+TEST_F(ServerTest, OversizedLineGetsErrorThenClose) {
+  ServerOptions options;
+  options.max_request_bytes = 1024;
+  Server server(engine_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Stream a 1MB "line": the server must answer with an error once the
+  // bound trips — never buffer it all, never crash.
+  std::string big(1u << 20, 'x');
+  big.push_back('\n');
+  (void)client.SendRaw(big);  // may fail part-way once the server closes
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_FALSE(IsOk(resp));
+  EXPECT_EQ(ErrorCode(resp), "InvalidArgument");
+  server.Stop();
+}
+
+TEST_F(ServerTest, StatsRequestExportsCounters) {
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &resp));
+  ASSERT_TRUE(IsOk(resp));
+
+  obs::JsonValue stats_resp;
+  ASSERT_TRUE(client.RoundTrip(R"({"stats": true})", &stats_resp));
+  ASSERT_TRUE(IsOk(stats_resp));
+  const obs::JsonValue* stats = stats_resp.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  const obs::JsonValue* accepted = stats->Find("server.accepted");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_GE(accepted->number, 1.0);
+  const obs::JsonValue* completed = stats->Find("server.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_GE(completed->number, 1.0);
+  server.Stop();
+}
+
+TEST_F(ServerTest, ExplainAndAnalyzeModes) {
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip(
+      std::string(R"({"sql": ")") + kTriangleSql +
+          R"(", "mode": "analyze"})",
+      &resp));
+  ASSERT_TRUE(IsOk(resp));
+  EXPECT_NE(resp.Find("profile"), nullptr)
+      << "analyze responses carry the execution profile";
+
+  ASSERT_TRUE(client.RoundTrip(
+      std::string(R"({"sql": ")") + kTriangleSql +
+          R"(", "mode": "explain"})",
+      &resp));
+  ASSERT_TRUE(IsOk(resp));
+  const obs::JsonValue* explain = resp.Find("explain");
+  ASSERT_NE(explain, nullptr);
+  const obs::JsonValue* ghd = explain->Find("num_ghd_nodes");
+  ASSERT_NE(ghd, nullptr);
+  EXPECT_GE(ghd->number, 1.0);
+  server.Stop();
+}
+
+TEST_F(ServerTest, GracefulShutdownWithInflightQuery) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.drain_timeout_ms = 2000;
+  Server server(engine_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One client mid-conversation, one idle: Stop() must complete promptly
+  // regardless, cancelling anything still running via the worker tokens.
+  TestClient busy(server.port());
+  TestClient idle(server.port());
+  ASSERT_TRUE(busy.connected());
+  ASSERT_TRUE(idle.connected());
+  obs::JsonValue resp;
+  ASSERT_TRUE(busy.RoundTrip(QueryLine(kGroupBySql), &resp));
+  EXPECT_TRUE(IsOk(resp));
+
+  const auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  const double stop_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(server.running());
+  // Drain budget + poll interval + margin; a hang here means shutdown
+  // deadlocked on an idle connection.
+  EXPECT_LT(stop_ms, 10'000);
+}
+
+TEST(ProtocolTest, ParseRequestLineCoversModes) {
+  ServerRequest req;
+  ASSERT_TRUE(server::ParseRequestLine(
+                  R"({"sql": "SELECT 1", "mode": "analyze",)"
+                  R"( "timeout_ms": 250})",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.mode, ServerRequest::Mode::kAnalyze);
+  EXPECT_EQ(req.sql, "SELECT 1");
+  EXPECT_EQ(req.timeout_ms, 250.0);
+
+  ASSERT_TRUE(server::ParseRequestLine(R"({"stats": true})", &req).ok());
+  EXPECT_EQ(req.mode, ServerRequest::Mode::kStats);
+
+  EXPECT_FALSE(server::ParseRequestLine("{}", &req).ok());
+  EXPECT_FALSE(server::ParseRequestLine("[1,2]", &req).ok());
+  EXPECT_FALSE(server::ParseRequestLine("", &req).ok());
+}
+
+}  // namespace
+}  // namespace levelheaded

@@ -1,0 +1,143 @@
+// lh_client: a command-line client for lh_serve.
+//
+//   $ ./tools/lh_client --port 8437 "SELECT count(*) FROM lineitem"
+//   {"ok":true,"num_rows":1,...}
+//   $ ./tools/lh_client --port 8437 --stats
+//   $ echo "SELECT 1" | ./tools/lh_client --port 8437
+//
+// Builds one request line per query (protocol in server/protocol.h),
+// prints the raw JSON response line. SQL comes from the command line or,
+// when absent, one statement per stdin line.
+//
+// Flags:
+//   --port N         server port on 127.0.0.1 (required)
+//   --mode M         query | analyze | explain (default query)
+//   --timeout-ms X   per-request deadline (0 = server default)
+//   --stats          request the server.* counters instead of a query
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "util/socket.h"
+
+namespace levelheaded {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--mode query|analyze|explain] "
+               "[--timeout-ms X] [--stats] [sql]\n",
+               argv0);
+  return 2;
+}
+
+std::string BuildRequestLine(const std::string& sql, const std::string& mode,
+                             double timeout_ms) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("sql");
+  w.String(sql);
+  w.Key("mode");
+  w.String(mode);
+  if (timeout_ms > 0) {
+    w.Key("timeout_ms");
+    w.Number(timeout_ms);
+  }
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+/// Sends one request line and prints the response line. Returns false on a
+/// transport failure (the response itself may still be an ok:false JSON).
+bool RoundTrip(const Socket& conn, LineReader* reader,
+               const std::string& request) {
+  if (!SendAll(conn, request).ok()) {
+    std::fprintf(stderr, "send failed (server gone?)\n");
+    return false;
+  }
+  std::string response;
+  const LineReader::ReadStatus rs = reader->ReadLine(&response);
+  if (rs != LineReader::ReadStatus::kLine) {
+    std::fprintf(stderr, "connection closed before response\n");
+    return false;
+  }
+  std::printf("%s\n", response.c_str());
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  uint16_t port = 0;
+  std::string mode = "query";
+  double timeout_ms = 0;
+  bool want_stats = false;
+  std::string sql;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      mode = v;
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      timeout_ms = std::atof(v);
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      if (!sql.empty()) sql += ' ';
+      sql += arg;
+    }
+  }
+  if (port == 0) return Usage(argv[0]);
+  if (mode != "query" && mode != "analyze" && mode != "explain") {
+    std::fprintf(stderr, "bad --mode %s\n", mode.c_str());
+    return Usage(argv[0]);
+  }
+
+  Result<Socket> conn = ConnectLoopback(port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+  LineReader reader(&conn.value(), 64u << 20);
+
+  if (want_stats) {
+    return RoundTrip(conn.value(), &reader, "{\"stats\": true}\n") ? 0 : 1;
+  }
+  if (!sql.empty()) {
+    return RoundTrip(conn.value(), &reader,
+                     BuildRequestLine(sql, mode, timeout_ms))
+               ? 0
+               : 1;
+  }
+  // No SQL on the command line: one statement per stdin line.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!RoundTrip(conn.value(), &reader,
+                   BuildRequestLine(line, mode, timeout_ms))) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded
+
+int main(int argc, char** argv) { return levelheaded::Run(argc, argv); }

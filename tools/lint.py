@@ -25,6 +25,11 @@ Rules (all findings are errors; the target requires zero):
                    (per instance) or thread_local + explicit propagation
                    (see DESIGN.md §11). Synchronization primitives
                    (mutex/atomic/once_flag/condition_variable) are exempt.
+  raw-socket       Raw POSIX socket/fd calls (socket/accept/bind/listen/
+                   connect/recv/send/setsockopt/close/...) outside the
+                   src/util wrappers. Sockets are owned by util/socket.h's
+                   RAII types; a bare fd is a leak (and a stray close() a
+                   double-close) on the first early return.
 
 Suppress a finding on one line with a trailing `// lint: allow(<rule>)`.
 """
@@ -33,7 +38,7 @@ import os
 import re
 import sys
 
-REPO_DIRS = ["src", "tests", "bench", "examples"]
+REPO_DIRS = ["src", "tests", "bench", "examples", "tools"]
 CXX_EXTENSIONS = (".h", ".cc")
 
 # The TraceSpan phase taxonomy. One name per engine phase; EXPLAIN ANALYZE,
@@ -60,6 +65,9 @@ SPAN_TAXONOMY = {
 SPAN_RULE_DIRS = ("src", "bench")
 GLOBAL_STATE_DIRS = ("src",)
 
+# The only files allowed to touch the POSIX socket API directly.
+RAW_SOCKET_EXEMPT_PREFIX = os.path.join("src", "util") + os.sep
+
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 
 NAKED_NEW_RE = re.compile(r"(?<![\w.>])new\b(?!\s*\()")
@@ -80,6 +88,15 @@ GLOBAL_STATE_EXEMPT_RE = re.compile(
     r"\(|\bconst\b|\bconstexpr\b|\bthread_local\b|\batomic\b|\bmutex\b"
     r"|\bonce_flag\b|\bcondition_variable\b")
 GLOBAL_NAME_RE = re.compile(r"\bg_\w+")
+
+# Bare POSIX socket-layer calls. The lookbehind rejects member calls
+# (`.close(`), qualified calls (`::connect(` inside the wrappers), and
+# longer identifiers (`fclose(`, `RequestShutdown(`), so only the naked
+# C API fires.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.>:])(?:socket|accept4?|bind|listen|connect|recv|send"
+    r"|sendto|recvfrom|setsockopt|getsockopt|getsockname|shutdown"
+    r"|close)\s*\(")
 
 
 def strip_comments_and_strings(line):
@@ -131,6 +148,8 @@ def lint_file(path, findings):
 
     in_span_dirs = path.split(os.sep, 1)[0] in SPAN_RULE_DIRS
     in_global_state_dirs = path.split(os.sep, 1)[0] in GLOBAL_STATE_DIRS
+    raw_socket_exempt = os.path.normpath(path).startswith(
+        RAW_SOCKET_EXEMPT_PREFIX)
     includes = []
     for lineno, raw in enumerate(raw_lines, start=1):
         code = strip_comments_and_strings(raw)
@@ -165,6 +184,13 @@ def lint_file(path, findings):
                      "`g_` global; concurrent queries share the process — "
                      "see DESIGN.md §11 "
                      "(or annotate `// lint: allow(global-state)`)"))
+
+        if (not raw_socket_exempt and RAW_SOCKET_RE.search(code)
+                and not allowed(raw, "raw-socket")):
+            findings.append(
+                (path, lineno, "raw-socket",
+                 "raw POSIX socket call; use the util/socket.h RAII "
+                 "wrappers (or annotate `// lint: allow(raw-socket)`)"))
 
         if in_span_dirs:
             for m in list(SPAN_RE.finditer(raw)) + list(OPEN_RE.finditer(raw)):
@@ -215,7 +241,7 @@ def find_include_cycles(graph, findings):
 def main(argv):
     if "--list-rules" in argv:
         print("naked-new banned-rand span-taxonomy include-cycle "
-              "global-state")
+              "global-state raw-socket")
         return 0
     paths = [a for a in argv if not a.startswith("-")] or REPO_DIRS
     findings = []
