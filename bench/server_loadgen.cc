@@ -1,7 +1,12 @@
 // Load generator for the serving layer (src/server): N socket clients fire
 // the concurrent_qps mixed workload at an in-process Server over real
-// loopback TCP and we report sustained QPS and client-observed latency
-// percentiles at 1/8/32 connections, plus the server.* admission counters.
+// loopback TCP and we report sustained QPS and latency percentiles at
+// 1/8/32 connections, plus the server.* admission counters. Percentiles
+// come from the server-side latency histogram (obs/histogram.h) — each
+// step diffs the histogram snapshot around its run, so the reported
+// p50/p95/p99/p99.9 are exactly what the metrics endpoint would show for
+// that interval. Client-observed percentiles (sorted round-trip times)
+// ride along as client_p50_ms/client_p99_ms for cross-checking.
 //
 // Two phases:
 //   1. Throughput: connection steps against a normally-provisioned server
@@ -23,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "obs/histogram.h"
 #include "obs/json_writer.h"
 #include "server/server.h"
 #include "util/rng.h"
@@ -184,7 +190,7 @@ int Run() {
               "127.0.0.1:%u, %d workers, %d requests per connection\n\n",
               sf, graph_nodes, static_cast<unsigned>(server.port()),
               options.num_workers, ops_per_conn);
-  PrintRow("Conns", {"QPS", "p50", "p99"}, 10, 12);
+  PrintRow("Conns", {"QPS", "p50", "p99", "p99.9"}, 10, 12);
 
   for (double step : conn_steps) {
     const int conns = std::max(1, static_cast<int>(step));
@@ -194,6 +200,9 @@ int Run() {
     std::vector<int> failures(static_cast<size_t>(conns), 0);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(conns));
+    // Window this step in the server-side histogram (cumulative across
+    // steps; the delta isolates this step's samples).
+    const obs::HistogramSnapshot before = server.stats().LatencySnapshot();
     WallTimer wall;
     for (int c = 0; c < conns; ++c) {
       threads.emplace_back([&, c] {
@@ -224,8 +233,14 @@ int Run() {
     const double qps =
         wall_ms > 0 ? 1000.0 * static_cast<double>(total_ops) / wall_ms
                     : 0;
-    const double p50 = Percentile(all, 0.50);
-    const double p99 = Percentile(all, 0.99);
+    // Authoritative percentiles: the server-side histogram delta for this
+    // step. Client-side sorting stays as a cross-check export.
+    const obs::HistogramSnapshot window = obs::HistogramSnapshot::Delta(
+        before, server.stats().LatencySnapshot());
+    const double p50 = window.QuantileMillis(0.50);
+    const double p95 = window.QuantileMillis(0.95);
+    const double p99 = window.QuantileMillis(0.99);
+    const double p999 = window.QuantileMillis(0.999);
 
     // Export throughput plus the server.* counters (cumulative across
     // steps) on each entry; validate_stats ignores the extra keys.
@@ -233,7 +248,11 @@ int Run() {
         {"connections", static_cast<double>(conns)},
         {"qps", qps},
         {"p50_ms", p50},
-        {"p99_ms", p99}};
+        {"p95_ms", p95},
+        {"p99_ms", p99},
+        {"p999_ms", p999},
+        {"client_p50_ms", Percentile(all, 0.50)},
+        {"client_p99_ms", Percentile(all, 0.99)}};
     for (auto& kv : server.stats().Export()) extras.push_back(kv);
     StatsLog::Get().Record(label, Measurement::Time(wall_ms), nullptr,
                            std::move(extras));
@@ -242,7 +261,8 @@ int Run() {
     std::snprintf(qps_cell, sizeof(qps_cell), "%.1f", qps);
     PrintRow(std::to_string(conns),
              {qps_cell, FormatTime(Measurement::Time(p50)),
-              FormatTime(Measurement::Time(p99))},
+              FormatTime(Measurement::Time(p99)),
+              FormatTime(Measurement::Time(p999))},
              10, 12);
   }
   server.Stop();

@@ -125,6 +125,44 @@ Result<PhysicalPlan> Engine::Prepare(const std::string& sql,
 
 Result<QueryResult> Engine::RunQuery(const std::string& sql,
                                      const QueryOptions& options) {
+  WallTimer timer;
+  Result<QueryResult> result = RunQueryImpl(sql, options);
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  const obs::QueryProfile* profile =
+      result.ok() ? result.value().profile.get() : nullptr;
+  if (profile != nullptr) lifetime_stats_.Add(profile->counters);
+
+  if (slow_query_log_.enabled() && elapsed_ms >= slow_query_log_.threshold_ms()) {
+    obs::SlowQueryRecord record;
+    record.sql = sql;
+    record.latency_ms = elapsed_ms;
+    if (result.ok()) {
+      record.status = "OK";
+      record.num_rows = result.value().num_rows;
+    } else {
+      record.status = StatusCodeName(result.status().code());
+    }
+    // Cache effectiveness and span attribution need a profile; plain
+    // queries (collect_stats off) log sql/latency/status only.
+    if (profile != nullptr) {
+      record.cache_hits = profile->counters.trie_cache_hits;
+      record.cache_misses = profile->counters.trie_cache_misses;
+      record.top_spans = obs::SlowQueryRecord::TopSpans(profile->spans);
+    }
+    slow_query_log_.MaybeRecord(std::move(record));
+  }
+  return result;
+}
+
+obs::StatsSnapshot Engine::LifetimeStats() const {
+  obs::StatsSnapshot s = lifetime_stats_.Snapshot();
+  s.cache_bytes = trie_cache_.bytes();
+  return s;
+}
+
+Result<QueryResult> Engine::RunQueryImpl(const std::string& sql,
+                                         const QueryOptions& options) {
   QueryResult::Timing timing;
   const QueryGuard guard = MakeGuard(options);
   if (!options.collect_stats) {

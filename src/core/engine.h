@@ -21,6 +21,8 @@
 #include "core/options.h"
 #include "core/plan.h"
 #include "core/result.h"
+#include "obs/slow_query_log.h"
+#include "obs/stats.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -59,6 +61,12 @@ struct EngineOptions {
   /// accidental cross-product SELECTs; servers should set a sane default
   /// (lh_serve defaults to 4M rows).
   size_t max_result_rows = 0;
+  /// Queries (ok or failed) whose wall time crosses this threshold are
+  /// recorded in the engine's slow-query log (DESIGN.md §13). 0 disables
+  /// the log.
+  double slow_query_ms = 0;
+  /// Most-recent slow queries the log retains.
+  size_t slow_query_log_capacity = 128;
 };
 
 /// A facade over parse/bind/plan/execute with a shared trie cache.
@@ -76,7 +84,9 @@ class Engine {
       : catalog_(catalog),
         options_(options),
         trie_cache_(TrieCache::Config{options.trie_cache_budget_bytes,
-                                      options.trie_cache_shards}) {}
+                                      options.trie_cache_shards}),
+        slow_query_log_(options.slow_query_log_capacity,
+                        options.slow_query_ms) {}
 
   /// Runs one SELECT statement. Statements prefixed with EXPLAIN return the
   /// plan shape as a one-column ("QUERY PLAN") text result; EXPLAIN ANALYZE
@@ -98,8 +108,19 @@ class Engine {
   /// can warm or clear it explicitly.
   TrieCache* trie_cache() { return &trie_cache_; }
 
+  /// Engine-lifetime execution counters: the sum of every profiled query's
+  /// counter snapshot (plain queries without collect_stats contribute
+  /// nothing), with cache_bytes sampled live from the trie cache. Feeds
+  /// the exec.*/pool.* families on the metrics surfaces.
+  [[nodiscard]] obs::StatsSnapshot LifetimeStats() const;
+
+  /// The slow-query log (disabled unless EngineOptions::slow_query_ms > 0).
+  obs::SlowQueryLog* slow_query_log() { return &slow_query_log_; }
+
  private:
   [[nodiscard]] Result<QueryResult> RunQuery(const std::string& sql,
+                               const QueryOptions& options);
+  [[nodiscard]] Result<QueryResult> RunQueryImpl(const std::string& sql,
                                const QueryOptions& options);
   [[nodiscard]] Result<PhysicalPlan> Prepare(const std::string& sql,
                                const QueryOptions& options,
@@ -112,6 +133,9 @@ class Engine {
   Catalog* catalog_;
   EngineOptions options_;
   TrieCache trie_cache_;
+  /// Accumulates profiled queries' counters; see LifetimeStats().
+  obs::ExecStats lifetime_stats_;
+  obs::SlowQueryLog slow_query_log_;
 };
 
 }  // namespace levelheaded

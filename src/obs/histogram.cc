@@ -1,0 +1,107 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace levelheaded::obs {
+
+namespace {
+
+/// Index of the highest set bit (undefined for 0; callers guard).
+inline int HighBit(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+}  // namespace
+
+int LatencyHistogram::BucketFor(uint64_t us) {
+  if (us < kLinearLimit) return static_cast<int>(us);
+  // Octave m = msb(us) >= kSubBucketBits+1. Within the octave [2^m, 2^(m+1))
+  // the top kSubBucketBits bits below the msb pick one of 8 sub-buckets.
+  const int m = HighBit(us);
+  const int sub = static_cast<int>((us >> (m - kSubBucketBits)) &
+                                   ((1ull << kSubBucketBits) - 1));
+  const int idx = static_cast<int>(kLinearLimit) +
+                  (m - kSubBucketBits - 1) * (1 << kSubBucketBits) + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(int i) {
+  if (i < static_cast<int>(kLinearLimit)) return static_cast<uint64_t>(i);
+  const int rel = i - static_cast<int>(kLinearLimit);
+  const int m = kSubBucketBits + 1 + rel / (1 << kSubBucketBits);
+  const int sub = rel % (1 << kSubBucketBits);
+  return (uint64_t{1} << m) +
+         (static_cast<uint64_t>(sub) << (m - kSubBucketBits));
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) return ~uint64_t{0};
+  return BucketLowerBound(i + 1) - 1;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(kRelaxed);
+  }
+  snap.count = count_.load(kRelaxed);
+  snap.sum_us = sum_us_.load(kRelaxed);
+  snap.max_us = max_us_.load(kRelaxed);
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_us_.store(0, kRelaxed);
+  max_us_.store(0, kRelaxed);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(const HistogramSnapshot& earlier,
+                                           const HistogramSnapshot& later) {
+  HistogramSnapshot out;
+  out.buckets.resize(later.buckets.size());
+  for (size_t i = 0; i < later.buckets.size(); ++i) {
+    const uint64_t before = i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    out.buckets[i] = later.buckets[i] >= before ? later.buckets[i] - before : 0;
+  }
+  out.count = later.count >= earlier.count ? later.count - earlier.count : 0;
+  out.sum_us =
+      later.sum_us >= earlier.sum_us ? later.sum_us - earlier.sum_us : 0;
+  out.max_us = later.max_us;
+  return out;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 means the first sample.
+  const auto rank = static_cast<uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const auto idx = static_cast<int>(i);
+      // Never report past the observed maximum: the last occupied bucket's
+      // upper bound can exceed max_us, and max is exact.
+      const uint64_t ub = LatencyHistogram::BucketUpperBound(idx);
+      return max_us > 0 ? std::min(ub, max_us) : ub;
+    }
+  }
+  return max_us;
+}
+
+}  // namespace levelheaded::obs

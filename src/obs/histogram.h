@@ -1,0 +1,136 @@
+// Lock-free log-bucketed latency histogram (DESIGN.md §13).
+//
+// The serving layer records one latency sample per request; operators read
+// p50/p95/p99/p99.9 from the same data the Prometheus endpoint exports.
+// Requirements that shape the design:
+//
+//  * Recording is on the request hot path and must not serialize workers:
+//    one relaxed fetch_add into a fixed bucket array (HdrHistogram-style
+//    layout), no locks, no allocation.
+//  * Quantile estimates carry a bounded *relative* error: buckets are
+//    exact integers up to 16us, then 8 sub-buckets per power-of-two octave,
+//    so any reported quantile is within kMaxRelativeError (12.5%) above
+//    the true sample value at that rank.
+//  * Snapshots are plain values that merge (across histograms or shards)
+//    and diff (for interval windows, e.g. per-loadgen-step percentiles)
+//    by bucket-wise addition/subtraction.
+//
+// The value domain is unsigned integer *microseconds*; RecordMillis rounds
+// half-up. 496 buckets cover the full uint64 range (anything above ~2^63us
+// saturates into the last bucket), so one histogram is ~3.9KB of atomics.
+
+#ifndef LEVELHEADED_OBS_HISTOGRAM_H_
+#define LEVELHEADED_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace levelheaded::obs {
+
+/// Plain-value snapshot of a LatencyHistogram: mergeable, diffable, and the
+/// unit the quantile/bucket readers operate on.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  uint64_t max_us = 0;
+  /// Per-bucket sample counts, index-aligned with
+  /// LatencyHistogram::BucketLowerBound/BucketUpperBound.
+  std::vector<uint64_t> buckets;
+
+  /// Bucket-wise sum (for aggregating shards or servers); max is the max.
+  void Merge(const HistogramSnapshot& other);
+
+  /// The interval histogram `later - earlier` (bucket-wise saturating
+  /// subtraction). `max_us` is taken from `later` — a running maximum
+  /// cannot be windowed, so interval max is an overestimate.
+  static HistogramSnapshot Delta(const HistogramSnapshot& earlier,
+                                 const HistogramSnapshot& later);
+
+  /// Value (in microseconds) at quantile q in [0, 1]: the upper bound of
+  /// the bucket holding the sample at rank ceil(q * count). Reported values
+  /// are >= the true sample value and within kMaxRelativeError above it.
+  /// Returns 0 on an empty snapshot.
+  uint64_t ValueAtQuantile(double q) const;
+  /// ValueAtQuantile in (fractional) milliseconds.
+  double QuantileMillis(double q) const {
+    return static_cast<double>(ValueAtQuantile(q)) / 1000.0;
+  }
+
+  double mean_us() const {
+    return count > 0 ? static_cast<double>(sum_us) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Concurrent latency histogram: relaxed-atomic buckets, wait-free Record.
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per octave, hence a
+  /// worst-case relative bucket width (and quantile error) of 1/8.
+  static constexpr int kSubBucketBits = 3;
+  static constexpr double kMaxRelativeError = 0.125;
+  /// Values < 2^(kSubBucketBits+1) get exact unit buckets.
+  static constexpr uint64_t kLinearLimit = 1ull << (kSubBucketBits + 1);
+  /// 16 exact buckets + 8 per octave for the remaining 59 octaves.
+  static constexpr int kNumBuckets =
+      static_cast<int>(kLinearLimit) +
+      (63 - kSubBucketBits) * (1 << kSubBucketBits);
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample (microseconds). Wait-free: three relaxed
+  /// fetch_adds plus a bounded CAS loop for the max.
+  void Record(uint64_t us) {
+    buckets_[BucketFor(us)].fetch_add(1, kRelaxed);
+    count_.fetch_add(1, kRelaxed);
+    sum_us_.fetch_add(us, kRelaxed);
+    uint64_t seen = max_us_.load(kRelaxed);
+    while (us > seen && !max_us_.compare_exchange_weak(seen, us, kRelaxed)) {
+    }
+  }
+
+  /// Records a millisecond sample, rounded half-up to whole microseconds
+  /// (sub-microsecond latencies land in bucket 0 or 1, never go negative).
+  void RecordMillis(double ms) { Record(MicrosFromMillis(ms)); }
+
+  /// ms -> integer us, rounded half-up, clamped at 0. The single
+  /// quantization point shared by every latency accounting path, so totals,
+  /// maxima, and histogram buckets agree on the value of one sample.
+  static uint64_t MicrosFromMillis(double ms) {
+    if (ms <= 0) return 0;
+    return static_cast<uint64_t>(ms * 1000.0 + 0.5);
+  }
+
+  /// The bucket index a value lands in (monotone non-decreasing in `us`).
+  static int BucketFor(uint64_t us);
+  /// Smallest value mapping to bucket `i`.
+  static uint64_t BucketLowerBound(int i);
+  /// Largest value mapping to bucket `i` (inclusive).
+  static uint64_t BucketUpperBound(int i);
+
+  uint64_t count() const { return count_.load(kRelaxed); }
+  uint64_t sum_us() const { return sum_us_.load(kRelaxed); }
+  uint64_t max_us() const { return max_us_.load(kRelaxed); }
+
+  /// Coherent-enough copy for reporting (counters are relaxed; a snapshot
+  /// taken mid-Record may be ahead/behind by in-flight samples, never torn
+  /// per bucket).
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_HISTOGRAM_H_

@@ -339,4 +339,36 @@ bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
   return Parser(text, error).Parse(out);
 }
 
+void WriteJsonValue(JsonWriter* w, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w->Bool(value.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      w->Number(value.number);
+      break;
+    case JsonValue::Kind::kString:
+      w->String(value.string);
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [k, v] : value.object) {
+        w->Key(k);
+        WriteJsonValue(w, v);
+      }
+      w->EndObject();
+      break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& v : value.array) {
+        WriteJsonValue(w, v);
+      }
+      w->EndArray();
+      break;
+  }
+}
+
 }  // namespace levelheaded::obs

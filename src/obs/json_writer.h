@@ -81,6 +81,11 @@ struct JsonValue {
 bool ParseJson(const std::string& text, JsonValue* out,
                std::string* error = nullptr);
 
+/// Re-serializes a parsed JsonValue at the writer's current position —
+/// the bridge tools use to extract one member of a response (e.g. the
+/// trace under {"ok":true,"trace":{...}}) back into standalone JSON.
+void WriteJsonValue(JsonWriter* w, const JsonValue& value);
+
 }  // namespace levelheaded::obs
 
 #endif  // LEVELHEADED_OBS_JSON_WRITER_H_

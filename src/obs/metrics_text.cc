@@ -1,0 +1,144 @@
+#include "obs/metrics_text.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace levelheaded::obs {
+
+namespace {
+
+/// %g keeps integers integral ("42") and gives doubles enough digits;
+/// Prometheus accepts both forms.
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that still round-trips visually:
+  // %.17g on small integers is exact, so this is purely cosmetic.
+  std::string s(buf);
+  if (s.find('.') != std::string::npos && s.find('e') == std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+/// Label values escape backslash, double-quote, and newline per the
+/// exposition format spec.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text escapes backslash and newline (quotes are fine there).
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricLabels& labels,
+                         const std::string& extra_name = "",
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_name.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ',';
+    out += extra_name + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsTextWriter::SanitizeName(const std::string& dotted) {
+  std::string out = "lh_";
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void MetricsTextWriter::Header(const std::string& name,
+                               const std::string& help, const char* type) {
+  if (std::find(declared_.begin(), declared_.end(), name) != declared_.end()) {
+    return;
+  }
+  declared_.push_back(name);
+  out_ += "# HELP " + name + " " + EscapeHelp(help) + "\n";
+  out_ += "# TYPE " + name + " ";
+  out_ += type;
+  out_ += "\n";
+}
+
+void MetricsTextWriter::Sample(const std::string& name,
+                               const MetricLabels& labels, double value,
+                               const char* suffix) {
+  out_ += name + suffix + RenderLabels(labels) + " " + FormatValue(value) +
+          "\n";
+}
+
+void MetricsTextWriter::Counter(const std::string& name,
+                                const std::string& help, double value,
+                                const MetricLabels& labels) {
+  Header(name, help, "counter");
+  Sample(name, labels, value);
+}
+
+void MetricsTextWriter::Gauge(const std::string& name, const std::string& help,
+                              double value, const MetricLabels& labels) {
+  Header(name, help, "gauge");
+  Sample(name, labels, value);
+}
+
+void MetricsTextWriter::Histogram(const std::string& name,
+                                  const std::string& help,
+                                  const HistogramSnapshot& snap,
+                                  const MetricLabels& labels) {
+  Header(name, help, "histogram");
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;  // cumulative counts carry the gap
+    cumulative += snap.buckets[i];
+    const uint64_t ub_us =
+        LatencyHistogram::BucketUpperBound(static_cast<int>(i));
+    const double ub_seconds = static_cast<double>(ub_us) / 1e6;
+    out_ += name + "_bucket" +
+            RenderLabels(labels, "le", FormatValue(ub_seconds)) + " " +
+            FormatValue(static_cast<double>(cumulative)) + "\n";
+  }
+  out_ += name + "_bucket" + RenderLabels(labels, "le", "+Inf") + " " +
+          FormatValue(static_cast<double>(snap.count)) + "\n";
+  Sample(name, labels, static_cast<double>(snap.sum_us) / 1e6, "_sum");
+  Sample(name, labels, static_cast<double>(snap.count), "_count");
+}
+
+}  // namespace levelheaded::obs

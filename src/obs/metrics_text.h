@@ -1,0 +1,69 @@
+// Prometheus text-exposition (format 0.0.4) renderer for the metric
+// families the engine and serving layer export (DESIGN.md §13). No
+// dependency on any metrics library: families are emitted in the order
+// they are first written, each with one # HELP and one # TYPE line, then
+// one sample line per label set:
+//
+//   # HELP lh_server_requests_total Requests answered, any outcome.
+//   # TYPE lh_server_requests_total counter
+//   lh_server_requests_total 42
+//   lh_server_latency_seconds_bucket{class="query",le="0.001"} 17
+//
+// Histograms follow the Prometheus convention: cumulative `_bucket{le=}`
+// samples (upper bounds in seconds), a closing le="+Inf" bucket, plus
+// `_sum` and `_count`. Empty buckets inside the occupied range are
+// skipped — cumulative counts make them redundant — which keeps a
+// 488-bucket histogram's exposition proportional to its occupied octaves.
+
+#ifndef LEVELHEADED_OBS_METRICS_TEXT_H_
+#define LEVELHEADED_OBS_METRICS_TEXT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace levelheaded::obs {
+
+/// One {name="value"} label set; empty = unlabelled sample.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsTextWriter {
+ public:
+  /// Monotone counter sample. `help` is emitted on the family's first use.
+  void Counter(const std::string& name, const std::string& help, double value,
+               const MetricLabels& labels = {});
+
+  /// Point-in-time gauge sample.
+  void Gauge(const std::string& name, const std::string& help, double value,
+             const MetricLabels& labels = {});
+
+  /// Full histogram exposition for one label set. `snap` values are in
+  /// microseconds (the LatencyHistogram domain); bucket bounds are
+  /// converted to seconds per Prometheus base-unit convention.
+  void Histogram(const std::string& name, const std::string& help,
+                 const HistogramSnapshot& snap,
+                 const MetricLabels& labels = {});
+
+  /// The accumulated exposition text (ends with a newline when non-empty).
+  const std::string& str() const { return out_; }
+
+  /// Maps a dotted counter name ("cache.build_waits") to a Prometheus
+  /// metric name ("lh_cache_build_waits"): the lh_ namespace prefix, with
+  /// every character outside [a-zA-Z0-9_:] replaced by '_'.
+  static std::string SanitizeName(const std::string& dotted);
+
+ private:
+  void Header(const std::string& name, const std::string& help,
+              const char* type);
+  void Sample(const std::string& name, const MetricLabels& labels,
+              double value, const char* suffix = "");
+
+  std::string out_;
+  std::vector<std::string> declared_;  // families with HELP/TYPE emitted
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_METRICS_TEXT_H_

@@ -4,6 +4,34 @@
 
 namespace levelheaded::obs {
 
+const char* RequestClassName(RequestClass c) {
+  switch (c) {
+    case RequestClass::kQuery:
+      return "query";
+    case RequestClass::kAnalyze:
+      return "analyze";
+    case RequestClass::kExplain:
+      return "explain";
+    case RequestClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+const char* RequestOutcomeName(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kError:
+      return "error";
+    case RequestOutcome::kTimeout:
+      return "timeout";
+    case RequestOutcome::kCancelled:
+      return "cancelled";
+  }
+  return "error";
+}
+
 ServerStats::Snapshot ServerStats::snapshot() const {
   Snapshot s;
   s.accepted = accepted_.load(kRelaxed);
@@ -13,10 +41,13 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   s.completed = completed_.load(kRelaxed);
   s.errors = errors_.load(kRelaxed);
   s.inflight = inflight_.load(kRelaxed);
-  s.latency_ms_total =
-      static_cast<double>(latency_us_total_.load(kRelaxed)) / 1000.0;
-  s.latency_ms_max =
-      static_cast<double>(latency_us_max_.load(kRelaxed)) / 1000.0;
+  const HistogramSnapshot lat = latency_all_.Snapshot();
+  s.latency_ms_total = static_cast<double>(lat.sum_us) / 1000.0;
+  s.latency_ms_max = static_cast<double>(lat.max_us) / 1000.0;
+  s.latency_ms_p50 = lat.QuantileMillis(0.50);
+  s.latency_ms_p95 = lat.QuantileMillis(0.95);
+  s.latency_ms_p99 = lat.QuantileMillis(0.99);
+  s.latency_ms_p999 = lat.QuantileMillis(0.999);
   return s;
 }
 
@@ -30,8 +61,13 @@ std::vector<std::pair<std::string, double>> ServerStats::Export() const {
       {"server.completed", static_cast<double>(s.completed)},
       {"server.errors", static_cast<double>(s.errors)},
       {"server.inflight", static_cast<double>(s.inflight)},
+      {"server.requests", static_cast<double>(s.requests())},
       {"server.latency_ms_total", s.latency_ms_total},
       {"server.latency_ms_max", s.latency_ms_max},
+      {"server.latency_ms_p50", s.latency_ms_p50},
+      {"server.latency_ms_p95", s.latency_ms_p95},
+      {"server.latency_ms_p99", s.latency_ms_p99},
+      {"server.latency_ms_p999", s.latency_ms_p999},
   };
 }
 

@@ -1,8 +1,15 @@
-// Serving-layer counters (DESIGN.md §12): one ServerStats per Server,
-// updated lock-free by the accept loop and workers, read by /stats
-// responses, the shutdown log line, and bench/server_loadgen's JSON
-// export. Mirrors the ExecStats idiom (stats.h): relaxed atomics on the
-// hot path, a coherent-enough Snapshot for reporting.
+// Serving-layer counters (DESIGN.md §12) and latency histograms
+// (DESIGN.md §13): one ServerStats per Server, updated lock-free by the
+// accept loop and workers, read by /stats responses, the Prometheus
+// metrics endpoint, the shutdown log line, and bench/server_loadgen's
+// JSON export. Mirrors the ExecStats idiom (stats.h): relaxed atomics on
+// the hot path, a coherent-enough Snapshot for reporting.
+//
+// Latency is recorded once per request in integer microseconds into a
+// global histogram plus one histogram per request class (what the client
+// asked for) and one per outcome (how it ended), so tail latency can be
+// read per-population: an operator can see p99 of successful queries
+// separately from the p99 that timeouts drag in.
 
 #ifndef LEVELHEADED_OBS_SERVER_STATS_H_
 #define LEVELHEADED_OBS_SERVER_STATS_H_
@@ -13,9 +20,35 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace levelheaded::obs {
 
 class JsonWriter;
+
+/// What the request asked for. kOther covers admin surfaces (stats,
+/// metrics, slowlog) and lines that failed to parse into any request.
+enum class RequestClass : int {
+  kQuery = 0,
+  kAnalyze = 1,
+  kExplain = 2,
+  kOther = 3,
+};
+constexpr int kNumRequestClasses = 4;
+
+/// How the request ended; mirrors the outcome counters below.
+enum class RequestOutcome : int {
+  kOk = 0,
+  kError = 1,
+  kTimeout = 2,
+  kCancelled = 3,
+};
+constexpr int kNumRequestOutcomes = 4;
+
+/// Stable label values ("query", "ok", ...) used by the Prometheus
+/// exposition and the slow-query log.
+const char* RequestClassName(RequestClass c);
+const char* RequestOutcomeName(RequestOutcome o);
 
 class ServerStats {
  public:
@@ -37,15 +70,14 @@ class ServerStats {
   void BeginRequest() { inflight_.fetch_add(1, kRelaxed); }
   void EndRequest() { inflight_.fetch_sub(1, kRelaxed); }
 
-  /// Wall time from request line to response write, any outcome.
-  void RecordLatencyMs(double ms) {
-    latency_us_total_.fetch_add(static_cast<uint64_t>(ms * 1000.0),
-                                kRelaxed);
-    uint64_t bits = latency_us_max_.load(kRelaxed);
-    const auto us = static_cast<uint64_t>(ms * 1000.0);
-    while (us > bits &&
-           !latency_us_max_.compare_exchange_weak(bits, us, kRelaxed)) {
-    }
+  /// Wall time from request line to response write. The millisecond sample
+  /// is quantized to integer microseconds exactly once; the total, the
+  /// maximum, and every histogram bucket see the same value.
+  void RecordLatency(RequestClass cls, RequestOutcome outcome, double ms) {
+    const uint64_t us = LatencyHistogram::MicrosFromMillis(ms);
+    latency_all_.Record(us);
+    latency_class_[static_cast<int>(cls)].Record(us);
+    latency_outcome_[static_cast<int>(outcome)].Record(us);
   }
 
   struct Snapshot {
@@ -58,6 +90,10 @@ class ServerStats {
     int64_t inflight = 0;
     double latency_ms_total = 0;
     double latency_ms_max = 0;
+    double latency_ms_p50 = 0;
+    double latency_ms_p95 = 0;
+    double latency_ms_p99 = 0;
+    double latency_ms_p999 = 0;
     /// completed + errors + timeouts + cancelled.
     uint64_t requests() const {
       return completed + errors + timeouts + cancelled;
@@ -65,6 +101,16 @@ class ServerStats {
   };
 
   Snapshot snapshot() const;
+
+  /// All-requests latency distribution (and the per-population views). The
+  /// loadgen diffs consecutive snapshots for per-step interval percentiles.
+  HistogramSnapshot LatencySnapshot() const { return latency_all_.Snapshot(); }
+  HistogramSnapshot LatencySnapshot(RequestClass cls) const {
+    return latency_class_[static_cast<int>(cls)].Snapshot();
+  }
+  HistogramSnapshot LatencySnapshot(RequestOutcome outcome) const {
+    return latency_outcome_[static_cast<int>(outcome)].Snapshot();
+  }
 
   /// "server.<counter>" key/value pairs — the names the loadgen exports as
   /// bench-entry extras and /stats emits; keep in sync with DESIGN.md §12.
@@ -83,8 +129,9 @@ class ServerStats {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<int64_t> inflight_{0};
-  std::atomic<uint64_t> latency_us_total_{0};
-  std::atomic<uint64_t> latency_us_max_{0};
+  LatencyHistogram latency_all_;
+  LatencyHistogram latency_class_[kNumRequestClasses];
+  LatencyHistogram latency_outcome_[kNumRequestOutcomes];
 };
 
 }  // namespace levelheaded::obs

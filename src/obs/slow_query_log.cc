@@ -1,0 +1,79 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+
+namespace levelheaded::obs {
+
+std::vector<std::pair<std::string, double>> SlowQueryRecord::TopSpans(
+    const std::vector<SpanRecord>& spans, size_t limit) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const SpanRecord& span : spans) {
+    // The root "query" span is the whole latency — no information there.
+    if (span.name == "query") continue;
+    out.emplace_back(span.name, span.duration_ms);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+void SlowQueryRecord::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("seq");
+  w->Uint(sequence);
+  w->Key("sql");
+  w->String(sql);
+  w->Key("latency_ms");
+  w->Number(latency_ms);
+  w->Key("num_rows");
+  w->Uint(num_rows);
+  w->Key("status");
+  w->String(status);
+  w->Key("cache_hits");
+  w->Uint(cache_hits);
+  w->Key("cache_misses");
+  w->Uint(cache_misses);
+  w->Key("top_spans");
+  w->BeginArray();
+  for (const auto& [name, duration_ms] : top_spans) {
+    w->BeginObject();
+    w->Key("name");
+    w->String(name);
+    w->Key("ms");
+    w->Number(duration_ms);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string SlowQueryRecord::ToJsonLine() const {
+  JsonWriter w(/*pretty=*/false);
+  WriteJson(&w);
+  return w.str();
+}
+
+bool SlowQueryLog::MaybeRecord(SlowQueryRecord record) {
+  if (!enabled() || record.latency_ms < threshold_ms_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = ++total_;
+  ring_.push_back(std::move(record));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(ring_.begin(), ring_.end());
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace levelheaded::obs

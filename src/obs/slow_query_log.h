@@ -1,0 +1,82 @@
+// Structured slow-query log (DESIGN.md §13): a bounded ring buffer of the
+// most recent queries whose wall time crossed EngineOptions::slow_query_ms.
+// Each record is renderable as one line of JSON — the grep/jq-friendly
+// shape operators expect from a slow log — carrying the sql, latency,
+// row count, status, trie-cache effectiveness, and the top-3 most
+// expensive spans from the query's trace.
+//
+// The ring is mutex-guarded: recording happens at most once per slow
+// query (by definition a rare, already-expensive event), so a lock here
+// costs nothing measurable and keeps eviction/ordering trivially correct.
+
+#ifndef LEVELHEADED_OBS_SLOW_QUERY_LOG_H_
+#define LEVELHEADED_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace levelheaded::obs {
+
+class JsonWriter;
+
+/// One slow query. `top_spans` holds up to 3 (phase name, duration_ms)
+/// pairs, most expensive first, excluding the all-enclosing "query" span.
+struct SlowQueryRecord {
+  uint64_t sequence = 0;  ///< monotone per-log id (total slow queries seen)
+  std::string sql;
+  double latency_ms = 0;
+  uint64_t num_rows = 0;
+  std::string status;  ///< "OK" or the StatusCode name
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::vector<std::pair<std::string, double>> top_spans;
+
+  /// Writes this record as a JSON object at the writer's position.
+  void WriteJson(JsonWriter* w) const;
+  /// The record as one compact JSON line (no trailing newline).
+  std::string ToJsonLine() const;
+
+  /// Extracts the top-3 spans by duration from a trace snapshot (helper
+  /// for callers assembling a record).
+  static std::vector<std::pair<std::string, double>> TopSpans(
+      const std::vector<SpanRecord>& spans, size_t limit = 3);
+};
+
+/// Bounded most-recent-N ring of SlowQueryRecords.
+class SlowQueryLog {
+ public:
+  /// `threshold_ms` <= 0 disables recording entirely.
+  SlowQueryLog(size_t capacity, double threshold_ms)
+      : capacity_(capacity > 0 ? capacity : 1), threshold_ms_(threshold_ms) {}
+
+  double threshold_ms() const { return threshold_ms_; }
+  bool enabled() const { return threshold_ms_ > 0; }
+
+  /// Records `record` if its latency crosses the threshold; assigns its
+  /// sequence number. Returns whether it was recorded.
+  bool MaybeRecord(SlowQueryRecord record);
+
+  /// Oldest-first copy of the retained records.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  /// Slow queries ever recorded (>= Snapshot().size(); the ring drops the
+  /// oldest beyond capacity).
+  uint64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  const double threshold_ms_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryRecord> ring_;  // guarded by mu_
+  uint64_t total_ = 0;                // guarded by mu_
+};
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_SLOW_QUERY_LOG_H_

@@ -62,6 +62,37 @@ void ExecStats::Reset() {
   exec_skew_splits_.store(0, std::memory_order_relaxed);
 }
 
+void ExecStats::Add(const StatsSnapshot& s) {
+  intersect_[0].fetch_add(s.intersect_uint_uint, std::memory_order_relaxed);
+  intersect_[1].fetch_add(s.intersect_uint_bitset, std::memory_order_relaxed);
+  intersect_[2].fetch_add(s.intersect_bitset_bitset,
+                          std::memory_order_relaxed);
+  intersect_result_values_.fetch_add(s.intersect_result_values,
+                                     std::memory_order_relaxed);
+  trie_nodes_visited_.fetch_add(s.trie_nodes_visited,
+                                std::memory_order_relaxed);
+  tuples_emitted_.fetch_add(s.tuples_emitted, std::memory_order_relaxed);
+  trie_cache_hits_.fetch_add(s.trie_cache_hits, std::memory_order_relaxed);
+  trie_cache_misses_.fetch_add(s.trie_cache_misses,
+                               std::memory_order_relaxed);
+  trie_cache_probes_.fetch_add(s.trie_cache_probes,
+                               std::memory_order_relaxed);
+  tries_built_.fetch_add(s.tries_built, std::memory_order_relaxed);
+  cache_bytes_.store(s.cache_bytes, std::memory_order_relaxed);
+  cache_evictions_.fetch_add(s.cache_evictions, std::memory_order_relaxed);
+  cache_build_waits_.fetch_add(s.cache_build_waits,
+                               std::memory_order_relaxed);
+  expr_like_compiles_.fetch_add(s.expr_like_compiles,
+                                std::memory_order_relaxed);
+  thread_pool_chunks_.fetch_add(s.thread_pool_chunks,
+                                std::memory_order_relaxed);
+  pool_tasks_spawned_.fetch_add(s.pool_tasks_spawned,
+                                std::memory_order_relaxed);
+  pool_task_steals_.fetch_add(s.pool_task_steals,
+                              std::memory_order_relaxed);
+  exec_skew_splits_.fetch_add(s.exec_skew_splits, std::memory_order_relaxed);
+}
+
 std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {
   return {
       {"intersect.uint_uint", intersect_uint_uint},

@@ -136,6 +136,12 @@ class ExecStats {
   StatsSnapshot Snapshot() const;
   void Reset();
 
+  /// Accumulates a finished query's snapshot into this block — how the
+  /// engine folds per-query profiles into its lifetime totals for the
+  /// metrics endpoint. Counters add; cache_bytes (a gauge) takes the
+  /// incoming sample.
+  void Add(const StatsSnapshot& s);
+
  private:
   std::atomic<uint64_t> intersect_[3] = {};
   std::atomic<uint64_t> intersect_result_values_{0};

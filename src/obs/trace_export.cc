@@ -1,0 +1,104 @@
+#include "obs/trace_export.h"
+
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace levelheaded::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+/// Lane index for a thread-id hash, in first-appearance order (span ids
+/// ascend in open order, so the coordinating thread gets lane 0).
+int LaneFor(std::vector<uint64_t>* lanes, uint64_t thread_id) {
+  for (size_t i = 0; i < lanes->size(); ++i) {
+    if ((*lanes)[i] == thread_id) return static_cast<int>(i);
+  }
+  lanes->push_back(thread_id);
+  return static_cast<int>(lanes->size() - 1);
+}
+
+void WriteMetadataEvent(JsonWriter* w, const char* name, int tid,
+                        const std::string& value) {
+  w->BeginObject();
+  w->Key("ph");
+  w->String("M");
+  w->Key("pid");
+  w->Int(kPid);
+  w->Key("tid");
+  w->Int(tid);
+  w->Key("name");
+  w->String(name);
+  w->Key("args");
+  w->BeginObject();
+  w->Key("name");
+  w->String(value);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+void WriteChromeTrace(JsonWriter* w, const std::vector<SpanRecord>& spans) {
+  std::vector<uint64_t> lanes;
+  w->BeginObject();
+  w->Key("traceEvents");
+  w->BeginArray();
+  WriteMetadataEvent(w, "process_name", 0, "levelheaded");
+  // Assign lanes up front so thread_name metadata precedes the events.
+  for (const SpanRecord& span : spans) LaneFor(&lanes, span.thread_id);
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    WriteMetadataEvent(w, "thread_name", static_cast<int>(i),
+                       i == 0 ? "coordinator" : "lane " + std::to_string(i));
+  }
+  for (const SpanRecord& span : spans) {
+    w->BeginObject();
+    w->Key("ph");
+    w->String("X");
+    w->Key("name");
+    w->String(span.detail.empty() ? span.name
+                                  : span.name + " " + span.detail);
+    w->Key("cat");
+    w->String("query");
+    w->Key("ts");
+    w->Number(span.start_ms * 1000.0);
+    w->Key("dur");
+    w->Number(span.duration_ms * 1000.0);
+    w->Key("pid");
+    w->Int(kPid);
+    w->Key("tid");
+    w->Int(LaneFor(&lanes, span.thread_id));
+    w->Key("args");
+    w->BeginObject();
+    w->Key("span_id");
+    w->Int(span.id);
+    w->Key("parent");
+    w->Int(span.parent);
+    if (!span.detail.empty()) {
+      w->Key("detail");
+      w->String(span.detail);
+    }
+    for (const auto& [metric, value] : span.metrics) {
+      w->Key(metric);
+      w->Number(value);
+    }
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("displayTimeUnit");
+  w->String("ms");
+  w->EndObject();
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            bool pretty) {
+  JsonWriter w(pretty);
+  WriteChromeTrace(&w, spans);
+  return w.str();
+}
+
+}  // namespace levelheaded::obs

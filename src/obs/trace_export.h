@@ -1,0 +1,39 @@
+// Chrome trace_event export of a query's span tree (DESIGN.md §13): the
+// same SpanRecords EXPLAIN ANALYZE renders as text, emitted in the JSON
+// Array Format that Perfetto and chrome://tracing load directly, so any
+// profiled query opens as a flame view.
+//
+// Mapping:
+//  * each closed span -> one "X" (complete) event; ts/dur are in
+//    microseconds per the trace_event spec (SpanRecord stores fractional
+//    milliseconds relative to the trace origin)
+//  * spans nest visually by time containment on a lane, so each distinct
+//    SpanRecord::thread_id gets a tid lane in first-appearance order
+//    (thread ids are hashes; the lane index is what renders)
+//  * "M" metadata events name the process and each thread lane
+//  * detail, span id/parent, and the numeric span metrics ride in `args`
+//    and show in the selection panel
+
+#ifndef LEVELHEADED_OBS_TRACE_EXPORT_H_
+#define LEVELHEADED_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace levelheaded::obs {
+
+class JsonWriter;
+
+/// Writes {"traceEvents": [...], "displayTimeUnit": "ms"} at the writer's
+/// current position.
+void WriteChromeTrace(JsonWriter* w, const std::vector<SpanRecord>& spans);
+
+/// The same document as a standalone string (pretty = multi-line).
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            bool pretty = false);
+
+}  // namespace levelheaded::obs
+
+#endif  // LEVELHEADED_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,83 @@
+#include "server/metrics_http.h"
+
+#include <string>
+#include <utility>
+
+namespace levelheaded::server {
+
+namespace {
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Status MetricsHttpServer::Start(uint16_t port, int poll_interval_ms) {
+  if (started_) return Status::InvalidArgument("metrics server already started");
+  LH_ASSIGN_OR_RETURN(listener_, ListenTcp(port));
+  LH_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
+  poll_interval_ms_ = poll_interval_ms;
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  started_ = false;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> conn = AcceptWithTimeout(listener_, poll_interval_ms_);
+    if (!conn.ok()) break;                // listener failed
+    if (!conn.value().valid()) continue;  // poll tick — re-check stopping_
+    ServeOne(conn.TakeValue());
+  }
+}
+
+void MetricsHttpServer::ServeOne(Socket conn) {
+  // Read the request line; a scrape client sends it in one segment, and a
+  // recv timeout keeps a stuck client from wedging the accept thread.
+  if (!SetRecvTimeout(conn, 1000).ok()) return;
+  LineReader reader(&conn, 8192);
+  std::string request_line;
+  if (reader.ReadLine(&request_line) != LineReader::ReadStatus::kLine) {
+    return;
+  }
+  // "GET <path> HTTP/1.x"; headers that follow are irrelevant to a scrape.
+  std::string path;
+  const size_t sp1 = request_line.find(' ');
+  if (sp1 != std::string::npos) {
+    const size_t sp2 = request_line.find(' ', sp1 + 1);
+    path = request_line.substr(
+        sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  }
+  std::string response;
+  if (request_line.compare(0, 4, "GET ") != 0) {
+    response = HttpResponse("405 Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else if (path == "/" || path == "/metrics") {
+    response = HttpResponse(
+        "200 OK", "text/plain; version=0.0.4; charset=utf-8", body_());
+  } else {
+    response =
+        HttpResponse("404 Not Found", "text/plain", "try /metrics\n");
+  }
+  (void)SendAll(conn, response);
+}
+
+}  // namespace levelheaded::server

@@ -1,0 +1,54 @@
+// A minimal HTTP/1.0 endpoint for Prometheus scrapes (DESIGN.md §13).
+// GET / or /metrics returns the exposition text produced by a caller-
+// supplied callback; anything else is a 404. One accept thread serves
+// requests inline — a scrape is a single small response every few
+// seconds, so concurrency here would be complexity without a payoff.
+// Bound to 127.0.0.1 like the query listener (util/socket.h).
+
+#ifndef LEVELHEADED_SERVER_METRICS_HTTP_H_
+#define LEVELHEADED_SERVER_METRICS_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/socket.h"
+
+namespace levelheaded::server {
+
+class MetricsHttpServer {
+ public:
+  /// Produces the current exposition text, called once per scrape.
+  using BodyFn = std::function<std::string()>;
+
+  explicit MetricsHttpServer(BodyFn body) : body_(std::move(body)) {}
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read back with port()) and
+  /// starts the accept thread.
+  [[nodiscard]] Status Start(uint16_t port, int poll_interval_ms = 50);
+
+  /// Stops accepting and joins; idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(Socket conn);
+
+  BodyFn body_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  int poll_interval_ms_ = 50;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace levelheaded::server
+
+#endif  // LEVELHEADED_SERVER_METRICS_HTTP_H_

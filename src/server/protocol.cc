@@ -2,6 +2,7 @@
 
 #include "obs/json_writer.h"
 #include "obs/profile.h"
+#include "obs/trace_export.h"
 #include "storage/value.h"
 
 namespace levelheaded::server {
@@ -45,6 +46,18 @@ Status ParseRequestLine(const std::string& line, ServerRequest* out) {
     out->mode = ServerRequest::Mode::kStats;
     return Status::OK();
   }
+  if (const obs::JsonValue* metrics = doc.Find("metrics");
+      metrics != nullptr && metrics->kind == obs::JsonValue::Kind::kBool &&
+      metrics->boolean) {
+    out->mode = ServerRequest::Mode::kMetrics;
+    return Status::OK();
+  }
+  if (const obs::JsonValue* slowlog = doc.Find("slowlog");
+      slowlog != nullptr && slowlog->kind == obs::JsonValue::Kind::kBool &&
+      slowlog->boolean) {
+    out->mode = ServerRequest::Mode::kSlowLog;
+    return Status::OK();
+  }
   const obs::JsonValue* sql = doc.Find("sql");
   if (sql == nullptr || !sql->IsString()) {
     return Status::InvalidArgument("request needs a string \"sql\" member");
@@ -73,10 +86,17 @@ Status ParseRequestLine(const std::string& line, ServerRequest* out) {
     }
     out->timeout_ms = t->number;
   }
+  if (const obs::JsonValue* trace = doc.Find("trace"); trace != nullptr) {
+    if (trace->kind != obs::JsonValue::Kind::kBool) {
+      return Status::InvalidArgument("\"trace\" must be a boolean");
+    }
+    out->include_trace = trace->boolean;
+  }
   return Status::OK();
 }
 
-std::string BuildResultResponse(const QueryResult& result) {
+std::string BuildResultResponse(const QueryResult& result,
+                                bool include_profile, bool include_trace) {
   obs::JsonWriter w(/*pretty=*/false);
   w.BeginObject();
   w.Key("ok");
@@ -114,9 +134,13 @@ std::string BuildResultResponse(const QueryResult& result) {
   w.Key("index_build_ms");
   w.Number(result.timing.index_build_ms);
   w.EndObject();
-  if (result.profile != nullptr) {
+  if (include_profile && result.profile != nullptr) {
     w.Key("profile");
     result.profile->WriteJson(&w);
+  }
+  if (include_trace && result.profile != nullptr) {
+    w.Key("trace");
+    obs::WriteChromeTrace(&w, result.profile->spans);
   }
   w.EndObject();
   return w.str() + "\n";
@@ -189,6 +213,41 @@ std::string BuildStatsResponse(
     w.Key(key);
     w.Number(value);
   }
+  w.EndObject();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string BuildMetricsResponse(const std::string& exposition) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("metrics");
+  w.String(exposition);
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string BuildSlowLogResponse(
+    const std::vector<obs::SlowQueryRecord>& records, double threshold_ms,
+    uint64_t total_recorded) {
+  obs::JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("slowlog");
+  w.BeginObject();
+  w.Key("threshold_ms");
+  w.Number(threshold_ms);
+  w.Key("total_recorded");
+  w.Uint(total_recorded);
+  w.Key("records");
+  w.BeginArray();
+  for (const obs::SlowQueryRecord& record : records) {
+    record.WriteJson(&w);
+  }
+  w.EndArray();
   w.EndObject();
   w.EndObject();
   return w.str() + "\n";

@@ -7,10 +7,14 @@
 //
 // `mode` is "query" (default), "analyze" (rows + execution profile), or
 // "explain" (plan text, no execution). `timeout_ms` overrides the server's
-// default per-request deadline; 0 keeps the default. A special
-// {"stats": true} line returns the server.* counters. Malformed or
-// oversized lines get an ok:false response — never a dropped connection
-// without a reason, never a crash.
+// default per-request deadline; 0 keeps the default. Adding "trace": true
+// to a query request attaches the Chrome trace_event export of the query's
+// span tree to the response. Three admin lines skip SQL entirely:
+// {"stats": true} returns the server.*/cache.*/engine counters,
+// {"metrics": true} returns the Prometheus text exposition (as one JSON
+// string member), and {"slowlog": true} returns the engine's slow-query
+// ring (DESIGN.md §13). Malformed or oversized lines get an ok:false
+// response — never a dropped connection without a reason, never a crash.
 
 #ifndef LEVELHEADED_SERVER_PROTOCOL_H_
 #define LEVELHEADED_SERVER_PROTOCOL_H_
@@ -21,15 +25,19 @@
 
 #include "core/engine.h"
 #include "core/result.h"
+#include "obs/slow_query_log.h"
 #include "util/status.h"
 
 namespace levelheaded::server {
 
 struct ServerRequest {
-  enum class Mode { kQuery, kAnalyze, kExplain, kStats };
+  enum class Mode { kQuery, kAnalyze, kExplain, kStats, kMetrics, kSlowLog };
   Mode mode = Mode::kQuery;
   std::string sql;
   double timeout_ms = 0;  // 0 = use the server default
+  /// Attach the Chrome-trace export to the response (forces stats
+  /// collection for this request).
+  bool include_trace = false;
 };
 
 /// Parses one request line. On error the connection stays usable — the
@@ -38,9 +46,13 @@ struct ServerRequest {
                                       ServerRequest* out);
 
 /// {"ok":true,...} response (single line, trailing '\n'). Columns are
-/// serialized column-major; when the query ran with stats collection the
-/// execution profile rides along under "profile".
-[[nodiscard]] std::string BuildResultResponse(const QueryResult& result);
+/// serialized column-major. `include_profile` attaches the execution
+/// profile under "profile" (analyze mode); `include_trace` attaches the
+/// Chrome trace_event document under "trace". Both are silently dropped
+/// when the result carries no profile (stats collection was off).
+[[nodiscard]] std::string BuildResultResponse(const QueryResult& result,
+                                              bool include_profile = true,
+                                              bool include_trace = false);
 
 /// {"ok":true,"explain":{...}} response for mode "explain": plan shape
 /// diagnostics (GHD size, fractional hypertree width, chosen attribute
@@ -56,6 +68,17 @@ struct ServerRequest {
 /// {"ok":true,"stats":{...}} response for {"stats":true} requests.
 [[nodiscard]] std::string BuildStatsResponse(
     const std::vector<std::pair<std::string, double>>& stats);
+
+/// {"ok":true,"metrics":"..."} response for {"metrics":true} requests:
+/// the Prometheus exposition text as one JSON string (the wire protocol
+/// is line-delimited; lh_client --metrics unwraps it).
+[[nodiscard]] std::string BuildMetricsResponse(const std::string& exposition);
+
+/// {"ok":true,"slowlog":{...}} response for {"slowlog":true} requests:
+/// threshold, total ever recorded, and the retained records oldest-first.
+[[nodiscard]] std::string BuildSlowLogResponse(
+    const std::vector<obs::SlowQueryRecord>& records, double threshold_ms,
+    uint64_t total_recorded);
 
 }  // namespace levelheaded::server
 

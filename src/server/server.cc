@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "server/metrics.h"
 #include "util/timer.h"
 
 namespace levelheaded::server {
@@ -25,6 +26,18 @@ Status Server::Start() {
   }
   LH_ASSIGN_OR_RETURN(listener_, ListenTcp(options_.port));
   LH_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
+  if (options_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<MetricsHttpServer>(
+        [this] { return RenderPrometheusMetrics(stats_, engine_); });
+    Status st = metrics_http_->Start(
+        static_cast<uint16_t>(options_.metrics_port),
+        options_.poll_interval_ms);
+    if (!st.ok()) {
+      metrics_http_.reset();
+      listener_.Close();
+      return st;
+    }
+  }
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(worker_tokens_.size());
@@ -76,6 +89,7 @@ void Server::Stop() {
     conn.Close();
   }
   listener_.Close();
+  if (metrics_http_ != nullptr) metrics_http_->Stop();
   running_.store(false, std::memory_order_release);
 }
 
@@ -152,14 +166,29 @@ void Server::ServeConnection(int slot, Socket conn) {
     WallTimer timer;
     ServerRequest request;
     std::string response;
+    obs::RequestClass cls = obs::RequestClass::kOther;
+    obs::RequestOutcome outcome = obs::RequestOutcome::kError;
     const Status parsed = ParseRequestLine(line, &request);
     if (!parsed.ok()) {
       stats_.CountError();
       response = BuildErrorResponse(parsed);
     } else {
-      response = HandleRequest(slot, request);
+      switch (request.mode) {
+        case ServerRequest::Mode::kQuery:
+          cls = obs::RequestClass::kQuery;
+          break;
+        case ServerRequest::Mode::kAnalyze:
+          cls = obs::RequestClass::kAnalyze;
+          break;
+        case ServerRequest::Mode::kExplain:
+          cls = obs::RequestClass::kExplain;
+          break;
+        default:
+          cls = obs::RequestClass::kOther;  // stats/metrics/slowlog
+      }
+      response = HandleRequest(slot, request, &outcome);
     }
-    stats_.RecordLatencyMs(timer.ElapsedMillis());
+    stats_.RecordLatency(cls, outcome, timer.ElapsedMillis());
     stats_.EndRequest();
     if (!SendAll(conn, response).ok()) break;  // peer hung up mid-response
     if (Draining()) break;
@@ -167,14 +196,27 @@ void Server::ServeConnection(int slot, Socket conn) {
   conn.Close();
 }
 
-std::string Server::HandleRequest(int slot, const ServerRequest& request) {
+std::string Server::HandleRequest(int slot, const ServerRequest& request,
+                                  obs::RequestOutcome* outcome) {
+  *outcome = obs::RequestOutcome::kOk;
   if (request.mode == ServerRequest::Mode::kStats) {
-    return BuildStatsResponse(stats_.Export());
+    return BuildStatsResponse(CollectStatsExport(stats_, engine_));
+  }
+  if (request.mode == ServerRequest::Mode::kMetrics) {
+    return BuildMetricsResponse(RenderPrometheusMetrics(stats_, engine_));
+  }
+  if (request.mode == ServerRequest::Mode::kSlowLog) {
+    const obs::SlowQueryLog* log = engine_->slow_query_log();
+    return BuildSlowLogResponse(log->Snapshot(), log->threshold_ms(),
+                                log->total_recorded());
   }
 
   QueryOptions opts;
   opts.timeout_ms = request.timeout_ms > 0 ? request.timeout_ms
                                            : options_.default_timeout_ms;
+  // Tracing a query needs its spans collected; the server-wide setting
+  // additionally feeds the lifetime metrics and the slow-query log.
+  opts.collect_stats = options_.collect_request_stats || request.include_trace;
   CancelToken& token = worker_tokens_[static_cast<size_t>(slot)];
   // Safe to re-arm: Stop() only cancels after draining_ is set, and a
   // draining worker never reaches this point again.
@@ -188,6 +230,7 @@ std::string Server::HandleRequest(int slot, const ServerRequest& request) {
       return BuildExplainResponse(info.value());
     }
     stats_.CountError();
+    *outcome = obs::RequestOutcome::kError;
     return BuildErrorResponse(info.status());
   }
 
@@ -197,15 +240,23 @@ std::string Server::HandleRequest(int slot, const ServerRequest& request) {
           : engine_->Query(request.sql, opts);
   if (result.ok()) {
     stats_.CountCompleted();
-    return BuildResultResponse(result.value());
+    // The profile rides only on analyze responses — a plain query run
+    // with server-wide stats collection must not grow its response.
+    return BuildResultResponse(
+        result.value(),
+        /*include_profile=*/request.mode == ServerRequest::Mode::kAnalyze,
+        /*include_trace=*/request.include_trace);
   }
   const Status& st = result.status();
   if (st.code() == StatusCode::kDeadlineExceeded) {
     stats_.CountTimeout();
+    *outcome = obs::RequestOutcome::kTimeout;
   } else if (st.code() == StatusCode::kCancelled) {
     stats_.CountCancelled();
+    *outcome = obs::RequestOutcome::kCancelled;
   } else {
     stats_.CountError();
+    *outcome = obs::RequestOutcome::kError;
   }
   return BuildErrorResponse(st);
 }

@@ -29,9 +29,12 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "core/cancel.h"
 #include "core/engine.h"
 #include "obs/server_stats.h"
+#include "server/metrics_http.h"
 #include "server/protocol.h"
 #include "server/request_queue.h"
 #include "util/socket.h"
@@ -58,6 +61,15 @@ struct ServerOptions {
   /// and the accept loop noticing shutdown. Small enough to make Stop()
   /// snappy, large enough to keep idle ticks cheap.
   int poll_interval_ms = 50;
+  /// Prometheus scrape endpoint port on 127.0.0.1: -1 = disabled, 0 =
+  /// ephemeral (read back with Server::metrics_port()).
+  int metrics_port = -1;
+  /// Run every request with stats collection so the engine's lifetime
+  /// exec.*/pool.* metrics and the slow-query log see cache hits and span
+  /// attribution. Profiles still only ride on analyze-mode responses; the
+  /// cost is the per-query counter/span bookkeeping (lh_serve turns this
+  /// on by default, --no-request-stats opts out).
+  bool collect_request_stats = false;
 };
 
 class Server {
@@ -81,17 +93,26 @@ class Server {
   /// The bound port (valid after Start).
   uint16_t port() const { return port_; }
 
+  /// The metrics endpoint's bound port (0 unless options.metrics_port was
+  /// set and Start succeeded).
+  uint16_t metrics_port() const {
+    return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+  }
+
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   obs::ServerStats& stats() { return stats_; }
   const ServerOptions& options() const { return options_; }
+  Engine* engine() { return engine_; }
 
  private:
   void AcceptLoop();
   void WorkerLoop(int slot);
   void ServeConnection(int slot, Socket conn);
-  /// Executes one parsed request and returns the response line.
-  std::string HandleRequest(int slot, const ServerRequest& request);
+  /// Executes one parsed request and returns the response line, reporting
+  /// how it ended so the caller can attribute the latency sample.
+  std::string HandleRequest(int slot, const ServerRequest& request,
+                            obs::RequestOutcome* outcome);
 
   bool Draining() const { return draining_.load(std::memory_order_acquire); }
 
@@ -105,6 +126,8 @@ class Server {
 
   Socket listener_;
   uint16_t port_ = 0;
+  /// Present only when options.metrics_port >= 0.
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};

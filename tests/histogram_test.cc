@@ -1,0 +1,192 @@
+// Tests for the lock-free latency histogram (obs/histogram.h): bucket
+// geometry, the documented quantile error bound against exact sorted
+// quantiles, snapshot merge/delta algebra, and merge determinism under
+// concurrent recording (the suite carries the `concurrency` label so the
+// TSan preset covers the relaxed-atomic Record path).
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace levelheaded::obs {
+namespace {
+
+using Hist = LatencyHistogram;
+
+TEST(HistogramBuckets, LinearRangeIsExact) {
+  for (uint64_t us = 0; us < Hist::kLinearLimit; ++us) {
+    const int idx = Hist::BucketFor(us);
+    EXPECT_EQ(idx, static_cast<int>(us));
+    EXPECT_EQ(Hist::BucketLowerBound(idx), us);
+    EXPECT_EQ(Hist::BucketUpperBound(idx), us);
+  }
+}
+
+TEST(HistogramBuckets, BoundsPartitionTheDomain) {
+  // Lower bounds are strictly increasing; each bucket's upper bound abuts
+  // the next lower bound; BucketFor maps both endpoints back to the bucket.
+  for (int i = 0; i + 1 < Hist::kNumBuckets; ++i) {
+    const uint64_t lo = Hist::BucketLowerBound(i);
+    const uint64_t hi = Hist::BucketUpperBound(i);
+    EXPECT_LE(lo, hi) << "bucket " << i;
+    EXPECT_EQ(hi + 1, Hist::BucketLowerBound(i + 1)) << "bucket " << i;
+    EXPECT_EQ(Hist::BucketFor(lo), i);
+    EXPECT_EQ(Hist::BucketFor(hi), i);
+  }
+  // The last bucket absorbs the rest of the uint64 range.
+  const int last = Hist::kNumBuckets - 1;
+  EXPECT_EQ(Hist::BucketUpperBound(last), ~0ull);
+  EXPECT_EQ(Hist::BucketFor(~0ull), last);
+}
+
+TEST(HistogramBuckets, RelativeWidthIsBounded) {
+  // Outside the exact linear range, bucket width / lower bound <= 12.5%,
+  // which is what makes the quantile error bound hold.
+  for (int i = static_cast<int>(Hist::kLinearLimit);
+       i + 1 < Hist::kNumBuckets; ++i) {
+    const double lo = static_cast<double>(Hist::BucketLowerBound(i));
+    const double hi = static_cast<double>(Hist::BucketUpperBound(i));
+    EXPECT_LE((hi - lo) / lo, Hist::kMaxRelativeError) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, MicrosFromMillisRoundsHalfUpAndClamps) {
+  EXPECT_EQ(Hist::MicrosFromMillis(-1.0), 0u);
+  EXPECT_EQ(Hist::MicrosFromMillis(0.0), 0u);
+  EXPECT_EQ(Hist::MicrosFromMillis(0.0004), 0u);
+  EXPECT_EQ(Hist::MicrosFromMillis(0.0005), 1u);
+  EXPECT_EQ(Hist::MicrosFromMillis(1.0), 1000u);
+  EXPECT_EQ(Hist::MicrosFromMillis(1.6004), 1600u);
+}
+
+TEST(HistogramSnapshotTest, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(s.QuantileMillis(0.99), 0.0);
+  EXPECT_EQ(s.mean_us(), 0.0);
+}
+
+TEST(HistogramSnapshotTest, SingleSampleEveryQuantileHitsIt) {
+  LatencyHistogram h;
+  h.Record(12);  // linear range: exact
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.ValueAtQuantile(0.0), 12u);
+  EXPECT_EQ(s.ValueAtQuantile(0.5), 12u);
+  EXPECT_EQ(s.ValueAtQuantile(1.0), 12u);
+  EXPECT_EQ(s.max_us, 12u);
+  EXPECT_EQ(s.sum_us, 12u);
+}
+
+TEST(HistogramSnapshotTest, QuantileNeverExceedsObservedMax) {
+  LatencyHistogram h;
+  h.Record(1'000'003);  // interior of a wide bucket
+  const HistogramSnapshot s = h.Snapshot();
+  // The bucket upper bound would overshoot; the max clamp reports the
+  // exact observed value instead.
+  EXPECT_EQ(s.ValueAtQuantile(1.0), 1'000'003u);
+}
+
+TEST(HistogramSnapshotTest, QuantileErrorBoundAgainstExactSort) {
+  // Property check: for log-uniform samples spanning ns..minutes, every
+  // reported quantile is >= the true order statistic and within
+  // kMaxRelativeError above it.
+  Rng rng(42);
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    // 10^UniformDouble(0,8): 1us .. 100s, heavy on the low octaves.
+    const uint64_t us =
+        static_cast<uint64_t>(std::pow(10.0, rng.UniformDouble(0.0, 8.0)));
+    samples.push_back(us);
+    h.Record(us);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.count, samples.size());
+  for (const double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(q * samples.size())));
+    const uint64_t exact = samples[rank - 1];
+    const uint64_t reported = s.ValueAtQuantile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(exact) *
+                  (1.0 + LatencyHistogram::kMaxRelativeError) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeAddsAndDeltaSubtracts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(10);
+  a.Record(100);
+  b.Record(1000);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum_us, 1110u);
+  EXPECT_EQ(merged.max_us, 1000u);
+
+  const HistogramSnapshot before = a.Snapshot();
+  a.Record(50);
+  a.Record(60);
+  const HistogramSnapshot window =
+      HistogramSnapshot::Delta(before, a.Snapshot());
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_EQ(window.sum_us, 110u);
+  // Only the two new samples are in the window's buckets.
+  EXPECT_EQ(window.ValueAtQuantile(1.0),
+            LatencyHistogram::BucketUpperBound(
+                LatencyHistogram::BucketFor(60)));
+}
+
+TEST(HistogramConcurrency, ConcurrentRecordMatchesShardedMerge) {
+  // The same deterministic per-thread sample streams recorded two ways —
+  // all threads into one shared histogram vs. each thread into its own
+  // shard merged afterwards — must agree bucket-for-bucket.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  LatencyHistogram shared;
+  std::vector<LatencyHistogram> shards(kThreads);
+
+  auto worker = [&](int t, bool into_shared) {
+    Rng rng(0xC0FFEE + static_cast<uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      const uint64_t us = rng.Uniform(5'000'000);
+      (into_shared ? shared : shards[static_cast<size_t>(t)]).Record(us);
+    }
+  };
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(worker, t, /*into_shared=*/true);
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) worker(t, /*into_shared=*/false);
+
+  HistogramSnapshot merged = shards[0].Snapshot();
+  for (int t = 1; t < kThreads; ++t) merged.Merge(shards[static_cast<size_t>(t)].Snapshot());
+  const HistogramSnapshot concurrent = shared.Snapshot();
+
+  EXPECT_EQ(concurrent.count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(concurrent.count, merged.count);
+  EXPECT_EQ(concurrent.sum_us, merged.sum_us);
+  EXPECT_EQ(concurrent.max_us, merged.max_us);
+  ASSERT_EQ(concurrent.buckets.size(), merged.buckets.size());
+  for (size_t i = 0; i < merged.buckets.size(); ++i) {
+    EXPECT_EQ(concurrent.buckets[i], merged.buckets[i]) << "bucket " << i;
+  }
+}
+
+}  // namespace
+}  // namespace levelheaded::obs

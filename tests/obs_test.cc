@@ -10,8 +10,11 @@
 
 #include "obs/json_writer.h"
 #include "obs/profile.h"
+#include "obs/server_stats.h"
+#include "obs/slow_query_log.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "util/thread_pool.h"
 
 namespace levelheaded::obs {
@@ -297,6 +300,199 @@ TEST(QueryProfileTest, ToTextListsSpansAndCounters) {
   EXPECT_NE(text.find("parse"), std::string::npos);
   EXPECT_NE(text.find("intersect.uint_uint"), std::string::npos);
   EXPECT_NE(text.find("node[0]"), std::string::npos);
+}
+
+// --- ServerStats latency accounting ------------------------------------------
+
+TEST(ServerStatsTest, LatencyQuantizedOnceSoTotalsMatchBuckets) {
+  // Regression: the sample must be quantized to integer microseconds
+  // exactly once, so the total, max, percentiles, and per-population
+  // histograms all describe the same value.
+  ServerStats stats;
+  stats.RecordLatency(RequestClass::kQuery, RequestOutcome::kOk, 1.2345);
+  stats.RecordLatency(RequestClass::kQuery, RequestOutcome::kOk, 0.0004);
+  stats.RecordLatency(RequestClass::kAnalyze, RequestOutcome::kError, 2.5);
+
+  const ServerStats::Snapshot s = stats.snapshot();
+  // 1234.5us rounds half-up to 1235; 0.4us rounds to 0; 2500 exact.
+  EXPECT_DOUBLE_EQ(s.latency_ms_total, (1235.0 + 0.0 + 2500.0) / 1000.0);
+  EXPECT_DOUBLE_EQ(s.latency_ms_max, 2.5);
+
+  const HistogramSnapshot all = stats.LatencySnapshot();
+  EXPECT_EQ(all.count, 3u);
+  EXPECT_EQ(all.sum_us, 1235u + 2500u);
+  EXPECT_EQ(all.max_us, 2500u);
+
+  // Per-class and per-outcome views partition the same samples.
+  EXPECT_EQ(stats.LatencySnapshot(RequestClass::kQuery).count, 2u);
+  EXPECT_EQ(stats.LatencySnapshot(RequestClass::kAnalyze).count, 1u);
+  EXPECT_EQ(stats.LatencySnapshot(RequestClass::kExplain).count, 0u);
+  EXPECT_EQ(stats.LatencySnapshot(RequestOutcome::kOk).count, 2u);
+  EXPECT_EQ(stats.LatencySnapshot(RequestOutcome::kError).count, 1u);
+  EXPECT_EQ(stats.LatencySnapshot(RequestOutcome::kError).max_us, 2500u);
+}
+
+TEST(ServerStatsTest, LabelNamesAreStable) {
+  EXPECT_STREQ(RequestClassName(RequestClass::kQuery), "query");
+  EXPECT_STREQ(RequestClassName(RequestClass::kOther), "other");
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kOk), "ok");
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kTimeout), "timeout");
+}
+
+// --- Chrome trace export -----------------------------------------------------
+
+TEST(ChromeTraceTest, RoundTripMatchesSpanTree) {
+  Trace trace;
+  {
+    TraceSpan query(&trace, "query");
+    {
+      TraceSpan parse(&trace, "parse");
+      parse.SetDetail("select");
+    }
+    {
+      TraceSpan exec(&trace, "execute");
+      TraceSpan wcoj(&trace, "wcoj");
+      wcoj.AddMetric("tuples", 42);
+    }
+  }
+  const std::vector<SpanRecord> spans = trace.Spans();
+  const std::string json = ChromeTraceJson(spans);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+
+  // One "X" (complete) event per span, in span order; metadata events carry
+  // the process/thread names Perfetto shows on the lanes.
+  std::vector<const JsonValue*> complete;
+  size_t metadata = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      complete.push_back(&event);
+    } else {
+      EXPECT_EQ(ph->string, "M");
+      ++metadata;
+    }
+  }
+  ASSERT_EQ(complete.size(), spans.size());
+  EXPECT_GE(metadata, 2u);  // process_name + at least one thread_name
+
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const JsonValue& event = *complete[i];
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr) << "span " << i;
+    // Timestamps are microseconds (start_ms * 1000) and the span tree
+    // survives via args.span_id / args.parent.
+    EXPECT_NEAR(event.Find("ts")->number, spans[i].start_ms * 1000.0, 1e-6);
+    EXPECT_NEAR(event.Find("dur")->number, spans[i].duration_ms * 1000.0,
+                1e-6);
+    EXPECT_EQ(static_cast<int>(args->Find("span_id")->number), spans[i].id);
+    EXPECT_EQ(static_cast<int>(args->Find("parent")->number),
+              spans[i].parent);
+    EXPECT_NE(event.Find("name")->string.find(spans[i].name),
+              std::string::npos);
+  }
+  // Nesting: the wcoj span's parent is execute, and its args say so.
+  EXPECT_EQ(static_cast<int>(complete[3]->Find("args")
+                                 ->Find("parent")->number),
+            spans[2].id);
+  // The wcoj metric rides along as an arg.
+  EXPECT_EQ(complete[3]->Find("args")->Find("tuples")->number, 42.0);
+}
+
+TEST(ChromeTraceTest, EmptySpanListIsStillValidJson) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ChromeTraceJson({}), &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  for (const JsonValue& event : events->array) {
+    EXPECT_EQ(event.Find("ph")->string, "M");  // metadata only
+  }
+}
+
+// --- Slow-query log ----------------------------------------------------------
+
+SlowQueryRecord MakeRecord(const std::string& sql, double ms) {
+  SlowQueryRecord r;
+  r.sql = sql;
+  r.latency_ms = ms;
+  r.status = "OK";
+  return r;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog off(/*capacity=*/4, /*threshold_ms=*/0);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.MaybeRecord(MakeRecord("q", 1e9)));
+
+  SlowQueryLog on(/*capacity=*/4, /*threshold_ms=*/250);
+  EXPECT_TRUE(on.enabled());
+  EXPECT_EQ(on.threshold_ms(), 250);
+  EXPECT_FALSE(on.MaybeRecord(MakeRecord("fast", 249.9)));
+  EXPECT_TRUE(on.MaybeRecord(MakeRecord("slow", 250.0)));
+  EXPECT_EQ(on.total_recorded(), 1u);
+}
+
+TEST(SlowQueryLogTest, RingKeepsNewestAndSequencesAreStable) {
+  SlowQueryLog log(/*capacity=*/2, /*threshold_ms=*/1);
+  for (int i = 0; i < 5; ++i) {
+    log.MaybeRecord(MakeRecord("q" + std::to_string(i), 10 + i));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  const std::vector<SlowQueryRecord> kept = log.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].sql, "q3");
+  EXPECT_EQ(kept[0].sequence, 4u);
+  EXPECT_EQ(kept[1].sql, "q4");
+  EXPECT_EQ(kept[1].sequence, 5u);
+}
+
+TEST(SlowQueryLogTest, TopSpansSortsAndSkipsTheQueryRoot) {
+  std::vector<SpanRecord> spans(4);
+  spans[0].name = "query";
+  spans[0].duration_ms = 100;
+  spans[1].name = "parse";
+  spans[1].duration_ms = 1;
+  spans[2].name = "execute";
+  spans[2].duration_ms = 90;
+  spans[3].name = "trie_build";
+  spans[3].duration_ms = 9;
+  const auto top = SlowQueryRecord::TopSpans(spans, /*limit=*/2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "execute");
+  EXPECT_EQ(top[0].second, 90);
+  EXPECT_EQ(top[1].first, "trie_build");
+}
+
+TEST(SlowQueryLogTest, JsonLineParsesWithAllFields) {
+  SlowQueryRecord r = MakeRecord("SELECT 1 -- \"quoted\"", 123.5);
+  r.sequence = 7;
+  r.num_rows = 3;
+  r.cache_hits = 2;
+  r.cache_misses = 1;
+  r.top_spans = {{"execute", 120.0}, {"parse", 2.5}};
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(r.ToJsonLine(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("seq")->number, 7.0);
+  EXPECT_EQ(doc.Find("sql")->string, "SELECT 1 -- \"quoted\"");
+  EXPECT_EQ(doc.Find("latency_ms")->number, 123.5);
+  EXPECT_EQ(doc.Find("num_rows")->number, 3.0);
+  EXPECT_EQ(doc.Find("status")->string, "OK");
+  EXPECT_EQ(doc.Find("cache_hits")->number, 2.0);
+  EXPECT_EQ(doc.Find("cache_misses")->number, 1.0);
+  const JsonValue* top = doc.Find("top_spans");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->array.size(), 2u);
+  EXPECT_EQ(top->array[0].Find("name")->string, "execute");
+  EXPECT_EQ(top->array[0].Find("ms")->number, 120.0);
 }
 
 }  // namespace

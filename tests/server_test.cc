@@ -3,9 +3,13 @@
 // deadlines, malformed input, and graceful shutdown. Runs entirely over
 // real loopback sockets against an in-process Server on an ephemeral port.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -367,6 +371,212 @@ TEST_F(ServerTest, StatsRequestExportsCounters) {
   const obs::JsonValue* completed = stats->Find("server.completed");
   ASSERT_NE(completed, nullptr);
   EXPECT_GE(completed->number, 1.0);
+  // Server-side latency percentiles ride along with the counters.
+  ASSERT_NE(stats->Find("server.latency_ms_p99"), nullptr);
+  // The export is the whole engine surface, not just server.*: trie-cache
+  // tallies and engine-lifetime exec/pool counters are present too.
+  for (const char* key :
+       {"cache.hits", "cache.misses", "cache.bytes", "pool.chunks",
+        "pool.tasks_spawned", "exec.tuples_emitted"}) {
+    EXPECT_NE(stats->Find(key), nullptr) << key;
+  }
+  server.Stop();
+}
+
+// Minimal Prometheus text-exposition check: every line is a comment or
+// `name{labels} value`, families are declared before use, and the
+// histogram's +Inf bucket equals its _count.
+void CheckPrometheusExposition(const std::string& text) {
+  std::set<std::string> declared;
+  std::istringstream in(text);
+  std::string line;
+  double latency_inf = -1, latency_count = -1;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      // "# HELP name ..." / "# TYPE name counter|gauge|histogram"
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      if (kind == "TYPE") declared.insert(name);
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value != "+Inf") {
+      EXPECT_EQ(*end, '\0') << "unparsable sample value: " << line;
+    }
+    std::string name = line.substr(0, std::min(line.find('{'), space));
+    // Histogram series belong to the family without the suffix.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t pos = name.rfind(suffix);
+      if (pos != std::string::npos &&
+          pos + std::strlen(suffix) == name.size() &&
+          declared.count(name.substr(0, pos)) > 0) {
+        name = name.substr(0, pos);
+        break;
+      }
+    }
+    EXPECT_TRUE(declared.count(name) > 0)
+        << "sample before # TYPE declaration: " << line;
+    if (line.rfind("lh_server_latency_seconds_bucket{le=\"+Inf\"}", 0) == 0) {
+      latency_inf = v;
+    }
+    if (line.rfind("lh_server_latency_seconds_count", 0) == 0) {
+      latency_count = v;
+    }
+  }
+  EXPECT_GE(latency_inf, 0.0);
+  EXPECT_EQ(latency_inf, latency_count);
+}
+
+TEST_F(ServerTest, MetricsRequestRendersPrometheusText) {
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &resp));
+  ASSERT_TRUE(IsOk(resp));
+
+  obs::JsonValue metrics_resp;
+  ASSERT_TRUE(client.RoundTrip(R"({"metrics": true})", &metrics_resp));
+  ASSERT_TRUE(IsOk(metrics_resp));
+  const obs::JsonValue* metrics = metrics_resp.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->IsString());
+  const std::string& text = metrics->string;
+  EXPECT_NE(text.find("# TYPE lh_server_accepted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lh_server_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lh_server_requests_total{outcome=\"ok\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lh_trie_cache_bytes"), std::string::npos);
+  CheckPrometheusExposition(text);
+  server.Stop();
+}
+
+TEST_F(ServerTest, MetricsHttpEndpointServesScrapes) {
+  ServerOptions options;
+  options.metrics_port = 0;  // ephemeral
+  Server server(engine_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+
+  TestClient query_client(server.port());
+  ASSERT_TRUE(query_client.connected());
+  obs::JsonValue resp;
+  ASSERT_TRUE(query_client.RoundTrip(QueryLine(kGroupBySql), &resp));
+  ASSERT_TRUE(IsOk(resp));
+
+  // A plain HTTP/1.0 GET against the scrape endpoint.
+  auto scrape = [&](const std::string& request_line,
+                    std::string* out) -> bool {
+    auto conn = ConnectLoopback(server.metrics_port());
+    if (!conn.ok()) return false;
+    if (!SetRecvTimeout(conn.value(), 10000).ok()) return false;
+    if (!SendAll(conn.value(), request_line + "\r\n\r\n").ok()) return false;
+    LineReader reader(&conn.value(), 1u << 20);
+    std::string line;
+    out->clear();
+    while (reader.ReadLine(&line) == LineReader::ReadStatus::kLine) {
+      out->append(line);
+      out->push_back('\n');
+    }
+    return !out->empty();
+  };
+
+  std::string body;
+  ASSERT_TRUE(scrape("GET /metrics HTTP/1.0", &body));
+  EXPECT_NE(body.find("200 OK"), std::string::npos);
+  EXPECT_NE(body.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE lh_server_accepted_total counter"),
+            std::string::npos);
+
+  std::string missing;
+  ASSERT_TRUE(scrape("GET /nope HTTP/1.0", &missing));
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  server.Stop();
+  // The scrape endpoint dies with the server.
+  EXPECT_FALSE(ConnectLoopback(server.metrics_port()).ok());
+}
+
+TEST_F(ServerTest, TraceRequestCarriesChromeTraceEvents) {
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip(
+      std::string(R"({"sql": ")") + kTriangleSql + R"(", "trace": true})",
+      &resp));
+  ASSERT_TRUE(IsOk(resp));
+  // Plain query responses stay lean (no profile) even when traced.
+  EXPECT_EQ(resp.Find("profile"), nullptr);
+  const obs::JsonValue* trace = resp.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  const obs::JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  // At least the query/parse/bind/plan/execute spans plus metadata.
+  EXPECT_GE(events->array.size(), 5u);
+  bool saw_execute = false;
+  for (const obs::JsonValue& event : events->array) {
+    const obs::JsonValue* name = event.Find("name");
+    if (name != nullptr && name->string.rfind("execute", 0) == 0) {
+      saw_execute = true;
+    }
+  }
+  EXPECT_TRUE(saw_execute);
+
+  // Untraced requests on the same connection stay trace-free.
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &resp));
+  ASSERT_TRUE(IsOk(resp));
+  EXPECT_EQ(resp.Find("trace"), nullptr);
+  server.Stop();
+}
+
+TEST_F(ServerTest, SlowQueryLogOverTheWire) {
+  // A separate engine whose slow-query threshold catches everything.
+  EngineOptions engine_options;
+  engine_options.slow_query_ms = 1e-6;
+  Engine slow_engine(&catalog_, engine_options);
+  ServerOptions options;
+  options.collect_request_stats = true;  // span/cache attribution
+  Server server(&slow_engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &resp));
+  ASSERT_TRUE(IsOk(resp));
+
+  obs::JsonValue slowlog_resp;
+  ASSERT_TRUE(client.RoundTrip(R"({"slowlog": true})", &slowlog_resp));
+  ASSERT_TRUE(IsOk(slowlog_resp));
+  const obs::JsonValue* slowlog = slowlog_resp.Find("slowlog");
+  ASSERT_NE(slowlog, nullptr);
+  EXPECT_EQ(slowlog->Find("threshold_ms")->number, 1e-6);
+  const obs::JsonValue* records = slowlog->Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_GE(records->array.size(), 1u);
+  const obs::JsonValue& record = records->array.back();
+  EXPECT_EQ(record.Find("sql")->string, kTriangleSql);
+  EXPECT_EQ(record.Find("status")->string, "OK");
+  EXPECT_GT(record.Find("latency_ms")->number, 0.0);
+  const obs::JsonValue* top_spans = record.Find("top_spans");
+  ASSERT_NE(top_spans, nullptr);
+  EXPECT_GE(top_spans->array.size(), 1u);
   server.Stop();
 }
 
@@ -440,6 +650,22 @@ TEST(ProtocolTest, ParseRequestLineCoversModes) {
 
   ASSERT_TRUE(server::ParseRequestLine(R"({"stats": true})", &req).ok());
   EXPECT_EQ(req.mode, ServerRequest::Mode::kStats);
+
+  ASSERT_TRUE(server::ParseRequestLine(R"({"metrics": true})", &req).ok());
+  EXPECT_EQ(req.mode, ServerRequest::Mode::kMetrics);
+
+  ASSERT_TRUE(server::ParseRequestLine(R"({"slowlog": true})", &req).ok());
+  EXPECT_EQ(req.mode, ServerRequest::Mode::kSlowLog);
+
+  ASSERT_TRUE(server::ParseRequestLine(
+                  R"({"sql": "SELECT 1", "trace": true})", &req)
+                  .ok());
+  EXPECT_TRUE(req.include_trace);
+  ASSERT_TRUE(server::ParseRequestLine(R"({"sql": "SELECT 1"})", &req).ok());
+  EXPECT_FALSE(req.include_trace);
+  EXPECT_FALSE(server::ParseRequestLine(
+                   R"({"sql": "SELECT 1", "trace": "yes"})", &req)
+                   .ok());
 
   EXPECT_FALSE(server::ParseRequestLine("{}", &req).ok());
   EXPECT_FALSE(server::ParseRequestLine("[1,2]", &req).ok());

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare two sets of BENCH_*.json exports.
+
+    python3 tools/bench_diff.py BASELINE_DIR CURRENT_DIR [options]
+
+Each directory holds BENCH_<name>.json files in the bench_util.h schema
+({"schema_version": 1, "bench": ..., "entries": [{"label", "ms"|"marker",
+extra metrics...}]}). Benches are matched by their "bench" field, entries
+by "label", and for each matched entry the timing plus a fixed set of
+performance metrics (PERF_METRICS below) are compared against per-metric
+relative thresholds:
+
+  * lower-is-better metrics (ms, latency percentiles) regress when
+    current > baseline * (1 + threshold)
+  * higher-is-better metrics (qps) regress when
+    current < baseline * (1 - threshold)
+  * an entry that was a timing in the baseline but a "marker" (error/skip)
+    in the current run is always a regression; the reverse — and benches
+    or entries present on only one side — is reported but not fatal,
+    so adding/removing benches doesn't break the gate.
+
+Exit codes: 0 = no regressions, 1 = at least one regression, 2 = bad
+invocation or unreadable input. CI runs this advisorily against the
+checked-in bench/baseline snapshot (absolute numbers differ across
+machines — the gate is meant for same-machine before/after pairs, which
+is also why CI only annotates instead of failing).
+
+Options:
+  --threshold-pct P      default relative threshold in percent (default 40;
+                         generous because smoke runs are short and noisy)
+  --metric-threshold M=P per-metric override, repeatable
+                         (e.g. --metric-threshold qps=25)
+  --min-ms X             ignore timing comparisons when both sides are
+                         below X ms (default 1.0; sub-millisecond smoke
+                         timings are dominated by noise)
+  --selftest             run the built-in synthetic check (used by CI lint)
+"""
+
+import glob
+import json
+import os
+import sys
+
+# Metrics compared beyond the entry's own "ms" timing. Counter-style
+# extras (server.accepted, cache.bytes, connections, ...) are workload
+# descriptors, not performance, and are deliberately not compared.
+PERF_METRICS = {
+    "ms": False,  # False = lower is better
+    "qps": True,  # True = higher is better
+    "p50_ms": False,
+    "p95_ms": False,
+    "p99_ms": False,
+    "p999_ms": False,
+}
+
+
+def load_dir(path):
+    """Maps bench name -> {label -> entry dict} for every BENCH_*.json."""
+    benches = {}
+    pattern = os.path.join(path, "BENCH_*.json")
+    for file_path in sorted(glob.glob(pattern)):
+        try:
+            with open(file_path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            raise RuntimeError(f"{file_path}: {e}") from e
+        name = doc.get("bench")
+        if not isinstance(name, str):
+            raise RuntimeError(f"{file_path}: missing \"bench\" field")
+        entries = {}
+        for entry in doc.get("entries", []):
+            label = entry.get("label")
+            if isinstance(label, str):
+                entries[label] = entry
+        benches[name] = entries
+    return benches
+
+
+def compare(baseline, current, default_threshold, overrides, min_ms):
+    """Returns (regressions, notes): lists of human-readable strings."""
+    regressions = []
+    notes = []
+    for bench in sorted(set(baseline) | set(current)):
+        if bench not in current:
+            notes.append(f"{bench}: present only in baseline")
+            continue
+        if bench not in baseline:
+            notes.append(f"{bench}: present only in current (no baseline)")
+            continue
+        base_entries = baseline[bench]
+        cur_entries = current[bench]
+        for label in sorted(set(base_entries) | set(cur_entries)):
+            where = f"{bench}/{label}"
+            if label not in cur_entries:
+                notes.append(f"{where}: entry missing from current run")
+                continue
+            if label not in base_entries:
+                notes.append(f"{where}: new entry (no baseline)")
+                continue
+            base, cur = base_entries[label], cur_entries[label]
+            if "marker" in cur and "ms" in base:
+                regressions.append(
+                    f"{where}: was {base['ms']:.3f}ms, now marker "
+                    f"\"{cur['marker']}\"")
+                continue
+            if "marker" in base:
+                if "ms" in cur:
+                    notes.append(
+                        f"{where}: marker \"{base['marker']}\" now passes "
+                        f"({cur['ms']:.3f}ms)")
+                continue
+            for metric, higher_better in PERF_METRICS.items():
+                if metric not in base or metric not in cur:
+                    continue
+                b, c = base[metric], cur[metric]
+                if not isinstance(b, (int, float)) or not isinstance(
+                        c, (int, float)):
+                    continue
+                if not higher_better and max(b, c) < min_ms:
+                    continue  # both below the noise floor
+                if b <= 0:
+                    continue  # no meaningful relative comparison
+                threshold = overrides.get(metric, default_threshold) / 100.0
+                if higher_better:
+                    regressed = c < b * (1.0 - threshold)
+                    direction = "-"
+                    change = (b - c) / b * 100.0
+                else:
+                    regressed = c > b * (1.0 + threshold)
+                    direction = "+"
+                    change = (c - b) / b * 100.0
+                if regressed:
+                    regressions.append(
+                        f"{where} {metric}: {b:.3f} -> {c:.3f} "
+                        f"({direction}{change:.1f}%, threshold "
+                        f"{threshold * 100:.0f}%)")
+    return regressions, notes
+
+
+def selftest():
+    """Synthetic end-to-end check that the gate actually trips."""
+    baseline = {
+        "b": {
+            "fast": {"label": "fast", "ms": 10.0, "qps": 100.0},
+            "tiny": {"label": "tiny", "ms": 0.01},
+            "gone": {"label": "gone", "ms": 5.0},
+            "was_err": {"label": "was_err", "marker": "err"},
+        }
+    }
+    current = {
+        "b": {
+            "fast": {"label": "fast", "ms": 20.0, "qps": 95.0},
+            "tiny": {"label": "tiny", "ms": 0.02},  # under --min-ms floor
+            "gone": {"label": "gone", "marker": "err"},
+            "was_err": {"label": "was_err", "ms": 3.0},
+        }
+    }
+    regressions, notes = compare(baseline, current, 40.0, {"qps": 25.0}, 1.0)
+    assert any("fast ms" in r for r in regressions), regressions
+    assert any("now marker" in r for r in regressions), regressions
+    assert not any("tiny" in r for r in regressions), regressions
+    assert not any("qps" in r for r in regressions), regressions  # -5% < 25%
+    assert any("was_err" in n for n in notes), notes
+    # qps regression past its override threshold trips.
+    current["b"]["fast"]["qps"] = 50.0
+    regressions, _ = compare(baseline, current, 40.0, {"qps": 25.0}, 1.0)
+    assert any("fast qps" in r for r in regressions), regressions
+    # Identical sets are clean.
+    regressions, notes = compare(baseline, baseline, 40.0, {}, 1.0)
+    assert not regressions and not notes, (regressions, notes)
+    print("bench_diff selftest: OK")
+    return 0
+
+
+def main(argv):
+    default_threshold = 40.0
+    overrides = {}
+    min_ms = 1.0
+    dirs = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--selftest":
+            return selftest()
+        if arg == "--threshold-pct":
+            i += 1
+            default_threshold = float(argv[i])
+        elif arg == "--metric-threshold":
+            i += 1
+            name, _, pct = argv[i].partition("=")
+            overrides[name] = float(pct)
+        elif arg == "--min-ms":
+            i += 1
+            min_ms = float(argv[i])
+        elif arg.startswith("-"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            dirs.append(arg)
+        i += 1
+    if len(dirs) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        baseline = load_dir(dirs[0])
+        current = load_dir(dirs[1])
+    except RuntimeError as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"bench_diff: no BENCH_*.json in {dirs[0]}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"bench_diff: no BENCH_*.json in {dirs[1]}", file=sys.stderr)
+        return 2
+
+    regressions, notes = compare(baseline, current, default_threshold,
+                                 overrides, min_ms)
+    for note in notes:
+        print(f"note: {note}")
+    for regression in regressions:
+        print(f"REGRESSION: {regression}")
+    matched = sum(
+        len(set(baseline[b]) & set(current[b]))
+        for b in set(baseline) & set(current))
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) across "
+              f"{matched} compared entries", file=sys.stderr)
+        return 1
+    print(f"bench_diff: OK ({matched} entries compared, "
+          f"{len(notes)} note(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

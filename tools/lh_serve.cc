@@ -16,6 +16,14 @@
 //   --default-timeout-ms X  deadline for requests without timeout_ms
 //   --max-rows N            result-row cap (default 4000000, 0 = unlimited)
 //   --drain-ms X            graceful-shutdown drain budget (default 5000)
+//   --metrics-port N        Prometheus scrape endpoint on 127.0.0.1
+//                           (0 = ephemeral, printed; omit to disable)
+//   --slow-query-ms X       slow-query log threshold (default 1000;
+//                           0 disables the log)
+//   --no-request-stats      skip per-request stats collection (disables
+//                           engine-lifetime exec.* metrics and slow-log
+//                           span/cache attribution; shaves the per-query
+//                           counter bookkeeping)
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +31,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/engine.h"
 #include "server/server.h"
@@ -40,7 +49,9 @@ int Usage(const char* argv0) {
                "usage: %s [schema.lh|data.lhsnap] [--port N] [--workers N] "
                "[--queue N]\n"
                "       [--default-timeout-ms X] [--max-rows N] "
-               "[--drain-ms X]\n",
+               "[--drain-ms X]\n"
+               "       [--metrics-port N] [--slow-query-ms X] "
+               "[--no-request-stats]\n",
                argv0);
   return 2;
 }
@@ -49,7 +60,9 @@ int Serve(int argc, char** argv) {
   std::string data_path;
   server::ServerOptions server_options;
   server_options.port = 8437;
+  server_options.collect_request_stats = true;
   size_t max_result_rows = kDefaultMaxResultRows;
+  double slow_query_ms = 1000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +93,16 @@ int Serve(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       server_options.drain_timeout_ms = std::atof(v);
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.metrics_port = std::atoi(v);
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      slow_query_ms = std::atof(v);
+    } else if (arg == "--no-request-stats") {
+      server_options.collect_request_stats = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -120,6 +143,7 @@ int Serve(int argc, char** argv) {
 
   EngineOptions engine_options;
   engine_options.max_result_rows = max_result_rows;
+  engine_options.slow_query_ms = slow_query_ms;
   Engine engine(catalog, engine_options);
 
   Status st = InstallShutdownSignalHandlers();
@@ -139,6 +163,10 @@ int Serve(int argc, char** argv) {
               static_cast<unsigned>(server.port()),
               server_options.num_workers, server_options.queue_capacity,
               max_result_rows);
+  if (server_options.metrics_port >= 0) {
+    std::printf("lh_serve: metrics on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(server.metrics_port()));
+  }
   std::fflush(stdout);
 
   while (!ShutdownSignalled()) {
@@ -147,15 +175,27 @@ int Serve(int argc, char** argv) {
   std::printf("lh_serve: shutdown signalled, draining...\n");
   server.Stop();
 
+  // Slow queries survive the shutdown as one grep-able JSON line each.
+  const std::vector<obs::SlowQueryRecord> slow =
+      engine.slow_query_log()->Snapshot();
+  for (const obs::SlowQueryRecord& record : slow) {
+    std::printf("lh_serve: slow-query %s\n", record.ToJsonLine().c_str());
+  }
+
   const obs::ServerStats::Snapshot stats = server.stats().snapshot();
   std::printf("lh_serve: done. accepted=%llu completed=%llu errors=%llu "
-              "timeouts=%llu cancelled=%llu rejected_overload=%llu\n",
+              "timeouts=%llu cancelled=%llu rejected_overload=%llu "
+              "p50=%.3fms p99=%.3fms max=%.3fms slow=%llu\n",
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.timeouts),
               static_cast<unsigned long long>(stats.cancelled),
-              static_cast<unsigned long long>(stats.rejected_overload));
+              static_cast<unsigned long long>(stats.rejected_overload),
+              stats.latency_ms_p50, stats.latency_ms_p99,
+              stats.latency_ms_max,
+              static_cast<unsigned long long>(
+                  engine.slow_query_log()->total_recorded()));
   return 0;
 }
 

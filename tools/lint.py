@@ -30,6 +30,12 @@ Rules (all findings are errors; the target requires zero):
                    src/util wrappers. Sockets are owned by util/socket.h's
                    RAII types; a bare fd is a leak (and a stray close() a
                    double-close) on the first early return.
+  metrics-glossary Every counter name in `StatsSnapshot::Items()`
+                   (src/obs/stats.cc) must appear in DESIGN.md's counter
+                   glossary. Items() is the single source of truth for
+                   names — the stats wire response, the Prometheus
+                   exposition, and bench profiles all emit them — so an
+                   undocumented counter is an undocumented public surface.
 
 Suppress a finding on one line with a trailing `// lint: allow(<rule>)`.
 """
@@ -238,10 +244,46 @@ def find_include_cycles(graph, findings):
             dfs(node)
 
 
+# The file holding StatsSnapshot::Items() and the doc that must glossary
+# every counter name it returns.
+METRICS_SOURCE = os.path.join("src", "obs", "stats.cc")
+METRICS_GLOSSARY_DOC = "DESIGN.md"
+ITEMS_NAME_RE = re.compile(r'\{"(?P<name>[\w.]+)",')
+
+
+def lint_metrics_glossary(findings):
+    """Checks that each counter name returned by StatsSnapshot::Items() is
+    mentioned in DESIGN.md (the counter glossary section)."""
+    if not (os.path.isfile(METRICS_SOURCE)
+            and os.path.isfile(METRICS_GLOSSARY_DOC)):
+        return
+    with open(METRICS_SOURCE, encoding="utf-8") as f:
+        source_lines = f.read().splitlines()
+    with open(METRICS_GLOSSARY_DOC, encoding="utf-8") as f:
+        doc = f.read()
+
+    in_items = False
+    for lineno, line in enumerate(source_lines, start=1):
+        if "StatsSnapshot::Items()" in line:
+            in_items = True
+            continue
+        if not in_items:
+            continue
+        if line.startswith("}"):
+            break
+        for m in ITEMS_NAME_RE.finditer(line):
+            name = m.group("name")
+            if name not in doc:
+                findings.append(
+                    (METRICS_SOURCE, lineno, "metrics-glossary",
+                     f'counter "{name}" missing from the {METRICS_GLOSSARY_DOC}'
+                     f" counter glossary"))
+
+
 def main(argv):
     if "--list-rules" in argv:
         print("naked-new banned-rand span-taxonomy include-cycle "
-              "global-state raw-socket")
+              "global-state raw-socket metrics-glossary")
         return 0
     paths = [a for a in argv if not a.startswith("-")] or REPO_DIRS
     findings = []
@@ -256,6 +298,7 @@ def main(argv):
         graph[os.path.normpath(path)] = deps
 
     find_include_cycles(graph, findings)
+    lint_metrics_glossary(findings)
 
     for path, lineno, rule, message in findings:
         print(f"{path}:{lineno}: [{rule}] {message}")
