@@ -447,11 +447,15 @@ class PairwiseRun {
         InitWorker(&w);
         w.cap = cap_ / slots + 1;
       }
+      // Relaxed (load and store): one-way overflow flag; a worker that
+      // misses it probes a few extra tuples into its own capped buffer, and
+      // the authoritative read below happens after the ParallelChunks join.
       for (int64_t i = lo;
-           i < hi && !overflow.load(std::memory_order_relaxed); ++i) {
+           i < hi && !overflow.load(std::memory_order_relaxed);  // see above
+           ++i) {
         w.cells->Set(base_rel_, base[i]);
         if (!ProbeTuple(&w, 0)) {
-          overflow.store(true, std::memory_order_relaxed);
+          overflow.store(true, std::memory_order_relaxed);  // one-way flag
         }
       }
       if (use_blocks_) FlushBlock(&w);

@@ -30,10 +30,14 @@ class CancelToken {
  public:
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
   bool IsCancelled() const {
+    // Relaxed: hot-loop poll of a lone one-way flag; a stale false costs at
+    // most one extra grain of (discarded) work before the next poll.
     return cancelled_.load(std::memory_order_relaxed);
   }
   /// Re-arms the token for a new query. Must not race with a running query
   /// holding this token.
+  // Relaxed: the no-concurrent-query contract above means there is nothing
+  // to order against.
   void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
 
  private:

@@ -130,6 +130,11 @@ class Engine {
   /// the deadline clock starts at the call.
   [[nodiscard]] QueryGuard MakeGuard(const QueryOptions& options) const;
 
+  // Synchronization inventory (DESIGN.md §14): the engine itself holds no
+  // mutex. catalog_/options_ are immutable after construction; all shared
+  // mutable state lives in the members below, each internally synchronized
+  // (trie_cache_: ranked shard/flight/evict mutexes; lifetime_stats_:
+  // relaxed atomic counters; slow_query_log_: one ranked mutex).
   Catalog* catalog_;
   EngineOptions options_;
   TrieCache trie_cache_;

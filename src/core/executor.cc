@@ -7,7 +7,6 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
@@ -20,6 +19,8 @@
 #include "la/dense.h"
 #include "set/intersect.h"
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -819,7 +820,7 @@ class NodeExec {
   /// / kResourceExhausted). Callers must consult this before trusting a
   /// run's output.
   [[nodiscard]] Status abort_status() {
-    std::lock_guard<std::mutex> lock(abort_mu_);
+    MutexLock lock(&abort_mu_);
     return abort_status_;
   }
 
@@ -864,11 +865,15 @@ class NodeExec {
   static constexpr uint64_t kAbortStride = 32;
 
   void RecordAbort(Status s) {
-    std::lock_guard<std::mutex> lock(abort_mu_);
+    MutexLock lock(&abort_mu_);
     if (abort_status_.ok()) abort_status_ = std::move(s);
+    // Release: pairs with the coordinator's acquire read so the recorded
+    // status is visible once the flag is seen set there.
     aborted_.store(true, std::memory_order_release);
   }
 
+  // Relaxed: worker-side poll. A worker that reads a stale false merely
+  // runs extra iterations whose output is discarded after the abort.
   bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
 
   /// Full check: the abort flag, then deadline/cancel, then the row bound
@@ -1734,8 +1739,8 @@ class NodeExec {
   const QueryGuard* guard_ = nullptr;
   const bool guard_active_ = false;
   std::atomic<bool> aborted_{false};
-  std::mutex abort_mu_;
-  Status abort_status_;  // guarded by abort_mu_; first failure wins
+  Mutex abort_mu_{LockRank::kExecAbort};
+  Status abort_status_ LH_GUARDED_BY(abort_mu_);  // first failure wins
 };
 
 // ---------------------------------------------------------------------------
@@ -1788,7 +1793,9 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
   const bool guard_active =
       guard != nullptr && (guard->CancelEnabled() || guard->max_result_rows > 0);
   std::atomic<bool> aborted{false};
-  std::mutex abort_mu;
+  // TSA cannot annotate locals, so the guard relation for abort_status is
+  // by convention here (same shape as NodeExec::abort_mu_).
+  Mutex abort_mu{LockRank::kExecAbort};  // lint: unguarded(guards the local abort_status; locals cannot carry LH_GUARDED_BY)
   Status abort_status;  // guarded by abort_mu; first failure wins
 
   pool.ParallelChunks(
@@ -1805,12 +1812,15 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
         uint64_t local_sink = 0;
         for (int64_t row = lo; row < hi; ++row) {
           if (guard_active && ((row - lo) & 1023) == 0) {
+            // Relaxed: poll of the stop flag; a stale false only costs the
+            // worker extra iterations whose output is discarded.
             if (aborted.load(std::memory_order_relaxed)) break;
             Status s = guard->Check();
             if (s.ok()) s = guard->CheckRows(groups.num_groups());
             if (!s.ok()) {
-              std::lock_guard<std::mutex> lock(abort_mu);
+              MutexLock lock(&abort_mu);
               if (abort_status.ok()) abort_status = std::move(s);
+              // Release: pairs with the coordinator's acquire below.
               aborted.store(true, std::memory_order_release);
               break;
             }
@@ -1864,11 +1874,13 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
                                        : groups.FindOrCreate(key.data());
           groups.Apply(acc, main.data(), aux.data());
         }
+        // Relaxed: plain accumulation; the ParallelChunks join orders the
+        // total before the coordinator reads it.
         sink.fetch_add(local_sink, std::memory_order_relaxed);
       });
 
   if (aborted.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(abort_mu);
+    MutexLock lock(&abort_mu);
     return abort_status;
   }
 

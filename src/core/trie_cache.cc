@@ -33,24 +33,25 @@ TrieCache::Shard& TrieCache::ShardFor(const std::string& signature) {
 
 std::shared_ptr<Trie> TrieCache::Probe(const std::string& signature) {
   Shard& shard = ShardFor(signature);
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReadLock lock(&shard.mu);
   auto it = shard.map.find(signature);
   if (it == shard.map.end()) return nullptr;
-  it->second->stamp.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
-                          std::memory_order_relaxed);
+  // Relaxed (both ops): the stamp is an LRU recency hint — a racing reader
+  // that publishes a slightly stale tick only perturbs the eviction order.
+  it->second->stamp.store(tick_.fetch_add(1, kRelaxed) + 1, kRelaxed);
   return it->second->trie;
 }
 
 std::shared_ptr<Trie> TrieCache::Get(const std::string& signature) {
   obs::ExecStats* stats = obs::ActiveStats();
-  probes_.fetch_add(1, std::memory_order_relaxed);
+  probes_.fetch_add(1, kRelaxed);
   if (stats != nullptr) stats->CountTrieCacheProbe();
   std::shared_ptr<Trie> trie = Probe(signature);
   if (trie != nullptr) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, kRelaxed);
     if (stats != nullptr) stats->CountTrieCacheHit();
   } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, kRelaxed);
     if (stats != nullptr) stats->CountTrieCacheMiss();
   }
   return trie;
@@ -61,19 +62,19 @@ void TrieCache::Put(const std::string& signature, std::shared_ptr<Trie> trie) {
   const size_t entry_bytes = trie->MemoryBytes();
   {
     Shard& shard = ShardFor(signature);
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriteLock lock(&shard.mu);
     auto it = shard.map.find(signature);
     if (it != shard.map.end()) {
-      bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+      bytes_.fetch_sub(it->second->bytes, kRelaxed);
       shard.map.erase(it);
     }
     auto entry = std::make_unique<Entry>();
     entry->trie = std::move(trie);
     entry->bytes = entry_bytes;
-    entry->stamp.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
-                       std::memory_order_relaxed);
+    entry->stamp.store(tick_.fetch_add(1, kRelaxed) + 1,
+                       kRelaxed);
     shard.map.emplace(signature, std::move(entry));
-    bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+    bytes_.fetch_add(entry_bytes, kRelaxed);
   }
   EnforceBudget();
 }
@@ -82,8 +83,8 @@ void TrieCache::EnforceBudget() {
   if (config_.budget_bytes == 0) return;
   // One evictor at a time: concurrent Puts would otherwise race each other
   // over the same LRU scan and double-evict.
-  std::lock_guard<std::mutex> evict_lock(evict_mu_);
-  while (bytes_.load(std::memory_order_relaxed) > config_.budget_bytes) {
+  MutexLock evict_lock(&evict_mu_);
+  while (bytes_.load(kRelaxed) > config_.budget_bytes) {
     // Global LRU candidate among entries no query currently holds: the
     // cache's shared_ptr is the only reference (use_count == 1). A trie
     // some executing query still points at is never evicted mid-query.
@@ -92,10 +93,13 @@ void TrieCache::EnforceBudget() {
     uint64_t best_stamp = 0;
     bool found = false;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
-      for (const auto& [sig, entry] : shards_[s]->map) {
+      // Local reference so the analysis can match the capability expression
+      // (`shard.mu` guards `shard.map`); indexing twice would defeat it.
+      Shard& shard = *shards_[s];
+      ReadLock lock(&shard.mu);
+      for (const auto& [sig, entry] : shard.map) {
         if (entry->trie.use_count() > 1) continue;  // in use
-        const uint64_t stamp = entry->stamp.load(std::memory_order_relaxed);
+        const uint64_t stamp = entry->stamp.load(kRelaxed);
         if (!found || stamp < best_stamp) {
           found = true;
           best_shard = s;
@@ -107,17 +111,17 @@ void TrieCache::EnforceBudget() {
     if (!found) return;  // everything in use; retry on the next insert
     {
       Shard& shard = *shards_[best_shard];
-      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      WriteLock lock(&shard.mu);
       auto it = shard.map.find(best_sig);
       // Re-check under the exclusive lock: a probe may have touched the
       // entry (fresh stamp) or a query may have taken a reference since the
       // scan. Lookups need the shard lock, so no new holder can appear
       // while we hold it exclusively.
       if (it != shard.map.end() && it->second->trie.use_count() == 1 &&
-          it->second->stamp.load(std::memory_order_relaxed) == best_stamp) {
-        bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+          it->second->stamp.load(kRelaxed) == best_stamp) {
+        bytes_.fetch_sub(it->second->bytes, kRelaxed);
         shard.map.erase(it);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, kRelaxed);
         if (obs::ExecStats* stats = obs::ActiveStats()) {
           stats->CountCacheEviction();
         }
@@ -133,25 +137,25 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
   obs::ExecStats* stats = obs::ActiveStats();
   auto probe_all = [&]() -> std::shared_ptr<Trie> {
     for (const std::string& sig : probe_signatures) {
-      probes_.fetch_add(1, std::memory_order_relaxed);
+      probes_.fetch_add(1, kRelaxed);
       if (stats != nullptr) stats->CountTrieCacheProbe();
       if (std::shared_ptr<Trie> trie = Probe(sig)) return trie;
     }
     return nullptr;
   };
   auto run_build = [&]() -> Result<Built> {
-    builds_.fetch_add(1, std::memory_order_relaxed);
+    builds_.fetch_add(1, kRelaxed);
     return build_fn();
   };
 
   if (std::shared_ptr<Trie> trie = probe_all()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, kRelaxed);
     if (stats != nullptr) stats->CountTrieCacheHit();
     if (outcome != nullptr) *outcome = Outcome::kHit;
     return trie;
   }
   // One logical miss per call, however many flight laps follow.
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, kRelaxed);
   if (stats != nullptr) stats->CountTrieCacheMiss();
 
   const std::string& key = probe_signatures.empty() ? std::string()
@@ -160,7 +164,7 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
     std::shared_ptr<std::promise<Status>> promise;
     std::shared_future<Status> wait_on;
     {
-      std::lock_guard<std::mutex> lock(flight_mu_);
+      MutexLock lock(&flight_mu_);
       auto it = flights_.find(key);
       if (it != flights_.end()) {
         wait_on = it->second->done;
@@ -175,7 +179,7 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
     if (promise == nullptr) {
       // Follower: another query is already building this signature. Wait
       // for the leader, then pick its trie up from the cache.
-      build_waits_.fetch_add(1, std::memory_order_relaxed);
+      build_waits_.fetch_add(1, kRelaxed);
       if (stats != nullptr) stats->CountCacheBuildWait();
       const Status built = wait_on.get();
       if (!built.ok()) return built;
@@ -190,7 +194,7 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
     // our miss and the flight insertion.
     if (std::shared_ptr<Trie> trie = probe_all()) {
       {
-        std::lock_guard<std::mutex> lock(flight_mu_);
+        MutexLock lock(&flight_mu_);
         flights_.erase(key);
       }
       promise->set_value(Status::OK());
@@ -200,7 +204,7 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
     Result<Built> built = run_build();
     if (built.ok()) Put(built.value().signature, built.value().trie);
     {
-      std::lock_guard<std::mutex> lock(flight_mu_);
+      MutexLock lock(&flight_mu_);
       flights_.erase(key);
     }
     promise->set_value(built.ok() ? Status::OK() : built.status());
@@ -217,9 +221,9 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
 
 void TrieCache::Clear() {
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    WriteLock lock(&shard->mu);
     for (const auto& [sig, entry] : shard->map) {
-      bytes_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+      bytes_.fetch_sub(entry->bytes, kRelaxed);
     }
     shard->map.clear();
   }
@@ -228,7 +232,7 @@ void TrieCache::Clear() {
 size_t TrieCache::size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    ReadLock lock(&shard->mu);
     n += shard->map.size();
   }
   return n;

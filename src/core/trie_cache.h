@@ -33,14 +33,15 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/trie.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace levelheaded {
 
@@ -94,24 +95,26 @@ class TrieCache {
   void Clear();
   size_t size() const;
   /// Resident bytes currently charged against the budget.
-  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  size_t bytes() const { return bytes_.load(kRelaxed); }
   size_t budget_bytes() const { return config_.budget_bytes; }
 
   /// Lifetime tallies (across all queries against this cache).
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
-  uint64_t build_waits() const {
-    return build_waits_.load(std::memory_order_relaxed);
-  }
+  uint64_t hits() const { return hits_.load(kRelaxed); }
+  uint64_t misses() const { return misses_.load(kRelaxed); }
+  uint64_t probes() const { return probes_.load(kRelaxed); }
+  uint64_t evictions() const { return evictions_.load(kRelaxed); }
+  uint64_t build_waits() const { return build_waits_.load(kRelaxed); }
   /// Build functions actually executed (single-flight: concurrent misses on
   /// one signature still count one build).
-  uint64_t builds() const { return builds_.load(std::memory_order_relaxed); }
+  uint64_t builds() const { return builds_.load(kRelaxed); }
 
  private:
+  /// Relaxed ordering: every counter here is an independent monotone tally
+  /// (or, for stamp/tick_, an LRU heuristic where a stale read only picks a
+  /// slightly different eviction victim); nothing is published *through*
+  /// these atomics — entry payloads travel under the shard locks.
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
   struct Entry {
     std::shared_ptr<Trie> trie;
     size_t bytes = 0;
@@ -121,8 +124,9 @@ class TrieCache {
   };
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+    mutable SharedMutex mu{LockRank::kCacheShard};
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map
+        LH_GUARDED_BY(mu);
   };
 
   /// One in-flight build, keyed by base signature.
@@ -134,16 +138,20 @@ class TrieCache {
   /// Probes without flight coordination; returns nullptr on miss.
   std::shared_ptr<Trie> Probe(const std::string& signature);
   /// Drops LRU entries (skipping in-use ones) until within budget.
-  void EnforceBudget();
+  /// Callers hold no cache locks (it takes evict_mu_, then shard locks).
+  void EnforceBudget() LH_EXCLUDES(evict_mu_);
 
   Config config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> bytes_{0};
   std::atomic<uint64_t> tick_{0};
 
-  std::mutex flight_mu_;
-  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
-  std::mutex evict_mu_;  // serializes budget enforcement scans
+  Mutex flight_mu_{LockRank::kCacheFlight};
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
+      LH_GUARDED_BY(flight_mu_);
+  /// Serializes budget-enforcement scans (a phase lock over the scan loop;
+  /// the data it walks is guarded by the shard locks, taken inside it).
+  Mutex evict_mu_{LockRank::kCacheEvict};  // lint: unguarded(phase lock: one evictor at a time, guards no fields)
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

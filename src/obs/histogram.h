@@ -123,6 +123,10 @@ class LatencyHistogram {
   void Reset();
 
  private:
+  /// Relaxed for every bucket/counter op: each atomic is an independent
+  /// tally with no data published through it, and Snapshot() documents the
+  /// resulting mid-Record skew. Relaxed is what keeps Record() wait-free on
+  /// the request hot path.
   static constexpr auto kRelaxed = std::memory_order_relaxed;
 
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};

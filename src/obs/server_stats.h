@@ -120,6 +120,9 @@ class ServerStats {
   void WriteJson(JsonWriter* w) const;
 
  private:
+  /// Relaxed for every counter op: independent monotone tallies (inflight_
+  /// is a gauge of paired add/sub) with nothing published through them;
+  /// snapshot readers tolerate being a few in-flight requests behind.
   static constexpr auto kRelaxed = std::memory_order_relaxed;
 
   std::atomic<uint64_t> accepted_{0};

@@ -59,7 +59,7 @@ std::string SlowQueryRecord::ToJsonLine() const {
 
 bool SlowQueryLog::MaybeRecord(SlowQueryRecord record) {
   if (!enabled() || record.latency_ms < threshold_ms_) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   record.sequence = ++total_;
   ring_.push_back(std::move(record));
   while (ring_.size() > capacity_) ring_.pop_front();
@@ -67,12 +67,12 @@ bool SlowQueryLog::MaybeRecord(SlowQueryRecord record) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::vector<SlowQueryRecord>(ring_.begin(), ring_.end());
 }
 
 uint64_t SlowQueryLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 

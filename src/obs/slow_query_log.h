@@ -14,12 +14,14 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace levelheaded::obs {
 
@@ -72,9 +74,9 @@ class SlowQueryLog {
  private:
   const size_t capacity_;
   const double threshold_ms_;
-  mutable std::mutex mu_;
-  std::deque<SlowQueryRecord> ring_;  // guarded by mu_
-  uint64_t total_ = 0;                // guarded by mu_
+  mutable Mutex mu_{LockRank::kSlowQueryLog};
+  std::deque<SlowQueryRecord> ring_ LH_GUARDED_BY(mu_);
+  uint64_t total_ LH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace levelheaded::obs

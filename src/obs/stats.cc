@@ -21,76 +21,76 @@ StatsScope::~StatsScope() { t_active_stats = previous_; }
 
 StatsSnapshot ExecStats::Snapshot() const {
   StatsSnapshot s;
-  s.intersect_uint_uint = intersect_[0].load(std::memory_order_relaxed);
-  s.intersect_uint_bitset = intersect_[1].load(std::memory_order_relaxed);
-  s.intersect_bitset_bitset = intersect_[2].load(std::memory_order_relaxed);
+  s.intersect_uint_uint = intersect_[0].load(kRelaxed);
+  s.intersect_uint_bitset = intersect_[1].load(kRelaxed);
+  s.intersect_bitset_bitset = intersect_[2].load(kRelaxed);
   s.intersect_result_values =
-      intersect_result_values_.load(std::memory_order_relaxed);
-  s.trie_nodes_visited = trie_nodes_visited_.load(std::memory_order_relaxed);
-  s.tuples_emitted = tuples_emitted_.load(std::memory_order_relaxed);
-  s.trie_cache_hits = trie_cache_hits_.load(std::memory_order_relaxed);
-  s.trie_cache_misses = trie_cache_misses_.load(std::memory_order_relaxed);
-  s.trie_cache_probes = trie_cache_probes_.load(std::memory_order_relaxed);
-  s.tries_built = tries_built_.load(std::memory_order_relaxed);
-  s.cache_bytes = cache_bytes_.load(std::memory_order_relaxed);
-  s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
-  s.cache_build_waits = cache_build_waits_.load(std::memory_order_relaxed);
-  s.expr_like_compiles = expr_like_compiles_.load(std::memory_order_relaxed);
-  s.thread_pool_chunks = thread_pool_chunks_.load(std::memory_order_relaxed);
-  s.pool_tasks_spawned = pool_tasks_spawned_.load(std::memory_order_relaxed);
-  s.pool_task_steals = pool_task_steals_.load(std::memory_order_relaxed);
-  s.exec_skew_splits = exec_skew_splits_.load(std::memory_order_relaxed);
+      intersect_result_values_.load(kRelaxed);
+  s.trie_nodes_visited = trie_nodes_visited_.load(kRelaxed);
+  s.tuples_emitted = tuples_emitted_.load(kRelaxed);
+  s.trie_cache_hits = trie_cache_hits_.load(kRelaxed);
+  s.trie_cache_misses = trie_cache_misses_.load(kRelaxed);
+  s.trie_cache_probes = trie_cache_probes_.load(kRelaxed);
+  s.tries_built = tries_built_.load(kRelaxed);
+  s.cache_bytes = cache_bytes_.load(kRelaxed);
+  s.cache_evictions = cache_evictions_.load(kRelaxed);
+  s.cache_build_waits = cache_build_waits_.load(kRelaxed);
+  s.expr_like_compiles = expr_like_compiles_.load(kRelaxed);
+  s.thread_pool_chunks = thread_pool_chunks_.load(kRelaxed);
+  s.pool_tasks_spawned = pool_tasks_spawned_.load(kRelaxed);
+  s.pool_task_steals = pool_task_steals_.load(kRelaxed);
+  s.exec_skew_splits = exec_skew_splits_.load(kRelaxed);
   return s;
 }
 
 void ExecStats::Reset() {
-  for (auto& c : intersect_) c.store(0, std::memory_order_relaxed);
-  intersect_result_values_.store(0, std::memory_order_relaxed);
-  trie_nodes_visited_.store(0, std::memory_order_relaxed);
-  tuples_emitted_.store(0, std::memory_order_relaxed);
-  trie_cache_hits_.store(0, std::memory_order_relaxed);
-  trie_cache_misses_.store(0, std::memory_order_relaxed);
-  trie_cache_probes_.store(0, std::memory_order_relaxed);
-  tries_built_.store(0, std::memory_order_relaxed);
-  cache_bytes_.store(0, std::memory_order_relaxed);
-  cache_evictions_.store(0, std::memory_order_relaxed);
-  cache_build_waits_.store(0, std::memory_order_relaxed);
-  expr_like_compiles_.store(0, std::memory_order_relaxed);
-  thread_pool_chunks_.store(0, std::memory_order_relaxed);
-  pool_tasks_spawned_.store(0, std::memory_order_relaxed);
-  pool_task_steals_.store(0, std::memory_order_relaxed);
-  exec_skew_splits_.store(0, std::memory_order_relaxed);
+  for (auto& c : intersect_) c.store(0, kRelaxed);
+  intersect_result_values_.store(0, kRelaxed);
+  trie_nodes_visited_.store(0, kRelaxed);
+  tuples_emitted_.store(0, kRelaxed);
+  trie_cache_hits_.store(0, kRelaxed);
+  trie_cache_misses_.store(0, kRelaxed);
+  trie_cache_probes_.store(0, kRelaxed);
+  tries_built_.store(0, kRelaxed);
+  cache_bytes_.store(0, kRelaxed);
+  cache_evictions_.store(0, kRelaxed);
+  cache_build_waits_.store(0, kRelaxed);
+  expr_like_compiles_.store(0, kRelaxed);
+  thread_pool_chunks_.store(0, kRelaxed);
+  pool_tasks_spawned_.store(0, kRelaxed);
+  pool_task_steals_.store(0, kRelaxed);
+  exec_skew_splits_.store(0, kRelaxed);
 }
 
 void ExecStats::Add(const StatsSnapshot& s) {
-  intersect_[0].fetch_add(s.intersect_uint_uint, std::memory_order_relaxed);
-  intersect_[1].fetch_add(s.intersect_uint_bitset, std::memory_order_relaxed);
+  intersect_[0].fetch_add(s.intersect_uint_uint, kRelaxed);
+  intersect_[1].fetch_add(s.intersect_uint_bitset, kRelaxed);
   intersect_[2].fetch_add(s.intersect_bitset_bitset,
-                          std::memory_order_relaxed);
+                          kRelaxed);
   intersect_result_values_.fetch_add(s.intersect_result_values,
-                                     std::memory_order_relaxed);
+                                     kRelaxed);
   trie_nodes_visited_.fetch_add(s.trie_nodes_visited,
-                                std::memory_order_relaxed);
-  tuples_emitted_.fetch_add(s.tuples_emitted, std::memory_order_relaxed);
-  trie_cache_hits_.fetch_add(s.trie_cache_hits, std::memory_order_relaxed);
+                                kRelaxed);
+  tuples_emitted_.fetch_add(s.tuples_emitted, kRelaxed);
+  trie_cache_hits_.fetch_add(s.trie_cache_hits, kRelaxed);
   trie_cache_misses_.fetch_add(s.trie_cache_misses,
-                               std::memory_order_relaxed);
+                               kRelaxed);
   trie_cache_probes_.fetch_add(s.trie_cache_probes,
-                               std::memory_order_relaxed);
-  tries_built_.fetch_add(s.tries_built, std::memory_order_relaxed);
-  cache_bytes_.store(s.cache_bytes, std::memory_order_relaxed);
-  cache_evictions_.fetch_add(s.cache_evictions, std::memory_order_relaxed);
+                               kRelaxed);
+  tries_built_.fetch_add(s.tries_built, kRelaxed);
+  cache_bytes_.store(s.cache_bytes, kRelaxed);
+  cache_evictions_.fetch_add(s.cache_evictions, kRelaxed);
   cache_build_waits_.fetch_add(s.cache_build_waits,
-                               std::memory_order_relaxed);
+                               kRelaxed);
   expr_like_compiles_.fetch_add(s.expr_like_compiles,
-                                std::memory_order_relaxed);
+                                kRelaxed);
   thread_pool_chunks_.fetch_add(s.thread_pool_chunks,
-                                std::memory_order_relaxed);
+                                kRelaxed);
   pool_tasks_spawned_.fetch_add(s.pool_tasks_spawned,
-                                std::memory_order_relaxed);
+                                kRelaxed);
   pool_task_steals_.fetch_add(s.pool_task_steals,
-                              std::memory_order_relaxed);
-  exec_skew_splits_.fetch_add(s.exec_skew_splits, std::memory_order_relaxed);
+                              kRelaxed);
+  exec_skew_splits_.fetch_add(s.exec_skew_splits, kRelaxed);
 }
 
 std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {

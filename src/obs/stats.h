@@ -86,51 +86,57 @@ struct StatsSnapshot {
 /// only after the query's joins/barriers complete.
 class ExecStats {
  public:
+  /// Relaxed ordering for every counter op: these are independent monotone
+  /// tallies with no data published through them; readers (Snapshot, the
+  /// metrics endpoint) run after the query's thread-pool join or tolerate
+  /// being a few in-flight increments behind.
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
   void CountIntersect(IntersectKernel kernel, uint64_t result_cardinality) {
     intersect_[static_cast<int>(kernel)].fetch_add(
-        1, std::memory_order_relaxed);
+        1, kRelaxed);
     intersect_result_values_.fetch_add(result_cardinality,
-                                       std::memory_order_relaxed);
+                                       kRelaxed);
   }
   void CountTrieNodesVisited(uint64_t n) {
-    trie_nodes_visited_.fetch_add(n, std::memory_order_relaxed);
+    trie_nodes_visited_.fetch_add(n, kRelaxed);
   }
   void CountTuplesEmitted(uint64_t n) {
-    tuples_emitted_.fetch_add(n, std::memory_order_relaxed);
+    tuples_emitted_.fetch_add(n, kRelaxed);
   }
   void CountTrieCacheHit() {
-    trie_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    trie_cache_hits_.fetch_add(1, kRelaxed);
   }
   void CountTrieCacheMiss() {
-    trie_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    trie_cache_misses_.fetch_add(1, kRelaxed);
   }
   void CountTrieCacheProbe(uint64_t n = 1) {
-    trie_cache_probes_.fetch_add(n, std::memory_order_relaxed);
+    trie_cache_probes_.fetch_add(n, kRelaxed);
   }
-  void CountTrieBuilt() { tries_built_.fetch_add(1, std::memory_order_relaxed); }
+  void CountTrieBuilt() { tries_built_.fetch_add(1, kRelaxed); }
   void SetCacheBytes(uint64_t bytes) {
-    cache_bytes_.store(bytes, std::memory_order_relaxed);
+    cache_bytes_.store(bytes, kRelaxed);
   }
   void CountCacheEviction(uint64_t n = 1) {
-    cache_evictions_.fetch_add(n, std::memory_order_relaxed);
+    cache_evictions_.fetch_add(n, kRelaxed);
   }
   void CountCacheBuildWait() {
-    cache_build_waits_.fetch_add(1, std::memory_order_relaxed);
+    cache_build_waits_.fetch_add(1, kRelaxed);
   }
   void CountLikeCompile() {
-    expr_like_compiles_.fetch_add(1, std::memory_order_relaxed);
+    expr_like_compiles_.fetch_add(1, kRelaxed);
   }
   void CountThreadPoolChunk(uint64_t n = 1) {
-    thread_pool_chunks_.fetch_add(n, std::memory_order_relaxed);
+    thread_pool_chunks_.fetch_add(n, kRelaxed);
   }
   void CountTaskSpawned(uint64_t n = 1) {
-    pool_tasks_spawned_.fetch_add(n, std::memory_order_relaxed);
+    pool_tasks_spawned_.fetch_add(n, kRelaxed);
   }
   void CountTaskStolen(uint64_t n = 1) {
-    pool_task_steals_.fetch_add(n, std::memory_order_relaxed);
+    pool_task_steals_.fetch_add(n, kRelaxed);
   }
   void CountSkewSplit(uint64_t n = 1) {
-    exec_skew_splits_.fetch_add(n, std::memory_order_relaxed);
+    exec_skew_splits_.fetch_add(n, kRelaxed);
   }
 
   StatsSnapshot Snapshot() const;

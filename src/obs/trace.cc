@@ -20,7 +20,7 @@ double Trace::NowMillis() const {
 
 int Trace::Open(const char* name) {
   const double now = NowMillis();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SpanRecord span;
   span.name = name;
   span.start_ms = now;
@@ -35,7 +35,7 @@ int Trace::Open(const char* name) {
 void Trace::Close(int id, std::string detail,
                   std::vector<std::pair<std::string, double>> metrics) {
   const double now = NowMillis();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id < 0 || id >= static_cast<int>(spans_.size())) return;
   SpanRecord& span = spans_[id];
   span.duration_ms = now - span.start_ms;
@@ -45,7 +45,7 @@ void Trace::Close(int id, std::string detail,
 }
 
 std::vector<SpanRecord> Trace::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_;
 }
 

@@ -13,10 +13,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace levelheaded::obs {
 
@@ -58,9 +61,10 @@ class Trace {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point origin_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;  // guarded by mu_
-  int current_ = -1;               // innermost open span, guarded by mu_
+  mutable Mutex mu_{LockRank::kTrace};
+  std::vector<SpanRecord> spans_ LH_GUARDED_BY(mu_);
+  /// Innermost open span.
+  int current_ LH_GUARDED_BY(mu_) = -1;
 };
 
 /// RAII span handle. All members are no-ops when `trace` is null, so

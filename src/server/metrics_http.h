@@ -8,6 +8,7 @@
 #ifndef LEVELHEADED_SERVER_METRICS_HTTP_H_
 #define LEVELHEADED_SERVER_METRICS_HTTP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -45,6 +46,9 @@ class MetricsHttpServer {
   uint16_t port_ = 0;
   int poll_interval_ms_ = 50;
   std::thread accept_thread_;
+  /// Release in Stop() / acquire in the accept loop: the flag is the only
+  /// cross-thread signal here. started_ needs no synchronization — it is
+  /// touched only by the (externally serialized) Start/Stop callers.
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 };

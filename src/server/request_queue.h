@@ -10,13 +10,14 @@
 #ifndef LEVELHEADED_SERVER_REQUEST_QUEUE_H_
 #define LEVELHEADED_SERVER_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
+#include "util/lock_rank.h"
+#include "util/mutex.h"
 #include "util/socket.h"
+#include "util/thread_annotations.h"
 
 namespace levelheaded::server {
 
@@ -31,12 +32,12 @@ class RequestQueue {
   /// answer with an overload/drain error before closing it.
   PushResult TryPush(Socket* conn) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_) return PushResult::kClosed;
       if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(*conn));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return PushResult::kOk;
   }
 
@@ -45,8 +46,8 @@ class RequestQueue {
   /// answers them with a drain error; workers must not start serving new
   /// connections after close).
   bool Pop(Socket* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) ready_.Wait(&mu_);
     if (closed_) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -55,7 +56,7 @@ class RequestQueue {
 
   /// Non-blocking pop that ignores the closed flag (shutdown drain).
   bool TryPop(Socket* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -65,14 +66,14 @@ class RequestQueue {
   /// Wakes every blocked Pop with false. Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -80,10 +81,10 @@ class RequestQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<Socket> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{LockRank::kServerQueue};
+  CondVar ready_;
+  std::deque<Socket> items_ LH_GUARDED_BY(mu_);
+  bool closed_ LH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace levelheaded::server

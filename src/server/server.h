@@ -130,6 +130,10 @@ class Server {
   std::unique_ptr<MetricsHttpServer> metrics_http_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+  /// Lifecycle flags. Acquire/release (not relaxed): running_ publishes the
+  /// fully constructed listener/threads to callers of running(), and
+  /// draining_ publishes Stop()'s state to the accept loop; Start/Stop
+  /// themselves are externally serialized (one controlling thread).
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};

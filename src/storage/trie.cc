@@ -455,18 +455,24 @@ Result<Trie> Trie::Build(const TrieBuildSpec& spec) {
             0, static_cast<int64_t>(starts.size()),
             AdaptiveGrain(starts.size(), 1 << 13),
             [&](int, int64_t jlo, int64_t jhi) {
+              // Relaxed (all three ops on `constant`): a one-way false flag;
+              // chunks that miss the store just scan rows whose answer no
+              // longer matters, and the final load happens after the
+              // ParallelChunks join, which orders every store before it.
               if (!constant.load(std::memory_order_relaxed)) return;
               for (int64_t j = jlo; j < jhi; ++j) {
                 const uint32_t end = elem_range_end(starts, j);
                 const uint64_t first = value_at(rows[starts[j]]);
                 for (uint32_t i = starts[j] + 1; i < end; ++i) {
                   if (value_at(rows[i]) != first) {
+                    // One-way flag; justified above.
                     constant.store(false, std::memory_order_relaxed);
                     return;
                   }
                 }
               }
             });
+        // Relaxed: reads after the join (see above).
         return constant.load(std::memory_order_relaxed);
       };
       bool found = false;

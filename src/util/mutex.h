@@ -1,0 +1,191 @@
+// Annotated, rank-checked synchronization primitives (DESIGN.md §14).
+//
+// Every mutex and condition variable in src/ goes through these wrappers
+// instead of the raw std types (tools/lint.py `mutex-annotations` enforces
+// it), for two reasons:
+//
+//  1. Clang Thread Safety Analysis only reasons about functions that carry
+//     capability attributes; libstdc++'s std::mutex / std::lock_guard have
+//     none, so locking through them is invisible to the analysis. Mutex /
+//     MutexLock here are annotated, making LH_GUARDED_BY fields checkable.
+//  2. Each mutex declares its LockRank at construction, feeding the
+//     runtime lock-order checker (util/lock_rank.h) in debug/hardened
+//     builds. In release the rank member and the checker calls compile
+//     away: sizeof(Mutex) == sizeof(std::mutex) and Lock() is exactly
+//     std::mutex::lock() (lock_rank_test.cc asserts this).
+//
+// The API is the minimal abseil-shaped surface the engine needs: Mutex,
+// SharedMutex, CondVar, and the RAII scopes MutexLock / ReadLock /
+// WriteLock. No try_lock (nothing in the engine uses one; add it with
+// LH_TRY_ACQUIRE if that changes), no timed waits.
+
+#ifndef LEVELHEADED_UTIL_MUTEX_H_
+#define LEVELHEADED_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
+
+namespace levelheaded {
+
+class CondVar;
+
+/// Exclusive mutex with a TSA capability and a lock rank.
+class LH_CAPABILITY("mutex") Mutex {
+ public:
+  /// Rank defaults to kLeaf: innermost, may not nest inside anything that
+  /// is itself ranked kLeaf. Engine mutexes pass their table rank.
+  explicit Mutex(LockRank rank = LockRank::kLeaf) {
+#if LH_LOCK_RANK_ENABLED
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LH_ACQUIRE() {
+#if LH_LOCK_RANK_ENABLED
+    lock_rank::NoteAcquire(rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() LH_RELEASE() {
+    mu_.unlock();
+#if LH_LOCK_RANK_ENABLED
+    lock_rank::NoteRelease(rank_);
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+#if LH_LOCK_RANK_ENABLED
+  LockRank rank_;
+#endif
+};
+
+/// Reader/writer mutex with a TSA capability and a lock rank. Readers and
+/// writers share one rank: the ordering discipline is about which mutex,
+/// not which mode.
+class LH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf) {
+#if LH_LOCK_RANK_ENABLED
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LH_ACQUIRE() {
+#if LH_LOCK_RANK_ENABLED
+    lock_rank::NoteAcquire(rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() LH_RELEASE() {
+    mu_.unlock();
+#if LH_LOCK_RANK_ENABLED
+    lock_rank::NoteRelease(rank_);
+#endif
+  }
+
+  void LockShared() LH_ACQUIRE_SHARED() {
+#if LH_LOCK_RANK_ENABLED
+    lock_rank::NoteAcquire(rank_);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() LH_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if LH_LOCK_RANK_ENABLED
+    lock_rank::NoteRelease(rank_);
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if LH_LOCK_RANK_ENABLED
+  LockRank rank_;
+#endif
+};
+
+/// RAII exclusive lock over a Mutex.
+class LH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) LH_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() LH_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class LH_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex* mu) LH_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriteLock() LH_RELEASE() { mu_->Unlock(); }
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class LH_SCOPED_CAPABILITY ReadLock {
+ public:
+  explicit ReadLock(SharedMutex* mu) LH_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReadLock() LH_RELEASE_SHARED() { mu_->UnlockShared(); }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to util::Mutex. Waits take the Mutex the
+/// caller holds; TSA cannot analyze a predicate lambda, so there is no
+/// wait-with-predicate overload — callers write the explicit
+/// `while (!pred) cv.Wait(&mu);` loop, which the analysis can follow.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu and sleeps; re-acquires *mu before returning.
+  /// The lock-rank stack is intentionally untouched: the mutex remains
+  /// "held" for ordering purposes across the wait (the sleeping thread
+  /// acquires nothing), and it is re-held on return.
+  void Wait(Mutex* mu) LH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_UTIL_MUTEX_H_

@@ -9,10 +9,19 @@ namespace levelheaded {
 
 namespace {
 
-// Lock-free atomic: the only state a signal handler may touch.
+// Lock-free atomic: the only state a signal handler may touch. POSIX
+// blesses volatile sig_atomic_t and lock-free atomics for handlers; the
+// static_assert pins the latter on this platform.
 std::atomic<bool> shutdown_signalled{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
 
+// Async-signal-safe by construction: one relaxed store, nothing else — no
+// allocation, no locks, no stdio (tools/lint.py `signal-safety` keeps it
+// that way).
 extern "C" void HandleShutdownSignal(int) {
+  // Relaxed: a lone flag; pollers re-check it each accept-loop pass and no
+  // other data is published through it.
   shutdown_signalled.store(true, std::memory_order_relaxed);
 }
 
@@ -32,10 +41,13 @@ Status InstallShutdownSignalHandlers() {
 }
 
 bool ShutdownSignalled() {
+  // Relaxed: see the handler — a stale false only delays shutdown by one
+  // poll interval.
   return shutdown_signalled.load(std::memory_order_relaxed);
 }
 
 void RequestShutdown() {
+  // Relaxed: same flag as the signal handler, same reasoning.
   shutdown_signalled.store(true, std::memory_order_relaxed);
 }
 

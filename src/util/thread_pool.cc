@@ -29,8 +29,20 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
   return pool;
 }
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex mu;
+// Published pointer for the lock-free Global() fast path. Nested parallel
+// kernels (BLAS-from-WCOJ, trie builds) call Global() from inside chunks
+// while submit_mu_ (rank pool_submit) is held; taking the slot mutex there
+// would both invert the lock order — kGlobalPool ranks below the pool
+// locks because replacing the pool joins workers under ThreadPool::mu_ —
+// and serialize every kernel on one global mutex.
+std::atomic<ThreadPool*>& GlobalPoolPtr() {
+  static std::atomic<ThreadPool*> pool{nullptr};
+  return pool;
+}
+
+// Guards pool creation/replacement only; never on the query path.
+Mutex& GlobalPoolMutex() {
+  static Mutex mu{LockRank::kGlobalPool};  // lint: allow(global-state) unguarded(guards the init/replace phase of GlobalPoolSlot, not a field)
   return mu;
 }
 }  // namespace
@@ -47,10 +59,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -62,11 +74,11 @@ void ThreadPool::WorkerLoop(int slot) {
     Task task;
     bool have_task = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock, [&] {
-        return shutdown_ || !tasks_.empty() ||
-               (current_job_ != nullptr && job_epoch_ != seen_epoch);
-      });
+      MutexLock lock(&mu_);
+      while (!(shutdown_ || !tasks_.empty() ||
+               (current_job_ != nullptr && job_epoch_ != seen_epoch))) {
+        wake_cv_.Wait(&mu_);
+      }
       if (shutdown_) return;
       // Tasks take priority over job chunks: tasks are sub-work spawned from
       // inside running chunks, so draining them first bounds the queue and
@@ -78,6 +90,8 @@ void ThreadPool::WorkerLoop(int slot) {
       } else {
         seen_epoch = job_epoch_;
         job = current_job_;
+        // Relaxed: the increment happens under mu_ before the coordinator
+        // can observe job completion; ordering comes from the mutex.
         job->active_workers.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -87,8 +101,8 @@ void ThreadPool::WorkerLoop(int slot) {
     }
     RunJobSlice(job, slot);
     if (job->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -111,9 +125,13 @@ void ThreadPool::RunTask(Task& task, int slot) {
     }
   }
   t_in_parallel_region = saved_region;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--task.group->pending_ == 0) task_cv_.notify_all();
+  // acq_rel: the release half publishes this task's side effects to the
+  // acquire load in Wait(); the acquire half orders the "last task" winner
+  // after every other task's release. The notify is taken under mu_ so it
+  // cannot fire between Wait's predicate check and its sleep.
+  if (task.group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    MutexLock lock(&mu_);
+    task_cv_.NotifyAll();
   }
 }
 
@@ -121,37 +139,44 @@ void ThreadPool::Submit(TaskGroup* group, std::function<void()> fn) {
   LH_DCHECK(group->pool_ == this);
   const int submitter = t_worker_slot >= 0 ? t_worker_slot : num_threads();
   obs::ExecStats* stats = obs::ActiveStats();
+  // Relaxed: the count must only reach the running task before that task's
+  // matching fetch_sub, which same-variable atomic ordering guarantees; the
+  // task's *payload* is published by the mu_ hand-off below.
+  group->pending_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++group->pending_;
+    MutexLock lock(&mu_);
     tasks_.push_back(Task{std::move(fn), group, submitter, stats});
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
   if (stats != nullptr) stats->CountTaskSpawned(1);
 }
 
 ThreadPool::TaskGroup::~TaskGroup() {
-  std::lock_guard<std::mutex> lock(pool_->mu_);
-  LH_CHECK_EQ(pending_, 0);
+  // Acquire pairs with the final fetch_sub's release so the destructor
+  // (and whatever owns the group's captured state) sees all task effects.
+  LH_CHECK_EQ(pending_.load(std::memory_order_acquire), 0);
 }
 
 void ThreadPool::TaskGroup::Wait() {
   const int slot =
       t_worker_slot >= 0 ? t_worker_slot : pool_->num_threads();
-  std::unique_lock<std::mutex> lock(pool_->mu_);
-  while (pending_ > 0) {
+  pool_->mu_.Lock();
+  // Acquire: pairs with the final task's acq_rel fetch_sub in RunTask,
+  // making every task's writes visible once the count reads zero.
+  while (pending_.load(std::memory_order_acquire) > 0) {
     if (!pool_->tasks_.empty()) {
       Task task = std::move(pool_->tasks_.front());
       pool_->tasks_.pop_front();
-      lock.unlock();
+      pool_->mu_.Unlock();
       pool_->RunTask(task, slot);
-      lock.lock();
+      pool_->mu_.Lock();
     } else {
       // All of this group's remaining tasks are running on other threads;
       // task_cv_ fires as each one completes.
-      pool_->task_cv_.wait(lock);
+      pool_->task_cv_.Wait(&pool_->mu_);
     }
   }
+  pool_->mu_.Unlock();
 }
 
 void ThreadPool::RunJobSlice(ParallelJob* job, int slot) {
@@ -164,6 +189,8 @@ void ThreadPool::RunJobSlice(ParallelJob* job, int slot) {
     // whatever the worker thread last collected for.
     obs::StatsScope stats_scope(job->stats);
     while (true) {
+      // Relaxed: next is a pure claim ticket — no data is published through
+      // it; the job payload was made visible by the mu_ job hand-off.
       int64_t start = job->next.fetch_add(grain, std::memory_order_relaxed);
       if (start >= job->end) break;
       int64_t stop = std::min(start + grain, job->end);
@@ -192,8 +219,10 @@ void ThreadPool::ParallelChunks(
     }
     return;
   }
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(&submit_mu_);
   ParallelJob job;
+  // Relaxed: the job is not yet visible to any worker; publication happens
+  // via the mu_ critical section below.
   job.next.store(begin, std::memory_order_relaxed);
   job.end = end;
   job.grain = grain;
@@ -201,21 +230,21 @@ void ThreadPool::ParallelChunks(
   job.stats = obs::ActiveStats();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LH_CHECK(current_job_ == nullptr);
     current_job_ = &job;
     ++job_epoch_;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 
   // The calling thread participates with slot id == num_threads().
   RunJobSlice(&job, num_threads());
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job.active_workers.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(&mu_);
+    while (job.active_workers.load(std::memory_order_acquire) != 0) {
+      done_cv_.Wait(&mu_);
+    }
     current_job_ = nullptr;
   }
 }
@@ -229,7 +258,12 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  // Lock-free fast path — see GlobalPoolPtr. Acquire pairs with the
+  // release store below so the caller sees the fully constructed pool.
+  if (ThreadPool* pool = GlobalPoolPtr().load(std::memory_order_acquire)) {
+    return *pool;
+  }
+  MutexLock lock(&GlobalPoolMutex());
   auto& slot = GlobalPoolSlot();
   if (!slot) {
     int num_threads = 0;  // 0 = hardware concurrency
@@ -239,14 +273,20 @@ ThreadPool& ThreadPool::Global() {
     }
     slot = std::make_unique<ThreadPool>(num_threads);
   }
+  GlobalPoolPtr().store(slot.get(), std::memory_order_release);
   return *slot;
 }
 
 void ThreadPool::SetGlobalThreadsForTesting(int num_threads) {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(&GlobalPoolMutex());
   auto& slot = GlobalPoolSlot();
+  // Unpublish before joining: a racing Global() must fall through to the
+  // slot mutex rather than return a pool that is being destroyed. (Test-only
+  // contract: no in-flight queries, so no one still holds the old pointer.)
+  GlobalPoolPtr().store(nullptr, std::memory_order_release);
   slot.reset();  // join the old pool before the new one spins up
   slot = std::make_unique<ThreadPool>(num_threads);
+  GlobalPoolPtr().store(slot.get(), std::memory_order_release);
 }
 
 }  // namespace levelheaded

@@ -7,14 +7,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace levelheaded {
 
@@ -84,7 +85,13 @@ class ThreadPool {
    private:
     friend class ThreadPool;
     ThreadPool* pool_;
-    int64_t pending_ = 0;  // guarded by pool_->mu_
+    /// Outstanding task count. Atomic rather than guarded by pool_->mu_:
+    /// the increment (Submit) and decrement (RunTask) need no lock, and
+    /// TSA cannot match a `pool_->mu_` guard against the `this->mu_`
+    /// capability held at those sites anyway. The release half of the
+    /// final acq_rel fetch_sub publishes every task's side effects to the
+    /// acquire load in Wait().
+    std::atomic<int64_t> pending_{0};
   };
 
   /// Enqueues `fn` to run on any pool thread (or on a thread that helps while
@@ -131,15 +138,17 @@ class ThreadPool {
   void RunJobSlice(ParallelJob* job, int slot);
 
   std::vector<std::thread> workers_;
-  std::mutex submit_mu_;  // serializes concurrent ParallelChunks callers
-  std::mutex mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  std::condition_variable task_cv_;     // signaled as group tasks finish
-  std::deque<Task> tasks_;              // guarded by mu_
-  ParallelJob* current_job_ = nullptr;  // guarded by mu_
-  uint64_t job_epoch_ = 0;              // guarded by mu_
-  bool shutdown_ = false;               // guarded by mu_
+  /// Serializes concurrent ParallelChunks callers; held across the whole
+  /// parallel region (a phase lock, not a data guard — hence the waiver).
+  Mutex submit_mu_{LockRank::kPoolSubmit};  // lint: unguarded(phase lock: serializes ParallelChunks callers, guards no fields)
+  Mutex mu_{LockRank::kPool};
+  CondVar wake_cv_;  // workers: new tasks / new job / shutdown
+  CondVar done_cv_;  // coordinator: job's active_workers reached zero
+  CondVar task_cv_;  // signaled as group tasks finish
+  std::deque<Task> tasks_ LH_GUARDED_BY(mu_);
+  ParallelJob* current_job_ LH_GUARDED_BY(mu_) = nullptr;
+  uint64_t job_epoch_ LH_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace levelheaded

@@ -36,8 +36,29 @@ Rules (all findings are errors; the target requires zero):
                    names — the stats wire response, the Prometheus
                    exposition, and bench profiles all emit them — so an
                    undocumented counter is an undocumented public surface.
+  mutex-annotations Locking in src/ goes through the annotated, ranked
+                   wrappers (util/mutex.h): raw std::mutex/std::shared_mutex/
+                   std::condition_variable/std::lock_guard/... are banned
+                   outside util/mutex.h (clang Thread Safety Analysis cannot
+                   see them), and every Mutex/SharedMutex member must either
+                   guard something — an `LH_GUARDED_BY(<name>)` in the same
+                   file — or carry a `// lint: unguarded(reason)` waiver
+                   explaining what the lock protects instead (DESIGN.md §14).
+  relaxed-atomics  Every `memory_order_relaxed` in src/ needs a same-line
+                   comment or an immediately-preceding comment line
+                   justifying why relaxed suffices (what the atomic tallies,
+                   why nothing is published through it). Files funnel
+                   clusters through a documented `kRelaxed` alias.
+  signal-safety    Signal handler bodies (functions installed via
+                   `sa_handler =` or `std::signal`) may only touch lock-free
+                   atomics / sig_atomic_t: stdio, allocation, locks,
+                   logging, and exit() are banned inside them.
 
 Suppress a finding on one line with a trailing `// lint: allow(<rule>)`.
+(`mutex-annotations` guard findings use `// lint: unguarded(reason)` so the
+waiver carries the explanation.) `python3 tools/lint.py --selftest` runs the
+rule engine against embedded positive/negative samples; CI's lint leg runs
+both modes.
 """
 
 import os
@@ -94,6 +115,123 @@ GLOBAL_STATE_EXEMPT_RE = re.compile(
     r"\(|\bconst\b|\bconstexpr\b|\bthread_local\b|\batomic\b|\bmutex\b"
     r"|\bonce_flag\b|\bcondition_variable\b")
 GLOBAL_NAME_RE = re.compile(r"\bg_\w+")
+
+# --- mutex-annotations -------------------------------------------------
+# The only file allowed to touch the raw std synchronization types: the
+# annotated wrapper layer itself.
+MUTEX_WRAPPER_FILE = os.path.join("src", "util", "mutex.h")
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock"
+    r"|scoped_lock)\b")
+# A Mutex/SharedMutex data declaration: `Mutex name_{...}` / `Mutex name(...)`
+# members and statics (type references like `Mutex&`, `Mutex*`, or the class
+# definitions in util/mutex.h do not match).
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:Mutex|SharedMutex)\s+(?P<name>\w+)\s*[{(]")
+UNGUARDED_WAIVER_RE = re.compile(r"//\s*lint:.*\bunguarded\(")
+
+# --- relaxed-atomics ---------------------------------------------------
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+
+# --- signal-safety -----------------------------------------------------
+HANDLER_REGISTRATION_RES = (
+    re.compile(r"\.sa_handler\s*=\s*(?P<name>\w+)"),
+    re.compile(r"\bsignal\s*\(\s*\w+\s*,\s*(?P<name>\w+)\s*\)"),
+)
+# Not async-signal-safe (POSIX 2017 §2.4.3) or repo-unsafe inside handlers:
+# stdio, allocation, C++ iostreams, exit/atexit (runs arbitrary hooks),
+# longjmp, syslog, any locking (our wrappers included), and the logging
+# macros (they allocate and take streams).
+SIGNAL_UNSAFE_RE = re.compile(
+    r"\b(?:printf|fprintf|sprintf|snprintf|vprintf|vfprintf|puts|fputs"
+    r"|fwrite|fread|fflush|fopen|fclose|malloc|calloc|realloc|free|new"
+    r"|delete|exit|atexit|longjmp|syslog|cout|cerr|clog"
+    r"|LH_LOG|LH_CHECK|LH_DCHECK|lock|unlock|Lock|Unlock|MutexLock"
+    r"|ReadLock|WriteLock|Wait|NotifyOne|NotifyAll)\s*\(")
+
+
+def lint_mutex_annotations(path, raw_lines, findings):
+    """Bans raw std sync types outside util/mutex.h and requires each
+    Mutex/SharedMutex data member to guard something (an LH_GUARDED_BY
+    naming it in the same file) or carry a `// lint: unguarded(reason)`."""
+    if os.path.normpath(path) == MUTEX_WRAPPER_FILE:
+        return
+    full_text = "\n".join(raw_lines)
+    for lineno, raw in enumerate(raw_lines, start=1):
+        code = strip_comments_and_strings(raw)
+        if RAW_SYNC_RE.search(code) and not allowed(raw, "mutex-annotations"):
+            findings.append(
+                (path, lineno, "mutex-annotations",
+                 "raw std synchronization type; use the annotated wrappers "
+                 "in util/mutex.h so clang thread-safety analysis and the "
+                 "lock-rank checker see it (DESIGN.md §14)"))
+        m = MUTEX_DECL_RE.search(code)
+        if m and not allowed(raw, "mutex-annotations"):
+            name = m.group("name")
+            guard_re = re.compile(
+                r"LH_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)")
+            if (not guard_re.search(full_text)
+                    and not UNGUARDED_WAIVER_RE.search(raw)):
+                findings.append(
+                    (path, lineno, "mutex-annotations",
+                     f"mutex `{name}` guards no field: add "
+                     f"LH_GUARDED_BY({name}) to what it protects, or "
+                     f"annotate `// lint: unguarded(reason)` with what it "
+                     f"serializes instead"))
+
+
+def lint_relaxed_atomics(path, raw_lines, findings):
+    """Requires a justifying comment on or immediately above every
+    memory_order_relaxed use."""
+    for lineno, raw in enumerate(raw_lines, start=1):
+        code = strip_comments_and_strings(raw)
+        if not RELAXED_RE.search(code) or allowed(raw, "relaxed-atomics"):
+            continue
+        has_inline_comment = "//" in raw
+        prev = raw_lines[lineno - 2].lstrip() if lineno >= 2 else ""
+        has_preceding_comment = prev.startswith("//")
+        if not (has_inline_comment or has_preceding_comment):
+            findings.append(
+                (path, lineno, "relaxed-atomics",
+                 "memory_order_relaxed without a justifying comment on this "
+                 "or the preceding line (say what the atomic tallies and "
+                 "why nothing is published through it)"))
+
+
+def lint_signal_safety(path, raw_lines, findings):
+    """Flags non-async-signal-safe calls inside signal handler bodies
+    (functions installed via sa_handler/std::signal in the same file)."""
+    stripped = [strip_comments_and_strings(raw) for raw in raw_lines]
+    handlers = set()
+    for code in stripped:
+        for reg_re in HANDLER_REGISTRATION_RES:
+            for m in reg_re.finditer(code):
+                name = m.group("name")
+                if name not in ("SIG_IGN", "SIG_DFL", "nullptr", "NULL"):
+                    handlers.add(name)
+    for name in sorted(handlers):
+        def_re = re.compile(r"\bvoid\s+" + re.escape(name) + r"\s*\(")
+        start = next((i for i, code in enumerate(stripped)
+                      if def_re.search(code)), None)
+        if start is None:
+            continue  # registered here, defined elsewhere (or a std:: name)
+        depth = 0
+        entered = False
+        for i in range(start, len(stripped)):
+            code = stripped[i]
+            if entered and SIGNAL_UNSAFE_RE.search(code) and not allowed(
+                    raw_lines[i], "signal-safety"):
+                findings.append(
+                    (path, i + 1, "signal-safety",
+                     f"non-async-signal-safe call in handler `{name}`; "
+                     f"handlers may only store to lock-free atomics / "
+                     f"sig_atomic_t (POSIX 2017 §2.4.3)"))
+            depth += code.count("{") - code.count("}")
+            if code.count("{") > 0:
+                entered = True
+            if entered and depth <= 0:
+                break
 
 # Bare POSIX socket-layer calls. The lookbehind rejects member calls
 # (`.close(`), qualified calls (`::connect(` inside the wrappers), and
@@ -207,6 +345,11 @@ def lint_file(path, findings):
                         (path, lineno, "span-taxonomy",
                          f'span name "{name}" not in the phase taxonomy '
                          f"(tools/lint.py SPAN_TAXONOMY)"))
+
+    if in_global_state_dirs:  # the src/-scoped concurrency-discipline rules
+        lint_mutex_annotations(path, raw_lines, findings)
+        lint_relaxed_atomics(path, raw_lines, findings)
+        lint_signal_safety(path, raw_lines, findings)
     return includes
 
 
@@ -280,11 +423,83 @@ def lint_metrics_glossary(findings):
                      f" counter glossary"))
 
 
+SELFTEST_CASES = [
+    # (rule, expect_findings, source_lines)
+    ("relaxed-atomics", True,
+     ["x_.fetch_add(1, std::memory_order_relaxed);"]),
+    ("relaxed-atomics", False,
+     ["x_.fetch_add(1, std::memory_order_relaxed);  // monotone tally"]),
+    ("relaxed-atomics", False,
+     ["// Relaxed: independent counter, read after the join.",
+      "x_.fetch_add(1, std::memory_order_relaxed);"]),
+    ("relaxed-atomics", False,
+     ["x_.fetch_add(1, std::memory_order_relaxed);"
+      "  // lint: allow(relaxed-atomics)"]),
+    ("relaxed-atomics", False,
+     ["x_.fetch_add(1, std::memory_order_acquire);"]),
+    ("mutex-annotations", True,
+     ["std::mutex mu_;"]),
+    ("mutex-annotations", True,
+     ["std::lock_guard<std::mutex> lock(mu_);"]),
+    ("mutex-annotations", True,  # guards nothing, no waiver
+     ["Mutex mu_{LockRank::kPool};"]),
+    ("mutex-annotations", False,  # guards a field
+     ["Mutex mu_{LockRank::kPool};",
+      "int count_ LH_GUARDED_BY(mu_) = 0;"]),
+    ("mutex-annotations", False,  # explicit waiver with reason
+     ["Mutex mu_{LockRank::kPool};  // lint: unguarded(phase lock)"]),
+    ("mutex-annotations", False,  # guard name matching is exact
+     ["SharedMutex mu{LockRank::kCacheShard};",
+      "std::unordered_map<int, int> map LH_GUARDED_BY(mu);"]),
+    ("mutex-annotations", False,  # references are not declarations
+     ["Mutex& GlobalPoolMutex();", "MutexLock lock(&mu_);"]),
+    ("signal-safety", True,
+     ["extern \"C\" void OnSignal(int) {",
+      "  fprintf(stderr, \"caught\\n\");",
+      "}",
+      "void Install() { struct sigaction sa; sa.sa_handler = OnSignal; }"]),
+    ("signal-safety", False,
+     ["extern \"C\" void OnSignal(int) {",
+      "  flag.store(true, std::memory_order_relaxed);",
+      "}",
+      "void Install() { struct sigaction sa; sa.sa_handler = OnSignal; }"]),
+    ("signal-safety", False,  # unsafe call outside any handler body
+     ["void NotAHandler() { printf(\"hi\\n\"); }"]),
+]
+
+
+def run_selftest():
+    """Runs each embedded sample through the rule engine and checks that
+    exactly the expected rules fire. Returns a process exit code."""
+    failures = 0
+    for i, (rule, expect, lines) in enumerate(SELFTEST_CASES):
+        findings = []
+        fake_path = os.path.join("src", "selftest", f"case_{i}.cc")
+        lint_mutex_annotations(fake_path, lines, findings)
+        lint_relaxed_atomics(fake_path, lines, findings)
+        lint_signal_safety(fake_path, lines, findings)
+        fired = {f[2] for f in findings}
+        ok = (rule in fired) == expect
+        if not ok:
+            failures += 1
+            print(f"selftest case {i}: expected {rule} "
+                  f"{'to fire' if expect else 'not to fire'}, got {fired}",
+                  file=sys.stderr)
+    if failures:
+        print(f"lint selftest: {failures} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"lint selftest: OK ({len(SELFTEST_CASES)} cases)")
+    return 0
+
+
 def main(argv):
     if "--list-rules" in argv:
         print("naked-new banned-rand span-taxonomy include-cycle "
-              "global-state raw-socket metrics-glossary")
+              "global-state raw-socket metrics-glossary mutex-annotations "
+              "relaxed-atomics signal-safety")
         return 0
+    if "--selftest" in argv:
+        return run_selftest()
     paths = [a for a in argv if not a.startswith("-")] or REPO_DIRS
     findings = []
     graph = {}
