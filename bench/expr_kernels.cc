@@ -1,0 +1,120 @@
+// Expression-evaluation microbenchmark: the typed bytecode VM + fused
+// filter/aggregate scan kernels (core/expr_vm.h, core/expr_kernels.h)
+// against the tree-walking interpreter on the TPC-H scan shapes they
+// target (Q1: wide grouped aggregation with shared arithmetic; Q6: scalar
+// aggregate under range + BETWEEN filters).
+//
+// Both arms run the same engine — QueryOptions::use_expr_vm selects the
+// path — and results are verified bit-identical before any timing is
+// recorded, so a speedup can never come from a semantics change. Scale
+// factor defaults to 0.05 (LH_TPCH_SFS overrides; --smoke uses 0.01).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "workload/tpch_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+/// Bitwise result comparison (doubles as raw bits): returns a description
+/// of the first difference, or empty when identical.
+std::string FirstDifference(const QueryResult& a, const QueryResult& b) {
+  if (a.num_rows != b.num_rows) return "row-count mismatch";
+  if (a.columns.size() != b.columns.size()) return "column-count mismatch";
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    const ResultColumn& x = a.columns[c];
+    const ResultColumn& y = b.columns[c];
+    if (x.ints != y.ints || x.strs != y.strs || x.codes != y.codes ||
+        x.reals.size() != y.reals.size()) {
+      return "column " + x.name + " differs";
+    }
+    for (size_t i = 0; i < x.reals.size(); ++i) {
+      uint64_t xb, yb;
+      std::memcpy(&xb, &x.reals[i], sizeof(xb));
+      std::memcpy(&yb, &y.reals[i], sizeof(yb));
+      if (xb != yb) {
+        return "column " + x.name + " row " + std::to_string(i) +
+               " differs in the bits";
+      }
+    }
+  }
+  return "";
+}
+
+int Run() {
+  const std::vector<double> sfs =
+      Smoke() ? std::vector<double>{0.01}
+              : EnvDoubleList("LH_TPCH_SFS", {0.05});
+  const std::vector<const char*> queries = {"q1", "q6"};
+
+  std::printf(
+      "Expression kernels: fused bytecode scan vs tree-walking "
+      "interpreter (bit-identical results enforced)\n\n");
+  PrintRow("Query/SF", {"Interpreter", "Fused VM", "Speedup"}, 14, 12);
+
+  QueryOptions vm_on;
+  QueryOptions vm_off;
+  vm_off.use_expr_vm = false;
+
+  for (double sf : sfs) {
+    auto catalog = std::make_unique<Catalog>();
+    TpchGenerator gen(sf);
+    gen.Populate(catalog.get()).CheckOK();
+    catalog->Finalize().CheckOK();
+    Engine engine(catalog.get());
+
+    for (const char* q : queries) {
+      const std::string sql = TpchQuery(q);
+
+      // Differential gate: both paths must agree bit for bit.
+      auto ri = engine.Query(sql, vm_off);
+      auto rv = engine.Query(sql, vm_on);
+      if (!ri.ok() || !rv.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", q,
+                     (!ri.ok() ? ri.status() : rv.status())
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      ri.value().SortRows();
+      rv.value().SortRows();
+      const std::string diff = FirstDifference(ri.value(), rv.value());
+      if (!diff.empty()) {
+        std::fprintf(stderr, "%s: interpreter and VM disagree: %s\n", q,
+                     diff.c_str());
+        return 1;
+      }
+
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s_sf%g_interp", q, sf);
+      const Measurement interp =
+          MeasureLevelHeaded(&engine, sql, vm_off, label);
+      std::snprintf(label, sizeof(label), "%s_sf%g_vm", q, sf);
+      const Measurement vm = MeasureLevelHeaded(&engine, sql, vm_on, label);
+
+      const double speedup =
+          interp.ok() && vm.ok() && vm.ms > 0 ? interp.ms / vm.ms : 0;
+      char rel[32];
+      std::snprintf(rel, sizeof(rel), "%.2fx", speedup);
+      char head[64];
+      std::snprintf(head, sizeof(head), "%s SF%.3g", q, sf);
+      PrintRow(head, {FormatTime(interp), FormatTime(vm), rel}, 14, 12);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("expr_kernels", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

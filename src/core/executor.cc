@@ -12,6 +12,8 @@
 
 #include "core/cancel.h"
 #include "core/expr_eval.h"
+#include "core/expr_kernels.h"
+#include "core/expr_vm.h"
 #include "core/group_accum.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -113,10 +115,22 @@ class TableRowCells : public CellAccessor {
   const Table& t_;
 };
 
-/// Evaluates a single-relation aggregate argument for every base row.
-std::vector<double> ComputeRowExpr(const Expr& arg, const Table& table) {
+/// Evaluates a single-relation aggregate argument for every base row —
+/// through the batch VM when the expression compiles, else the per-row
+/// tree walker.
+std::vector<double> ComputeRowExpr(const Expr& arg, const Table& table,
+                                   bool use_vm) {
   const size_t n = table.num_rows();
   std::vector<double> out(n);
+  ExprProgram prog;
+  if (use_vm && ExprProgram::Compile(arg, table, &prog)) {
+    for (size_t r = 0; r < n; r += ExprProgram::kBatch) {
+      const int m = static_cast<int>(
+          std::min<size_t>(ExprProgram::kBatch, n - r));
+      prog.EvalRange(static_cast<uint32_t>(r), m, out.data() + r);
+    }
+    return out;
+  }
   TableRowCells cells(table);
   for (size_t r = 0; r < n; ++r) {
     cells.row = static_cast<uint32_t>(r);
@@ -156,7 +170,8 @@ Result<BuiltRelation> BuildRelationTrie(
       const AggExec& agg = plan.aggs[i];
       if (agg.single_rel != rel || agg.arg == nullptr) continue;
       if (agg.func == AggFunc::kCount) continue;
-      computed.push_back(ComputeRowExpr(*agg.arg, *ref.table));
+      computed.push_back(
+          ComputeRowExpr(*agg.arg, *ref.table, plan.options.use_expr_vm));
       TrieAnnotationSpec ann;
       ann.name = agg.annot_name;
       ann.type = ValueType::kDouble;
@@ -203,7 +218,8 @@ Result<BuiltRelation> BuildRelationTrie(
     std::vector<const Expr*> conjuncts;
     for (const ExprPtr& f : ref.filters) conjuncts.push_back(f.get());
     LH_ASSIGN_OR_RETURN(RowFilter filter,
-                        RowFilter::Compile(conjuncts, *ref.table));
+                        RowFilter::Compile(conjuncts, *ref.table,
+                                           plan.options.use_expr_vm));
     selection = filter.SelectedRows();
     spec.selection = &selection;
     timing->filter_ms += t.ElapsedMillis();
@@ -1758,9 +1774,17 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
   span.SetDetail(table.schema().name());
   span.AddMetric("rows", static_cast<double>(table.num_rows()));
 
-  std::vector<const Expr*> conjuncts;
-  for (const ExprPtr& f : ref.filters) conjuncts.push_back(f.get());
-  LH_ASSIGN_OR_RETURN(RowFilter filter, RowFilter::Compile(conjuncts, table));
+  // The fused kernel (compiled at plan time) owns filtering; the RowFilter
+  // is only compiled for the tree-walking fallback loop.
+  const CompiledScan* cscan = plan.compiled_scan.get();
+  RowFilter filter;
+  if (cscan == nullptr) {
+    std::vector<const Expr*> conjuncts;
+    for (const ExprPtr& f : ref.filters) conjuncts.push_back(f.get());
+    LH_ASSIGN_OR_RETURN(
+        filter,
+        RowFilter::Compile(conjuncts, table, plan.options.use_expr_vm));
+  }
 
   std::vector<DimInfo> dim_infos;
   for (const GroupDimExec& d : plan.dims) {
@@ -1805,6 +1829,31 @@ Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
         const int64_t chunk = lo / grain;
         partials[chunk] = std::make_unique<GroupAccum>(key_width, &plan.aggs);
         GroupAccum& groups = *partials[chunk];
+        if (cscan != nullptr) {
+          // Compiled path: the fused kernel consumes the chunk whole; the
+          // poll closure reproduces the interpreter's 1024-row guard
+          // cadence and abort protocol.
+          std::function<bool()> poll;
+          if (guard_active) {
+            poll = [&]() {
+              // Relaxed: poll of the stop flag; a stale false only costs
+              // the worker extra iterations whose output is discarded.
+              if (aborted.load(std::memory_order_relaxed)) return false;
+              Status s = guard->Check();
+              if (s.ok()) s = guard->CheckRows(groups.num_groups());
+              if (!s.ok()) {
+                MutexLock lock(&abort_mu);
+                if (abort_status.ok()) abort_status = std::move(s);
+                // Release: pairs with the coordinator's acquire below.
+                aborted.store(true, std::memory_order_release);
+                return false;
+              }
+              return true;
+            };
+          }
+          cscan->ExecuteChunk(lo, hi, &groups, poll);
+          return;
+        }
         TableRowCells cells(table);
         std::vector<uint64_t> key(key_width);
         std::vector<double> main(std::max<size_t>(1, plan.aggs.size()));

@@ -1,5 +1,6 @@
 #include "core/expr_eval.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/stats.h"
@@ -159,9 +160,12 @@ bool EvalBool(const Expr& e, const CellAccessor& cells) {
 Value EvalValue(const Expr& e, const CellAccessor& cells) {
   if (IsStringExpr(e, cells)) return Value::Str(StringOf(e, cells));
   double v = EvalNumber(e, cells);
-  // Integral expressions over integer inputs render as integers.
+  // Integral expressions over integer inputs render as integers. Interval
+  // literals are day counts (EvalNumber reads int_value), so they belong
+  // here too — omitting them materialized intervals as Real.
   if (e.kind == Expr::Kind::kIntLiteral ||
       e.kind == Expr::Kind::kDateLiteral ||
+      e.kind == Expr::Kind::kIntervalLiteral ||
       e.kind == Expr::Kind::kExtractYear) {
     return Value::Int(static_cast<int64_t>(v));
   }
@@ -250,7 +254,8 @@ BinOp FlipCmp(BinOp op) {
 }  // namespace
 
 Result<RowFilter> RowFilter::Compile(
-    const std::vector<const Expr*>& conjuncts, const Table& table) {
+    const std::vector<const Expr*>& conjuncts, const Table& table,
+    bool use_vm) {
   RowFilter filter;
   filter.table_ = &table;
   for (const Expr* e : conjuncts) {
@@ -273,7 +278,17 @@ Result<RowFilter> RowFilter::Compile(
         const ColumnData& cd = table.column(col->bound_col);
         const bool is_string =
             cd.dict != nullptr && cd.dict->type() == ValueType::kString;
-        if (is_string && lit->kind == Expr::Kind::kStringLiteral &&
+        const bool lit_string = lit->kind == Expr::Kind::kStringLiteral;
+        // A string/numeric type mismatch would reach the generic
+        // evaluator's LH_CHECK aborts; fail the compile instead. The
+        // binder rejects such queries up front — this guards direct
+        // RowFilter users.
+        if (is_string != lit_string) {
+          return Status::InvalidArgument(
+              "cannot compare string and numeric operands in '" +
+              e->ToString() + "'");
+        }
+        if (is_string && lit_string &&
             (op == BinOp::kEq || op == BinOp::kNe)) {
           pred.kind = op == BinOp::kEq ? Pred::Kind::kCodeEq
                                        : Pred::Kind::kCodeNe;
@@ -282,7 +297,7 @@ Result<RowFilter> RowFilter::Compile(
           filter.preds_.push_back(std::move(pred));
           continue;
         }
-        if (!is_string && lit->kind != Expr::Kind::kStringLiteral) {
+        if (!is_string && !lit_string) {
           pred.kind = Pred::Kind::kNumCmp;
           pred.col = col->bound_col;
           pred.op = op;
@@ -292,11 +307,25 @@ Result<RowFilter> RowFilter::Compile(
         }
       }
     }
-    // <colref> BETWEEN <num> AND <num>
+    // <colref> BETWEEN <num> AND <num>. Both bounds must be validated:
+    // checking only the low bound let a string high bound flow through
+    // LiteralNumber, which reads int_value (default 0) off a string
+    // literal and silently compiled the wrong range.
     if (e->kind == Expr::Kind::kBetween &&
         e->children[0]->kind == Expr::Kind::kColumnRef &&
-        IsLiteral(*e->children[1]) && IsLiteral(*e->children[2]) &&
-        e->children[1]->kind != Expr::Kind::kStringLiteral) {
+        IsLiteral(*e->children[1]) && IsLiteral(*e->children[2])) {
+      const ColumnData& cd = table.column(e->children[0]->bound_col);
+      const bool is_string =
+          cd.dict != nullptr && cd.dict->type() == ValueType::kString;
+      const bool lo_string =
+          e->children[1]->kind == Expr::Kind::kStringLiteral;
+      const bool hi_string =
+          e->children[2]->kind == Expr::Kind::kStringLiteral;
+      if (is_string || lo_string || hi_string) {
+        return Status::InvalidArgument(
+            "BETWEEN over string operands is not supported: '" +
+            e->ToString() + "'");
+      }
       pred.kind = Pred::Kind::kNumBetween;
       pred.col = e->children[0]->bound_col;
       pred.lo = LiteralNumber(*e->children[1]);
@@ -324,7 +353,12 @@ Result<RowFilter> RowFilter::Compile(
         continue;
       }
     }
-    filter.preds_.push_back(std::move(pred));  // generic fallback
+    // Outside the typed fast paths: compile to bytecode for vectorized
+    // evaluation; the per-row tree walker is the last resort.
+    if (use_vm && ExprProgram::Compile(*e, table, &pred.prog)) {
+      pred.kind = Pred::Kind::kProgram;
+    }
+    filter.preds_.push_back(std::move(pred));
   }
   return filter;
 }
@@ -384,6 +418,9 @@ bool RowFilter::Matches(uint32_t row) const {
       case Pred::Kind::kDictBitmap:
         if (!p.bitmap[table_->column(p.col).codes[row]]) return false;
         break;
+      case Pred::Kind::kProgram:
+        if (!p.prog.EvalBoolRow(row)) return false;
+        break;
       case Pred::Kind::kGeneric: {
         TableRowAccessor cells(*table_, row);
         if (!EvalBool(*p.generic, cells)) return false;
@@ -394,11 +431,149 @@ bool RowFilter::Matches(uint32_t row) const {
   return true;
 }
 
+int RowFilter::CompactPred(const Pred& p, uint32_t base,
+                           const uint32_t* sel_in, int n,
+                           uint32_t* sel_out) const {
+  int k = 0;
+  // `body` is instantiated twice — once streaming the dense range, once
+  // gathering through sel_in — so each predicate loop stays tight with no
+  // per-row mode branch.
+  auto body = [&](auto row_at) {
+    switch (p.kind) {
+      case Pred::Kind::kNumCmp: {
+        const ColumnData& c = table_->column(p.col);
+        const int64_t* ints = c.ints.empty() ? nullptr : c.ints.data();
+        const double* reals = c.reals.empty() ? nullptr : c.reals.data();
+        const double t = p.lo;
+        // Comparison hoisted out of the row loop: six tight keep-if loops
+        // instead of a per-row op switch.
+        // Branchless keep: unconditional store, conditional advance —
+        // mid-selectivity predicates cost no branch mispredictions.
+        auto compact = [&](auto cmp) {
+          for (int j = 0; j < n; ++j) {
+            const uint32_t row = row_at(j);
+            const double v = ints != nullptr
+                                 ? static_cast<double>(ints[row])
+                                 : reals[row];
+            sel_out[k] = row;
+            k += cmp(v) ? 1 : 0;
+          }
+        };
+        switch (p.op) {
+          case BinOp::kEq:
+            compact([t](double v) { return v == t; });
+            break;
+          case BinOp::kNe:
+            compact([t](double v) { return v != t; });
+            break;
+          case BinOp::kLt:
+            compact([t](double v) { return v < t; });
+            break;
+          case BinOp::kLe:
+            compact([t](double v) { return v <= t; });
+            break;
+          case BinOp::kGt:
+            compact([t](double v) { return v > t; });
+            break;
+          default:
+            compact([t](double v) { return v >= t; });
+            break;
+        }
+        break;
+      }
+      case Pred::Kind::kNumBetween: {
+        const ColumnData& c = table_->column(p.col);
+        const int64_t* ints = c.ints.empty() ? nullptr : c.ints.data();
+        const double* reals = c.reals.empty() ? nullptr : c.reals.data();
+        for (int j = 0; j < n; ++j) {
+          const uint32_t row = row_at(j);
+          const double v = ints != nullptr ? static_cast<double>(ints[row])
+                                           : reals[row];
+          sel_out[k] = row;
+          k += (v >= p.lo && v <= p.hi) ? 1 : 0;
+        }
+        break;
+      }
+      case Pred::Kind::kCodeEq: {
+        if (p.rhs_code < 0) return;  // absent literal: no match
+        const uint32_t* codes = table_->column(p.col).codes.data();
+        const uint32_t rhs = static_cast<uint32_t>(p.rhs_code);
+        for (int j = 0; j < n; ++j) {
+          const uint32_t row = row_at(j);
+          sel_out[k] = row;
+          k += codes[row] == rhs ? 1 : 0;
+        }
+        break;
+      }
+      case Pred::Kind::kCodeNe: {
+        const uint32_t* codes = table_->column(p.col).codes.data();
+        const uint32_t rhs = static_cast<uint32_t>(p.rhs_code);
+        for (int j = 0; j < n; ++j) {
+          const uint32_t row = row_at(j);
+          // rhs_code < 0 (absent literal) never equals a valid code, so
+          // everything passes without a special case.
+          sel_out[k] = row;
+          k += codes[row] != rhs ? 1 : 0;
+        }
+        break;
+      }
+      case Pred::Kind::kDictBitmap: {
+        const uint32_t* codes = table_->column(p.col).codes.data();
+        const uint8_t* bitmap = p.bitmap.data();
+        for (int j = 0; j < n; ++j) {
+          const uint32_t row = row_at(j);
+          sel_out[k] = row;
+          k += bitmap[codes[row]] != 0 ? 1 : 0;
+        }
+        break;
+      }
+      case Pred::Kind::kProgram: {
+        if (sel_in == nullptr) {
+          uint8_t mask[ExprProgram::kBatch];
+          std::fill(mask, mask + n, static_cast<uint8_t>(1));
+          p.prog.FilterRange(base, n, mask);  // ANDs into mask
+          for (int j = 0; j < n; ++j) {
+            sel_out[k] = base + static_cast<uint32_t>(j);
+            k += mask[j] != 0 ? 1 : 0;
+          }
+        } else {
+          double buf[ExprProgram::kBatch];
+          p.prog.EvalGather(sel_in, n, buf);
+          for (int j = 0; j < n; ++j) {
+            sel_out[k] = sel_in[j];
+            k += buf[j] != 0 ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case Pred::Kind::kGeneric: {
+        TableRowAccessor cells(*table_, 0);
+        for (int j = 0; j < n; ++j) {
+          const uint32_t row = row_at(j);
+          cells.set_row(row);
+          if (EvalBool(*p.generic, cells)) sel_out[k++] = row;
+        }
+        break;
+      }
+    }
+  };
+  if (sel_in == nullptr) {
+    body([base](int j) { return base + static_cast<uint32_t>(j); });
+  } else {
+    body([sel_in](int j) { return sel_in[j]; });
+  }
+  return k;
+}
+
 std::vector<uint32_t> RowFilter::SelectedRows() const {
   std::vector<uint32_t> out;
   const uint32_t n = static_cast<uint32_t>(table_->num_rows());
-  for (uint32_t row = 0; row < n; ++row) {
-    if (Matches(row)) out.push_back(row);
+  constexpr int kB = ExprProgram::kBatch;
+  uint32_t sel[kB];
+  for (uint32_t base = 0; base < n; base += kB) {
+    const int m = static_cast<int>(std::min<uint32_t>(kB, n - base));
+    const int kept = FilterRange(base, m, sel);
+    out.insert(out.end(), sel, sel + kept);
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/expr_vm.h"
 #include "sql/ast.h"
 #include "storage/table.h"
 #include "util/like_matcher.h"
@@ -54,16 +55,42 @@ Value EvalValue(const Expr& e, const CellAccessor& cells);
 class RowFilter {
  public:
   /// Compiles `conjuncts` (bound, all referencing the same relation whose
-  /// table is `table`). The expressions must outlive the filter.
+  /// table is `table`). The expressions must outlive the filter. Conjuncts
+  /// mixing string and numeric operands in a comparison or BETWEEN fail
+  /// with kInvalidArgument (the generic evaluator would abort on them).
+  /// `use_vm` routes conjuncts outside the typed fast paths through an
+  /// ExprProgram instead of the per-row tree walker when they compile.
   [[nodiscard]] static Result<RowFilter> Compile(const std::vector<const Expr*>& conjuncts,
-                                   const Table& table);
+                                   const Table& table, bool use_vm = true);
 
   bool Matches(uint32_t row) const;
 
-  /// All matching row ids, ascending.
+  /// All matching row ids, ascending. Evaluates batch-at-a-time through
+  /// FilterRange, so typed predicates run vectorized and each predicate
+  /// only touches the prior predicates' survivors.
   std::vector<uint32_t> SelectedRows() const;
 
   bool empty() const { return preds_.empty(); }
+
+  /// Writes the ids of rows in [base, base + n) passing every predicate
+  /// into sel (ascending); returns the surviving count. n must be
+  /// <= ExprProgram::kBatch. The leading predicate streams the dense range
+  /// (no row-id indirection) and later predicates compact its survivors,
+  /// giving batched evaluation the same short-circuit economics as the
+  /// per-row walk: a selective leading predicate shields the rest. Batch
+  /// building block shared with the fused scan kernel
+  /// (core/expr_kernels.h).
+  int FilterRange(uint32_t base, int n, uint32_t* sel) const {
+    if (preds_.empty()) {
+      for (int i = 0; i < n; ++i) sel[i] = base + static_cast<uint32_t>(i);
+      return n;
+    }
+    int k = CompactPred(preds_[0], base, /*sel_in=*/nullptr, n, sel);
+    for (size_t i = 1; i < preds_.size() && k > 0; ++i) {
+      k = CompactPred(preds_[i], base, sel, k, sel);
+    }
+    return k;
+  }
 
  private:
   struct Pred {
@@ -73,7 +100,8 @@ class RowFilter {
       kCodeEq,      // code == rhs_code (rhs_code < 0 => never matches)
       kCodeNe,
       kDictBitmap,  // bitmap[code] (LIKE and other dict predicates)
-      kGeneric,
+      kProgram,     // compiled ExprProgram (vectorized general case)
+      kGeneric,     // per-row tree walk (last resort)
     };
     Kind kind;
     int col = -1;
@@ -81,8 +109,17 @@ class RowFilter {
     double lo = 0, hi = 0;
     int64_t rhs_code = -1;
     std::vector<uint8_t> bitmap;
+    ExprProgram prog;
     const Expr* generic = nullptr;
   };
+
+  /// Writes the rows passing predicate `p` into sel_out (ascending) and
+  /// returns the surviving count. Input rows are the dense range
+  /// [base, base + n) when sel_in is null, else the id list sel_in[0..n)
+  /// (sel_out may alias sel_in — compaction never overtakes the read
+  /// cursor). n <= ExprProgram::kBatch.
+  int CompactPred(const Pred& p, uint32_t base, const uint32_t* sel_in,
+                  int n, uint32_t* sel_out) const;
 
   const Table* table_ = nullptr;
   std::vector<Pred> preds_;

@@ -1,0 +1,204 @@
+#include "core/expr_kernels.h"
+
+#include <algorithm>
+
+#include "obs/stats.h"
+#include "util/logging.h"
+
+namespace levelheaded {
+
+std::shared_ptr<const CompiledScan> CompiledScan::TryCompile(
+    const PhysicalPlan& plan, const Catalog& catalog) {
+  if (!plan.scan_only || !plan.options.use_expr_vm) return nullptr;
+  // The -Attr.Elim arm emulates a row store by touching every column of
+  // each surviving row; the fused kernel only loads referenced columns.
+  if (!plan.options.use_attribute_elimination) return nullptr;
+  const RelationRef& ref = plan.query.relations[0];
+  const Table& table = *ref.table;
+
+  auto scan = std::make_shared<CompiledScan>();
+  // Filters get RowFilter's typed batched fast paths (numeric compare,
+  // BETWEEN, code equality, LIKE bitmaps); only irregular conjuncts cost a
+  // bytecode program. The binder rejects mistyped conjuncts before
+  // planning, so a compile failure here means an unsupported shape — fall
+  // back to the interpreted loop rather than fail the query.
+  std::vector<const Expr*> conjuncts;
+  conjuncts.reserve(ref.filters.size());
+  for (const ExprPtr& f : ref.filters) conjuncts.push_back(f.get());
+  auto filter = RowFilter::Compile(conjuncts, table, /*use_vm=*/true);
+  if (!filter.ok()) return nullptr;
+  scan->filter_ = filter.TakeValue();
+  for (const GroupDimExec& dim : plan.dims) {
+    const DimInfo info = ClassifyDim(dim, plan, catalog, /*join_path=*/false);
+    DimSpec spec;
+    spec.kind = info.kind;
+    switch (info.kind) {
+      case DimKind::kKeyVertex:
+        return nullptr;  // key-vertex dims never reach the scan path
+      case DimKind::kStringCode:
+        if (dim.expr->kind != Expr::Kind::kColumnRef) return nullptr;
+        spec.codes = table.column(dim.expr->bound_col).codes.data();
+        break;
+      case DimKind::kInt:
+      case DimKind::kDate:
+      case DimKind::kReal:
+        if (!ExprProgram::Compile(*dim.expr, table, &spec.prog)) {
+          return nullptr;
+        }
+        break;
+    }
+    scan->dims_.push_back(std::move(spec));
+  }
+  for (const AggExec& agg : plan.aggs) {
+    AggSpec spec;
+    spec.func = agg.func;
+    if (agg.func == AggFunc::kCount || agg.arg == nullptr) {
+      spec.constant_one = true;
+    } else if (!ExprProgram::Compile(*agg.arg, table, &spec.prog)) {
+      return nullptr;
+    }
+    spec.minmax = agg.func == AggFunc::kMin || agg.func == AggFunc::kMax;
+    spec.is_min = agg.func == AggFunc::kMin;
+    spec.aux_inc = agg.func == AggFunc::kAvg ? 1.0 : 0.0;
+    scan->aggs_.push_back(std::move(spec));
+  }
+
+  // Dense group-ordinal cache for all-string-code dims over small
+  // dictionaries (Q1's shape: a handful of flag/status combinations).
+  if (!scan->dims_.empty()) {
+    uint64_t total = 1;
+    for (const DimSpec& dim : scan->dims_) {
+      if (dim.kind != DimKind::kStringCode) {
+        total = 0;
+        break;
+      }
+    }
+    if (total == 1) {
+      for (const GroupDimExec& dim : plan.dims) {
+        total *= table.column(dim.expr->bound_col).dict->size();
+        if (total > 4096) break;
+      }
+      if (total > 0 && total <= 4096) {
+        scan->dense_stride_.resize(scan->dims_.size());
+        uint32_t stride = 1;
+        for (size_t d = scan->dims_.size(); d-- > 0;) {
+          scan->dense_stride_[d] = stride;
+          stride *= table.column(plan.dims[d].expr->bound_col).dict->size();
+        }
+        scan->dense_total_ = static_cast<uint32_t>(total);
+      }
+    }
+  }
+  return scan;
+}
+
+void CompiledScan::ExecuteChunk(int64_t lo, int64_t hi, GroupAccum* groups,
+                                const std::function<bool()>& poll) const {
+  constexpr int kB = ExprProgram::kBatch;
+  const size_t nd = dims_.size();
+  const size_t na = aggs_.size();
+  std::vector<double> dimv(nd * kB);
+  std::vector<double> aggv(na * kB);
+  uint32_t sel[kB];
+  std::vector<uint64_t> key(nd);
+  uint64_t rows_applied = 0;
+  int64_t next_poll = lo;
+  // Scalar-group acc, fetched lazily so an all-filtered chunk creates no
+  // group (matching the interpreted loop). Safe to hoist across rows:
+  // scalar mode never inserts again, so the pointer stays valid.
+  double* sacc = nullptr;
+  constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+  std::vector<uint32_t> gcache;
+  if (dense_total_ > 0) gcache.assign(dense_total_, kNoGroup);
+
+  for (int64_t base = lo; base < hi; base += kB) {
+    if (poll != nullptr && base >= next_poll) {
+      if (!poll()) return;
+      next_poll = base + 1024;
+    }
+    const int n = static_cast<int>(std::min<int64_t>(kB, hi - base));
+    // The leading predicate streams the dense range and later predicates
+    // compact its survivors, so a selective leading predicate shields the
+    // rest (the interpreter's short-circuit economics, vectorized).
+    const int nsel = filter_.FilterRange(static_cast<uint32_t>(base), n, sel);
+    if (nsel == 0) continue;
+    rows_applied += static_cast<uint64_t>(nsel);
+
+    for (size_t a = 0; a < na; ++a) {
+      if (!aggs_[a].constant_one) {
+        aggs_[a].prog.EvalGather(sel, nsel, aggv.data() + a * kB);
+      }
+    }
+    for (size_t d = 0; d < nd; ++d) {
+      if (dims_[d].kind != DimKind::kStringCode) {
+        dims_[d].prog.EvalGather(sel, nsel, dimv.data() + d * kB);
+      }
+    }
+
+    // Surviving rows accumulate in row order, group creation goes through
+    // the same FindOrCreate sequence, and the per-slot updates replicate
+    // GroupAccum::Apply op for op — bit-identical to the interpreted loop
+    // (see executor.cc ExecuteScan's chunking comment).
+    for (int j = 0; j < nsel; ++j) {
+      double* acc;
+      if (nd == 0) {
+        if (sacc == nullptr) sacc = groups->ScalarGroup();
+        acc = sacc;
+      } else if (dense_total_ > 0) {
+        // All dims are string codes: a dense combo index caches the
+        // group ordinal, skipping the hashed key lookup after the first
+        // encounter of each combination.
+        uint32_t combo = 0;
+        for (size_t d = 0; d < nd; ++d) {
+          combo += dims_[d].codes[sel[j]] * dense_stride_[d];
+        }
+        uint32_t g = gcache[combo];
+        if (g == kNoGroup) {
+          for (size_t d = 0; d < nd; ++d) {
+            key[d] = static_cast<uint64_t>(dims_[d].codes[sel[j]]);
+          }
+          g = groups->FindOrCreateOrdinal(key.data());
+          gcache[combo] = g;
+        }
+        acc = groups->acc_mut(g);
+      } else {
+        for (size_t d = 0; d < nd; ++d) {
+          const DimSpec& dim = dims_[d];
+          switch (dim.kind) {
+            case DimKind::kKeyVertex:
+              LH_CHECK(false) << "key-vertex dim on scan path";
+              break;
+            case DimKind::kStringCode:
+              key[d] = static_cast<uint64_t>(dim.codes[sel[j]]);
+              break;
+            case DimKind::kInt:
+            case DimKind::kDate:
+              key[d] = static_cast<uint64_t>(
+                  static_cast<int64_t>(dimv[d * kB + j]));
+              break;
+            case DimKind::kReal:
+              key[d] = BitcastDouble(dimv[d * kB + j]);
+              break;
+          }
+        }
+        acc = groups->FindOrCreate(key.data());
+      }
+      for (size_t a = 0; a < na; ++a) {
+        const AggSpec& agg = aggs_[a];
+        const double m = agg.constant_one ? 1.0 : aggv[a * kB + j];
+        if (agg.minmax) {
+          acc[2 * a] = agg.is_min ? std::min(acc[2 * a], m)
+                                  : std::max(acc[2 * a], m);
+        } else {
+          acc[2 * a] += m;
+          acc[2 * a + 1] += agg.aux_inc;
+        }
+      }
+    }
+  }
+  if (obs::ExecStats* stats = obs::ActiveStats()) {
+    stats->CountExprFusedRows(rows_applied);
+  }
+}
+
+}  // namespace levelheaded

@@ -1,0 +1,118 @@
+// Typed bytecode for bound single-relation expressions (the "generated
+// code" half of the paper's compiled kernels, without a C++-compiler
+// dependency). An ExprProgram is compiled once — at plan time or at
+// RowFilter compile — from a bound expression tree into postfix
+// instructions over typed column pointers, then executed batch-at-a-time
+// by a value-stack VM.
+//
+// Determinism contract: the compiler emits one instruction per tree-walker
+// IEEE operation, in the tree-walker's evaluation order, so VM results are
+// bit-identical to EvalNumber/EvalBool on the same row. (AND/OR/CASE
+// evaluate both branches where the tree walker short-circuits; the
+// discarded branch's value is never observable and branch evaluation has
+// no side effects, so the selected value is still identical.) The
+// tree-walker stays in the repo as the fallback path and the differential
+// oracle (tests/expr_vm_test.cc).
+//
+// Compilation is best-effort: any unsupported shape (string inequalities,
+// column-vs-column string compares, aggregate refs, stack overflow) makes
+// Compile return false and callers fall back to the tree walker.
+
+#ifndef LEVELHEADED_CORE_EXPR_VM_H_
+#define LEVELHEADED_CORE_EXPR_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace levelheaded {
+
+class ExprProgram {
+ public:
+  /// Rows evaluated per VM dispatch; batch entry points accept at most
+  /// this many rows per call.
+  static constexpr int kBatch = 256;
+  /// Value-stack slots; programs needing more fail to compile.
+  static constexpr int kMaxStack = 16;
+  /// Instruction-count guard (bounds compile time on adversarial trees).
+  static constexpr size_t kMaxInstrs = 256;
+
+  /// Compiles bound expression `e` whose column refs all resolve into
+  /// `table`. Returns false (leaving *out empty) for unsupported shapes.
+  /// The table must outlive the program; `e` is not retained.
+  static bool Compile(const Expr& e, const Table& table, ExprProgram* out);
+
+  bool empty() const { return instrs_.empty(); }
+  size_t num_instrs() const { return instrs_.size(); }
+
+  /// Scalar evaluation at one row (RowFilter::Matches, spot checks).
+  double EvalRow(uint32_t row) const;
+  bool EvalBoolRow(uint32_t row) const { return EvalRow(row) != 0; }
+
+  /// Evaluates rows [first, first + n) into out[0..n). n <= kBatch.
+  void EvalRange(uint32_t first, int n, double* out) const;
+
+  /// Evaluates the gathered rows[0..n) into out[0..n). n <= kBatch.
+  void EvalGather(const uint32_t* rows, int n, double* out) const;
+
+  /// ANDs the predicate value (!= 0) over rows [first, first + n) into
+  /// mask[0..n). n <= kBatch.
+  void FilterRange(uint32_t first, int n, uint8_t* mask) const;
+
+ private:
+  // Postfix ops. Every enumerator must have a `case Op::k...` in the
+  // expr_vm.cc dispatch switch — machine-checked by the `vm-op-coverage`
+  // lint rule (tools/lint.py).
+  enum class Op : uint8_t {
+    kConst,       // push imm
+    kLoadInt,     // push (double)ints[row]
+    kLoadReal,    // push reals[row]
+    kLoadCode,    // push (double)codes[row] (codes-only numeric columns)
+    kCodeEq,      // push codes[row] == imm_code (string equality)
+    kDictBitmap,  // push bitmaps_[bitmap][codes[row]] (LIKE)
+    kAdd,         // binary arithmetic...
+    kSub,
+    kMul,
+    kDiv,
+    kNeg,      // unary minus
+    kNot,      // logical not
+    kYear,     // EXTRACT(YEAR FROM days)
+    kCmpEq,    // numeric comparisons -> 0/1...
+    kCmpNe,
+    kCmpLt,
+    kCmpLe,
+    kCmpGt,
+    kCmpGe,
+    kAnd,      // both-sides logical and/or -> 0/1
+    kOr,
+    kSelect,   // cond ? then : else (CASE chains)
+    kBetween,  // lo <= v && v <= hi
+  };
+
+  struct Instr {
+    Op op = Op::kConst;
+    double imm = 0;
+    uint32_t imm_code = 0;
+    int bitmap = -1;
+    const int64_t* ints = nullptr;
+    const double* reals = nullptr;
+    const uint32_t* codes = nullptr;
+  };
+
+  bool CompileNode(const Expr& e, const Table& table);
+  /// Validates stack discipline (net push of 1, depth <= kMaxStack).
+  bool CheckStack() const;
+
+  template <bool kGather>
+  void Run(const uint32_t* rows, uint32_t first, int n, double* out) const;
+
+  std::vector<Instr> instrs_;
+  /// Dictionary-code bitmaps for kDictBitmap (one per LIKE site).
+  std::vector<std::vector<uint8_t>> bitmaps_;
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_CORE_EXPR_VM_H_

@@ -65,11 +65,15 @@ GroupAccum::GroupAccum(size_t key_width, const std::vector<AggExec>* aggs)
       aggs_(aggs) {}
 
 double* GroupAccum::FindOrCreate(const uint64_t* key) {
+  return acc_mut(FindOrCreateOrdinal(key));
+}
+
+uint32_t GroupAccum::FindOrCreateOrdinal(const uint64_t* key) {
   scratch_key_.assign(key, key + key_width_);
   auto [it, inserted] =
       index_.try_emplace(scratch_key_, static_cast<uint32_t>(num_groups()));
   if (inserted) AppendGroup(key);
-  return accs_.data() + static_cast<size_t>(it->second) * stride_;
+  return it->second;
 }
 
 double* GroupAccum::AppendOrLast(const uint64_t* key) {

@@ -56,8 +56,15 @@ class GroupAccum {
   const double* accs(size_t g) const { return accs_.data() + g * stride_; }
 
   double* FindOrCreate(const uint64_t* key);
+  /// FindOrCreate returning the group's ordinal instead of its acc
+  /// pointer. Ordinals are stable across later inserts (acc pointers are
+  /// not), so callers may cache them — see the fused scan kernel's dense
+  /// group cache (core/expr_kernels.h).
+  uint32_t FindOrCreateOrdinal(const uint64_t* key);
   double* AppendOrLast(const uint64_t* key);
   double* ScalarGroup();
+  /// Mutable accumulator row of group `g` (invalidated by inserts).
+  double* acc_mut(size_t g) { return accs_.data() + g * stride_; }
 
   /// Applies one row's deltas (per-aggregate semiring op).
   void Apply(double* acc, const double* main_delta,

@@ -46,6 +46,14 @@ struct QueryOptions {
   /// directly by the ML pipeline (§VII) without a decode/re-encode pass.
   bool keep_strings_encoded = false;
 
+  /// Route scan filters, group-by dimensions, and aggregate arguments
+  /// through the compiled expression path (typed bytecode VM + fused
+  /// filter/aggregate kernels, DESIGN.md §15). Disabling it forces the
+  /// tree-walking interpreter everywhere — the differential oracle and the
+  /// bench/expr_kernels comparison arm. Results are bit-identical either
+  /// way.
+  bool use_expr_vm = true;
+
   /// Reuse cached unfiltered tries across queries ("index creation" is
   /// excluded from measured time, §VI-A). Filtered relations always build
   /// their tries inside the measured query.

@@ -24,6 +24,7 @@ class Trace;
 }  // namespace obs
 
 struct QueryGuard;
+class CompiledScan;
 
 /// One aggregate slot, execution view.
 struct AggExec {
@@ -100,6 +101,12 @@ struct PhysicalPlan {
   std::vector<NodePlan> nodes;  ///< aligned with ghd.nodes (join plans)
   std::vector<AggExec> aggs;
   std::vector<GroupDimExec> dims;
+
+  /// Compiled fused filter+aggregate kernel for the scan path, built once
+  /// at plan time (core/expr_kernels.h). Null when the query is not a
+  /// scan, QueryOptions::use_expr_vm is off, or a shape fails to compile —
+  /// the executor then runs the tree-walking scan loop.
+  std::shared_ptr<const CompiledScan> compiled_scan;
 
   /// Human-readable order of the root node, e.g. "orderkey,custkey,...".
   std::string RootOrderString() const;

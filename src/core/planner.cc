@@ -2,6 +2,7 @@
 #include <set>
 
 #include "core/cancel.h"
+#include "core/expr_kernels.h"
 #include "core/plan.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -149,6 +150,10 @@ Result<PhysicalPlan> BuildPlan(LogicalQuery query, const Catalog& catalog,
   // queries").
   if (q.relations.size() == 1) {
     plan.scan_only = true;
+    // Compile the fused filter+aggregate kernel once, at plan time; a null
+    // result (unsupported shape or use_expr_vm off) keeps the executor on
+    // the tree-walking scan loop.
+    plan.compiled_scan = CompiledScan::TryCompile(plan, catalog);
     return plan;
   }
 

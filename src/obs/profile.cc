@@ -217,6 +217,10 @@ bool QueryProfile::FromJson(const JsonValue& value, QueryProfile* out) {
   counter("cache.evictions", &out->counters.cache_evictions);
   counter("cache.build_waits", &out->counters.cache_build_waits);
   counter("expr.like_compiles", &out->counters.expr_like_compiles);
+  counter("expr.programs", &out->counters.expr_programs);
+  counter("expr.fallbacks", &out->counters.expr_fallbacks);
+  counter("expr.vm_rows", &out->counters.expr_vm_rows);
+  counter("expr.fused_rows", &out->counters.expr_fused_rows);
   counter("exec.tuples_emitted", &out->counters.tuples_emitted);
   counter("exec.skew_splits", &out->counters.exec_skew_splits);
   counter("pool.chunks", &out->counters.thread_pool_chunks);

@@ -36,6 +36,10 @@ StatsSnapshot ExecStats::Snapshot() const {
   s.cache_evictions = cache_evictions_.load(kRelaxed);
   s.cache_build_waits = cache_build_waits_.load(kRelaxed);
   s.expr_like_compiles = expr_like_compiles_.load(kRelaxed);
+  s.expr_programs = expr_programs_.load(kRelaxed);
+  s.expr_fallbacks = expr_fallbacks_.load(kRelaxed);
+  s.expr_vm_rows = expr_vm_rows_.load(kRelaxed);
+  s.expr_fused_rows = expr_fused_rows_.load(kRelaxed);
   s.thread_pool_chunks = thread_pool_chunks_.load(kRelaxed);
   s.pool_tasks_spawned = pool_tasks_spawned_.load(kRelaxed);
   s.pool_task_steals = pool_task_steals_.load(kRelaxed);
@@ -56,6 +60,10 @@ void ExecStats::Reset() {
   cache_evictions_.store(0, kRelaxed);
   cache_build_waits_.store(0, kRelaxed);
   expr_like_compiles_.store(0, kRelaxed);
+  expr_programs_.store(0, kRelaxed);
+  expr_fallbacks_.store(0, kRelaxed);
+  expr_vm_rows_.store(0, kRelaxed);
+  expr_fused_rows_.store(0, kRelaxed);
   thread_pool_chunks_.store(0, kRelaxed);
   pool_tasks_spawned_.store(0, kRelaxed);
   pool_task_steals_.store(0, kRelaxed);
@@ -84,6 +92,10 @@ void ExecStats::Add(const StatsSnapshot& s) {
                                kRelaxed);
   expr_like_compiles_.fetch_add(s.expr_like_compiles,
                                 kRelaxed);
+  expr_programs_.fetch_add(s.expr_programs, kRelaxed);
+  expr_fallbacks_.fetch_add(s.expr_fallbacks, kRelaxed);
+  expr_vm_rows_.fetch_add(s.expr_vm_rows, kRelaxed);
+  expr_fused_rows_.fetch_add(s.expr_fused_rows, kRelaxed);
   thread_pool_chunks_.fetch_add(s.thread_pool_chunks,
                                 kRelaxed);
   pool_tasks_spawned_.fetch_add(s.pool_tasks_spawned,
@@ -108,6 +120,10 @@ std::vector<std::pair<std::string, uint64_t>> StatsSnapshot::Items() const {
       {"cache.evictions", cache_evictions},
       {"cache.build_waits", cache_build_waits},
       {"expr.like_compiles", expr_like_compiles},
+      {"expr.programs", expr_programs},
+      {"expr.fallbacks", expr_fallbacks},
+      {"expr.vm_rows", expr_vm_rows},
+      {"expr.fused_rows", expr_fused_rows},
       {"exec.tuples_emitted", tuples_emitted},
       {"exec.skew_splits", exec_skew_splits},
       {"pool.chunks", thread_pool_chunks},

@@ -62,6 +62,16 @@ struct StatsSnapshot {
   /// precompiles one matcher per expression, so this stays 0 for engine
   /// queries; nonzero means a pattern was recompiled per tuple.
   uint64_t expr_like_compiles = 0;
+  /// Bound expressions successfully compiled to bytecode programs
+  /// (DESIGN.md §15).
+  uint64_t expr_programs = 0;
+  /// Compile attempts that fell back to the tree-walking interpreter
+  /// (unsupported shape).
+  uint64_t expr_fallbacks = 0;
+  /// Row evaluations executed by the batch VM (rows × programs).
+  uint64_t expr_vm_rows = 0;
+  /// Rows accumulated through the fused filter+aggregate scan kernel.
+  uint64_t expr_fused_rows = 0;
   uint64_t thread_pool_chunks = 0;
   /// Tasks enqueued through ThreadPool::Submit (skew splits, trie build).
   uint64_t pool_tasks_spawned = 0;
@@ -126,6 +136,18 @@ class ExecStats {
   void CountLikeCompile() {
     expr_like_compiles_.fetch_add(1, kRelaxed);
   }
+  void CountExprProgram() {
+    expr_programs_.fetch_add(1, kRelaxed);
+  }
+  void CountExprFallback() {
+    expr_fallbacks_.fetch_add(1, kRelaxed);
+  }
+  void CountExprVmRows(uint64_t n) {
+    expr_vm_rows_.fetch_add(n, kRelaxed);
+  }
+  void CountExprFusedRows(uint64_t n) {
+    expr_fused_rows_.fetch_add(n, kRelaxed);
+  }
   void CountThreadPoolChunk(uint64_t n = 1) {
     thread_pool_chunks_.fetch_add(n, kRelaxed);
   }
@@ -161,6 +183,10 @@ class ExecStats {
   std::atomic<uint64_t> cache_evictions_{0};
   std::atomic<uint64_t> cache_build_waits_{0};
   std::atomic<uint64_t> expr_like_compiles_{0};
+  std::atomic<uint64_t> expr_programs_{0};
+  std::atomic<uint64_t> expr_fallbacks_{0};
+  std::atomic<uint64_t> expr_vm_rows_{0};
+  std::atomic<uint64_t> expr_fused_rows_{0};
   std::atomic<uint64_t> thread_pool_chunks_{0};
   std::atomic<uint64_t> pool_tasks_spawned_{0};
   std::atomic<uint64_t> pool_task_steals_{0};

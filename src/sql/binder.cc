@@ -121,6 +121,28 @@ class Binder {
       LH_RETURN_NOT_OK(BindExpr(o.expr.get()));
     }
 
+    // Type-check every bound expression before plan construction. Mixed
+    // string/numeric shapes used to slip through to row evaluation, where
+    // EvalNumber/EvalValue hit LH_CHECK aborts — fatal for a server
+    // handling untrusted SQL. Rejecting here turns them into a clean
+    // kInvalidArgument the protocol layer reports as an error response.
+    for (const SelectItem& item : stmt_.items) {
+      LH_RETURN_NOT_OK(TypeOf(*item.expr).status());
+    }
+    if (stmt_.where != nullptr) {
+      LH_RETURN_NOT_OK(TypeOf(*stmt_.where).status());
+    }
+    for (const ExprPtr& g : stmt_.group_by) {
+      LH_RETURN_NOT_OK(TypeOf(*g).status());
+    }
+    if (stmt_.having != nullptr) {
+      LH_RETURN_NOT_OK(TypeOf(*stmt_.having).status());
+    }
+    for (const OrderItem& o : stmt_.order_by) {
+      if (o.expr->kind == Expr::Kind::kIntLiteral) continue;  // ordinal
+      LH_RETURN_NOT_OK(TypeOf(*o.expr).status());
+    }
+
     // Default output names come from the pre-extraction expression text
     // (aggregate extraction would otherwise leave "$agg0"-style names).
     for (SelectItem& item : stmt_.items) {
@@ -229,6 +251,107 @@ class Binder {
       }
     }
     return Status::OK();
+  }
+
+  /// Bind-time expression types: the engine evaluates everything as
+  /// doubles except string columns/literals, which only participate in
+  /// comparisons, LIKE, and grouping.
+  enum class ExprType { kNumber, kString };
+
+  /// Classifies a bound expression and rejects shapes whose row evaluation
+  /// would otherwise LH_CHECK-abort: string operands in arithmetic /
+  /// BETWEEN / CASE branches / boolean connectives, comparisons mixing a
+  /// string with a numeric operand, and LIKE over a non-string argument.
+  Result<ExprType> TypeOf(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kStringLiteral:
+        return ExprType::kString;
+      case Expr::Kind::kColumnRef: {
+        const ColumnSpec& spec =
+            q_.relations[e.bound_rel].table->schema().column(e.bound_col);
+        return spec.type == ValueType::kString ? ExprType::kString
+                                               : ExprType::kNumber;
+      }
+      case Expr::Kind::kIntLiteral:
+      case Expr::Kind::kRealLiteral:
+      case Expr::Kind::kDateLiteral:
+      case Expr::Kind::kIntervalLiteral:
+      case Expr::Kind::kStar:
+      case Expr::Kind::kAggRef:
+        return ExprType::kNumber;
+      case Expr::Kind::kBinary: {
+        LH_ASSIGN_OR_RETURN(ExprType l, TypeOf(*e.children[0]));
+        LH_ASSIGN_OR_RETURN(ExprType r, TypeOf(*e.children[1]));
+        switch (e.bin_op) {
+          case BinOp::kEq:
+          case BinOp::kNe:
+          case BinOp::kLt:
+          case BinOp::kLe:
+          case BinOp::kGt:
+          case BinOp::kGe:
+            if (l != r) {
+              return Status::InvalidArgument(
+                  "cannot compare string and numeric operands in '" +
+                  e.ToString() + "'");
+            }
+            return ExprType::kNumber;
+          default:
+            // Arithmetic and AND/OR require numeric operands.
+            if (l == ExprType::kString || r == ExprType::kString) {
+              return Status::InvalidArgument(
+                  "string operand not allowed in '" + e.ToString() + "'");
+            }
+            return ExprType::kNumber;
+        }
+      }
+      case Expr::Kind::kUnaryMinus:
+      case Expr::Kind::kNot:
+      case Expr::Kind::kExtractYear: {
+        LH_ASSIGN_OR_RETURN(ExprType t, TypeOf(*e.children[0]));
+        if (t == ExprType::kString) {
+          return Status::InvalidArgument("string operand not allowed in '" +
+                                         e.ToString() + "'");
+        }
+        return ExprType::kNumber;
+      }
+      case Expr::Kind::kAggregate:
+        // A bare string column is legal (MIN/MAX/COUNT aggregate over its
+        // dictionary codes); any deeper string use is caught recursively.
+        if (!e.children.empty() && e.children[0] != nullptr) {
+          LH_RETURN_NOT_OK(TypeOf(*e.children[0]).status());
+        }
+        return ExprType::kNumber;
+      case Expr::Kind::kCase: {
+        for (const ExprPtr& c : e.children) {
+          LH_ASSIGN_OR_RETURN(ExprType t, TypeOf(*c));
+          if (t == ExprType::kString) {
+            return Status::InvalidArgument(
+                "string operand not allowed in CASE '" + e.ToString() + "'");
+          }
+        }
+        return ExprType::kNumber;
+      }
+      case Expr::Kind::kLike: {
+        LH_ASSIGN_OR_RETURN(ExprType t, TypeOf(*e.children[0]));
+        if (t != ExprType::kString) {
+          return Status::InvalidArgument(
+              "LIKE requires a string argument in '" + e.ToString() + "'");
+        }
+        return ExprType::kNumber;
+      }
+      case Expr::Kind::kBetween: {
+        for (const ExprPtr& c : e.children) {
+          LH_ASSIGN_OR_RETURN(ExprType t, TypeOf(*c));
+          if (t == ExprType::kString) {
+            return Status::InvalidArgument(
+                "BETWEEN over string operands is not supported: '" +
+                e.ToString() + "'");
+          }
+        }
+        return ExprType::kNumber;
+      }
+    }
+    return ExprType::kNumber;
   }
 
   bool IsKeyColumn(const Expr& e) const {

@@ -159,13 +159,160 @@ TEST_F(RowFilterTest, UncompiledLikeFallsBackOncePerRow) {
   obs::ExecStats stats;
   {
     obs::StatsScope scope(&stats);
-    auto filter = RowFilter::Compile(conjuncts, *table_);
+    // use_vm=false: the bytecode VM builds its LIKE bitmap once at compile
+    // time, so only the tree-walking path exhibits the per-row fallback
+    // this test pins down.
+    auto filter = RowFilter::Compile(conjuncts, *table_, /*use_vm=*/false);
     ASSERT_TRUE(filter.ok());
     EXPECT_EQ(filter.value().SelectedRows(), (std::vector<uint32_t>{0, 2}));
   }
   // One fallback compile per evaluated row (the OR's left arm never
   // short-circuits for this data), versus zero when bound normally.
   EXPECT_EQ(stats.Snapshot().expr_like_compiles, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests: type-confusion bugs fixed in this PR.
+// ---------------------------------------------------------------------------
+
+/// Cell accessor for expressions with no column references.
+class NullCells : public CellAccessor {
+ public:
+  double Number(int, int) const override { return 0; }
+  int64_t Code(int, int) const override { return -1; }
+  const Dictionary* Dict(int, int) const override { return nullptr; }
+};
+
+TEST(EvalValueTest, IntervalLiteralRendersAsInt) {
+  // Interval literals are integral day counts; EvalValue used to omit them
+  // from the integral-render list and materialize them as Real.
+  Expr e(Expr::Kind::kIntervalLiteral);
+  e.int_value = 90;
+  NullCells cells;
+  Value v = EvalValue(e, cells);
+  ASSERT_EQ(v.kind(), Value::Kind::kInt);
+  EXPECT_EQ(v.AsInt(), 90);
+}
+
+TEST_F(RowFilterTest, CompileRejectsStringBetweenBounds) {
+  // name BETWEEN 1 AND 'zzz': the old fast path validated only the low
+  // bound's kind, then read the *uninitialized* int_value of the string
+  // high bound as a numeric threshold — silently wrong rows. Both bounds
+  // (and a string test operand) must now fail cleanly at compile time.
+  auto between = [&](ExprPtr arg, ExprPtr lo, ExprPtr hi) {
+    auto e = std::make_unique<Expr>(Expr::Kind::kBetween);
+    e->children.push_back(std::move(arg));
+    e->children.push_back(std::move(lo));
+    e->children.push_back(std::move(hi));
+    return e;
+  };
+  auto col = [&](const char* name) {
+    ExprPtr c = MakeColumnRef("", name);
+    c->bound_rel = 0;
+    c->bound_col = table_->schema().FindColumn(name);
+    return c;
+  };
+
+  // String high bound (the original bug shape).
+  ExprPtr bad_hi =
+      between(col("num"), MakeIntLiteral(1), MakeStringLiteral("zzz"));
+  std::vector<const Expr*> conjuncts = {bad_hi.get()};
+  auto r = RowFilter::Compile(conjuncts, *table_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // String low bound.
+  ExprPtr bad_lo =
+      between(col("num"), MakeStringLiteral("a"), MakeIntLiteral(9));
+  conjuncts = {bad_lo.get()};
+  r = RowFilter::Compile(conjuncts, *table_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // String test operand with numeric bounds.
+  ExprPtr bad_arg =
+      between(col("name"), MakeIntLiteral(1), MakeIntLiteral(9));
+  conjuncts = {bad_arg.get()};
+  r = RowFilter::Compile(conjuncts, *table_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RowFilterTest, CompileRejectsMixedStringNumericCompare) {
+  // name > 5 used to fall into the generic evaluator whose EvalNumber
+  // LH_CHECK-aborts on a string literal at row-evaluation time.
+  ExprPtr colref = MakeColumnRef("", "name");
+  colref->bound_rel = 0;
+  colref->bound_col = table_->schema().FindColumn("name");
+  ExprPtr cmp =
+      MakeBinary(BinOp::kGt, std::move(colref), MakeIntLiteral(5));
+  std::vector<const Expr*> conjuncts = {cmp.get()};
+  auto r = RowFilter::Compile(conjuncts, *table_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+class BinderTypeCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* t =
+        catalog_
+            .CreateTable(TableSchema(
+                "t", {ColumnSpec::Key("k", ValueType::kInt64),
+                      ColumnSpec::Annotation("num", ValueType::kDouble),
+                      ColumnSpec::Annotation("name", ValueType::kString)}))
+            .ValueOrDie();
+    ASSERT_TRUE(
+        t->AppendRow({Value::Int(1), Value::Real(1.5), Value::Str("a")})
+            .ok());
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  Status BindStatus(const std::string& sql) {
+    auto parsed = ParseSelect(sql);
+    if (!parsed.ok()) return parsed.status();
+    return Bind(parsed.TakeValue(), catalog_).status();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTypeCheckTest, RejectsMixedAndStringShapes) {
+  // Each of these used to bind fine and then LH_CHECK-abort (or read
+  // garbage) during row evaluation. They must all fail at bind time with
+  // kInvalidArgument so a serving process returns an error response.
+  const char* bad[] = {
+      "SELECT k FROM t WHERE name > 5",
+      "SELECT k FROM t WHERE num = 'abc'",
+      "SELECT k FROM t WHERE name BETWEEN 'a' AND 'z'",
+      "SELECT k FROM t WHERE name BETWEEN 1 AND 'z'",
+      "SELECT k FROM t WHERE num BETWEEN 1 AND 'z'",
+      "SELECT k FROM t WHERE name + 1 > 2",
+      "SELECT k FROM t WHERE -name > 0",
+      "SELECT k FROM t WHERE num LIKE '%x%'",
+      "SELECT SUM(CASE WHEN num > 1 THEN 'x' ELSE 'y' END) FROM t",
+      "SELECT k FROM t WHERE EXTRACT(YEAR FROM name) = 1994",
+  };
+  for (const char* sql : bad) {
+    Status s = BindStatus(sql);
+    ASSERT_FALSE(s.ok()) << sql;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << sql;
+  }
+}
+
+TEST_F(BinderTypeCheckTest, AcceptsLegalStringShapes) {
+  // String = / <> string, LIKE over a string column, string grouping, and
+  // aggregates over bare string columns all stay legal.
+  const char* good[] = {
+      "SELECT k FROM t WHERE name = 'a'",
+      "SELECT k FROM t WHERE name <> 'a'",
+      "SELECT k FROM t WHERE name LIKE '%a%'",
+      "SELECT name, COUNT(*) FROM t GROUP BY name",
+      "SELECT MIN(name) FROM t",
+  };
+  for (const char* sql : good) {
+    EXPECT_TRUE(BindStatus(sql).ok()) << sql;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,448 @@
+// Differential tests for the typed expression bytecode VM and the fused
+// filter+aggregate scan kernels (core/expr_vm.h, core/expr_kernels.h).
+//
+// The tree-walking evaluator is the oracle: randomized expression trees are
+// compiled to ExprProgram bytecode and every row's VM result must match the
+// walker BIT FOR BIT, including NaN/inf produced by division. Engine-level
+// tests then run TPC-H Q1/Q6-shaped scans with QueryOptions::use_expr_vm on
+// and off — and across LH_THREADS ∈ {1, 2, 8} — asserting bit-identical
+// results through the fused kernels.
+//
+// Registered under the `concurrency` ctest label so the TSan preset runs it.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/expr_eval.h"
+#include "core/expr_vm.h"
+#include "obs/profile.h"
+#include "sql/ast.h"
+#include "util/date.h"
+#include "util/like_matcher.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential fuzz: ExprProgram vs the tree walker.
+
+/// Row-indexed cell accessor over one table — mirrors the executor's
+/// per-row access so the oracle sees exactly what the VM's typed loads see.
+class RowCells : public CellAccessor {
+ public:
+  explicit RowCells(const Table& t) : t_(t) {}
+  void set_row(uint32_t row) { row_ = row; }
+
+  double Number(int, int col) const override {
+    const ColumnData& c = t_.column(col);
+    if (!c.ints.empty()) return static_cast<double>(c.ints[row_]);
+    if (!c.reals.empty()) return c.reals[row_];
+    return static_cast<double>(c.codes[row_]);
+  }
+  int64_t Code(int, int col) const override {
+    const ColumnData& c = t_.column(col);
+    return c.codes.empty() ? -1 : static_cast<int64_t>(c.codes[row_]);
+  }
+  const Dictionary* Dict(int, int col) const override {
+    return t_.column(col).dict;
+  }
+
+ private:
+  const Table& t_;
+  uint32_t row_ = 0;
+};
+
+class ExprVmFuzzTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kRows = 1000;
+
+  void SetUp() override {
+    Table* t =
+        catalog_
+            .CreateTable(TableSchema(
+                "s", {ColumnSpec::Key("k", ValueType::kInt64),
+                      ColumnSpec::Annotation("qty", ValueType::kInt64),
+                      ColumnSpec::Annotation("price", ValueType::kDouble),
+                      ColumnSpec::Annotation("disc", ValueType::kDouble),
+                      ColumnSpec::Annotation("day", ValueType::kDate),
+                      ColumnSpec::Annotation("name", ValueType::kString)}))
+            .ValueOrDie();
+    Rng rng(0xF00D);
+    const char* names[] = {"forest green", "royal blue", "light green",
+                           "dim grey",     "hot pink",   "navy"};
+    const int32_t epoch = ParseDate("1994-01-01").ValueOrDie();
+    for (uint32_t i = 0; i < kRows; ++i) {
+      // Zeros in qty/disc make division produce inf and NaN — the fuzz
+      // must agree with the walker on those bit patterns too.
+      ASSERT_TRUE(
+          t->AppendRow(
+               {Value::Int(i), Value::Int(rng.Uniform(50)),
+                Value::Real(rng.UniformDouble(-100, 100000)),
+                Value::Real(rng.Bernoulli(0.1) ? 0.0
+                                               : rng.UniformDouble(0, 0.1)),
+                Value::Int(epoch + static_cast<int32_t>(rng.Uniform(2000))),
+                Value::Str(names[rng.Uniform(6)])})
+              .ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+    table_ = catalog_.GetTable("s");
+  }
+
+  ExprPtr Col(const char* name) {
+    ExprPtr c = MakeColumnRef("", name);
+    c->bound_rel = 0;
+    c->bound_col = table_->schema().FindColumn(name);
+    return c;
+  }
+
+  ExprPtr RandNum(Rng& rng, int depth) {
+    if (depth <= 0 || rng.Bernoulli(0.3)) {
+      switch (rng.Uniform(5)) {
+        case 0:
+          return MakeIntLiteral(static_cast<int64_t>(rng.Uniform(21)) - 10);
+        case 1:
+          return MakeRealLiteral(rng.UniformDouble(-5, 5));
+        case 2:
+          return Col("qty");
+        case 3:
+          return Col("price");
+        default:
+          return Col("disc");
+      }
+    }
+    switch (rng.Uniform(8)) {
+      case 0:
+        return MakeBinary(BinOp::kAdd, RandNum(rng, depth - 1),
+                          RandNum(rng, depth - 1));
+      case 1:
+        return MakeBinary(BinOp::kSub, RandNum(rng, depth - 1),
+                          RandNum(rng, depth - 1));
+      case 2:
+        return MakeBinary(BinOp::kMul, RandNum(rng, depth - 1),
+                          RandNum(rng, depth - 1));
+      case 3:
+        // Division by qty/disc hits 0 on some rows: inf and 0/0 NaN.
+        return MakeBinary(BinOp::kDiv, RandNum(rng, depth - 1),
+                          RandNum(rng, depth - 1));
+      case 4: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kUnaryMinus);
+        e->children.push_back(RandNum(rng, depth - 1));
+        return e;
+      }
+      case 5: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kCase);
+        e->children.push_back(RandBool(rng, depth - 1));
+        e->children.push_back(RandNum(rng, depth - 1));
+        e->children.push_back(RandNum(rng, depth - 1));
+        e->case_has_else = true;
+        return e;
+      }
+      case 6: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kExtractYear);
+        e->children.push_back(Col("day"));
+        return e;
+      }
+      default:
+        return RandBool(rng, depth - 1);
+    }
+  }
+
+  ExprPtr RandBool(Rng& rng, int depth) {
+    if (depth <= 0 || rng.Bernoulli(0.25)) {
+      static const BinOp kCmps[] = {BinOp::kEq, BinOp::kNe, BinOp::kLt,
+                                    BinOp::kLe, BinOp::kGt, BinOp::kGe};
+      return MakeBinary(kCmps[rng.Uniform(6)], RandNum(rng, 1),
+                        RandNum(rng, 1));
+    }
+    switch (rng.Uniform(6)) {
+      case 0:
+        return MakeBinary(BinOp::kAnd, RandBool(rng, depth - 1),
+                          RandBool(rng, depth - 1));
+      case 1:
+        return MakeBinary(BinOp::kOr, RandBool(rng, depth - 1),
+                          RandBool(rng, depth - 1));
+      case 2: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kNot);
+        e->children.push_back(RandBool(rng, depth - 1));
+        return e;
+      }
+      case 3: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kBetween);
+        e->children.push_back(RandNum(rng, depth - 1));
+        e->children.push_back(RandNum(rng, depth - 1));
+        e->children.push_back(RandNum(rng, depth - 1));
+        return e;
+      }
+      case 4:
+        return MakeBinary(rng.Bernoulli(0.5) ? BinOp::kEq : BinOp::kNe,
+                          Col("name"),
+                          MakeStringLiteral(rng.Bernoulli(0.8) ? "dim grey"
+                                                               : "absent"));
+      default: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kLike);
+        e->children.push_back(Col("name"));
+        e->str_value = rng.Bernoulli(0.5) ? "%green%" : "%o%";
+        e->compiled_like = std::make_shared<const LikeMatcher>(e->str_value);
+        return e;
+      }
+    }
+  }
+
+  Catalog catalog_;
+  const Table* table_ = nullptr;
+};
+
+TEST_F(ExprVmFuzzTest, VmMatchesTreeWalkerBitForBit) {
+  Rng rng(0xE5901);
+  int compiled = 0;
+  RowCells cells(*table_);
+  std::vector<double> got(kRows);
+  std::vector<uint32_t> gather_rows;
+  std::vector<double> gathered;
+  for (int iter = 0; iter < 300; ++iter) {
+    ExprPtr e = rng.Bernoulli(0.5) ? RandNum(rng, 4) : RandBool(rng, 3);
+    ExprProgram prog;
+    if (!ExprProgram::Compile(*e, *table_, &prog)) continue;
+    ++compiled;
+    for (uint32_t base = 0; base < kRows; base += ExprProgram::kBatch) {
+      const int n = static_cast<int>(
+          std::min<uint32_t>(ExprProgram::kBatch, kRows - base));
+      prog.EvalRange(base, n, got.data() + base);
+    }
+    for (uint32_t r = 0; r < kRows; ++r) {
+      cells.set_row(r);
+      const double want = EvalNumber(*e, cells);
+      ASSERT_EQ(Bits(got[r]), Bits(want))
+          << "iter " << iter << " row " << r << " expr " << e->ToString()
+          << " vm=" << got[r] << " walker=" << want;
+      // Scalar entry point agrees with the batch one.
+      ASSERT_EQ(Bits(prog.EvalRow(r)), Bits(want)) << e->ToString();
+    }
+    // Gathered evaluation over a random row subset matches the dense run.
+    gather_rows.clear();
+    for (uint32_t r = 0; r < kRows; ++r) {
+      if (rng.Bernoulli(0.2)) gather_rows.push_back(r);
+    }
+    for (size_t base = 0; base < gather_rows.size();
+         base += ExprProgram::kBatch) {
+      const int n = static_cast<int>(std::min<size_t>(
+          ExprProgram::kBatch, gather_rows.size() - base));
+      gathered.resize(n);
+      prog.EvalGather(gather_rows.data() + base, n, gathered.data());
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(Bits(gathered[j]), Bits(got[gather_rows[base + j]]))
+            << e->ToString();
+      }
+    }
+  }
+  // The generator only emits supported shapes, so nearly everything must
+  // take the VM path — a falling compile rate means the fuzz lost coverage.
+  EXPECT_GT(compiled, 250);
+}
+
+TEST_F(ExprVmFuzzTest, FilterRangeMatchesEvalBool) {
+  Rng rng(0xF117E5);
+  RowCells cells(*table_);
+  std::vector<uint8_t> mask;
+  for (int iter = 0; iter < 100; ++iter) {
+    ExprPtr e = RandBool(rng, 3);
+    ExprProgram prog;
+    if (!ExprProgram::Compile(*e, *table_, &prog)) continue;
+    for (uint32_t base = 0; base < kRows; base += ExprProgram::kBatch) {
+      const int n = static_cast<int>(
+          std::min<uint32_t>(ExprProgram::kBatch, kRows - base));
+      mask.assign(n, 1);
+      prog.FilterRange(base, n, mask.data());
+      for (int j = 0; j < n; ++j) {
+        cells.set_row(base + j);
+        ASSERT_EQ(mask[j] != 0, EvalBool(*e, cells))
+            << "iter " << iter << " row " << base + j << " expr "
+            << e->ToString();
+      }
+    }
+  }
+}
+
+TEST_F(ExprVmFuzzTest, RowFilterAgreesWithAndWithoutVm) {
+  Rng rng(0xAB5EED);
+  for (int iter = 0; iter < 60; ++iter) {
+    ExprPtr e = RandBool(rng, 3);
+    std::vector<const Expr*> conjuncts = {e.get()};
+    auto with_vm = RowFilter::Compile(conjuncts, *table_, /*use_vm=*/true);
+    auto without = RowFilter::Compile(conjuncts, *table_, /*use_vm=*/false);
+    ASSERT_TRUE(with_vm.ok()) << e->ToString();
+    ASSERT_TRUE(without.ok()) << e->ToString();
+    EXPECT_EQ(with_vm.value().SelectedRows(), without.value().SelectedRows())
+        << e->ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: fused scan kernels vs the interpreter, and across threads.
+
+/// Bitwise result comparison — a last-ulp difference from reordered
+/// floating-point accumulation fails the test.
+void ExpectBitIdentical(const QueryResult& x, const QueryResult& y,
+                        const std::string& what) {
+  ASSERT_EQ(x.num_rows, y.num_rows) << what;
+  ASSERT_EQ(x.columns.size(), y.columns.size()) << what;
+  for (size_t c = 0; c < x.columns.size(); ++c) {
+    const ResultColumn& xc = x.columns[c];
+    const ResultColumn& yc = y.columns[c];
+    EXPECT_EQ(xc.ints, yc.ints) << what << " column " << xc.name;
+    EXPECT_EQ(xc.strs, yc.strs) << what << " column " << xc.name;
+    EXPECT_EQ(xc.codes, yc.codes) << what << " column " << xc.name;
+    ASSERT_EQ(xc.reals.size(), yc.reals.size()) << what;
+    for (size_t i = 0; i < xc.reals.size(); ++i) {
+      ASSERT_EQ(Bits(xc.reals[i]), Bits(yc.reals[i]))
+          << what << " column " << xc.name << " row " << i << " ("
+          << xc.reals[i] << " vs " << yc.reals[i] << ")";
+    }
+  }
+}
+
+class FusedScanTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 20000;
+
+  // TPC-H lineitem-shaped table at a size that spans many executor chunks,
+  // so the thread-count runs genuinely merge parallel partials.
+  void SetUp() override {
+    Table* t =
+        catalog_
+            .CreateTable(TableSchema(
+                "item",
+                {ColumnSpec::Key("k", ValueType::kInt64),
+                 ColumnSpec::Annotation("qty", ValueType::kDouble),
+                 ColumnSpec::Annotation("price", ValueType::kDouble),
+                 ColumnSpec::Annotation("disc", ValueType::kDouble),
+                 ColumnSpec::Annotation("tax", ValueType::kDouble),
+                 ColumnSpec::Annotation("day", ValueType::kDate),
+                 ColumnSpec::Annotation("flag", ValueType::kString),
+                 ColumnSpec::Annotation("status", ValueType::kString)}))
+            .ValueOrDie();
+    Rng rng(20260809);
+    const char* flags[] = {"A", "N", "R"};
+    const char* statuses[] = {"F", "O"};
+    const int32_t base = ParseDate("1992-01-01").ValueOrDie();
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(
+          t->AppendRow(
+               {Value::Int(i), Value::Real(1 + rng.Uniform(50)),
+                // Magnitude-varying prices: accumulation order shows up in
+                // the sum's low bits, so reordering cannot hide.
+                Value::Real(rng.UniformDouble(900, 105000)),
+                Value::Real(rng.Uniform(11) / 100.0),
+                Value::Real(rng.Uniform(9) / 100.0),
+                Value::Int(base + static_cast<int32_t>(rng.Uniform(2500))),
+                Value::Str(flags[rng.Uniform(3)]),
+                Value::Str(statuses[rng.Uniform(2)])})
+              .ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  void TearDown() override {
+    ThreadPool::SetGlobalThreadsForTesting(0);  // back to the default
+  }
+
+  static std::vector<std::string> Queries() {
+    return {
+        // TPC-H Q1 shape: string dims, shared arithmetic across aggregates.
+        "SELECT flag, status, SUM(qty), SUM(price), "
+        "SUM(price * (1 - disc)), SUM(price * (1 - disc) * (1 + tax)), "
+        "AVG(qty), AVG(price), AVG(disc), COUNT(*) "
+        "FROM item WHERE day <= date '1998-09-02' GROUP BY flag, status",
+        // TPC-H Q6 shape: scalar aggregate under range + BETWEEN filters.
+        "SELECT SUM(price * disc) FROM item "
+        "WHERE day >= date '1994-01-01' AND day < date '1995-01-01' "
+        "AND disc BETWEEN 0.05 AND 0.07 AND qty < 24",
+        // Dimension needing per-row evaluation (EXTRACT) plus a filter.
+        "SELECT EXTRACT(YEAR FROM day), COUNT(*), SUM(price) FROM item "
+        "WHERE disc > 0.02 GROUP BY EXTRACT(YEAR FROM day)",
+    };
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(FusedScanTest, CompiledScanBitIdenticalToInterpreter) {
+  Engine engine(&catalog_);
+  QueryOptions vm_on;
+  QueryOptions vm_off;
+  vm_off.use_expr_vm = false;
+  for (const std::string& q : Queries()) {
+    auto a = engine.Query(q, vm_on);
+    auto b = engine.Query(q, vm_off);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+    a.value().SortRows();
+    b.value().SortRows();
+    ExpectBitIdentical(a.value(), b.value(), q);
+  }
+}
+
+TEST_F(FusedScanTest, FusedKernelEngagesAndCounts) {
+  Engine engine(&catalog_);
+  for (const std::string& q : Queries()) {
+    auto r = engine.QueryAnalyze(q);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    ASSERT_NE(r.value().profile, nullptr);
+    const obs::StatsSnapshot& c = r.value().profile->counters;
+    EXPECT_GT(c.expr_fused_rows, 0u) << q;
+    EXPECT_GT(c.expr_programs, 0u) << q;
+  }
+  QueryOptions vm_off;
+  vm_off.use_expr_vm = false;
+  auto r = engine.QueryAnalyze(Queries()[0], vm_off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().profile->counters.expr_fused_rows, 0u);
+  EXPECT_EQ(r.value().profile->counters.expr_vm_rows, 0u);
+}
+
+TEST_F(FusedScanTest, ResultsBitIdenticalAcrossThreadCounts) {
+  // Reference at one thread, then wider pools must reproduce it bit for
+  // bit: the fused kernel applies surviving rows in row order per chunk and
+  // chunk partials merge in chunk order, so the floating-point fold never
+  // moves with the pool size.
+  std::vector<QueryResult> reference;
+  ThreadPool::SetGlobalThreadsForTesting(1);
+  {
+    Engine engine(&catalog_);
+    for (const std::string& q : Queries()) {
+      auto r = engine.Query(q);
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+      r.value().SortRows();
+      reference.push_back(std::move(r).value());
+    }
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool::SetGlobalThreadsForTesting(threads);
+    Engine engine(&catalog_);
+    for (size_t i = 0; i < Queries().size(); ++i) {
+      auto r = engine.Query(Queries()[i]);
+      ASSERT_TRUE(r.ok()) << Queries()[i] << ": " << r.status().ToString();
+      r.value().SortRows();
+      ExpectBitIdentical(reference[i], r.value(),
+                         Queries()[i] + " @ " + std::to_string(threads) +
+                             " threads");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace levelheaded

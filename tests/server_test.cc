@@ -330,6 +330,38 @@ TEST_F(ServerTest, MalformedRequestsGetErrorsNotCrashes) {
   server.Stop();
 }
 
+TEST_F(ServerTest, MistypedQueriesGetErrorResponsesNotCrashes) {
+  // Mixed string/numeric comparisons and string BETWEEN bounds used to
+  // slip past the binder into row evaluation, where LH_CHECK aborts took
+  // the whole serving process down. They must come back as error
+  // responses; the server and even the same connection stay alive.
+  Server server(engine_.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const char* mistyped[] = {
+      "SELECT count(*) FROM edge WHERE w > 'abc'",
+      "SELECT count(*) FROM edge WHERE src = 'abc'",
+      "SELECT count(*) FROM edge WHERE w BETWEEN 1 AND 'z'",
+      "SELECT count(*) FROM edge WHERE w BETWEEN 'a' AND 'z'",
+      "SELECT sum(w + 'oops') FROM edge",
+  };
+  obs::JsonValue resp;
+  for (const char* sql : mistyped) {
+    ASSERT_TRUE(client.RoundTrip(QueryLine(sql), &resp)) << sql;
+    EXPECT_FALSE(IsOk(resp)) << sql;
+    EXPECT_EQ(ErrorCode(resp), "InvalidArgument") << sql;
+  }
+
+  // The connection survives and well-typed queries still work.
+  obs::JsonValue ok_resp;
+  ASSERT_TRUE(client.RoundTrip(QueryLine(kTriangleSql), &ok_resp));
+  EXPECT_TRUE(IsOk(ok_resp));
+  server.Stop();
+}
+
 TEST_F(ServerTest, OversizedLineGetsErrorThenClose) {
   ServerOptions options;
   options.max_request_bytes = 1024;

@@ -30,6 +30,12 @@ Rules (all findings are errors; the target requires zero):
                    src/util wrappers. Sockets are owned by util/socket.h's
                    RAII types; a bare fd is a leak (and a stray close() a
                    double-close) on the first early return.
+  vm-op-coverage   Every enumerator of the expression VM's `Op` enum
+                   (src/core/expr_vm.h) must have a `case Op::k...` in
+                   src/core/expr_vm.cc's dispatch switches. The VM decodes
+                   with a default-less switch per execution mode; an op
+                   added to the ISA without a handler would silently
+                   evaluate as garbage.
   metrics-glossary Every counter name in `StatsSnapshot::Items()`
                    (src/obs/stats.cc) must appear in DESIGN.md's counter
                    glossary. Items() is the single source of truth for
@@ -423,6 +429,56 @@ def lint_metrics_glossary(findings):
                      f" counter glossary"))
 
 
+# --- vm-op-coverage ----------------------------------------------------
+# The expression VM's ISA (the `Op` enum) and the translation unit holding
+# its dispatch switches.
+VM_OP_HEADER = os.path.join("src", "core", "expr_vm.h")
+VM_OP_SOURCE = os.path.join("src", "core", "expr_vm.cc")
+VM_OP_ENUM_RE = re.compile(r"\benum\s+class\s+Op\b")
+VM_OP_ENUMERATOR_RE = re.compile(r"^\s*(?P<name>k\w+)\s*(?:=[^,}]*)?[,}]?\s*$")
+VM_OP_CASE_RE = re.compile(r"\bcase\s+Op::(?P<name>k\w+)\b")
+
+
+def lint_vm_op_coverage_lines(header_path, header_lines, source_path,
+                              source_lines, findings):
+    """Flags `Op` enumerators in the VM header with no `case Op::k...` in
+    the VM source's dispatch switches (see the rule doc above)."""
+    in_enum = False
+    ops = []
+    for lineno, raw in enumerate(header_lines, start=1):
+        code = strip_comments_and_strings(raw)
+        if not in_enum:
+            if VM_OP_ENUM_RE.search(code):
+                in_enum = True
+            continue
+        if "}" in code:
+            break
+        m = VM_OP_ENUMERATOR_RE.match(code)
+        if m and not allowed(raw, "vm-op-coverage"):
+            ops.append((m.group("name"), lineno))
+    handled = set()
+    for raw in source_lines:
+        for m in VM_OP_CASE_RE.finditer(strip_comments_and_strings(raw)):
+            handled.add(m.group("name"))
+    for name, lineno in ops:
+        if name not in handled:
+            findings.append(
+                (header_path, lineno, "vm-op-coverage",
+                 f"Op::{name} has no `case Op::{name}` in {source_path}; "
+                 f"every ISA op needs a handler in the dispatch switch"))
+
+
+def lint_vm_op_coverage(findings):
+    if not (os.path.isfile(VM_OP_HEADER) and os.path.isfile(VM_OP_SOURCE)):
+        return
+    with open(VM_OP_HEADER, encoding="utf-8") as f:
+        header_lines = f.read().splitlines()
+    with open(VM_OP_SOURCE, encoding="utf-8") as f:
+        source_lines = f.read().splitlines()
+    lint_vm_op_coverage_lines(VM_OP_HEADER, header_lines, VM_OP_SOURCE,
+                              source_lines, findings)
+
+
 SELFTEST_CASES = [
     # (rule, expect_findings, source_lines)
     ("relaxed-atomics", True,
@@ -465,6 +521,28 @@ SELFTEST_CASES = [
       "void Install() { struct sigaction sa; sa.sa_handler = OnSignal; }"]),
     ("signal-safety", False,  # unsafe call outside any handler body
      ["void NotAHandler() { printf(\"hi\\n\"); }"]),
+    # vm-op-coverage cases carry (header_lines, source_lines).
+    ("vm-op-coverage", True,  # kBar declared but never dispatched
+     (["enum class Op : uint8_t {",
+       "  kFoo,  // push imm",
+       "  kBar",
+       "};"],
+      ["switch (op) { case Op::kFoo: break; }"])),
+    ("vm-op-coverage", False,  # every op handled (across two switches)
+     (["enum class Op : uint8_t {",
+       "  kFoo,",
+       "  kBar,",
+       "};"],
+      ["switch (op) { case Op::kFoo: break; }",
+       "switch (op) { case Op::kBar: break; }"])),
+    ("vm-op-coverage", True,  # a `case` in a comment is not a handler
+     (["enum class Op : uint8_t {",
+       "  kFoo,",
+       "};"],
+      ["// case Op::kFoo: documented, not dispatched"])),
+    ("vm-op-coverage", False,  # enumerators outside the Op enum are ignored
+     (["enum class Color { kRed };"],
+      ["int x;"])),
 ]
 
 
@@ -475,9 +553,15 @@ def run_selftest():
     for i, (rule, expect, lines) in enumerate(SELFTEST_CASES):
         findings = []
         fake_path = os.path.join("src", "selftest", f"case_{i}.cc")
-        lint_mutex_annotations(fake_path, lines, findings)
-        lint_relaxed_atomics(fake_path, lines, findings)
-        lint_signal_safety(fake_path, lines, findings)
+        if rule == "vm-op-coverage":
+            header_lines, source_lines = lines
+            lint_vm_op_coverage_lines(fake_path, header_lines,
+                                      fake_path.replace(".cc", ".h"),
+                                      source_lines, findings)
+        else:
+            lint_mutex_annotations(fake_path, lines, findings)
+            lint_relaxed_atomics(fake_path, lines, findings)
+            lint_signal_safety(fake_path, lines, findings)
         fired = {f[2] for f in findings}
         ok = (rule in fired) == expect
         if not ok:
@@ -495,8 +579,8 @@ def run_selftest():
 def main(argv):
     if "--list-rules" in argv:
         print("naked-new banned-rand span-taxonomy include-cycle "
-              "global-state raw-socket metrics-glossary mutex-annotations "
-              "relaxed-atomics signal-safety")
+              "global-state raw-socket vm-op-coverage metrics-glossary "
+              "mutex-annotations relaxed-atomics signal-safety")
         return 0
     if "--selftest" in argv:
         return run_selftest()
@@ -513,6 +597,7 @@ def main(argv):
         graph[os.path.normpath(path)] = deps
 
     find_include_cycles(graph, findings)
+    lint_vm_op_coverage(findings)
     lint_metrics_glossary(findings)
 
     for path, lineno, rule, message in findings:
