@@ -1,0 +1,176 @@
+// Cold-start query latency: what the *first* query against fresh data pays
+// before the trie cache warms up. The eager arm (use_lazy_tries=false)
+// fully materializes every trie level before probing; the lazy arm
+// (default planning, DESIGN.md §16) builds only the rank skeleton below
+// the eager depth and materializes subtries as the join probes them, so a
+// selective join touches a fraction of the payload work up front.
+//
+// Per query we report cold-eager, cold-lazy (cache cleared before every
+// measured run, wall time including index build) and the warm-cache
+// reference (the bench/concurrent_qps steady state the cold numbers should
+// approach). Q5 is the headline (filtered star join — the hybrid rule
+// marks its big tries lazy); Q1 is scan-only and rides along to show the
+// scan path is untouched; the triangle is the control where the planner
+// keeps every trie eager and both cold arms must match.
+//
+// Knobs: LH_TPCH_SF (scale factor), LH_BENCH_REPS.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/tpch_gen.h"
+
+namespace levelheaded::bench {
+namespace {
+
+/// Same mixed catalog as bench/concurrent_qps so the warm reference here
+/// is comparable with that bench's steady-state latencies.
+std::unique_ptr<Catalog> BuildMixedCatalog(double sf, int graph_nodes,
+                                           int graph_degree) {
+  auto catalog = std::make_unique<Catalog>();
+  TpchGenerator gen(sf);
+  gen.Populate(catalog.get()).CheckOK();
+  Table* t =
+      catalog
+          ->CreateTable(TableSchema(
+              "edge", {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+                       ColumnSpec::Key("dst", ValueType::kInt64, "node"),
+                       ColumnSpec::Annotation("w", ValueType::kDouble)}))
+          .ValueOrDie();
+  Rng rng(0xC0FFEE);
+  for (int src = 0; src < graph_nodes; ++src) {
+    for (int d = 0; d < graph_degree; ++d) {
+      const int dst = static_cast<int>(rng.Uniform(graph_nodes));
+      if (dst == src) continue;
+      t->AppendRow({Value::Int(src), Value::Int(dst),
+                    Value::Real(rng.UniformDouble(0, 1))})
+          .CheckOK();
+    }
+  }
+  catalog->Finalize().CheckOK();
+  return catalog;
+}
+
+/// Wall time of one query end to end — cold runs must charge the index
+/// build, which QueryMillis() deliberately excludes (§VI-A).
+Measurement TimeOnce(Engine* engine, const std::string& sql,
+                     const QueryOptions& options) {
+  WallTimer wall;
+  auto r = engine->Query(sql, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query error: %s\n", r.status().ToString().c_str());
+    return Measurement::Mark("err");
+  }
+  return Measurement::Time(wall.ElapsedMillis());
+}
+
+/// Clears the cache before every rep so each run is a true cold start.
+Measurement MeasureCold(Engine* engine, const std::string& sql,
+                        const QueryOptions& options) {
+  std::vector<double> times;
+  for (int i = 0; i < Reps(); ++i) {
+    engine->trie_cache()->Clear();
+    const Measurement m = TimeOnce(engine, sql, options);
+    if (!m.ok()) return m;
+    times.push_back(m.ms);
+  }
+  return Measurement::Time(AverageDroppingExtremes(times));
+}
+
+/// Warm reference: one warm-up run, then Reps() runs against the hot cache.
+Measurement MeasureWarm(Engine* engine, const std::string& sql,
+                        const QueryOptions& options) {
+  const Measurement warmup = TimeOnce(engine, sql, options);
+  if (!warmup.ok()) return warmup;
+  std::vector<double> times;
+  for (int i = 0; i < Reps(); ++i) {
+    const Measurement m = TimeOnce(engine, sql, options);
+    if (!m.ok()) return m;
+    times.push_back(m.ms);
+  }
+  return Measurement::Time(AverageDroppingExtremes(times));
+}
+
+int Run() {
+  const double sf = EnvDouble("LH_TPCH_SF", Smoke() ? 0.002 : 0.01);
+  const int graph_nodes = Smoke() ? 60 : 200;
+  auto catalog = BuildMixedCatalog(sf, graph_nodes, /*graph_degree=*/4);
+  Engine engine(catalog.get());
+
+  struct Workload {
+    const char* label;
+    std::string sql;
+  };
+  const std::vector<Workload> workloads = {
+      {"q5", TpchQuery("q5")},
+      {"q1", TpchQuery("q1")},
+      {"triangle",
+       "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+       "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src"},
+  };
+
+  QueryOptions lazy;  // default planning: hybrid lazy choice on
+  QueryOptions eager;
+  eager.use_lazy_tries = false;
+
+  std::printf("cold-start latency, TPC-H SF %g + %d-node graph "
+              "(wall time incl. index build; warm = cache-hit reference)\n\n",
+              sf, graph_nodes);
+  PrintRow("Query", {"cold eager", "cold lazy", "warm", "lazy gain"}, 10, 12);
+
+  for (const Workload& w : workloads) {
+    // Throwaway run so first-touch page faults and allocator growth don't
+    // bias whichever arm happens to run first (the triangle control, whose
+    // arms plan identically, exposes any residual bias as gain != 1.0x).
+    engine.trie_cache()->Clear();
+    (void)TimeOnce(&engine, w.sql, eager);
+    const Measurement cold_eager = MeasureCold(&engine, w.sql, eager);
+    const Measurement cold_lazy = MeasureCold(&engine, w.sql, lazy);
+    const Measurement warm = MeasureWarm(&engine, w.sql, lazy);
+
+    std::vector<std::pair<std::string, double>> extras;
+    if (cold_eager.ok()) {
+      extras.emplace_back("cold_eager_ms", cold_eager.ms);
+    }
+    if (warm.ok()) extras.emplace_back("warm_ms", warm.ms);
+    double gain = 0;
+    if (cold_eager.ok() && cold_lazy.ok() && cold_lazy.ms > 0) {
+      gain = cold_eager.ms / cold_lazy.ms;
+      extras.emplace_back("speedup_vs_eager", gain);
+    }
+
+    // The profile of a cold lazy run carries the trie.lazy_* counters into
+    // the JSON export (validate_stats checks them against the glossary).
+    std::shared_ptr<const obs::QueryProfile> profile;
+    if (StatsLog::Get().json_enabled()) {
+      engine.trie_cache()->Clear();
+      auto analyzed = engine.QueryAnalyze(w.sql, lazy);
+      if (analyzed.ok()) profile = analyzed.value().profile;
+    }
+    StatsLog::Get().Record(w.label, cold_lazy, std::move(profile),
+                           std::move(extras));
+
+    char gain_cell[32];
+    std::snprintf(gain_cell, sizeof(gain_cell), "%.2fx", gain);
+    PrintRow(w.label,
+             {FormatTime(cold_eager), FormatTime(cold_lazy), FormatTime(warm),
+              cold_lazy.ok() && cold_eager.ok() ? gain_cell : "-"},
+             10, 12);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace levelheaded::bench
+
+int main(int argc, char** argv) {
+  levelheaded::bench::InitBench("lazy_build", &argc, argv);
+  const int rc = levelheaded::bench::Run();
+  return rc != 0 ? rc : levelheaded::bench::FinishBench();
+}

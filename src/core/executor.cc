@@ -144,8 +144,8 @@ std::vector<double> ComputeRowExpr(const Expr& arg, const Table& table,
 Result<BuiltRelation> BuildRelationTrie(
     const PhysicalPlan& plan, const Catalog& catalog, int rel,
     const std::vector<int>& level_cols, int num_query_levels,
-    bool attach_aggregates, TrieCache* cache, QueryResult::Timing* timing,
-    obs::QueryObs* qobs) {
+    bool attach_aggregates, int eager_levels, TrieCache* cache,
+    QueryResult::Timing* timing, obs::QueryObs* qobs) {
   obs::TraceSpan span(qobs != nullptr ? &qobs->trace : nullptr, "trie_build");
   BuiltRelation out;
   const RelationRef& ref = plan.query.relations[rel];
@@ -162,21 +162,26 @@ Result<BuiltRelation> BuildRelationTrie(
     signature += "|k" + std::to_string(c);
   }
 
-  std::vector<std::vector<double>> computed;
-  computed.reserve(plan.aggs.size());  // specs hold &computed.back()
+  // Computed per-row aggregate arguments are shared-owned: a lazy build
+  // reads annotation sources at materialization time, long after this
+  // function returns, so the trie must keep them alive (TrieAnnotationSpec::
+  // owned_reals). Borrowed table columns need no ownership — the catalog
+  // outlives every trie built over it.
+  std::vector<std::shared_ptr<std::vector<double>>> computed;
   out.agg_annot.assign(plan.aggs.size(), -1);
   if (attach_aggregates) {
     for (size_t i = 0; i < plan.aggs.size(); ++i) {
       const AggExec& agg = plan.aggs[i];
       if (agg.single_rel != rel || agg.arg == nullptr) continue;
       if (agg.func == AggFunc::kCount) continue;
-      computed.push_back(
-          ComputeRowExpr(*agg.arg, *ref.table, plan.options.use_expr_vm));
+      computed.push_back(std::make_shared<std::vector<double>>(
+          ComputeRowExpr(*agg.arg, *ref.table, plan.options.use_expr_vm)));
       TrieAnnotationSpec ann;
       ann.name = agg.annot_name;
       ann.type = ValueType::kDouble;
       ann.merge = MergeForAgg(agg.func);
-      ann.reals = &computed.back();
+      ann.reals = computed.back().get();
+      ann.owned_reals = computed.back();
       spec.annotations.push_back(ann);
       out.annot_merge.push_back(ann.merge);
       out.agg_annot[i] = static_cast<int>(spec.annotations.size()) - 1;
@@ -208,6 +213,7 @@ Result<BuiltRelation> BuildRelationTrie(
 
   spec.add_count_annotation = true;
   spec.verify_first_unique = true;
+  spec.eager_levels = eager_levels;
   out.count_annot = static_cast<int>(spec.annotations.size());
   out.annot_merge.push_back(AnnotationMerge::kSum);
 
@@ -244,6 +250,10 @@ Result<BuiltRelation> BuildRelationTrie(
       retry.domain_sizes.resize(num_query_levels);
       retry.key_codes.push_back(&rowid);
       retry.domain_sizes.push_back(static_cast<uint32_t>(rowid.size()));
+      // The surrogate rowid column lives on this lambda's stack; a lazy
+      // build would dangle on it, and the retry trie's deep annotations are
+      // range-aggregated through first_leaf without per-set probes anyway.
+      retry.eager_levels = -1;
       final_signature += "|rowid";
       built = Trie::Build(retry);
     }
@@ -262,6 +272,19 @@ Result<BuiltRelation> BuildRelationTrie(
     LH_ASSIGN_OR_RETURN(
         out.trie, cache->GetOrBuild({signature, signature + "|rowid"},
                                     build_trie, &how));
+    if (out.trie->lazy_levels() > 0 &&
+        num_query_levels < out.trie->num_levels()) {
+      // A lazily built trie cached by a deeper query is unusable here: this
+      // query treats levels >= num_query_levels as unjoined extras whose
+      // annotations are range-aggregated through first_leaf without per-set
+      // probes, so nothing would trigger their materialization. Build a
+      // private eager trie instead of poisoning the shared entry.
+      TrieBuildSpec eager = spec;
+      eager.eager_levels = -1;
+      LH_ASSIGN_OR_RETURN(Trie rebuilt, Trie::Build(eager));
+      out.trie = std::make_shared<Trie>(std::move(rebuilt));
+      how = TrieCache::Outcome::kBuilt;
+    }
   } else {
     LH_ASSIGN_OR_RETURN(TrieCache::Built built, build_trie());
     out.trie = std::move(built.trie);
@@ -276,8 +299,14 @@ Result<BuiltRelation> BuildRelationTrie(
       timing->index_build_ms += ms;
     }
   }
-  out.unique_keys = out.trie->num_tuples() ==
-                    (filtered ? selection.size() : ref.table->num_rows());
+  // Unique iff the *queried* key prefix has no duplicates. Comparing
+  // num_tuples() (the deepest level) was wrong for rowid-retry and
+  // ablation-extras tries: the surrogate/extra levels make every base row a
+  // distinct leaf, so the old test was trivially true even when the queried
+  // prefix duplicates. The rank skeleton makes this exact on lazy tries too.
+  out.unique_keys =
+      out.trie->level(num_query_levels - 1).num_elements() ==
+      (filtered ? selection.size() : ref.table->num_rows());
   const char* how_detail = how == TrieCache::Outcome::kHit ? " [cached]"
                            : how == TrieCache::Outcome::kWaited
                                ? " [waited]"
@@ -697,16 +726,16 @@ class NodeExec {
         agg_progs_[i] = LeafProgram();
       }
     }
-    // Multiplicity-free fast path: every participating relation has unique
-    // key tuples and no unjoined trie levels.
+    // Multiplicity-free fast path: every participating relation's queried
+    // key prefix is duplicate-free. unique_keys now measures exactly that
+    // (distinct queried prefixes == base rows), so unjoined deeper levels —
+    // rowid retries, ablation extras — don't disqualify a relation: a
+    // unique prefix means each leaf subtree holds exactly one base row and
+    // every per-leaf count is 1.
     all_unique_ = true;
     for (size_t s = 0; s < node_.relations.size(); ++s) {
       if (node_.relations[s].rel < 0) continue;
-      const BuiltRelation& br = *rels_[s];
-      if (!br.unique_keys ||
-          br.num_query_levels != br.trie->num_levels()) {
-        all_unique_ = false;
-      }
+      if (!rels_[s]->unique_keys) all_unique_ = false;
     }
     // Depth positions served by exactly one (non-child) relation iterate
     // the relation's own set: the iteration rank is the trie rank, so the
@@ -1526,9 +1555,10 @@ class NodeExec {
 
   double CountOf(Worker* w, int s) const {
     const BuiltRelation* br = rels_[s];
-    if (br->unique_keys && br->num_query_levels == br->trie->num_levels()) {
-      return 1.0;
-    }
+    // unique_keys is prefix-exact (see BuildRelationTrie): a unique queried
+    // prefix implies per-leaf multiplicity 1 even under deeper unjoined
+    // levels, so the annotation fold is skippable.
+    if (br->unique_keys) return 1.0;
     return AnnotValue(w, s, br->count_annot);
   }
 
@@ -2019,12 +2049,14 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
   LH_ASSIGN_OR_RETURN(
       BuiltRelation a,
       BuildRelationTrie(plan, catalog, rp_a->rel, cols_a, 2,
-                        /*attach_aggregates=*/false, cache, timing, qobs));
+                        /*attach_aggregates=*/false, /*eager_levels=*/-1,
+                        cache, timing, qobs));
   LH_ASSIGN_OR_RETURN(
       BuiltRelation b,
       BuildRelationTrie(plan, catalog, rp_b->rel, cols_b,
                         static_cast<int>(cols_b.size()),
-                        /*attach_aggregates=*/false, cache, timing, qobs));
+                        /*attach_aggregates=*/false, /*eager_levels=*/-1,
+                        cache, timing, qobs));
 
   // The aggregate argument is colref(A.v) * colref(B.v); fetch each side's
   // annotation buffer (leaf order == row-major dense layout).
@@ -2139,7 +2171,8 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
           BuiltRelation br,
           BuildRelationTrie(plan, catalog, rp.rel, level_cols,
                             static_cast<int>(rp.levels_col.size()),
-                            /*attach_aggregates=*/true, cache, timing, qobs));
+                            /*attach_aggregates=*/true, rp.eager_levels,
+                            cache, timing, qobs));
       built[ni].push_back(std::make_unique<BuiltRelation>(std::move(br)));
     }
   }
@@ -2157,7 +2190,8 @@ Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
     LH_ASSIGN_OR_RETURN(
         BuiltRelation br,
         BuildRelationTrie(plan, catalog, lp.rel, {col}, 1,
-                          /*attach_aggregates=*/false, cache, timing, qobs));
+                          /*attach_aggregates=*/false, /*eager_levels=*/-1,
+                          cache, timing, qobs));
     lookup_built.push_back(std::make_unique<BuiltRelation>(std::move(br)));
     lookup_rel_ids.push_back(lp.rel);
     int pos = -1;

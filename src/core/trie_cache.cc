@@ -39,6 +39,19 @@ std::shared_ptr<Trie> TrieCache::Probe(const std::string& signature) {
   // Relaxed (both ops): the stamp is an LRU recency hint — a racing reader
   // that publishes a slightly stale tick only perturbs the eviction order.
   it->second->stamp.store(tick_.fetch_add(1, kRelaxed) + 1, kRelaxed);
+  // Resample the trie's footprint: lazy tries grow as probes materialize
+  // their sets (DESIGN.md §16), and this hit is exactly such a probe. The
+  // exchange gives each concurrent resampler a distinct before-value, so
+  // the deltas telescope and bytes_ tracks the true total.
+  // Relaxed (all ops): pure accounting — the budget check in EnforceBudget
+  // tolerates momentarily stale totals; no data is published through these.
+  const size_t now_bytes = it->second->trie->MemoryBytes();
+  const size_t prev_bytes = it->second->bytes.exchange(now_bytes, kRelaxed);
+  if (now_bytes >= prev_bytes) {
+    bytes_.fetch_add(now_bytes - prev_bytes, kRelaxed);
+  } else {
+    bytes_.fetch_sub(prev_bytes - now_bytes, kRelaxed);
+  }
   return it->second->trie;
 }
 
@@ -65,12 +78,12 @@ void TrieCache::Put(const std::string& signature, std::shared_ptr<Trie> trie) {
     WriteLock lock(&shard.mu);
     auto it = shard.map.find(signature);
     if (it != shard.map.end()) {
-      bytes_.fetch_sub(it->second->bytes, kRelaxed);
+      bytes_.fetch_sub(it->second->bytes.load(kRelaxed), kRelaxed);
       shard.map.erase(it);
     }
     auto entry = std::make_unique<Entry>();
     entry->trie = std::move(trie);
-    entry->bytes = entry_bytes;
+    entry->bytes.store(entry_bytes, kRelaxed);
     entry->stamp.store(tick_.fetch_add(1, kRelaxed) + 1,
                        kRelaxed);
     shard.map.emplace(signature, std::move(entry));
@@ -119,7 +132,7 @@ void TrieCache::EnforceBudget() {
       // while we hold it exclusively.
       if (it != shard.map.end() && it->second->trie.use_count() == 1 &&
           it->second->stamp.load(kRelaxed) == best_stamp) {
-        bytes_.fetch_sub(it->second->bytes, kRelaxed);
+        bytes_.fetch_sub(it->second->bytes.load(kRelaxed), kRelaxed);
         shard.map.erase(it);
         evictions_.fetch_add(1, kRelaxed);
         if (obs::ExecStats* stats = obs::ActiveStats()) {
@@ -163,6 +176,8 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
   for (int attempt = 0; attempt < kMaxFlightAttempts; ++attempt) {
     std::shared_ptr<std::promise<Status>> promise;
     std::shared_future<Status> wait_on;
+    std::shared_ptr<Flight> my_flight;
+    uint64_t my_epoch = 0;
     {
       MutexLock lock(&flight_mu_);
       auto it = flights_.find(key);
@@ -170,11 +185,24 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
         wait_on = it->second->done;
       } else {
         promise = std::make_shared<std::promise<Status>>();
-        auto flight = std::make_shared<Flight>();
-        flight->done = promise->get_future().share();
-        flights_.emplace(key, std::move(flight));
+        my_flight = std::make_shared<Flight>();
+        my_flight->done = promise->get_future().share();
+        flights_.emplace(key, my_flight);
+        my_epoch = clear_epoch_;
       }
     }
+    // Deregisters this leader's flight and reports whether the build may be
+    // cached. Erases by *identity*, not just key: a Clear() between our
+    // registration and now dropped our flight, and the slot may already
+    // belong to a post-clear leader we must not evict. An epoch change
+    // likewise means our build predates the clear — hand it to our caller
+    // only, never Put it (header's Clear contract).
+    auto finish_flight = [&]() -> bool {
+      MutexLock lock(&flight_mu_);
+      auto it = flights_.find(key);
+      if (it != flights_.end() && it->second == my_flight) flights_.erase(it);
+      return clear_epoch_ == my_epoch;
+    };
 
     if (promise == nullptr) {
       // Follower: another query is already building this signature. Wait
@@ -193,20 +221,15 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
     // Leader. Re-probe first: a previous leader may have finished between
     // our miss and the flight insertion.
     if (std::shared_ptr<Trie> trie = probe_all()) {
-      {
-        MutexLock lock(&flight_mu_);
-        flights_.erase(key);
-      }
+      finish_flight();
       promise->set_value(Status::OK());
       if (outcome != nullptr) *outcome = Outcome::kHit;
       return trie;
     }
     Result<Built> built = run_build();
-    if (built.ok()) Put(built.value().signature, built.value().trie);
-    {
-      MutexLock lock(&flight_mu_);
-      flights_.erase(key);
-    }
+    const bool cacheable = finish_flight();
+    if (built.ok() && cacheable) Put(built.value().signature,
+                                     built.value().trie);
     promise->set_value(built.ok() ? Status::OK() : built.status());
     if (!built.ok()) return built.status();
     if (outcome != nullptr) *outcome = Outcome::kBuilt;
@@ -220,10 +243,22 @@ Result<std::shared_ptr<Trie>> TrieCache::GetOrBuild(
 }
 
 void TrieCache::Clear() {
+  // Detach the in-flight builds first (see the header's Clear contract):
+  // bumping the epoch makes every registered leader skip its Put, and
+  // dropping flights_ lets the next miss elect a fresh leader immediately.
+  // The leaders' promises are untouched — they still fire when the builds
+  // finish, so followers wake, miss, and lap under the new epoch. Doing
+  // this *before* the shard sweep means no pre-clear flight can repopulate
+  // the cache after the sweep.
+  {
+    MutexLock lock(&flight_mu_);
+    ++clear_epoch_;
+    flights_.clear();
+  }
   for (auto& shard : shards_) {
     WriteLock lock(&shard->mu);
     for (const auto& [sig, entry] : shard->map) {
-      bytes_.fetch_sub(entry->bytes, kRelaxed);
+      bytes_.fetch_sub(entry->bytes.load(kRelaxed), kRelaxed);
     }
     shard->map.clear();
   }

@@ -92,6 +92,19 @@ class TrieCache {
   /// are ignored.
   void Put(const std::string& signature, std::shared_ptr<Trie> trie);
 
+  /// Drops every cached entry AND detaches the in-flight builds.
+  ///
+  /// Clear-vs-GetOrBuild contract (tests/concurrency_stress_test):
+  ///   * After Clear() returns, flights_ is empty: the next miss on any
+  ///     signature elects a fresh leader instead of waiting on a build that
+  ///     predates the clear.
+  ///   * A leader that registered its flight *before* the clear completes
+  ///     its build privately — it returns the trie to its own caller but
+  ///     does not Put it, so pre-clear builds never repopulate the cache.
+  ///     Its waiting followers are woken normally, miss, and take another
+  ///     lap under the new epoch.
+  ///   * Builds that start after the clear cache normally. A Put racing
+  ///     with the clear's shard sweep may land on either side of it.
   void Clear();
   size_t size() const;
   /// Resident bytes currently charged against the budget.
@@ -117,7 +130,13 @@ class TrieCache {
 
   struct Entry {
     std::shared_ptr<Trie> trie;
-    size_t bytes = 0;
+    /// Bytes currently charged against the budget for this entry. Atomic
+    /// because lazy tries grow as their sets materialize (DESIGN.md §16):
+    /// every Probe under the shard's *shared* lock resamples
+    /// Trie::MemoryBytes() and delta-adjusts the global tally, so a
+    /// partially built trie's footprint converges on its true size while
+    /// queries are still probing it.
+    std::atomic<size_t> bytes{0};
     /// Last-touch tick for LRU ordering; updated under the shard's shared
     /// lock, hence atomic.
     std::atomic<uint64_t> stamp{0};
@@ -149,6 +168,10 @@ class TrieCache {
   Mutex flight_mu_{LockRank::kCacheFlight};
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
       LH_GUARDED_BY(flight_mu_);
+  /// Bumped by Clear(). A single-flight leader snapshots it at registration
+  /// and skips the Put when it changed by finish time (its build is
+  /// detached: the result goes to its caller, not the cleared cache).
+  uint64_t clear_epoch_ LH_GUARDED_BY(flight_mu_) = 0;
   /// Serializes budget-enforcement scans (a phase lock over the scan loop;
   /// the data it walks is guarded by the shard locks, taken inside it).
   Mutex evict_mu_{LockRank::kCacheEvict};  // lint: unguarded(phase lock: one evictor at a time, guards no fields)

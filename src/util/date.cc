@@ -5,31 +5,33 @@
 namespace levelheaded {
 
 int32_t DaysFromCivil(const CivilDate& d) {
-  int32_t y = d.year;
-  const int32_t m = d.month;
-  const int32_t dd = d.day;
+  // int64 intermediates: near the edges of the representable day range
+  // (|year| ~ 5.9M) era * 146097 brushes INT32_MAX and would overflow.
+  int64_t y = d.year;
+  const int64_t m = d.month;
+  const int64_t dd = d.day;
   y -= m <= 2;
-  const int32_t era = (y >= 0 ? y : y - 399) / 400;
-  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);           // [0,399]
-  const uint32_t doy =
-      (153 * static_cast<uint32_t>(m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
-  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0,146096]
-  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                   // [0,399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0,146096]
+  return static_cast<int32_t>(era * 146097 + doe - 719468);
 }
 
 CivilDate CivilFromDays(int32_t days) {
-  int32_t z = days + 719468;
-  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
-  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);        // [0,146096]
-  const uint32_t yoe =
+  // int64: days + 719468 overflows int32 for days > INT32_MAX - 719468.
+  const int64_t z = static_cast<int64_t>(days) + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                                // [0,146096]
+  const int64_t yoe =
       (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0,399]
-  const int32_t y = static_cast<int32_t>(yoe) + era * 400;
-  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0,365]
-  const uint32_t mp = (5 * doy + 2) / 153;                             // [0,11]
-  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;                     // [1,31]
-  const uint32_t m = mp + (mp < 10 ? 3 : static_cast<uint32_t>(-9));   // [1,12]
-  return CivilDate{y + (m <= 2), static_cast<int32_t>(m),
-                   static_cast<int32_t>(d)};
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0,365]
+  const int64_t mp = (5 * doy + 2) / 153;                              // [0,11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                      // [1,31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                           // [1,12]
+  return CivilDate{static_cast<int32_t>(y + (m <= 2)),
+                   static_cast<int32_t>(m), static_cast<int32_t>(d)};
 }
 
 int32_t YearOfDays(int32_t days) { return CivilFromDays(days).year; }
@@ -46,14 +48,34 @@ int32_t DaysInMonth(int32_t year, int32_t month) {
   return kDays[month - 1];
 }
 
+namespace {
+
+/// DaysFromCivil in int64, for years whose era arithmetic overflows int32
+/// (|year| beyond ~5.9M). Same Howard-Hinnant algorithm.
+int64_t DaysFromCivil64(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                   // [0,399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+}  // namespace
+
 Result<int32_t> ParseDate(std::string_view text) {
-  int year = 0, month = 0, day = 0;
-  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+  // Layout, anchored from the right so the year field widens naturally:
+  // [optional '-'][>=4 year digits]-MM-DD. FormatDate can emit years
+  // outside [0, 9999] (date arithmetic near the int32 day-count limits),
+  // and every string it emits must parse back to the same day count.
+  const size_t n = text.size();
+  auto malformed = [&] {
     return Status::ParseError("malformed date literal: '" +
                               std::string(text) + "'");
-  }
-  auto digits = [&](size_t pos, size_t len, int* out) {
-    int v = 0;
+  };
+  if (n < 10 || text[n - 3] != '-' || text[n - 6] != '-') return malformed();
+  auto digits = [&](size_t pos, size_t len, int64_t* out) {
+    int64_t v = 0;
     for (size_t i = pos; i < pos + len; ++i) {
       char c = text[i];
       if (c < '0' || c > '9') return false;
@@ -62,24 +84,47 @@ Result<int32_t> ParseDate(std::string_view text) {
     *out = v;
     return true;
   };
-  if (!digits(0, 4, &year) || !digits(5, 2, &month) || !digits(8, 2, &day)) {
-    return Status::ParseError("malformed date literal: '" +
-                              std::string(text) + "'");
+  const bool negative = text[0] == '-';
+  const size_t year_pos = negative ? 1 : 0;
+  const size_t year_len = n - 6 - year_pos;
+  // At least 4 year digits (zero-padded below 1000) and at most 9: beyond
+  // that the day count cannot fit int32 anyway, and the bound keeps the
+  // digit accumulation far from int64 overflow.
+  if (year_len < 4 || year_len > 9) return malformed();
+  int64_t year = 0, month = 0, day = 0;
+  if (!digits(year_pos, year_len, &year) || !digits(n - 5, 2, &month) ||
+      !digits(n - 2, 2, &day)) {
+    return malformed();
   }
+  if (negative) year = -year;
   // Validate the day against the actual month length (leap years included)
   // so impossible dates like 1999-02-30 or 2023-04-31 are rejected instead
-  // of silently wrapping into the next month.
-  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month)) {
+  // of silently wrapping into the next month. year % 400 preserves the
+  // leap-rule divisibilities while staying in int32.
+  if (month < 1 || month > 12 || day < 1 ||
+      day > DaysInMonth(static_cast<int32_t>(year % 400),
+                        static_cast<int32_t>(month))) {
     return Status::ParseError("date out of range: '" + std::string(text) +
                               "'");
   }
-  return DaysFromCivil(CivilDate{year, month, day});
+  const int64_t days = DaysFromCivil64(year, month, day);
+  if (days < INT32_MIN || days > INT32_MAX) {
+    return Status::ParseError("date out of range: '" + std::string(text) +
+                              "'");
+  }
+  return static_cast<int32_t>(days);
 }
 
 std::string FormatDate(int32_t days) {
   CivilDate d = CivilFromDays(days);
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  // Natural-width year (minimum 4 digits, sign ahead of the padding) so the
+  // full int32 day range round-trips through ParseDate; years in [0, 9999]
+  // keep their historical zero-padded form. Widest case: year -5877641 ->
+  // "-5877641-06-23" (14 chars + NUL).
+  char buf[20];
+  const int64_t y = d.year;  // int64: |INT32_MIN year| negates safely
+  std::snprintf(buf, sizeof(buf), "%s%04lld-%02d-%02d", y < 0 ? "-" : "",
+                static_cast<long long>(y < 0 ? -y : y), d.month, d.day);
   return buf;
 }
 

@@ -2,16 +2,38 @@
 
 namespace levelheaded {
 
+LikeMatcher::LikeMatcher(std::string pattern) : pattern_(std::move(pattern)) {
+  toks_.reserve(pattern_.size());
+  for (size_t i = 0; i < pattern_.size(); ++i) {
+    const char c = pattern_[i];
+    if (c == '\\' && i + 1 < pattern_.size()) {
+      // Escape: the next character is literal, whatever it is. A trailing
+      // lone backslash falls through to the literal case below.
+      toks_.push_back({TokKind::kLiteral, pattern_[++i]});
+    } else if (c == '%') {
+      // Collapse runs of '%': one kAnyRun token backtracks identically.
+      if (toks_.empty() || toks_.back().kind != TokKind::kAnyRun) {
+        toks_.push_back({TokKind::kAnyRun, 0});
+      }
+    } else if (c == '_') {
+      toks_.push_back({TokKind::kAnyOne, 0});
+    } else {
+      toks_.push_back({TokKind::kLiteral, c});
+    }
+  }
+}
+
 bool LikeMatcher::Matches(std::string_view text) const {
-  // Iterative wildcard matching with backtracking to the last '%'.
+  // Iterative wildcard matching with backtracking to the last kAnyRun.
   size_t t = 0, p = 0;
   size_t star_p = std::string::npos, star_t = 0;
-  const std::string& pat = pattern_;
   while (t < text.size()) {
-    if (p < pat.size() && (pat[p] == '_' || pat[p] == text[t])) {
+    if (p < toks_.size() &&
+        (toks_[p].kind == TokKind::kAnyOne ||
+         (toks_[p].kind == TokKind::kLiteral && toks_[p].ch == text[t]))) {
       ++p;
       ++t;
-    } else if (p < pat.size() && pat[p] == '%') {
+    } else if (p < toks_.size() && toks_[p].kind == TokKind::kAnyRun) {
       star_p = p++;
       star_t = t;
     } else if (star_p != std::string::npos) {
@@ -21,8 +43,8 @@ bool LikeMatcher::Matches(std::string_view text) const {
       return false;
     }
   }
-  while (p < pat.size() && pat[p] == '%') ++p;
-  return p == pat.size();
+  while (p < toks_.size() && toks_[p].kind == TokKind::kAnyRun) ++p;
+  return p == toks_.size();
 }
 
 }  // namespace levelheaded

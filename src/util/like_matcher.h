@@ -8,22 +8,39 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace levelheaded {
 
-/// SQL LIKE with '%' (any run) and '_' (any one character).
+/// SQL LIKE with '%' (any run), '_' (any one character), and backslash
+/// escapes: "\%" and "\_" match the literal character, "\\" a literal
+/// backslash, and a backslash before any other character (or at the end of
+/// the pattern) is taken literally.
 ///
-/// Construction is the "compile" step; Matches() is const and safe to call
-/// concurrently from parallel scan workers on one shared instance.
+/// Construction is the "compile" step — the pattern is tokenized once so
+/// the per-tuple loop never re-inspects escape sequences. Matches() is
+/// const and safe to call concurrently from parallel scan workers on one
+/// shared instance.
 class LikeMatcher {
  public:
-  explicit LikeMatcher(std::string pattern) : pattern_(std::move(pattern)) {}
+  explicit LikeMatcher(std::string pattern);
   bool Matches(std::string_view text) const;
 
   const std::string& pattern() const { return pattern_; }
 
  private:
+  enum class TokKind : unsigned char {
+    kLiteral,  ///< match exactly `ch`
+    kAnyOne,   ///< '_'
+    kAnyRun,   ///< '%'
+  };
+  struct Tok {
+    TokKind kind;
+    char ch;
+  };
+
   std::string pattern_;
+  std::vector<Tok> toks_;
 };
 
 }  // namespace levelheaded

@@ -147,7 +147,7 @@ class [[nodiscard]] Result {
   const T& value() const { return std::get<T>(payload_); }
 
   /// Returns the value, aborting the process if this result is an error.
-  T& ValueOrDie() {
+  T& ValueOrDie() & {
     if (!ok()) {
       std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
                    status().ToString().c_str());
@@ -155,6 +155,10 @@ class [[nodiscard]] Result {
     }
     return value();
   }
+
+  /// Rvalue overload: `SomeBuild(...).ValueOrDie()` moves the value out, so
+  /// move-only payload types (e.g. Trie) initialize without a copy.
+  T&& ValueOrDie() && { return std::move(ValueOrDie()); }
 
   /// Moves the value out of the result.
   T TakeValue() { return std::move(std::get<T>(payload_)); }

@@ -328,6 +328,210 @@ TEST(TrieCacheStressTest, BudgetThrashUnderConcurrentLoadStaysSafe) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// --- Lazy trie materialization (DESIGN.md §16) -----------------------------
+
+TEST(TrieLazyStressTest, ConcurrentProbesYieldOneIdenticalView) {
+  // Many threads race first-probes over the same lazy trie. The CAS
+  // publication slot must hand every thread the same materialized set,
+  // each set must materialize exactly once (the counter would overshoot on
+  // a double build), and the annotations must come out bit-identical to an
+  // eager twin. Sources stay in scope: a lazy trie borrows them.
+  constexpr size_t kTuples = 4000;
+  std::vector<uint32_t> a(kTuples), b(kTuples);
+  std::vector<double> w(kTuples);
+  Rng rng(20260809);
+  for (size_t i = 0; i < kTuples; ++i) {
+    a[i] = static_cast<uint32_t>(rng.Uniform(40));
+    b[i] = static_cast<uint32_t>(rng.Uniform(40));
+    w[i] = rng.UniformDouble(0, 1);
+  }
+  TrieBuildSpec spec;
+  spec.key_codes = {&a, &b};
+  TrieAnnotationSpec ann;
+  ann.name = "w";
+  ann.type = ValueType::kDouble;
+  ann.merge = AnnotationMerge::kSum;
+  ann.reals = &w;
+  spec.annotations.push_back(ann);
+  const Trie eager = Trie::Build(spec).ValueOrDie();
+  spec.eager_levels = 1;
+  const Trie lazy = Trie::Build(spec).ValueOrDie();
+  ASSERT_EQ(lazy.lazy_levels(), 1);
+  ASSERT_EQ(lazy.materialized_sets(), 0u);
+
+  const uint32_t num_sets = lazy.level(1).num_sets();
+  constexpr int kThreads = 8;
+  std::latch start(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, num_sets, &lazy, &eager, &start, &mismatches] {
+      start.arrive_and_wait();
+      // Rotate the probe order per thread so every set sees first-probe
+      // races from different directions.
+      for (uint32_t i = 0; i < num_sets; ++i) {
+        const uint32_t s =
+            (i + static_cast<uint32_t>(t) * (num_sets / kThreads)) % num_sets;
+        if (lazy.level(1).set(s).ToVector() !=
+            eager.level(1).set(s).ToVector()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(lazy.materialized_sets(), num_sets);
+  ASSERT_EQ(lazy.num_annotations(), eager.num_annotations());
+  EXPECT_EQ(lazy.annotation(0).reals, eager.annotation(0).reals);
+}
+
+TEST(TrieCacheStressTest, ProbeRechargesLazyTrieGrowth) {
+  // The cache charges MemoryBytes at Put time, but a lazy trie grows as
+  // queries probe it; every cache probe resamples the footprint and
+  // delta-adjusts the budget tally (Entry::bytes doc).
+  std::vector<uint32_t> a(512), b(512);
+  std::vector<double> w(512);
+  Rng rng(7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<uint32_t>(rng.Uniform(16));
+    b[i] = static_cast<uint32_t>(rng.Uniform(64));
+    w[i] = 1.0;
+  }
+  TrieBuildSpec spec;
+  spec.key_codes = {&a, &b};
+  TrieAnnotationSpec ann;
+  ann.name = "w";
+  ann.type = ValueType::kDouble;
+  ann.merge = AnnotationMerge::kSum;
+  ann.reals = &w;
+  spec.annotations.push_back(ann);
+  spec.eager_levels = 1;
+  auto trie = std::make_shared<Trie>(Trie::Build(spec).ValueOrDie());
+  ASSERT_EQ(trie->lazy_levels(), 1);
+
+  TrieCache cache;
+  cache.Put("lazy", trie);
+  const size_t charged_at_put = cache.bytes();
+  EXPECT_EQ(charged_at_put, trie->MemoryBytes());
+
+  // Materialize everything behind the cache's back (as executing queries
+  // holding the shared_ptr do): the tally is stale until the next probe.
+  for (uint32_t s = 0; s < trie->level(1).num_sets(); ++s) {
+    (void)trie->level(1).set(s);
+  }
+  EXPECT_GT(trie->MemoryBytes(), charged_at_put);
+  EXPECT_EQ(cache.bytes(), charged_at_put);
+
+  ASSERT_NE(cache.Get("lazy"), nullptr);  // resamples
+  EXPECT_EQ(cache.bytes(), trie->MemoryBytes());
+}
+
+TEST(TrieCacheStressTest, ClearDetachesInFlightBuilds) {
+  // The Clear-vs-GetOrBuild contract (trie_cache.h): a leader registered
+  // before the clear finishes privately — its caller gets the trie, the
+  // cache does not — while its follower wakes, misses, and re-leads a
+  // fresh build under the new epoch, which caches normally.
+  TrieCache cache;
+  std::latch gate(1);
+  std::atomic<bool> leader_in_build{false};
+  std::shared_ptr<Trie> leader_got, follower_got;
+  std::atomic<int> failures{0};
+
+  std::thread leader([&] {
+    auto build = [&]() -> Result<TrieCache::Built> {
+      leader_in_build.store(true);
+      gate.wait();  // hold the build open until after Clear()
+      return TrieCache::Built{"sig", MakeTrie(1)};
+    };
+    auto r = cache.GetOrBuild({"sig"}, build);
+    if (!r.ok() || r.value() == nullptr) {
+      failures.fetch_add(1);
+    } else {
+      leader_got = r.value();
+    }
+  });
+  while (!leader_in_build.load()) std::this_thread::yield();
+
+  std::thread follower([&] {
+    auto build = [&]() -> Result<TrieCache::Built> {
+      return TrieCache::Built{"sig", MakeTrie(2)};
+    };
+    auto r = cache.GetOrBuild({"sig"}, build);
+    if (!r.ok() || r.value() == nullptr) {
+      failures.fetch_add(1);
+    } else {
+      follower_got = r.value();
+    }
+  });
+  while (cache.build_waits() == 0) std::this_thread::yield();
+
+  cache.Clear();
+  gate.count_down();
+  leader.join();
+  follower.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Two real builds ran: the detached pre-clear one and the follower's
+  // post-clear re-lead.
+  EXPECT_EQ(cache.builds(), 2u);
+  std::shared_ptr<Trie> cached = cache.Get("sig");
+  ASSERT_NE(cached, nullptr);
+  EXPECT_NE(cached.get(), leader_got.get())
+      << "a pre-clear build must never repopulate the cache";
+  EXPECT_EQ(cached.get(), follower_got.get());
+}
+
+TEST(TrieCacheStressTest, ClearHammerVsGetOrBuildStaysLive) {
+  // Clears racing a full GetOrBuild load: no caller may deadlock, lap
+  // forever against a cleared flight table, or receive a broken trie. The
+  // test completing is the liveness assertion; the checks below are the
+  // safety half.
+  TrieCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 120;
+  std::latch start(kThreads + 1);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &start, &failures] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        const uint32_t which = static_cast<uint32_t>((i + t) % 5);
+        const std::string sig = "s" + std::to_string(which);
+        auto build = [which, &sig]() -> Result<TrieCache::Built> {
+          return TrieCache::Built{sig, MakeTrie(which)};
+        };
+        auto trie = cache.GetOrBuild({sig}, build);
+        if (!trie.ok() || trie.value() == nullptr ||
+            trie.value()->num_tuples() == 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread clearer([&cache, &start] {
+    start.arrive_and_wait();
+    for (int i = 0; i < 200; ++i) {
+      cache.Clear();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  clearer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The cache still works end to end after the churn.
+  auto post = cache.GetOrBuild(
+      {"post"}, []() -> Result<TrieCache::Built> {
+        return TrieCache::Built{"post", MakeTrie(9)};
+      });
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(cache.Get("post").get(), post.value().get());
+}
+
 // --- Whole-engine concurrency ---------------------------------------------
 
 /// Mixed-workload fixture: a small graph plus a customer/nation star, one

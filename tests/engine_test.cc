@@ -452,6 +452,33 @@ TEST_F(EngineTest, NoAttributeEliminationStillCorrect) {
       opts);
 }
 
+TEST_F(EngineTest, UniqueKeysIsPrefixExactUnderExtraLevels) {
+  // Regression for the unique_keys computation: it used to compare
+  // num_tuples() (the deepest level's element count) against the base row
+  // count, so any trie with levels below the queried prefix — ablation
+  // extras or the surrogate rowid retry — looked trivially "unique" even
+  // when the queried prefix duplicates. With the multiplicity fast path
+  // keyed on unique_keys alone, that regression would collapse per-prefix
+  // counts to 1. orders' full key (o_orderkey, o_custkey) is unique, but
+  // the o_custkey prefix queried here duplicates heavily: the correct
+  // count(*) is kOrders (80), not the number of distinct custkeys.
+  QueryOptions opts;
+  opts.use_attribute_elimination = false;
+  CheckAgainstReference(
+      "SELECT count(*) FROM orders, customer WHERE o_custkey = c_custkey",
+      opts);
+  CheckAgainstReference(
+      "SELECT c_mktsegment, count(*) FROM orders, customer "
+      "WHERE o_custkey = c_custkey GROUP BY c_mktsegment",
+      opts);
+  // Same trap on the rowid-retry path (elimination ON): l_returnflag is not
+  // determined by l_suppkey, so lineitem re-keys with a surrogate rowid
+  // level whose leaves are all distinct.
+  CheckAgainstReference(
+      "SELECT l_returnflag, count(*) FROM lineitem, supplier "
+      "WHERE l_suppkey = s_suppkey GROUP BY l_returnflag");
+}
+
 TEST_F(EngineTest, NoUnionRelaxationStillCorrect) {
   QueryOptions opts;
   opts.enable_union_relaxation = false;
@@ -536,6 +563,97 @@ TEST_F(EngineTest, QueryAnalyzeReportsCachedTries) {
   EXPECT_GT(second.value().profile->counters.trie_cache_hits, 0u);
 }
 
+// --- Lazy trie builds (DESIGN.md §16) ---------------------------------------
+
+TEST_F(EngineTest, LazyAndEagerArmsBitIdentical) {
+  // The planner's hybrid build-vs-probe choice is an optimization only:
+  // toggling use_lazy_tries must not change a single output bit. The cache
+  // is cleared between arms so each one really builds its own tries.
+  const std::vector<std::string> queries = {
+      "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS rev "
+      "FROM customer, orders, lineitem, supplier, nation, region "
+      "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+      "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+      "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'ASIA' "
+      "AND o_orderdate >= date '1994-06-01' "
+      "AND o_orderdate < date '1996-06-01' "
+      "GROUP BY n_name",
+      "SELECT n_name, count(*) FROM customer, orders, nation "
+      "WHERE o_custkey = c_custkey AND c_nationkey = n_nationkey "
+      "GROUP BY n_name",
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+      "SELECT o_orderdate, sum(l_quantity) FROM orders, lineitem "
+      "WHERE l_orderkey = o_orderkey AND l_returnflag = 'R' "
+      "GROUP BY o_orderdate",
+  };
+  for (const std::string& sql : queries) {
+    QueryOptions eager;
+    eager.use_lazy_tries = false;
+    engine_->trie_cache()->Clear();
+    auto e = engine_->Query(sql, eager);
+    ASSERT_TRUE(e.ok()) << sql << "\n" << e.status().ToString();
+    e.value().SortRows();
+    const std::string expected = e.value().ToString(1u << 20);
+
+    engine_->trie_cache()->Clear();
+    auto l = engine_->Query(sql);  // lazy planning on by default
+    ASSERT_TRUE(l.ok()) << sql << "\n" << l.status().ToString();
+    l.value().SortRows();
+    EXPECT_EQ(l.value().ToString(1u << 20), expected) << sql;
+  }
+}
+
+TEST_F(EngineTest, LazyBuildCountersFlowThroughProfile) {
+  // Q5's filtered star join triggers the hybrid rule: at least one trie
+  // builds lazily and the per-query profile reports all three counters.
+  const std::string sql =
+      "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS rev "
+      "FROM customer, orders, lineitem, supplier, nation, region "
+      "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+      "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+      "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+      "AND r_name = 'ASIA' "
+      "AND o_orderdate >= date '1994-06-01' "
+      "AND o_orderdate < date '1996-06-01' "
+      "GROUP BY n_name";
+  engine_->trie_cache()->Clear();
+  auto lazy = engine_->QueryAnalyze(sql);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  ASSERT_NE(lazy.value().profile, nullptr);
+  const obs::StatsSnapshot& c = lazy.value().profile->counters;
+  EXPECT_GT(c.trie_lazy_levels, 0u);
+  EXPECT_GT(c.trie_materialized_subtries, 0u);
+  EXPECT_GT(c.trie_lazy_bytes, 0u);
+
+  // The eager arm reports zeros — the counters measure laziness, not size.
+  QueryOptions eager;
+  eager.use_lazy_tries = false;
+  engine_->trie_cache()->Clear();
+  auto e = engine_->QueryAnalyze(sql, eager);
+  ASSERT_TRUE(e.ok());
+  ASSERT_NE(e.value().profile, nullptr);
+  EXPECT_EQ(e.value().profile->counters.trie_lazy_levels, 0u);
+  EXPECT_EQ(e.value().profile->counters.trie_materialized_subtries, 0u);
+  EXPECT_EQ(e.value().profile->counters.trie_lazy_bytes, 0u);
+}
+
+TEST_F(EngineTest, TriangleKeepsEagerWcojPlan) {
+  // Symmetric, unfiltered self-join: no covering relation is filtered or
+  // decisively smaller, so ChooseLazyBuild keeps every edge trie eager and
+  // the WCOJ plan runs exactly as before the lazy machinery existed.
+  engine_->trie_cache()->Clear();
+  auto r = engine_->QueryAnalyze(
+      "SELECT count(*) FROM edge e1, edge e2, edge e3 "
+      "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src");
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r.value().profile, nullptr);
+  EXPECT_GT(r.value().profile->counters.tries_built, 0u);
+  EXPECT_EQ(r.value().profile->counters.trie_lazy_levels, 0u);
+  EXPECT_GT(r.value().profile->counters.TotalIntersections(), 0u);
+}
+
 TEST_F(EngineTest, LikePatternsNeverCompilePerRow) {
   // A LIKE under an OR forces the generic per-row predicate path; the
   // binder precompiles the matcher, so the fallback-compile counter must
@@ -546,6 +664,41 @@ TEST_F(EngineTest, LikePatternsNeverCompilePerRow) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ASSERT_NE(r.value().profile, nullptr);
   EXPECT_EQ(r.value().profile->counters.expr_like_compiles, 0u);
+}
+
+TEST(LikeEscapeEngineTest, LiteralPercentAndUnderscoreMatchable) {
+  // Failing before: '%' and '_' in a LIKE pattern were always wildcards, so
+  // a predicate targeting a literal percent or underscore matched far too
+  // much ('disc\%' matched "discount"). The lexer passes backslashes
+  // through, so the escape reaches the precompiled matcher intact.
+  Catalog catalog;
+  Table* t = catalog
+                 .CreateTable(TableSchema(
+                     "promo",
+                     {ColumnSpec::Key("id", ValueType::kInt64, "promo_id"),
+                      ColumnSpec::Annotation("tag", ValueType::kString)}))
+                 .ValueOrDie();
+  const char* tags[] = {"disc%", "discount", "a_b", "axb", "50% off"};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Int(i), Value::Str(tags[i])}).ok());
+  }
+  ASSERT_TRUE(catalog.Finalize().ok());
+  Engine engine(&catalog);
+
+  auto count = [&](const std::string& pattern) -> int64_t {
+    auto r = engine.Query("SELECT count(*) FROM promo WHERE tag LIKE '" +
+                          pattern + "'");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok() || r.value().columns.empty()) return -1;
+    return static_cast<int64_t>(r.value().columns[0].reals.empty()
+                                    ? r.value().columns[0].ints[0]
+                                    : r.value().columns[0].reals[0]);
+  };
+  EXPECT_EQ(count("disc\\%"), 1);   // only "disc%"
+  EXPECT_EQ(count("disc%"), 2);     // wildcard still works
+  EXPECT_EQ(count("a\\_b"), 1);     // only "a_b"
+  EXPECT_EQ(count("a_b"), 2);       // "a_b" and "axb"
+  EXPECT_EQ(count("%\\%%"), 2);     // any tag containing a literal '%'
 }
 
 TEST_F(EngineTest, DefaultQueryCollectsNoProfile) {

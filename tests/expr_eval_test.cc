@@ -13,6 +13,31 @@
 namespace levelheaded {
 namespace {
 
+TEST(LikeMatcherTest, BackslashEscapes) {
+  // Failing before: '%' and '_' were always wildcards, so a literal percent
+  // or underscore was unmatchable. Backslash escapes the next character.
+  EXPECT_TRUE(LikeMatcher("100\\%").Matches("100%"));
+  EXPECT_FALSE(LikeMatcher("100\\%").Matches("100%%"));
+  EXPECT_FALSE(LikeMatcher("100\\%").Matches("1000"));
+  EXPECT_TRUE(LikeMatcher("a\\_b").Matches("a_b"));
+  EXPECT_FALSE(LikeMatcher("a\\_b").Matches("axb"));
+  // Escaped backslash is a literal backslash; the char after it keeps its
+  // wildcard meaning.
+  EXPECT_TRUE(LikeMatcher("a\\\\%").Matches("a\\anything"));
+  EXPECT_FALSE(LikeMatcher("a\\\\%").Matches("ab"));
+  // Escaping an ordinary character is that character.
+  EXPECT_TRUE(LikeMatcher("\\a%").Matches("abc"));
+  // A trailing lone backslash matches a literal backslash (no next char to
+  // escape).
+  EXPECT_TRUE(LikeMatcher("x\\").Matches("x\\"));
+  EXPECT_FALSE(LikeMatcher("x\\").Matches("x"));
+  // Escapes compose with real wildcards and backtracking.
+  EXPECT_TRUE(LikeMatcher("%\\%off%").Matches("save 20%off today"));
+  EXPECT_FALSE(LikeMatcher("%\\%off%").Matches("save 20 off today"));
+  EXPECT_TRUE(LikeMatcher("%\\_%").Matches("snake_case"));
+  EXPECT_FALSE(LikeMatcher("%\\_%").Matches("kebab-case"));
+}
+
 TEST(LikeMatcherTest, ExactAndWildcards) {
   EXPECT_TRUE(LikeMatcher("abc").Matches("abc"));
   EXPECT_FALSE(LikeMatcher("abc").Matches("abcd"));

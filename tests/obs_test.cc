@@ -112,7 +112,7 @@ TEST(ExecStatsTest, ItemsCoverEveryCounter) {
   stats.CountIntersect(IntersectKernel::kUintUint, 2);
   StatsSnapshot snap = stats.Snapshot();
   std::vector<std::pair<std::string, uint64_t>> items = snap.Items();
-  EXPECT_EQ(items.size(), 22u);
+  EXPECT_EQ(items.size(), 25u);
   bool saw_uint_uint = false;
   for (const auto& [name, value] : items) {
     if (name == "intersect.uint_uint") {

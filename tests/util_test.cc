@@ -156,6 +156,51 @@ TEST(DateTest, ParseFormatRoundTripSweep) {
   }
 }
 
+TEST(DateTest, ParseFormatRoundTripEntireCivilRange) {
+  // Failing before: FormatDate printed years outside [0, 9999] as
+  // sign-bearing or 5+-digit strings ("-500-03-01", "10000-01-01") that
+  // ParseDate rejected, so date arithmetic landing out of the 4-digit range
+  // materialized unparseable literals. Property: ParseDate(FormatDate(d))
+  // == d for every representable day count. Stride is a prime so the sweep
+  // hits all month/day shapes across eras; the ends are pinned exactly.
+  Rng rng(0xDA7E5);
+  for (int32_t d : {INT32_MIN, INT32_MIN + 1, -719468, -719469, -1, 0,
+                    2932896, 2932897, INT32_MAX - 1, INT32_MAX}) {
+    auto parsed = ParseDate(FormatDate(d));
+    ASSERT_TRUE(parsed.ok()) << d << " -> '" << FormatDate(d) << "'";
+    EXPECT_EQ(parsed.value(), d) << FormatDate(d);
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const int32_t d = static_cast<int32_t>(rng.Uniform(UINT32_MAX) +
+                                           static_cast<uint32_t>(INT32_MIN));
+    auto parsed = ParseDate(FormatDate(d));
+    ASSERT_TRUE(parsed.ok()) << d << " -> '" << FormatDate(d) << "'";
+    EXPECT_EQ(parsed.value(), d) << FormatDate(d);
+  }
+}
+
+TEST(DateTest, FormatWideYears) {
+  // Years outside [0, 9999] format as a natural-width year (with sign for
+  // negative years) and parse back; 4-digit years stay zero-padded so
+  // existing literals and snapshots are unchanged.
+  EXPECT_EQ(FormatDate(DaysFromCivil({-500, 3, 1})), "-0500-03-01");
+  EXPECT_EQ(FormatDate(DaysFromCivil({10000, 1, 1})), "10000-01-01");
+  EXPECT_EQ(FormatDate(DaysFromCivil({7, 2, 28})), "0007-02-28");
+  EXPECT_EQ(ParseDate("-0500-03-01").ValueOrDie(),
+            DaysFromCivil({-500, 3, 1}));
+  EXPECT_EQ(ParseDate("10000-01-01").ValueOrDie(),
+            DaysFromCivil({10000, 1, 1}));
+  // Wide forms still validate month/day and reject junk.
+  EXPECT_FALSE(ParseDate("10000-02-30").ok());
+  EXPECT_FALSE(ParseDate("-12-01").ok());        // no year digits
+  EXPECT_FALSE(ParseDate("500-03-01").ok());     // year must be >= 4 digits
+  EXPECT_FALSE(ParseDate("--500-03-01").ok());
+  // Out-of-range years (beyond the int32 day count) are rejected, not
+  // wrapped.
+  EXPECT_FALSE(ParseDate("99999999-01-01").ok());
+  EXPECT_FALSE(ParseDate("-99999999-01-01").ok());
+}
+
 TEST(DateTest, TpchQ1CutoffArithmetic) {
   // Q1's `date '1998-12-01' - interval '90' day` must land on 1998-09-02.
   int32_t base = ParseDate("1998-12-01").ValueOrDie();

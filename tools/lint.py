@@ -410,7 +410,11 @@ def lint_metrics_glossary(findings):
         source_lines = f.read().splitlines()
     with open(METRICS_GLOSSARY_DOC, encoding="utf-8") as f:
         doc = f.read()
+    lint_metrics_glossary_lines(METRICS_SOURCE, source_lines, doc, findings)
 
+
+def lint_metrics_glossary_lines(source_path, source_lines, doc, findings):
+    """Line-level core of the metrics-glossary rule (selftest-able)."""
     in_items = False
     for lineno, line in enumerate(source_lines, start=1):
         if "StatsSnapshot::Items()" in line:
@@ -424,7 +428,7 @@ def lint_metrics_glossary(findings):
             name = m.group("name")
             if name not in doc:
                 findings.append(
-                    (METRICS_SOURCE, lineno, "metrics-glossary",
+                    (source_path, lineno, "metrics-glossary",
                      f'counter "{name}" missing from the {METRICS_GLOSSARY_DOC}'
                      f" counter glossary"))
 
@@ -543,6 +547,28 @@ SELFTEST_CASES = [
     ("vm-op-coverage", False,  # enumerators outside the Op enum are ignored
      (["enum class Color { kRed };"],
       ["int x;"])),
+    # metrics-glossary cases carry (Items() source lines, glossary doc text).
+    ("metrics-glossary", True,  # counter absent from the doc
+     (["std::vector<StatsItem> StatsSnapshot::Items() const {",
+       "  return {",
+       "      {\"trie.lazy_levels\", lazy_levels},",
+       "  };",
+       "}"],
+      "| `trie.built` | tries rebuilt |")),
+    ("metrics-glossary", False,  # every emitted counter is documented
+     (["std::vector<StatsItem> StatsSnapshot::Items() const {",
+       "  return {",
+       "      {\"trie.lazy_levels\", lazy_levels},",
+       "      {\"trie.lazy_bytes\", lazy_bytes},",
+       "  };",
+       "}"],
+      "| `trie.lazy_levels` | deferred levels |\n"
+      "| `trie.lazy_bytes` | deferred payload bytes |")),
+    ("metrics-glossary", False,  # names outside Items() are not counters
+     (["void Elsewhere() {",
+       "  map.emplace(\"trie.lazy_levels\", 1);",
+       "}"],
+      "")),
 ]
 
 
@@ -558,6 +584,10 @@ def run_selftest():
             lint_vm_op_coverage_lines(fake_path, header_lines,
                                       fake_path.replace(".cc", ".h"),
                                       source_lines, findings)
+        elif rule == "metrics-glossary":
+            source_lines, doc = lines
+            lint_metrics_glossary_lines(fake_path, source_lines, doc,
+                                        findings)
         else:
             lint_mutex_annotations(fake_path, lines, findings)
             lint_relaxed_atomics(fake_path, lines, findings)
