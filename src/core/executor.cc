@@ -7,6 +7,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -780,80 +781,94 @@ class NodeExec {
     return out;
   }
 
-  /// Full aggregate run, parallel over the first attribute.
-  GroupAccum RunAggregate() {
-    const size_t key_width = dims_->size();
-    const int k = static_cast<int>(node_.attr_order.size());
+  // ---- Phase-split aggregate run (the full run = PrepareChunks, then
+  // RunChunk for every chunk in any order / from any thread, then
+  // FoldChunks). ExecuteJoin drives the chunks through the global pool;
+  // the sharded router (ChunkedPlanExec) drives the same chunks from its
+  // lane pools. Grain and skew threshold are functions of cardinalities
+  // only — chunk and sub-task boundaries are merge boundaries for
+  // floating-point partials, so they must not move with the thread count
+  // or the scatter topology (results stay bit-identical under any
+  // LH_THREADS and any shard count). Scheduling only changes which worker
+  // executes a given chunk or task.
 
+  /// Computes the root set and the chunk layout on the calling thread.
+  /// After this, num_chunks() chunks (possibly zero) are runnable.
+  void PrepareChunks() {
+    key_width_ = dims_->size();
     append_mode_ = !dims_->empty();
     max_dim_pos_ = -1;
     for (const DimInfo& d : *dims_) {
       if (d.kind != DimKind::kKeyVertex) append_mode_ = false;
       max_dim_pos_ = std::max(max_dim_pos_, d.vertex_pos);
     }
-
-    Worker seed;
-    InitWorker(&seed, key_width);
-    GroupAccum result(key_width, &plan_.aggs);
-    const SetView* root = ComputeSet(&seed, 0);
-    if (root->empty()) return result;
-    std::vector<uint32_t> root_values = root->ToVector();
-
-    const int64_t n = static_cast<int64_t>(root_values.size());
-    ThreadPool& pool = ThreadPool::Global();
-    // Grain and skew threshold are functions of cardinalities only — chunk
-    // and sub-task boundaries are merge boundaries for floating-point
-    // partials, so they must not move with the thread count (results stay
-    // bit-identical under any LH_THREADS). Threads only change which worker
-    // executes a given chunk or task.
-    const int64_t grain = AdaptiveGrain(n);
-    const int64_t num_chunks = (n + grain - 1) / grain;
+    seed_ = std::make_unique<Worker>();
+    InitWorker(seed_.get(), key_width_);
+    const SetView* root = ComputeSet(seed_.get(), 0);
+    if (root->empty()) return;  // num_chunks_ stays 0
+    root_values_ = root->ToVector();
+    const int64_t n = static_cast<int64_t>(root_values_.size());
+    grain_ = AdaptiveGrain(n);
+    num_chunks_ = (n + grain_ - 1) / grain_;
+    const int k = static_cast<int>(node_.attr_order.size());
     skew_threshold_ = SplittableShape(k) ? SkewThreshold() : 0;
+    chunk_out_.resize(num_chunks_);
+  }
 
-    std::vector<std::unique_ptr<GroupAccum>> chunk_out(num_chunks);
-    std::vector<std::unique_ptr<Worker>> workers(pool.num_threads() + 1);
+  int64_t num_chunks() const { return num_chunks_; }
 
-    pool.ParallelChunks(0, n, grain, [&](int slot, int64_t lo, int64_t hi) {
-      if (workers[slot] == nullptr) {
-        workers[slot] = std::make_unique<Worker>();
-        InitWorker(workers[slot].get(), key_width);
+  /// Executes chunk `chunk` of the root iteration. Thread-safe for distinct
+  /// chunks: every result byte goes into the chunk's own accumulator; the
+  /// scratch Worker comes from a freelist (reuse is determinism-neutral).
+  /// Heavy root values fan their level-1 iteration out as tasks on `pool`.
+  void RunChunk(int64_t chunk, ThreadPool& pool) {
+    std::unique_ptr<Worker> holder = AcquireWorker();
+    Worker& w = *holder;
+    chunk_out_[chunk] = std::make_unique<GroupAccum>(key_width_, &plan_.aggs);
+    w.groups = chunk_out_[chunk].get();
+    const int64_t lo = chunk * grain_;
+    const int64_t hi = std::min<int64_t>(
+        static_cast<int64_t>(root_values_.size()), lo + grain_);
+    const int k = static_cast<int>(node_.attr_order.size());
+    for (int64_t i = lo; i < hi; ++i) {
+      if (guard_active_ &&
+          PollAbort(static_cast<uint64_t>(i - lo), w.groups->num_groups())) {
+        break;
       }
-      Worker& w = *workers[slot];
-      const int64_t chunk = lo / grain;
-      chunk_out[chunk] = std::make_unique<GroupAccum>(key_width, &plan_.aggs);
-      w.groups = chunk_out[chunk].get();
-      for (int64_t i = lo; i < hi; ++i) {
-        if (guard_active_ &&
-            PollAbort(static_cast<uint64_t>(i - lo), w.groups->num_groups())) {
-          break;
-        }
-        const uint32_t v = root_values[i];
-        if (!Descend(&w, 0, v)) continue;
-        w.vals[0] = v;
-        if (k == 1) {
-          Leaf(&w);
-          continue;
-        }
-        if (skew_threshold_ > 0 &&
-            TrySplitHeavyRoot(&w, key_width, k, pool)) {
-          continue;
-        }
-        Recurse(&w, 1);
+      const uint32_t v = root_values_[i];
+      if (!Descend(&w, 0, v)) continue;
+      w.vals[0] = v;
+      if (k == 1) {
+        Leaf(&w);
+        continue;
       }
-    });
+      if (skew_threshold_ > 0 &&
+          TrySplitHeavyRoot(&w, key_width_, k, pool)) {
+        continue;
+      }
+      Recurse(&w, 1);
+    }
+    ReleaseWorker(std::move(holder));
+  }
 
-    for (int64_t c = 0; c < num_chunks; ++c) {
-      if (chunk_out[c] == nullptr) continue;
+  /// Folds the per-chunk partials in chunk order (the FP merge contract)
+  /// and absorbs worker tallies. Call once, after every RunChunk returned.
+  GroupAccum FoldChunks() {
+    GroupAccum result(key_width_, &plan_.aggs);
+    for (int64_t c = 0; c < num_chunks_; ++c) {
+      if (chunk_out_[c] == nullptr) continue;
       if (append_mode_) {
-        result.ConcatFrom(*chunk_out[c]);
+        result.ConcatFrom(*chunk_out_[c]);
       } else {
-        result.MergeFrom(*chunk_out[c]);
+        result.MergeFrom(*chunk_out_[c]);
       }
     }
-    AbsorbWorker(seed);
-    for (const auto& w : workers) {
-      if (w != nullptr) AbsorbWorker(*w);
-    }
+    chunk_out_.clear();
+    if (seed_ != nullptr) AbsorbWorker(*seed_);
+    seed_.reset();
+    MutexLock lock(&scratch_mu_);
+    for (const auto& w : free_workers_) AbsorbWorker(*w);
+    free_workers_.clear();
     return result;
   }
 
@@ -897,6 +912,26 @@ class NodeExec {
   void AbsorbWorker(const Worker& w) {
     total_leaves_ += w.leaf_count;
     total_nodes_ += w.nodes_visited;
+  }
+
+  /// Pops a scratch worker for a chunk run, or initializes a fresh one.
+  std::unique_ptr<Worker> AcquireWorker() {
+    {
+      MutexLock lock(&scratch_mu_);
+      if (!free_workers_.empty()) {
+        std::unique_ptr<Worker> w = std::move(free_workers_.back());
+        free_workers_.pop_back();
+        return w;
+      }
+    }
+    auto w = std::make_unique<Worker>();
+    InitWorker(w.get(), key_width_);
+    return w;
+  }
+
+  void ReleaseWorker(std::unique_ptr<Worker> w) {
+    MutexLock lock(&scratch_mu_);
+    free_workers_.push_back(std::move(w));
   }
 
   // ---- Cooperative abort (deadline / cancel / row bound, core/cancel.h).
@@ -1782,6 +1817,20 @@ class NodeExec {
   uint64_t total_leaves_ = 0;
   uint64_t total_nodes_ = 0;
 
+  // Chunk-run state (PrepareChunks / RunChunk / FoldChunks). root_values_,
+  // grain_, and chunk layout are written once in PrepareChunks and
+  // read-only during chunk runs; chunk_out_ elements are written by exactly
+  // one RunChunk each.
+  size_t key_width_ = 0;
+  std::unique_ptr<Worker> seed_;
+  std::vector<uint32_t> root_values_;
+  int64_t grain_ = 1;
+  int64_t num_chunks_ = 0;
+  std::vector<std::unique_ptr<GroupAccum>> chunk_out_;
+  Mutex scratch_mu_{LockRank::kExecScratch};
+  std::vector<std::unique_ptr<Worker>> free_workers_
+      LH_GUARDED_BY(scratch_mu_);
+
   const QueryGuard* guard_ = nullptr;
   const bool guard_active_ = false;
   std::atomic<bool> aborted_{false};
@@ -1793,188 +1842,226 @@ class NodeExec {
 // Scan path (join-free queries).
 // ---------------------------------------------------------------------------
 
+/// Phase-split scan execution: Init runs the fallible setup, RunChunk
+/// consumes one adaptive-grain row range (thread-safe for distinct chunks),
+/// and Gather folds the per-chunk partials in chunk order and materializes.
+/// ExecuteScan drives the chunks through the global pool; the sharded
+/// router (ChunkedPlanExec) drives the same chunks from its lane pools —
+/// identical boundaries and fold order keep results bit-identical either
+/// way. Per-chunk partials merged in chunk order (not per-slot): which
+/// thread runs a chunk is scheduling noise, so per-slot accumulators would
+/// merge floating-point sums in a different order every run. Chunk
+/// boundaries come from cardinality alone, making results thread-count and
+/// shard-count independent.
+struct ScanState {
+  ScanState(const PhysicalPlan& p, const Catalog& c, QueryResult::Timing* tm,
+            obs::QueryObs* qo, const QueryGuard* g)
+      : plan(p),
+        catalog(c),
+        table(*p.query.relations[0].table),
+        timing(tm),
+        qobs(qo),
+        guard(g),
+        guard_active(g != nullptr &&
+                     (g->CancelEnabled() || g->max_result_rows > 0)),
+        span(qo != nullptr ? &qo->trace : nullptr, "scan") {}
+
+  Status Init() {
+    span.SetDetail(table.schema().name());
+    span.AddMetric("rows", static_cast<double>(table.num_rows()));
+    // The fused kernel (compiled at plan time) owns filtering; the
+    // RowFilter is only compiled for the tree-walking fallback loop.
+    cscan = plan.compiled_scan.get();
+    if (cscan == nullptr) {
+      std::vector<const Expr*> conjuncts;
+      for (const ExprPtr& f : plan.query.relations[0].filters) {
+        conjuncts.push_back(f.get());
+      }
+      LH_ASSIGN_OR_RETURN(
+          filter,
+          RowFilter::Compile(conjuncts, table, plan.options.use_expr_vm));
+    }
+    for (const GroupDimExec& d : plan.dims) {
+      dim_infos.push_back(ClassifyDim(d, plan, catalog, /*join_path=*/false));
+    }
+    // Columns touched when attribute elimination is disabled: all of them.
+    if (!plan.options.use_attribute_elimination) {
+      for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+        all_numeric_cols.push_back(static_cast<int>(c));
+      }
+    }
+    key_width = plan.dims.size();
+    num_rows = static_cast<int64_t>(table.num_rows());
+    grain = AdaptiveGrain(num_rows, 2048);
+    num_chunks = num_rows == 0 ? 0 : (num_rows + grain - 1) / grain;
+    partials.resize(num_chunks);
+    t.Restart();  // exec_ms covers the chunk runs, not the setup above
+    return Status::OK();
+  }
+
+  void RunChunk(int64_t chunk) {
+    const int64_t lo = chunk * grain;
+    const int64_t hi = std::min(num_rows, lo + grain);
+    partials[chunk] = std::make_unique<GroupAccum>(key_width, &plan.aggs);
+    GroupAccum& groups = *partials[chunk];
+    if (cscan != nullptr) {
+      // Compiled path: the fused kernel consumes the chunk whole; the
+      // poll closure reproduces the interpreter's 1024-row guard
+      // cadence and abort protocol.
+      std::function<bool()> poll;
+      if (guard_active) {
+        poll = [&]() {
+          // Relaxed: poll of the stop flag; a stale false only costs
+          // the worker extra iterations whose output is discarded.
+          if (aborted.load(std::memory_order_relaxed)) return false;
+          Status s = guard->Check();
+          if (s.ok()) s = guard->CheckRows(groups.num_groups());
+          if (!s.ok()) {
+            MutexLock lock(&abort_mu);
+            if (abort_status.ok()) abort_status = std::move(s);
+            // Release: pairs with the coordinator's acquire in Gather.
+            aborted.store(true, std::memory_order_release);
+            return false;
+          }
+          return true;
+        };
+      }
+      cscan->ExecuteChunk(lo, hi, &groups, poll);
+      return;
+    }
+    TableRowCells cells(table);
+    std::vector<uint64_t> key(key_width);
+    std::vector<double> main(std::max<size_t>(1, plan.aggs.size()));
+    std::vector<double> aux(std::max<size_t>(1, plan.aggs.size()));
+    uint64_t local_sink = 0;
+    for (int64_t row = lo; row < hi; ++row) {
+      if (guard_active && ((row - lo) & 1023) == 0) {
+        // Relaxed: poll of the stop flag; a stale false only costs the
+        // worker extra iterations whose output is discarded.
+        if (aborted.load(std::memory_order_relaxed)) break;
+        Status s = guard->Check();
+        if (s.ok()) s = guard->CheckRows(groups.num_groups());
+        if (!s.ok()) {
+          MutexLock lock(&abort_mu);
+          if (abort_status.ok()) abort_status = std::move(s);
+          // Release: pairs with the coordinator's acquire in Gather.
+          aborted.store(true, std::memory_order_release);
+          break;
+        }
+      }
+      if (!filter.Matches(static_cast<uint32_t>(row))) continue;
+      cells.row = static_cast<uint32_t>(row);
+      // The -Attr.Elim arm reads every column of each surviving row
+      // (row-store behavior) instead of only the referenced ones.
+      for (int c : all_numeric_cols) {
+        local_sink += static_cast<uint64_t>(cells.Number(0, c));
+      }
+      for (size_t d = 0; d < plan.dims.size(); ++d) {
+        const GroupDimExec& dim = plan.dims[d];
+        switch (dim_infos[d].kind) {
+          case DimKind::kKeyVertex:
+            LH_CHECK(false) << "key-vertex dim on scan path";
+            break;
+          case DimKind::kStringCode:
+            key[d] = static_cast<uint64_t>(
+                cells.Code(0, dim.expr->bound_col));
+            break;
+          case DimKind::kInt:
+          case DimKind::kDate:
+            key[d] = static_cast<uint64_t>(
+                static_cast<int64_t>(EvalNumber(*dim.expr, cells)));
+            break;
+          case DimKind::kReal:
+            key[d] = BitcastDouble(EvalNumber(*dim.expr, cells));
+            break;
+        }
+      }
+      for (size_t i = 0; i < plan.aggs.size(); ++i) {
+        const AggExec& agg = plan.aggs[i];
+        switch (agg.func) {
+          case AggFunc::kCount:
+            main[i] = 1;
+            aux[i] = 0;
+            break;
+          case AggFunc::kAvg:
+            main[i] = EvalNumber(*agg.arg, cells);
+            aux[i] = 1;
+            break;
+          default:
+            main[i] = agg.arg == nullptr ? 1 : EvalNumber(*agg.arg, cells);
+            aux[i] = 0;
+            break;
+        }
+      }
+      double* acc = key_width == 0 ? groups.ScalarGroup()
+                                   : groups.FindOrCreate(key.data());
+      groups.Apply(acc, main.data(), aux.data());
+    }
+    // Relaxed: plain accumulation; the chunk-run join (ParallelChunks or
+    // the router's TaskGroup waits) orders the total before Gather reads.
+    sink.fetch_add(local_sink, std::memory_order_relaxed);
+  }
+
+  Result<QueryResult> Gather() {
+    if (aborted.load(std::memory_order_acquire)) {
+      MutexLock lock(&abort_mu);
+      return abort_status;
+    }
+    GroupAccum total(key_width, &plan.aggs);
+    for (auto& p : partials) {
+      if (p != nullptr) total.MergeFrom(*p);
+    }
+    timing->exec_ms += t.ElapsedMillis();
+    QueryResult result = MaterializeGroups(plan, total, dim_infos);
+    if (qobs != nullptr) {
+      qobs->stats.CountTuplesEmitted(result.num_rows);
+      qobs->node_tuples.assign(1, result.num_rows);
+    }
+    result.timing = *timing;
+    return result;
+  }
+
+  const PhysicalPlan& plan;
+  const Catalog& catalog;
+  const Table& table;
+  QueryResult::Timing* timing;
+  obs::QueryObs* qobs;
+  const QueryGuard* guard;
+  const bool guard_active;
+  obs::TraceSpan span;
+
+  const CompiledScan* cscan = nullptr;
+  RowFilter filter;
+  std::vector<DimInfo> dim_infos;
+  std::vector<int> all_numeric_cols;
+  size_t key_width = 0;
+  int64_t num_rows = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  std::vector<std::unique_ptr<GroupAccum>> partials;
+  std::atomic<uint64_t> sink{0};
+  WallTimer t;
+
+  // Cooperative abort for the scan loops (core/cancel.h): first failing
+  // worker records the status, the rest observe the flag each stride.
+  std::atomic<bool> aborted{false};
+  Mutex abort_mu{LockRank::kExecAbort};
+  Status abort_status LH_GUARDED_BY(abort_mu);  // first failure wins
+};
+
 Result<QueryResult> ExecuteScan(const PhysicalPlan& plan,
                                 const Catalog& catalog,
                                 QueryResult::Timing* timing,
                                 obs::QueryObs* qobs,
                                 const QueryGuard* guard) {
-  const RelationRef& ref = plan.query.relations[0];
-  const Table& table = *ref.table;
-  obs::TraceSpan span(qobs != nullptr ? &qobs->trace : nullptr, "scan");
-  span.SetDetail(table.schema().name());
-  span.AddMetric("rows", static_cast<double>(table.num_rows()));
-
-  // The fused kernel (compiled at plan time) owns filtering; the RowFilter
-  // is only compiled for the tree-walking fallback loop.
-  const CompiledScan* cscan = plan.compiled_scan.get();
-  RowFilter filter;
-  if (cscan == nullptr) {
-    std::vector<const Expr*> conjuncts;
-    for (const ExprPtr& f : ref.filters) conjuncts.push_back(f.get());
-    LH_ASSIGN_OR_RETURN(
-        filter,
-        RowFilter::Compile(conjuncts, table, plan.options.use_expr_vm));
-  }
-
-  std::vector<DimInfo> dim_infos;
-  for (const GroupDimExec& d : plan.dims) {
-    dim_infos.push_back(ClassifyDim(d, plan, catalog, /*join_path=*/false));
-  }
-
-  // Columns touched when attribute elimination is disabled: all of them.
-  std::vector<int> all_numeric_cols;
-  if (!plan.options.use_attribute_elimination) {
-    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
-      all_numeric_cols.push_back(static_cast<int>(c));
-    }
-  }
-
-  WallTimer t;
-  ThreadPool& pool = ThreadPool::Global();
-  const size_t key_width = plan.dims.size();
-  // Per-chunk partials merged in chunk order (not per-slot): which slot runs
-  // a chunk is scheduling noise, so per-slot accumulators would merge
-  // floating-point sums in a different order every run. Chunk boundaries
-  // come from cardinality alone, making results thread-count independent.
-  const int64_t num_rows = static_cast<int64_t>(table.num_rows());
-  const int64_t grain = AdaptiveGrain(num_rows, 2048);
-  const int64_t num_chunks = num_rows == 0 ? 0 : (num_rows + grain - 1) / grain;
-  std::vector<std::unique_ptr<GroupAccum>> partials(num_chunks);
-  std::atomic<uint64_t> sink{0};
-
-  // Cooperative abort for the scan loops (core/cancel.h): first failing
-  // worker records the status, the rest observe the flag each stride.
-  const bool guard_active =
-      guard != nullptr && (guard->CancelEnabled() || guard->max_result_rows > 0);
-  std::atomic<bool> aborted{false};
-  // TSA cannot annotate locals, so the guard relation for abort_status is
-  // by convention here (same shape as NodeExec::abort_mu_).
-  Mutex abort_mu{LockRank::kExecAbort};  // lint: unguarded(guards the local abort_status; locals cannot carry LH_GUARDED_BY)
-  Status abort_status;  // guarded by abort_mu; first failure wins
-
-  pool.ParallelChunks(
-      0, num_rows, grain,
-      [&](int slot, int64_t lo, int64_t hi) {
+  ScanState state(plan, catalog, timing, qobs, guard);
+  LH_RETURN_NOT_OK(state.Init());
+  ThreadPool::Global().ParallelChunks(
+      0, state.num_chunks, 1, [&](int slot, int64_t lo, int64_t hi) {
         (void)slot;
-        const int64_t chunk = lo / grain;
-        partials[chunk] = std::make_unique<GroupAccum>(key_width, &plan.aggs);
-        GroupAccum& groups = *partials[chunk];
-        if (cscan != nullptr) {
-          // Compiled path: the fused kernel consumes the chunk whole; the
-          // poll closure reproduces the interpreter's 1024-row guard
-          // cadence and abort protocol.
-          std::function<bool()> poll;
-          if (guard_active) {
-            poll = [&]() {
-              // Relaxed: poll of the stop flag; a stale false only costs
-              // the worker extra iterations whose output is discarded.
-              if (aborted.load(std::memory_order_relaxed)) return false;
-              Status s = guard->Check();
-              if (s.ok()) s = guard->CheckRows(groups.num_groups());
-              if (!s.ok()) {
-                MutexLock lock(&abort_mu);
-                if (abort_status.ok()) abort_status = std::move(s);
-                // Release: pairs with the coordinator's acquire below.
-                aborted.store(true, std::memory_order_release);
-                return false;
-              }
-              return true;
-            };
-          }
-          cscan->ExecuteChunk(lo, hi, &groups, poll);
-          return;
-        }
-        TableRowCells cells(table);
-        std::vector<uint64_t> key(key_width);
-        std::vector<double> main(std::max<size_t>(1, plan.aggs.size()));
-        std::vector<double> aux(std::max<size_t>(1, plan.aggs.size()));
-        uint64_t local_sink = 0;
-        for (int64_t row = lo; row < hi; ++row) {
-          if (guard_active && ((row - lo) & 1023) == 0) {
-            // Relaxed: poll of the stop flag; a stale false only costs the
-            // worker extra iterations whose output is discarded.
-            if (aborted.load(std::memory_order_relaxed)) break;
-            Status s = guard->Check();
-            if (s.ok()) s = guard->CheckRows(groups.num_groups());
-            if (!s.ok()) {
-              MutexLock lock(&abort_mu);
-              if (abort_status.ok()) abort_status = std::move(s);
-              // Release: pairs with the coordinator's acquire below.
-              aborted.store(true, std::memory_order_release);
-              break;
-            }
-          }
-          if (!filter.Matches(static_cast<uint32_t>(row))) continue;
-          cells.row = static_cast<uint32_t>(row);
-          // The -Attr.Elim arm reads every column of each surviving row
-          // (row-store behavior) instead of only the referenced ones.
-          for (int c : all_numeric_cols) {
-            local_sink += static_cast<uint64_t>(cells.Number(0, c));
-          }
-          for (size_t d = 0; d < plan.dims.size(); ++d) {
-            const GroupDimExec& dim = plan.dims[d];
-            switch (dim_infos[d].kind) {
-              case DimKind::kKeyVertex:
-                LH_CHECK(false) << "key-vertex dim on scan path";
-                break;
-              case DimKind::kStringCode:
-                key[d] = static_cast<uint64_t>(
-                    cells.Code(0, dim.expr->bound_col));
-                break;
-              case DimKind::kInt:
-              case DimKind::kDate:
-                key[d] = static_cast<uint64_t>(
-                    static_cast<int64_t>(EvalNumber(*dim.expr, cells)));
-                break;
-              case DimKind::kReal:
-                key[d] = BitcastDouble(EvalNumber(*dim.expr, cells));
-                break;
-            }
-          }
-          for (size_t i = 0; i < plan.aggs.size(); ++i) {
-            const AggExec& agg = plan.aggs[i];
-            switch (agg.func) {
-              case AggFunc::kCount:
-                main[i] = 1;
-                aux[i] = 0;
-                break;
-              case AggFunc::kAvg:
-                main[i] = EvalNumber(*agg.arg, cells);
-                aux[i] = 1;
-                break;
-              default:
-                main[i] = agg.arg == nullptr ? 1
-                                             : EvalNumber(*agg.arg, cells);
-                aux[i] = 0;
-                break;
-            }
-          }
-          double* acc = key_width == 0 ? groups.ScalarGroup()
-                                       : groups.FindOrCreate(key.data());
-          groups.Apply(acc, main.data(), aux.data());
-        }
-        // Relaxed: plain accumulation; the ParallelChunks join orders the
-        // total before the coordinator reads it.
-        sink.fetch_add(local_sink, std::memory_order_relaxed);
+        for (int64_t c = lo; c < hi; ++c) state.RunChunk(c);
       });
-
-  if (aborted.load(std::memory_order_acquire)) {
-    MutexLock lock(&abort_mu);
-    return abort_status;
-  }
-
-  GroupAccum total(key_width, &plan.aggs);
-  for (auto& p : partials) {
-    if (p != nullptr) total.MergeFrom(*p);
-  }
-  timing->exec_ms += t.ElapsedMillis();
-  QueryResult result = MaterializeGroups(plan, total, dim_infos);
-  if (qobs != nullptr) {
-    qobs->stats.CountTuplesEmitted(result.num_rows);
-    qobs->node_tuples.assign(1, result.num_rows);
-  }
-  result.timing = *timing;
-  return result;
+  return state.Gather();
 }
 
 // ---------------------------------------------------------------------------
@@ -2146,140 +2233,201 @@ Result<QueryResult> ExecuteDense(const PhysicalPlan& plan,
 // Join path.
 // ---------------------------------------------------------------------------
 
+/// Phase-split join execution: Prepare builds tries, runs the Yannakakis
+/// semijoin children, and computes the root node's chunk layout — all on
+/// the calling thread; RunChunk executes one root chunk (thread-safe for
+/// distinct chunks); Gather folds partials in chunk order and
+/// materializes. ExecuteJoin drives the chunks through the global pool;
+/// the sharded router (ChunkedPlanExec) drives the same chunks from its
+/// lane pools — identical boundaries and fold order keep results
+/// bit-identical either way.
+struct JoinState {
+  JoinState(const PhysicalPlan& p, const Catalog& c, TrieCache* tc,
+            QueryResult::Timing* tm, obs::QueryObs* qo, const QueryGuard* g)
+      : plan(p),
+        catalog(c),
+        cache(tc),
+        timing(tm),
+        qobs(qo),
+        guard(g),
+        trace(qo != nullptr ? &qo->trace : nullptr) {}
+
+  Status Prepare() {
+    if (qobs != nullptr) qobs->node_tuples.assign(plan.nodes.size(), 0);
+    // Build tries for every node's relations. Each build is one unit of
+    // cancellable work: the guard is polled between builds, not inside one.
+    built.resize(plan.nodes.size());
+    for (size_t ni = 0; ni < plan.nodes.size(); ++ni) {
+      for (const RelationPlan& rp : plan.nodes[ni].relations) {
+        if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
+        if (rp.rel < 0) {
+          built[ni].push_back(nullptr);
+          continue;
+        }
+        std::vector<int> level_cols = rp.levels_col;
+        level_cols.insert(level_cols.end(), rp.extra_level_cols.begin(),
+                          rp.extra_level_cols.end());
+        LH_ASSIGN_OR_RETURN(
+            BuiltRelation br,
+            BuildRelationTrie(plan, catalog, rp.rel, level_cols,
+                              static_cast<int>(rp.levels_col.size()),
+                              /*attach_aggregates=*/true, rp.eager_levels,
+                              cache, timing, qobs));
+        built[ni].push_back(std::make_unique<BuiltRelation>(std::move(br)));
+      }
+    }
+
+    // Lookup tries (one-level, keyed by the interface vertex).
+    for (const LookupPlan& lp : plan.nodes[0].lookups) {
+      const RelationRef& ref = plan.query.relations[lp.rel];
+      int col = -1;
+      for (size_t c = 0; c < ref.vertex_of_col.size(); ++c) {
+        if (ref.vertex_of_col[c] == lp.vertex) col = static_cast<int>(c);
+      }
+      LH_CHECK(col >= 0);
+      LH_ASSIGN_OR_RETURN(
+          BuiltRelation br,
+          BuildRelationTrie(plan, catalog, lp.rel, {col}, 1,
+                            /*attach_aggregates=*/false, /*eager_levels=*/-1,
+                            cache, timing, qobs));
+      lookup_built.push_back(std::make_unique<BuiltRelation>(std::move(br)));
+      lookup_rel_ids.push_back(lp.rel);
+      int pos = -1;
+      for (size_t i = 0; i < plan.nodes[0].attr_order.size(); ++i) {
+        if (plan.nodes[0].attr_order[i] == lp.vertex) {
+          pos = static_cast<int>(i);
+        }
+      }
+      LH_CHECK(pos >= 0) << "lookup vertex not in root order";
+      lookup_positions.push_back(pos);
+    }
+
+    t.Restart();
+    // Children first (Yannakakis existential semijoins).
+    child_results.resize(plan.nodes.size());
+    for (size_t ni = plan.nodes.size(); ni-- > 1;) {
+      obs::TraceSpan span(trace, "semijoin");
+      span.SetDetail("node " + std::to_string(ni));
+      std::vector<const BuiltRelation*> rels;
+      for (const auto& br : built[ni]) rels.push_back(br.get());
+      NodeExec exec(plan, plan.nodes[ni], std::move(rels), {}, {}, {}, {},
+                    &no_dims[0], guard);
+      std::vector<uint32_t> codes = exec.RunExistential();
+      LH_RETURN_NOT_OK(exec.abort_status());
+      span.AddMetric("tuples", static_cast<double>(codes.size()));
+      if (qobs != nullptr) {
+        qobs->node_tuples[ni] = codes.size();
+        qobs->stats.CountTuplesEmitted(codes.size());
+        qobs->stats.CountTrieNodesVisited(exec.nodes_visited());
+      }
+      child_results[ni] = OwnedSet::FromSorted(codes);
+    }
+
+    // Root node.
+    for (const GroupDimExec& d : plan.dims) {
+      DimInfo info = ClassifyDim(d, plan, catalog, /*join_path=*/true);
+      if (info.kind == DimKind::kKeyVertex) {
+        for (size_t i = 0; i < plan.nodes[0].attr_order.size(); ++i) {
+          if (plan.nodes[0].attr_order[i] == d.vertex) {
+            info.vertex_pos = static_cast<int>(i);
+          }
+        }
+        LH_CHECK(info.vertex_pos >= 0);
+      }
+      dim_infos.push_back(info);
+    }
+
+    std::vector<const BuiltRelation*> root_rels;
+    std::vector<SetView> child_sets;
+    for (size_t s = 0; s < plan.nodes[0].relations.size(); ++s) {
+      const RelationPlan& rp = plan.nodes[0].relations[s];
+      root_rels.push_back(built[0][s].get());
+      if (rp.rel < 0) {
+        child_sets.push_back(child_results[rp.child_node].view());
+      }
+    }
+    std::vector<const BuiltRelation*> lookups;
+    for (const auto& b : lookup_built) lookups.push_back(b.get());
+
+    root = std::make_unique<NodeExec>(
+        plan, plan.nodes[0], std::move(root_rels), std::move(child_sets),
+        std::move(lookups), std::move(lookup_rel_ids),
+        std::move(lookup_positions), &dim_infos, guard);
+    if (plan.nodes[0].union_relaxed) {
+      const int last = plan.nodes[0].attr_order.back();
+      const Dictionary* dom =
+          catalog.GetDomain(plan.query.vertices[last].domain);
+      root->set_last_domain_size(dom->size());
+    }
+    wcoj_span.emplace(trace, "wcoj");
+    wcoj_span->SetDetail("root, order " + plan.RootOrderString());
+    root->PrepareChunks();
+    return Status::OK();
+  }
+
+  void RunChunk(int64_t chunk, ThreadPool& pool) {
+    root->RunChunk(chunk, pool);
+  }
+
+  Result<QueryResult> Gather() {
+    GroupAccum groups = root->FoldChunks();
+    LH_RETURN_NOT_OK(root->abort_status());
+    if (qobs != nullptr) {
+      qobs->node_tuples[0] = root->leaves();
+      qobs->stats.CountTuplesEmitted(root->leaves());
+      qobs->stats.CountTrieNodesVisited(root->nodes_visited());
+    }
+    wcoj_span->AddMetric("tuples", static_cast<double>(root->leaves()));
+    wcoj_span->End();
+    timing->exec_ms += t.ElapsedMillis();
+
+    WallTimer mt;
+    obs::TraceSpan mat_span(trace, "materialize");
+    QueryResult result = MaterializeGroups(plan, groups, dim_infos);
+    mat_span.AddMetric("rows", static_cast<double>(result.num_rows));
+    mat_span.End();
+    timing->exec_ms += mt.ElapsedMillis();
+    result.timing = *timing;
+    return result;
+  }
+
+  const PhysicalPlan& plan;
+  const Catalog& catalog;
+  TrieCache* cache;
+  QueryResult::Timing* timing;
+  obs::QueryObs* qobs;
+  const QueryGuard* guard;
+  obs::Trace* trace;
+
+  std::vector<std::vector<std::unique_ptr<BuiltRelation>>> built;
+  std::vector<std::unique_ptr<BuiltRelation>> lookup_built;
+  std::vector<int> lookup_rel_ids, lookup_positions;
+  std::vector<OwnedSet> child_results;
+  std::vector<std::vector<DimInfo>> no_dims{1};
+  std::vector<DimInfo> dim_infos;
+  /// Root NodeExec behind a stable address: chunk runners and the folded
+  /// partials point into it.
+  std::unique_ptr<NodeExec> root;
+  WallTimer t;
+  std::optional<obs::TraceSpan> wcoj_span;
+};
+
 Result<QueryResult> ExecuteJoin(const PhysicalPlan& plan,
                                 const Catalog& catalog, TrieCache* cache,
                                 QueryResult::Timing* timing,
                                 obs::QueryObs* qobs,
                                 const QueryGuard* guard) {
-  obs::Trace* trace = qobs != nullptr ? &qobs->trace : nullptr;
-  if (qobs != nullptr) qobs->node_tuples.assign(plan.nodes.size(), 0);
-  // Build tries for every node's relations. Each build is one unit of
-  // cancellable work: the guard is polled between builds, not inside one.
-  std::vector<std::vector<std::unique_ptr<BuiltRelation>>> built(
-      plan.nodes.size());
-  for (size_t ni = 0; ni < plan.nodes.size(); ++ni) {
-    for (const RelationPlan& rp : plan.nodes[ni].relations) {
-      if (guard != nullptr) LH_RETURN_NOT_OK(guard->Check());
-      if (rp.rel < 0) {
-        built[ni].push_back(nullptr);
-        continue;
-      }
-      std::vector<int> level_cols = rp.levels_col;
-      level_cols.insert(level_cols.end(), rp.extra_level_cols.begin(),
-                        rp.extra_level_cols.end());
-      LH_ASSIGN_OR_RETURN(
-          BuiltRelation br,
-          BuildRelationTrie(plan, catalog, rp.rel, level_cols,
-                            static_cast<int>(rp.levels_col.size()),
-                            /*attach_aggregates=*/true, rp.eager_levels,
-                            cache, timing, qobs));
-      built[ni].push_back(std::make_unique<BuiltRelation>(std::move(br)));
-    }
-  }
-
-  // Lookup tries (one-level, keyed by the interface vertex).
-  std::vector<std::unique_ptr<BuiltRelation>> lookup_built;
-  std::vector<int> lookup_rel_ids, lookup_positions;
-  for (const LookupPlan& lp : plan.nodes[0].lookups) {
-    const RelationRef& ref = plan.query.relations[lp.rel];
-    int col = -1;
-    for (size_t c = 0; c < ref.vertex_of_col.size(); ++c) {
-      if (ref.vertex_of_col[c] == lp.vertex) col = static_cast<int>(c);
-    }
-    LH_CHECK(col >= 0);
-    LH_ASSIGN_OR_RETURN(
-        BuiltRelation br,
-        BuildRelationTrie(plan, catalog, lp.rel, {col}, 1,
-                          /*attach_aggregates=*/false, /*eager_levels=*/-1,
-                          cache, timing, qobs));
-    lookup_built.push_back(std::make_unique<BuiltRelation>(std::move(br)));
-    lookup_rel_ids.push_back(lp.rel);
-    int pos = -1;
-    for (size_t i = 0; i < plan.nodes[0].attr_order.size(); ++i) {
-      if (plan.nodes[0].attr_order[i] == lp.vertex) pos = static_cast<int>(i);
-    }
-    LH_CHECK(pos >= 0) << "lookup vertex not in root order";
-    lookup_positions.push_back(pos);
-  }
-
-  WallTimer t;
-  // Children first (Yannakakis existential semijoins).
-  std::vector<OwnedSet> child_results(plan.nodes.size());
-  std::vector<std::vector<DimInfo>> no_dims(1);
-  for (size_t ni = plan.nodes.size(); ni-- > 1;) {
-    obs::TraceSpan span(trace, "semijoin");
-    span.SetDetail("node " + std::to_string(ni));
-    std::vector<const BuiltRelation*> rels;
-    for (const auto& br : built[ni]) rels.push_back(br.get());
-    NodeExec exec(plan, plan.nodes[ni], std::move(rels), {}, {}, {}, {},
-                  &no_dims[0], guard);
-    std::vector<uint32_t> codes = exec.RunExistential();
-    LH_RETURN_NOT_OK(exec.abort_status());
-    span.AddMetric("tuples", static_cast<double>(codes.size()));
-    if (qobs != nullptr) {
-      qobs->node_tuples[ni] = codes.size();
-      qobs->stats.CountTuplesEmitted(codes.size());
-      qobs->stats.CountTrieNodesVisited(exec.nodes_visited());
-    }
-    child_results[ni] = OwnedSet::FromSorted(codes);
-  }
-
-  // Root node.
-  std::vector<DimInfo> dim_infos;
-  for (const GroupDimExec& d : plan.dims) {
-    DimInfo info = ClassifyDim(d, plan, catalog, /*join_path=*/true);
-    if (info.kind == DimKind::kKeyVertex) {
-      for (size_t i = 0; i < plan.nodes[0].attr_order.size(); ++i) {
-        if (plan.nodes[0].attr_order[i] == d.vertex) {
-          info.vertex_pos = static_cast<int>(i);
-        }
-      }
-      LH_CHECK(info.vertex_pos >= 0);
-    }
-    dim_infos.push_back(info);
-  }
-
-  std::vector<const BuiltRelation*> root_rels;
-  std::vector<SetView> child_sets;
-  for (size_t s = 0; s < plan.nodes[0].relations.size(); ++s) {
-    const RelationPlan& rp = plan.nodes[0].relations[s];
-    root_rels.push_back(built[0][s].get());
-    if (rp.rel < 0) child_sets.push_back(child_results[rp.child_node].view());
-  }
-  std::vector<const BuiltRelation*> lookups;
-  for (const auto& b : lookup_built) lookups.push_back(b.get());
-
-  NodeExec exec(plan, plan.nodes[0], std::move(root_rels),
-                std::move(child_sets), std::move(lookups),
-                std::move(lookup_rel_ids), std::move(lookup_positions),
-                &dim_infos, guard);
-  if (plan.nodes[0].union_relaxed) {
-    const int last = plan.nodes[0].attr_order.back();
-    const Dictionary* dom =
-        catalog.GetDomain(plan.query.vertices[last].domain);
-    exec.set_last_domain_size(dom->size());
-  }
-  obs::TraceSpan wcoj_span(trace, "wcoj");
-  wcoj_span.SetDetail("root, order " + plan.RootOrderString());
-  GroupAccum groups = exec.RunAggregate();
-  LH_RETURN_NOT_OK(exec.abort_status());
-  if (qobs != nullptr) {
-    qobs->node_tuples[0] = exec.leaves();
-    qobs->stats.CountTuplesEmitted(exec.leaves());
-    qobs->stats.CountTrieNodesVisited(exec.nodes_visited());
-  }
-  wcoj_span.AddMetric("tuples", static_cast<double>(exec.leaves()));
-  wcoj_span.End();
-  timing->exec_ms += t.ElapsedMillis();
-
-  WallTimer mt;
-  obs::TraceSpan mat_span(trace, "materialize");
-  QueryResult result = MaterializeGroups(plan, groups, dim_infos);
-  mat_span.AddMetric("rows", static_cast<double>(result.num_rows));
-  mat_span.End();
-  timing->exec_ms += mt.ElapsedMillis();
-  result.timing = *timing;
-  return result;
+  JoinState state(plan, catalog, cache, timing, qobs, guard);
+  LH_RETURN_NOT_OK(state.Prepare());
+  ThreadPool& pool = ThreadPool::Global();
+  pool.ParallelChunks(0, state.root->num_chunks(), 1,
+                      [&](int slot, int64_t lo, int64_t hi) {
+                        (void)slot;
+                        for (int64_t c = lo; c < hi; ++c) {
+                          state.RunChunk(c, pool);
+                        }
+                      });
+  return state.Gather();
 }
 
 QueryResult EmptyResult(const PhysicalPlan& plan) {
@@ -2323,6 +2471,80 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
     ApplyOrderAndLimit(plan.query, &result.value());
     timing->exec_ms += t.ElapsedMillis();
     result.value().timing = *timing;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedPlanExec: the scatter-gather surface over the phase-split states.
+// ---------------------------------------------------------------------------
+
+struct ChunkedPlanExec::Impl {
+  Impl(const PhysicalPlan& p, QueryResult::Timing* tm, const QueryGuard* g)
+      : plan(p), timing(tm), guard(g) {}
+  const PhysicalPlan& plan;
+  QueryResult::Timing* timing;
+  const QueryGuard* guard;
+  std::unique_ptr<ScanState> scan;
+  std::unique_ptr<JoinState> join;
+  int64_t num_chunks = 0;
+};
+
+bool ChunkedPlanExec::Chunkable(const PhysicalPlan& plan) {
+  return !plan.query.always_empty && plan.dense == DenseKernel::kNone;
+}
+
+ChunkedPlanExec::ChunkedPlanExec() = default;
+ChunkedPlanExec::~ChunkedPlanExec() = default;
+
+Result<std::unique_ptr<ChunkedPlanExec>> ChunkedPlanExec::Prepare(
+    const PhysicalPlan& plan, const Catalog& catalog, TrieCache* cache,
+    QueryResult::Timing* timing, obs::QueryObs* qobs,
+    const QueryGuard* guard) {
+  LH_CHECK(Chunkable(plan)) << "non-chunkable plan routed to ChunkedPlanExec";
+  if (!plan.options.use_trie_cache) cache = nullptr;
+  // Private ctor keeps construction behind Prepare.
+  std::unique_ptr<ChunkedPlanExec> exec(
+      new ChunkedPlanExec());  // lint: allow(naked-new)
+  exec->impl_ = std::make_unique<Impl>(plan, timing, guard);
+  if (plan.scan_only) {
+    exec->impl_->scan =
+        std::make_unique<ScanState>(plan, catalog, timing, qobs, guard);
+    LH_RETURN_NOT_OK(exec->impl_->scan->Init());
+    exec->impl_->num_chunks = exec->impl_->scan->num_chunks;
+  } else {
+    exec->impl_->join = std::make_unique<JoinState>(plan, catalog, cache,
+                                                    timing, qobs, guard);
+    LH_RETURN_NOT_OK(exec->impl_->join->Prepare());
+    exec->impl_->num_chunks = exec->impl_->join->root->num_chunks();
+  }
+  return exec;
+}
+
+int64_t ChunkedPlanExec::num_chunks() const { return impl_->num_chunks; }
+
+void ChunkedPlanExec::RunChunk(int64_t chunk, ThreadPool& pool) {
+  if (impl_->scan != nullptr) {
+    impl_->scan->RunChunk(chunk);
+  } else {
+    impl_->join->RunChunk(chunk, pool);
+  }
+}
+
+Result<QueryResult> ChunkedPlanExec::Gather() {
+  Result<QueryResult> result = impl_->scan != nullptr
+                                   ? impl_->scan->Gather()
+                                   : impl_->join->Gather();
+  if (result.ok()) {
+    // The same tail ExecutePlan applies: the authoritative row bound on the
+    // materialized count, then ORDER BY / LIMIT.
+    if (impl_->guard != nullptr) {
+      LH_RETURN_NOT_OK(impl_->guard->CheckRows(result.value().num_rows));
+    }
+    WallTimer t;
+    ApplyOrderAndLimit(impl_->plan.query, &result.value());
+    impl_->timing->exec_ms += t.ElapsedMillis();
+    result.value().timing = *impl_->timing;
   }
   return result;
 }

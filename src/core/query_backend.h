@@ -1,0 +1,97 @@
+// The query-serving surface shared by the single Engine and the sharded
+// scatter-gather engine (src/shard). The server, the metrics composers,
+// and lh_serve program against this interface, so a process can swap a
+// one-engine deployment for an N-lane sharded one without touching the
+// serving layer.
+
+#ifndef LEVELHEADED_CORE_QUERY_BACKEND_H_
+#define LEVELHEADED_CORE_QUERY_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/plan.h"
+#include "core/result.h"
+#include "obs/stats.h"
+#include "util/status.h"
+
+namespace levelheaded {
+
+class TrieCache;
+
+namespace obs {
+class SlowQueryLog;
+}  // namespace obs
+
+/// Plan diagnostics for tooling and the Figure 5 experiments.
+struct ExplainInfo {
+  bool scan_only = false;
+  DenseKernel dense = DenseKernel::kNone;
+  size_t num_ghd_nodes = 0;
+  double fhw = 0;
+  std::string root_order;
+  double root_cost = 0;
+  bool union_relaxed = false;
+  /// Every valid root attribute order with its cost, best first. Each entry
+  /// is (comma-joined vertex names, cost, relaxed?).
+  struct Candidate {
+    std::string order;
+    double cost = 0;
+    bool union_relaxed = false;
+  };
+  std::vector<Candidate> root_candidates;
+};
+
+/// One engine lane of a sharded backend, with its always-on dispatch
+/// tallies — the per-lane rows on the Prometheus surface
+/// (lh_shard_lane_*). A plain Engine reports no lanes.
+struct ShardLaneInfo {
+  int lane = 0;
+  /// Worker threads in the lane's pool.
+  int threads = 0;
+  /// Scattered queries this lane participated in.
+  uint64_t queries = 0;
+  /// Plan chunks dispatched to this lane.
+  uint64_t chunks = 0;
+};
+
+/// Abstract SQL-in / columnar-results-out backend. Implementations must be
+/// thread-safe for concurrent calls (the server's workers share one
+/// backend).
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Runs one SELECT statement (EXPLAIN [ANALYZE] prefixes included); see
+  /// Engine::Query for the full contract.
+  [[nodiscard]] virtual Result<QueryResult> Query(
+      const std::string& sql, const QueryOptions& options = QueryOptions()) = 0;
+
+  /// Runs one SELECT with stats collection forced on.
+  [[nodiscard]] virtual Result<QueryResult> QueryAnalyze(
+      const std::string& sql, const QueryOptions& options = QueryOptions()) = 0;
+
+  /// Plans without executing.
+  [[nodiscard]] virtual Result<ExplainInfo> Explain(
+      const std::string& sql, const QueryOptions& options = QueryOptions()) = 0;
+
+  /// Lifetime execution counters for the metrics surfaces; see
+  /// Engine::LifetimeStats.
+  [[nodiscard]] virtual obs::StatsSnapshot LifetimeStats() const = 0;
+
+  /// The backend's slow-query log (never null; may be disabled).
+  virtual obs::SlowQueryLog* slow_query_log() = 0;
+
+  /// The backend's shared trie cache (never null).
+  virtual TrieCache* trie_cache() = 0;
+
+  /// Per-lane dispatch tallies; empty for unsharded backends.
+  [[nodiscard]] virtual std::vector<ShardLaneInfo> ShardLanes() const {
+    return {};
+  }
+};
+
+}  // namespace levelheaded
+
+#endif  // LEVELHEADED_CORE_QUERY_BACKEND_H_

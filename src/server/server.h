@@ -1,6 +1,7 @@
 // The LevelHeaded network serving layer (DESIGN.md §12): a multi-threaded
 // TCP server speaking newline-delimited JSON (server/protocol.h) over one
-// shared, thread-safe Engine.
+// shared, thread-safe QueryBackend — a single Engine or a sharded
+// scatter-gather ShardedEngine (src/shard); the server is agnostic.
 //
 //   Engine engine(&catalog, {.max_result_rows = ...});
 //   Server server(&engine, {.port = 0, .num_workers = 4});
@@ -32,7 +33,7 @@
 #include <memory>
 
 #include "core/cancel.h"
-#include "core/engine.h"
+#include "core/query_backend.h"
 #include "obs/server_stats.h"
 #include "server/metrics_http.h"
 #include "server/protocol.h"
@@ -74,9 +75,9 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// `engine` must outlive the server; its catalog must be finalized.
-  Server(Engine* engine, const ServerOptions& options)
-      : engine_(engine), options_(options), queue_(options.queue_capacity),
+  /// `backend` must outlive the server; its catalog must be finalized.
+  Server(QueryBackend* backend, const ServerOptions& options)
+      : backend_(backend), options_(options), queue_(options.queue_capacity),
         worker_tokens_(static_cast<size_t>(
             options.num_workers > 0 ? options.num_workers : 0)) {}
   ~Server() { Stop(); }
@@ -103,7 +104,7 @@ class Server {
 
   obs::ServerStats& stats() { return stats_; }
   const ServerOptions& options() const { return options_; }
-  Engine* engine() { return engine_; }
+  QueryBackend* backend() { return backend_; }
 
  private:
   void AcceptLoop();
@@ -116,7 +117,7 @@ class Server {
 
   bool Draining() const { return draining_.load(std::memory_order_acquire); }
 
-  Engine* engine_;
+  QueryBackend* backend_;
   const ServerOptions options_;
   RequestQueue queue_;
   /// One token per worker; worker `slot` re-arms tokens_[slot] before each

@@ -1,0 +1,19 @@
+#include "shard/partitioner.h"
+
+#include "util/logging.h"
+
+namespace levelheaded::shard {
+
+std::vector<ChunkRange> Partitioner::PartitionChunks(int64_t num_chunks,
+                                                     int num_lanes) {
+  LH_CHECK_GT(num_lanes, 0);
+  LH_CHECK_GE(num_chunks, 0);
+  std::vector<ChunkRange> ranges(static_cast<size_t>(num_lanes));
+  for (int l = 0; l < num_lanes; ++l) {
+    ranges[l].begin = num_chunks * l / num_lanes;
+    ranges[l].end = num_chunks * (l + 1) / num_lanes;
+  }
+  return ranges;
+}
+
+}  // namespace levelheaded::shard

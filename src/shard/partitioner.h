@@ -1,0 +1,43 @@
+// Chunk partitioning for the scatter-gather router (DESIGN.md §17).
+//
+// The unit of distribution is the plan chunk, not the physical row: the
+// executor already cuts every chunkable plan into cardinality-only
+// adaptive-grain chunks over the root attribute's sorted dictionary
+// codes, so a contiguous chunk range IS a range partition of the join
+// key — over the finalized catalog's shared dictionaries, codes are
+// globally consistent and need no per-shard re-encoding. Crucially the
+// chunk boundaries are also the floating-point merge boundaries
+// (DESIGN.md §10): the router folds per-chunk partials in global chunk
+// order, so any assignment of chunks to lanes yields bit-identical
+// results. Partitioning only decides placement, never arithmetic.
+
+#ifndef LEVELHEADED_SHARD_PARTITIONER_H_
+#define LEVELHEADED_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace levelheaded::shard {
+
+/// A contiguous range [begin, end) of plan chunks assigned to one lane.
+struct ChunkRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+class Partitioner {
+ public:
+  /// Splits [0, num_chunks) into `num_lanes` contiguous, balanced ranges
+  /// (sizes differ by at most one; lanes beyond num_chunks get empty
+  /// ranges). Contiguity keeps each lane on one join-key range, which is
+  /// what makes a lane's working set a dictionary-code range partition.
+  static std::vector<ChunkRange> PartitionChunks(int64_t num_chunks,
+                                                 int num_lanes);
+};
+
+}  // namespace levelheaded::shard
+
+#endif  // LEVELHEADED_SHARD_PARTITIONER_H_

@@ -1,0 +1,225 @@
+#include "shard/sharded_engine.h"
+
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "core/executor.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace levelheaded::shard {
+
+int ShardedEngine::ResolveNumShards(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("LH_SHARDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 1;
+}
+
+ShardedEngine::ShardedEngine(Catalog* catalog,
+                             const ShardedEngineOptions& options)
+    : base_(catalog, options.engine) {
+  const int num_shards = ResolveNumShards(options.num_shards);
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  int per_lane = options.threads_per_lane;
+  if (per_lane <= 0) per_lane = std::max(1, hw / num_shards);
+  lanes_.reserve(static_cast<size_t>(num_shards));
+  for (int l = 0; l < num_shards; ++l) {
+    auto lane = std::make_unique<Lane>();
+    if (options.pin_lanes) {
+      std::vector<int> cpus(static_cast<size_t>(per_lane));
+      for (int i = 0; i < per_lane; ++i) cpus[i] = (l * per_lane + i) % hw;
+      lane->pool = std::make_unique<ThreadPool>(per_lane, std::move(cpus));
+    } else {
+      lane->pool = std::make_unique<ThreadPool>(per_lane);
+    }
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+Result<QueryResult> ShardedEngine::Query(const std::string& sql,
+                                         const QueryOptions& options) {
+  std::string rest;
+  if (StripExplainPrefix(sql, &rest) != 0) {
+    // EXPLAIN [ANALYZE] renders plan/profile text; the base engine owns
+    // that surface (an EXPLAIN ANALYZE therefore runs unscattered —
+    // profile a scattered run through analyze mode instead).
+    return base_.Query(sql, options);
+  }
+  return RunQuery(sql, options);
+}
+
+Result<QueryResult> ShardedEngine::QueryAnalyze(const std::string& sql,
+                                                const QueryOptions& options) {
+  QueryOptions opts = options;
+  opts.collect_stats = true;
+  return RunQuery(sql, opts);
+}
+
+Result<ExplainInfo> ShardedEngine::Explain(const std::string& sql,
+                                           const QueryOptions& options) {
+  return base_.Explain(sql, options);
+}
+
+obs::StatsSnapshot ShardedEngine::LifetimeStats() const {
+  return base_.LifetimeStats();
+}
+
+obs::SlowQueryLog* ShardedEngine::slow_query_log() {
+  return base_.slow_query_log();
+}
+
+TrieCache* ShardedEngine::trie_cache() { return base_.trie_cache(); }
+
+std::vector<ShardLaneInfo> ShardedEngine::ShardLanes() const {
+  std::vector<ShardLaneInfo> out;
+  out.reserve(lanes_.size());
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    ShardLaneInfo info;
+    info.lane = static_cast<int>(l);
+    info.threads = lanes_[l]->pool->num_threads();
+    // Monotone dispatch tallies for the metrics surface; nothing is
+    // published through them, so a stale read only under-reports.
+    info.queries = lanes_[l]->queries.load(std::memory_order_relaxed);
+    // Same: pure tally, no data depends on this load.
+    info.chunks = lanes_[l]->chunks.load(std::memory_order_relaxed);
+    out.push_back(info);
+  }
+  return out;
+}
+
+// Mirrors Engine::RunQuery's bookkeeping (lifetime counters, slow-query
+// log), writing into the base engine's surfaces so a sharded deployment
+// reports like an unsharded one.
+Result<QueryResult> ShardedEngine::RunQuery(const std::string& sql,
+                                            const QueryOptions& options) {
+  WallTimer timer;
+  Result<QueryResult> result = RunQueryImpl(sql, options);
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  const obs::QueryProfile* profile =
+      result.ok() ? result.value().profile.get() : nullptr;
+  if (profile != nullptr) base_.lifetime_stats_.Add(profile->counters);
+
+  obs::SlowQueryLog& log = base_.slow_query_log_;
+  if (log.enabled() && elapsed_ms >= log.threshold_ms()) {
+    obs::SlowQueryRecord record;
+    record.sql = sql;
+    record.latency_ms = elapsed_ms;
+    if (result.ok()) {
+      record.status = "OK";
+      record.num_rows = result.value().num_rows;
+    } else {
+      record.status = StatusCodeName(result.status().code());
+    }
+    if (profile != nullptr) {
+      record.cache_hits = profile->counters.trie_cache_hits;
+      record.cache_misses = profile->counters.trie_cache_misses;
+      record.top_spans = obs::SlowQueryRecord::TopSpans(profile->spans);
+    }
+    log.MaybeRecord(std::move(record));
+  }
+  return result;
+}
+
+Result<QueryResult> ShardedEngine::RunQueryImpl(const std::string& sql,
+                                                const QueryOptions& options) {
+  QueryResult::Timing timing;
+  const QueryGuard guard = base_.MakeGuard(options);
+  if (!options.collect_stats) {
+    LH_ASSIGN_OR_RETURN(
+        PhysicalPlan plan,
+        base_.Prepare(sql, options, &timing, nullptr, &guard));
+    return Scatter(plan, &timing, nullptr, &guard);
+  }
+  auto qobs = std::make_unique<obs::QueryObs>();
+  obs::StatsScope stats_scope(&qobs->stats);
+  obs::TraceSpan query_span(&qobs->trace, "query");
+  Result<PhysicalPlan> plan =
+      base_.Prepare(sql, options, &timing, &qobs->trace, &guard);
+  if (!plan.ok()) return plan.status();
+  obs::TraceSpan exec_span(&qobs->trace, "execute");
+  Result<QueryResult> result =
+      Scatter(plan.value(), &timing, qobs.get(), &guard);
+  exec_span.End();
+  query_span.End();
+  qobs->stats.SetCacheBytes(base_.trie_cache_.bytes());
+  if (result.ok()) result.value().profile = qobs->Finish();
+  return result;
+}
+
+Result<QueryResult> ShardedEngine::Scatter(const PhysicalPlan& plan,
+                                           QueryResult::Timing* timing,
+                                           obs::QueryObs* qobs,
+                                           const QueryGuard* guard) {
+  obs::ExecStats* stats = obs::ActiveStats();
+  if (lanes_.size() <= 1 || !ChunkedPlanExec::Chunkable(plan)) {
+    if (stats != nullptr) stats->CountShardFallback();
+    return ExecutePlan(plan, *base_.catalog_, &base_.trie_cache_, timing,
+                       qobs, guard);
+  }
+
+  // Serial setup (trie builds, semijoins, root set) runs on the router
+  // thread; only the chunk loop fans out.
+  LH_ASSIGN_OR_RETURN(
+      std::unique_ptr<ChunkedPlanExec> exec,
+      ChunkedPlanExec::Prepare(plan, *base_.catalog_, &base_.trie_cache_,
+                               timing, qobs, guard));
+  const int64_t num_chunks = exec->num_chunks();
+  const std::vector<ChunkRange> ranges = Partitioner::PartitionChunks(
+      num_chunks, static_cast<int>(lanes_.size()));
+
+  obs::TraceSpan scatter_span(qobs != nullptr ? &qobs->trace : nullptr,
+                              "scatter");
+  uint64_t active_lanes = 0;
+  {
+    // One task per chunk, one TaskGroup per lane. Submit captures the
+    // router thread's stats hook, so worker-side counters attribute to
+    // this query; a deadline/cancel trips the plan's shared abort flag,
+    // and still-queued chunk tasks observe it at their first guard poll —
+    // lanes always drain, nothing is left stuck.
+    std::vector<std::unique_ptr<ThreadPool::TaskGroup>> groups(
+        lanes_.size());
+    for (size_t l = 0; l < ranges.size(); ++l) {
+      const ChunkRange& range = ranges[l];
+      if (range.empty()) continue;
+      ++active_lanes;
+      Lane& lane = *lanes_[l];
+      // Pure tallies (metrics only, no data published through them).
+      lane.queries.fetch_add(1, std::memory_order_relaxed);
+      lane.chunks.fetch_add(
+          static_cast<uint64_t>(range.size()),
+          std::memory_order_relaxed);  // same: pure tally
+      ThreadPool* pool = lane.pool.get();
+      groups[l] = std::make_unique<ThreadPool::TaskGroup>(pool);
+      ChunkedPlanExec* e = exec.get();
+      for (int64_t c = range.begin; c < range.end; ++c) {
+        // Skew-split sub-tasks a chunk spawns go to its own lane's pool.
+        pool->Submit(groups[l].get(), [e, c, pool] { e->RunChunk(c, *pool); });
+      }
+    }
+    // Waiting helps: the router thread drains chunk tasks alongside the
+    // lane workers instead of idling.
+    for (auto& group : groups) {
+      if (group != nullptr) group->Wait();
+    }
+  }
+  scatter_span.AddMetric("chunks", static_cast<double>(num_chunks));
+  scatter_span.AddMetric("lanes", static_cast<double>(active_lanes));
+  scatter_span.End();
+  if (stats != nullptr) {
+    stats->CountShardScatter();
+    stats->CountShardChunks(static_cast<uint64_t>(num_chunks));
+    stats->SetShardLanes(active_lanes);
+  }
+  // The fold runs in global chunk order regardless of lane assignment —
+  // the determinism contract (DESIGN.md §17).
+  return exec->Gather();
+}
+
+}  // namespace levelheaded::shard

@@ -1,0 +1,118 @@
+// Sharded scatter-gather execution (DESIGN.md §17): a QueryBackend that
+// owns N engine lanes — per-lane thread pools (optionally CPU-pinned)
+// over ONE shared finalized Catalog, trie cache, and base Engine — and a
+// router that scatters each chunkable query's plan chunks across the
+// lanes, then gathers the per-chunk partial aggregates through the
+// deterministic in-chunk-order fold (core/executor.h ChunkedPlanExec).
+//
+// Why lanes over shared storage instead of physically row-partitioned
+// engines: floating-point aggregation is non-associative, so any scheme
+// that re-partitions rows and pre-merges per shard would change the
+// summation tree and break bit-identity with the single-engine answer.
+// Scattering at the executor's existing chunk boundaries — which are the
+// PR-3 merge boundaries, cut by input cardinality only — means shard
+// count, lane assignment, and LH_THREADS can all vary while the fold
+// order (global chunk order) stays fixed: results are bit-identical to
+// `Engine` at any {shards} x {threads} combination. Sharing the catalog
+// also gives the globally consistent dictionary codes the partitioner
+// relies on, with zero per-shard dictionary duplication.
+
+#ifndef LEVELHEADED_SHARD_SHARDED_ENGINE_H_
+#define LEVELHEADED_SHARD_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_backend.h"
+#include "shard/partitioner.h"
+#include "util/thread_pool.h"
+
+namespace levelheaded::shard {
+
+struct ShardedEngineOptions {
+  /// Engine lanes. 0 resolves from the LH_SHARDS environment variable
+  /// (when set and positive), else 1.
+  int num_shards = 0;
+  /// Worker threads per lane pool; 0 = hardware concurrency divided by
+  /// the lane count (at least 1).
+  int threads_per_lane = 0;
+  /// Pin lane workers to CPUs lane-major (lane l's workers on CPUs
+  /// [l*threads_per_lane, ...)), so a lane's chunk range — one join-key
+  /// range partition — stays on one cache/NUMA domain. Best-effort:
+  /// restricted affinity masks are silently ignored.
+  bool pin_lanes = true;
+  /// Base-engine configuration (trie cache budget, slow-query log, ...).
+  EngineOptions engine;
+};
+
+/// A scatter-gather query backend over in-process engine lanes.
+///
+/// Thread-safe like Engine: concurrent Query / QueryAnalyze / Explain
+/// calls are supported; the shared trie cache and the per-lane pools are
+/// internally synchronized, and concurrent scattered queries interleave
+/// chunk tasks on the lane pools. Results are bit-identical to a plain
+/// `Engine` over the same catalog for every query, at any shard count.
+class ShardedEngine : public QueryBackend {
+ public:
+  /// `catalog` must be finalized and outlive the backend; it is shared by
+  /// every lane (one dictionary set, one trie cache).
+  explicit ShardedEngine(Catalog* catalog,
+                         const ShardedEngineOptions& options = {});
+
+  [[nodiscard]] Result<QueryResult> Query(
+      const std::string& sql,
+      const QueryOptions& options = QueryOptions()) override;
+
+  [[nodiscard]] Result<QueryResult> QueryAnalyze(
+      const std::string& sql,
+      const QueryOptions& options = QueryOptions()) override;
+
+  [[nodiscard]] Result<ExplainInfo> Explain(
+      const std::string& sql,
+      const QueryOptions& options = QueryOptions()) override;
+
+  [[nodiscard]] obs::StatsSnapshot LifetimeStats() const override;
+  obs::SlowQueryLog* slow_query_log() override;
+  TrieCache* trie_cache() override;
+  [[nodiscard]] std::vector<ShardLaneInfo> ShardLanes() const override;
+
+  int num_shards() const { return static_cast<int>(lanes_.size()); }
+
+  /// `requested` when positive, else LH_SHARDS (when positive), else 1.
+  static int ResolveNumShards(int requested);
+
+ private:
+  /// One engine lane: a dedicated worker pool plus always-on dispatch
+  /// tallies (independent of per-query profiling) for the per-lane
+  /// Prometheus rows.
+  struct Lane {
+    std::unique_ptr<ThreadPool> pool;
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> chunks{0};
+  };
+
+  [[nodiscard]] Result<QueryResult> RunQuery(const std::string& sql,
+                                             const QueryOptions& options);
+  [[nodiscard]] Result<QueryResult> RunQueryImpl(const std::string& sql,
+                                                 const QueryOptions& options);
+  /// Scatters a prepared plan's chunks across the lanes and gathers the
+  /// deterministic fold; non-chunkable plans (dense BLAS, always-empty)
+  /// execute whole on the base engine (a shard.fallbacks event).
+  [[nodiscard]] Result<QueryResult> Scatter(const PhysicalPlan& plan,
+                                            QueryResult::Timing* timing,
+                                            obs::QueryObs* qobs,
+                                            const QueryGuard* guard);
+
+  /// Shared substrate: catalog access, trie cache, slow-query log, and
+  /// lifetime stats all live in the base engine, so sharded serving
+  /// reports through the same engine-owned surfaces (friend of Engine).
+  Engine base_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace levelheaded::shard
+
+#endif  // LEVELHEADED_SHARD_SHARDED_ENGINE_H_

@@ -52,9 +52,10 @@ Result<ColumnSpec> ParseColumnSpec(const std::string& token) {
   return ColumnSpec::Annotation(name, type);
 }
 
-Status LoadSchemaFile(const std::string& path, Catalog* catalog) {
+Result<SchemaFileSpec> ParseSchemaFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open schema file " + path);
+  SchemaFileSpec spec;
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -63,38 +64,59 @@ Status LoadSchemaFile(const std::string& path, Catalog* catalog) {
     std::string command;
     if (!(ss >> command) || command[0] == '#') continue;
     if (command == "table") {
-      std::string name;
-      if (!(ss >> name)) {
+      SchemaFileSpec::TableDecl decl;
+      if (!(ss >> decl.name)) {
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": table needs a name");
       }
-      std::vector<ColumnSpec> columns;
       std::string token;
       while (ss >> token) {
-        LH_ASSIGN_OR_RETURN(ColumnSpec spec, ParseColumnSpec(token));
-        columns.push_back(std::move(spec));
+        LH_ASSIGN_OR_RETURN(ColumnSpec col, ParseColumnSpec(token));
+        decl.columns.push_back(std::move(col));
       }
-      LH_RETURN_NOT_OK(
-          catalog->CreateTable(TableSchema(name, std::move(columns)))
-              .status());
+      spec.tables.push_back(std::move(decl));
     } else if (command == "load") {
-      std::string name, file;
-      if (!(ss >> name >> file)) {
+      SchemaFileSpec::LoadDecl decl;
+      if (!(ss >> decl.table >> decl.file)) {
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": load needs <table> <file>");
       }
-      Table* table = catalog->GetTable(name);
-      if (table == nullptr) {
-        return Status::NotFound("table '" + name + "' not declared");
-      }
-      LH_RETURN_NOT_OK(LoadCsvFile(file, CsvOptions{}, table));
+      spec.loads.push_back(std::move(decl));
     } else {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": unknown directive '" + command +
                                      "'");
     }
   }
+  return spec;
+}
+
+Status DeclareSchemaTables(const SchemaFileSpec& spec, Catalog* catalog) {
+  for (const SchemaFileSpec::TableDecl& decl : spec.tables) {
+    // Re-declarations are skipped so each partition file of a sharded
+    // data set can carry the full shared schema.
+    if (catalog->GetTable(decl.name) != nullptr) continue;
+    LH_RETURN_NOT_OK(
+        catalog->CreateTable(TableSchema(decl.name, decl.columns)).status());
+  }
   return Status::OK();
+}
+
+Status LoadSchemaData(const SchemaFileSpec& spec, Catalog* catalog) {
+  for (const SchemaFileSpec::LoadDecl& decl : spec.loads) {
+    Table* table = catalog->GetTable(decl.table);
+    if (table == nullptr) {
+      return Status::NotFound("table '" + decl.table + "' not declared");
+    }
+    LH_RETURN_NOT_OK(LoadCsvFile(decl.file, CsvOptions{}, table));
+  }
+  return Status::OK();
+}
+
+Status LoadSchemaFile(const std::string& path, Catalog* catalog) {
+  LH_ASSIGN_OR_RETURN(SchemaFileSpec spec, ParseSchemaFile(path));
+  LH_RETURN_NOT_OK(DeclareSchemaTables(spec, catalog));
+  return LoadSchemaData(spec, catalog);
 }
 
 }  // namespace levelheaded

@@ -15,6 +15,8 @@ const char* LockRankName(LockRank rank) {
       return "pool_submit";
     case LockRank::kPool:
       return "pool";
+    case LockRank::kExecScratch:
+      return "exec_scratch";
     case LockRank::kCacheFlight:
       return "cache_flight";
     case LockRank::kCacheEvict:

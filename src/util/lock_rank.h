@@ -45,6 +45,10 @@ enum class LockRank : int {
   kPoolSubmit = 30,
   /// ThreadPool::mu_ — task deque + job state.
   kPool = 40,
+  /// NodeExec::scratch_mu_ — chunk-run worker freelist. Acquired briefly at
+  /// chunk start/end from inside parallel regions (kPoolSubmit may be
+  /// held); nothing is ever acquired while it is held.
+  kExecScratch = 45,
   /// TrieCache::flight_mu_ — single-flight build registry. Never held
   /// across a build or another cache lock.
   kCacheFlight = 50,

@@ -8,8 +8,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace levelheaded {
 
@@ -75,6 +78,28 @@ Result<Socket> ConnectLoopback(uint16_t port) {
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) return Errno("connect 127.0.0.1:" + std::to_string(port));
   return s;
+}
+
+Result<Socket> ConnectLoopbackRetry(uint16_t port, int deadline_ms) {
+  // Transient connect errors during server startup: the listener socket
+  // may not exist yet (ECONNREFUSED), the accept backlog may be full
+  // (EAGAIN), or the kernel may drop the half-open connection while the
+  // server is still binding (ECONNRESET).
+  const auto transient = [](int err) {
+    return err == ECONNREFUSED || err == EAGAIN || err == EWOULDBLOCK ||
+           err == ECONNRESET;
+  };
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  int backoff_ms = 10;
+  for (;;) {
+    Result<Socket> conn = ConnectLoopback(port);
+    if (conn.ok()) return conn;
+    if (!transient(errno)) return conn;
+    if (std::chrono::steady_clock::now() >= deadline) return conn;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 200);
+  }
 }
 
 Result<Socket> AcceptWithTimeout(const Socket& listener, int timeout_ms) {

@@ -57,6 +57,14 @@ class Socket {
 /// Connects to 127.0.0.1:`port`.
 [[nodiscard]] Result<Socket> ConnectLoopback(uint16_t port);
 
+/// Like ConnectLoopback, but retries transient startup failures
+/// (ECONNREFUSED / EAGAIN / ECONNRESET — the window where a freshly
+/// spawned server has not called listen() yet) with capped exponential
+/// backoff until `deadline_ms` elapses. Non-transient errors and deadline
+/// expiry fail with the last connect error.
+[[nodiscard]] Result<Socket> ConnectLoopbackRetry(uint16_t port,
+                                                  int deadline_ms);
+
 /// Waits up to `timeout_ms` for a pending connection on `listener`.
 /// Returns an invalid Socket when the wait simply timed out — callers use
 /// the tick to re-check their shutdown flag.

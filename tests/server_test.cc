@@ -21,6 +21,7 @@
 #include "obs/json_writer.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "shard/sharded_engine.h"
 #include "util/rng.h"
 #include "util/socket.h"
 
@@ -135,6 +136,44 @@ std::vector<std::vector<double>> DirectRows(const QueryResult& result) {
   return rows;
 }
 
+// ConnectLoopbackRetry (the lh_client startup path): a dead port fails in
+// bounded time; a listener that appears mid-retry is found.
+TEST(SocketRetryTest, BoundedFailureWithoutListener) {
+  Result<Socket> probe = ListenTcp(0);
+  ASSERT_TRUE(probe.ok());
+  Result<uint16_t> port = BoundPort(probe.value());
+  ASSERT_TRUE(port.ok());
+  probe.value().Close();  // nothing listens on `port` anymore
+  const auto start = std::chrono::steady_clock::now();
+  Result<Socket> conn =
+      ConnectLoopbackRetry(port.value(), /*deadline_ms=*/150);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_FALSE(conn.ok());
+  // Deadline 150ms plus at most one capped backoff sleep; the wide bound
+  // keeps sanitizer builds from flaking.
+  EXPECT_LT(elapsed_ms, 10000);
+}
+
+TEST(SocketRetryTest, ConnectsWhenListenerAppears) {
+  Result<Socket> probe = ListenTcp(0);
+  ASSERT_TRUE(probe.ok());
+  Result<uint16_t> port = BoundPort(probe.value());
+  ASSERT_TRUE(port.ok());
+  probe.value().Close();
+  Socket listener;  // written by the thread, read only after join
+  std::thread delayed([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Result<Socket> l = ListenTcp(port.value());
+    if (l.ok()) listener = l.TakeValue();
+  });
+  Result<Socket> conn =
+      ConnectLoopbackRetry(port.value(), /*deadline_ms=*/10000);
+  delayed.join();
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+}
+
 class ServerTest : public ::testing::Test {
  protected:
   static constexpr int kNodes = 30;
@@ -159,11 +198,22 @@ class ServerTest : public ::testing::Test {
                       .ok());
     }
     ASSERT_TRUE(catalog_.Finalize().ok());
-    engine_ = std::make_unique<Engine>(&catalog_);
+    // With LH_SHARDS set (the CI release leg reruns tier-1 at LH_SHARDS=2)
+    // the whole suite serves through the scatter-gather backend instead of
+    // a plain engine — same wire behavior, bit-identical results.
+    const int shards = shard::ShardedEngine::ResolveNumShards(0);
+    if (shards > 1) {
+      shard::ShardedEngineOptions shard_options;
+      shard_options.num_shards = shards;
+      engine_ = std::make_unique<shard::ShardedEngine>(&catalog_,
+                                                       shard_options);
+    } else {
+      engine_ = std::make_unique<Engine>(&catalog_);
+    }
   }
 
   Catalog catalog_;
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<QueryBackend> engine_;
 };
 
 TEST_F(ServerTest, StartStopIdempotent) {

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "storage/csv.h"
 #include "storage/dictionary.h"
 #include "storage/schema.h"
+#include "storage/schema_file.h"
 #include "storage/table.h"
 #include "util/date.h"
 
@@ -207,6 +209,98 @@ TEST(CsvTest, SaveRoundTrips) {
     }
   }
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Schema files: the parse / declare / load split that sharded serving
+// builds on (lh_serve loads several per-partition files into one catalog).
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+TEST(SchemaFileTest, ParseSeparatesTablesFromLoads) {
+  const std::string path = WriteTempFile(
+      "parse_spec.lh",
+      "# comment\n"
+      "table edge src:key:long:node dst:key:long:node w:double\n"
+      "load edge part0.tbl\n"
+      "load edge part1.tbl\n");
+  auto spec = ParseSchemaFile(path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec.value().tables.size(), 1u);
+  EXPECT_EQ(spec.value().tables[0].name, "edge");
+  EXPECT_EQ(spec.value().tables[0].columns.size(), 3u);
+  ASSERT_EQ(spec.value().loads.size(), 2u);
+  EXPECT_EQ(spec.value().loads[0].file, "part0.tbl");
+  EXPECT_EQ(spec.value().loads[1].file, "part1.tbl");
+  std::remove(path.c_str());
+}
+
+TEST(SchemaFileTest, DeclareSkipsAlreadyDeclaredTables) {
+  Catalog catalog;
+  SchemaFileSpec spec;
+  spec.tables.push_back(
+      {"edge",
+       {ColumnSpec::Key("src", ValueType::kInt64, "node"),
+        ColumnSpec::Key("dst", ValueType::kInt64, "node")}});
+  ASSERT_TRUE(DeclareSchemaTables(spec, &catalog).ok());
+  // A partition file repeating the shared declaration is a no-op, not a
+  // duplicate-table error.
+  ASSERT_TRUE(DeclareSchemaTables(spec, &catalog).ok());
+  EXPECT_EQ(catalog.TableNames().size(), 1u);
+}
+
+TEST(SchemaFileTest, LoadIntoUndeclaredTableIsNotFound) {
+  Catalog catalog;
+  SchemaFileSpec spec;
+  spec.loads.push_back({"missing", "nowhere.tbl"});
+  Status st = LoadSchemaData(spec, &catalog);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+// Two per-partition schema files (each repeating the shared table
+// declaration, each loading its own rows) applied to ONE catalog: the
+// rows land in one table and the key domain finalizes into one shared
+// dictionary spanning both partitions' values.
+TEST(SchemaFileTest, PartitionFilesShareOneCatalogAndDictionary) {
+  const std::string data0 = WriteTempFile("part0.tbl", "1|2\n3|4\n");
+  const std::string data1 = WriteTempFile("part1.tbl", "5|6\n7|1\n");
+  const std::string decl =
+      "table edge src:key:long:node dst:key:long:node\n";
+  const std::string spec0 =
+      WriteTempFile("part0.lh", decl + "load edge " + data0 + "\n");
+  const std::string spec1 =
+      WriteTempFile("part1.lh", decl + "load edge " + data1 + "\n");
+
+  Catalog catalog;
+  for (const std::string& path : {spec0, spec1}) {
+    auto spec = ParseSchemaFile(path);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ASSERT_TRUE(DeclareSchemaTables(spec.value(), &catalog).ok());
+    ASSERT_TRUE(LoadSchemaData(spec.value(), &catalog).ok());
+  }
+  ASSERT_TRUE(catalog.Finalize().ok());
+
+  Table* t = catalog.GetTable("edge");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 4u);
+  const Dictionary* node = catalog.GetDomain("node");
+  ASSERT_NE(node, nullptr);
+  // All seven distinct keys from both partitions in one dictionary; both
+  // key columns encode through it.
+  EXPECT_EQ(node->size(), 7u);
+  EXPECT_EQ(t->column(0).dict, node);
+  EXPECT_EQ(t->column(1).dict, node);
+
+  for (const std::string& path : {data0, data1, spec0, spec1}) {
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -194,7 +194,9 @@ int Run(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
-  Result<Socket> conn = ConnectLoopback(port);
+  // Retry transient refusals: lh_client is routinely exec'd right after
+  // lh_serve, before the server has bound its listener.
+  Result<Socket> conn = ConnectLoopbackRetry(port, /*deadline_ms=*/2000);
   if (!conn.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
                  conn.status().ToString().c_str());

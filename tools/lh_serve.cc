@@ -3,9 +3,11 @@
 //   $ ./tools/lh_serve schema.lh --port 8437 --workers 4
 //   lh_serve: listening on 127.0.0.1:8437 (4 workers, queue 16)
 //
-// Loads a catalog from a text schema file (see storage/schema_file.h) or a
-// .lhsnap snapshot, then serves newline-delimited JSON queries until
-// SIGINT/SIGTERM triggers a graceful drain. Caps result sets at 4M rows by
+// Loads a catalog from one or more text schema files (see
+// storage/schema_file.h; several files — e.g. per-shard data partitions —
+// share one catalog and one dictionary set) or a .lhsnap snapshot, then
+// serves newline-delimited JSON queries until SIGINT/SIGTERM triggers a
+// graceful drain. Caps result sets at 4M rows by
 // default (--max-rows 0 lifts the cap) so one runaway SELECT cannot OOM a
 // shared server.
 //
@@ -24,6 +26,10 @@
 //                           engine-lifetime exec.* metrics and slow-log
 //                           span/cache attribution; shaves the per-query
 //                           counter bookkeeping)
+//   --shards N              serve through N scatter-gather engine lanes
+//                           (src/shard; default 1 = plain engine; 0 reads
+//                           LH_SHARDS). Results are bit-identical at any
+//                           shard count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +41,7 @@
 
 #include "core/engine.h"
 #include "server/server.h"
+#include "shard/sharded_engine.h"
 #include "storage/schema_file.h"
 #include "storage/snapshot.h"
 #include "util/signals.h"
@@ -46,23 +53,24 @@ constexpr size_t kDefaultMaxResultRows = 4'000'000;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [schema.lh|data.lhsnap] [--port N] [--workers N] "
-               "[--queue N]\n"
+               "usage: %s [schema.lh...|data.lhsnap] [--port N] "
+               "[--workers N] [--queue N]\n"
                "       [--default-timeout-ms X] [--max-rows N] "
                "[--drain-ms X]\n"
                "       [--metrics-port N] [--slow-query-ms X] "
-               "[--no-request-stats]\n",
+               "[--no-request-stats] [--shards N]\n",
                argv0);
   return 2;
 }
 
 int Serve(int argc, char** argv) {
-  std::string data_path;
+  std::vector<std::string> data_paths;
   server::ServerOptions server_options;
   server_options.port = 8437;
   server_options.collect_request_stats = true;
   size_t max_result_rows = kDefaultMaxResultRows;
   double slow_query_ms = 1000;
+  int num_shards = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,30 +111,45 @@ int Serve(int argc, char** argv) {
       slow_query_ms = std::atof(v);
     } else if (arg == "--no-request-stats") {
       server_options.collect_request_stats = false;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      num_shards = std::atoi(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv[0]);
     } else {
-      data_path = arg;
+      data_paths.push_back(arg);
     }
   }
 
   std::unique_ptr<Catalog> owned;
   Catalog local;
   Catalog* catalog = &local;
-  if (!data_path.empty()) {
-    if (data_path.size() > 7 &&
-        data_path.substr(data_path.size() - 7) == ".lhsnap") {
-      auto loaded = LoadCatalog(data_path);
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "snapshot error: %s\n",
-                     loaded.status().ToString().c_str());
+  if (data_paths.size() == 1 && data_paths[0].size() > 7 &&
+      data_paths[0].substr(data_paths[0].size() - 7) == ".lhsnap") {
+    auto loaded = LoadCatalog(data_paths[0]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "snapshot error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    owned = loaded.TakeValue();
+    catalog = owned.get();
+  } else {
+    // Several schema files — e.g. one per data partition in a sharded
+    // deployment — parse independently but declare tables and load rows
+    // into ONE catalog: key columns encode through the shared domain
+    // dictionaries, so partitions never duplicate dictionary memory.
+    for (const std::string& path : data_paths) {
+      auto spec = ParseSchemaFile(path);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "schema error: %s\n",
+                     spec.status().ToString().c_str());
         return 1;
       }
-      owned = loaded.TakeValue();
-      catalog = owned.get();
-    } else {
-      Status st = LoadSchemaFile(data_path, &local);
+      Status st = DeclareSchemaTables(spec.value(), &local);
+      if (st.ok()) st = LoadSchemaData(spec.value(), &local);
       if (!st.ok()) {
         std::fprintf(stderr, "schema error: %s\n", st.ToString().c_str());
         return 1;
@@ -144,7 +167,19 @@ int Serve(int argc, char** argv) {
   EngineOptions engine_options;
   engine_options.max_result_rows = max_result_rows;
   engine_options.slow_query_ms = slow_query_ms;
-  Engine engine(catalog, engine_options);
+  // One backend for the server: a plain engine, or — with --shards N > 1
+  // (or LH_SHARDS when N is 0) — the scatter-gather router over N engine
+  // lanes sharing this catalog's dictionaries.
+  num_shards = shard::ShardedEngine::ResolveNumShards(num_shards);
+  std::unique_ptr<QueryBackend> backend;
+  if (num_shards > 1) {
+    shard::ShardedEngineOptions shard_options;
+    shard_options.num_shards = num_shards;
+    shard_options.engine = engine_options;
+    backend = std::make_unique<shard::ShardedEngine>(catalog, shard_options);
+  } else {
+    backend = std::make_unique<Engine>(catalog, engine_options);
+  }
 
   Status st = InstallShutdownSignalHandlers();
   if (!st.ok()) {
@@ -152,17 +187,17 @@ int Serve(int argc, char** argv) {
     return 1;
   }
 
-  server::Server server(&engine, server_options);
+  server::Server server(backend.get(), server_options);
   st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "start error: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("lh_serve: listening on 127.0.0.1:%u (%d workers, queue %zu, "
-              "max %zu result rows)\n",
+              "max %zu result rows, %d shard%s)\n",
               static_cast<unsigned>(server.port()),
               server_options.num_workers, server_options.queue_capacity,
-              max_result_rows);
+              max_result_rows, num_shards, num_shards == 1 ? "" : "s");
   if (server_options.metrics_port >= 0) {
     std::printf("lh_serve: metrics on http://127.0.0.1:%u/metrics\n",
                 static_cast<unsigned>(server.metrics_port()));
@@ -177,7 +212,7 @@ int Serve(int argc, char** argv) {
 
   // Slow queries survive the shutdown as one grep-able JSON line each.
   const std::vector<obs::SlowQueryRecord> slow =
-      engine.slow_query_log()->Snapshot();
+      backend->slow_query_log()->Snapshot();
   for (const obs::SlowQueryRecord& record : slow) {
     std::printf("lh_serve: slow-query %s\n", record.ToJsonLine().c_str());
   }
@@ -195,7 +230,7 @@ int Serve(int argc, char** argv) {
               stats.latency_ms_p50, stats.latency_ms_p99,
               stats.latency_ms_max,
               static_cast<unsigned long long>(
-                  engine.slow_query_log()->total_recorded()));
+                  backend->slow_query_log()->total_recorded()));
   return 0;
 }
 

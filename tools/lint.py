@@ -92,6 +92,7 @@ SPAN_TAXONOMY = {
     "wcoj",
     "materialize",
     "dense_blas",
+    "scatter",
 }
 
 # Rules that apply only under these directories.
